@@ -1,0 +1,205 @@
+//! The routing-centric `crouting` attack of Magaña et al. (ICCAD'16).
+//!
+//! Rather than committing to a netlist, `crouting` confines the solution
+//! space: for every vpin it collects the candidate vpins inside a bounding
+//! box measured in routing tracks. The paper's Table 3 reports the number
+//! of vpins and the expected candidate-list size `E[LS]` for boxes of 15,
+//! 30 and 45 tracks; *match in list* records how often the true partner is
+//! inside the box at all.
+
+use sm_layout::{SplitLayout, VpinSide};
+use sm_netlist::{NetId, Netlist};
+
+/// Configuration of the crouting attack.
+#[derive(Debug, Clone)]
+pub struct CroutingConfig {
+    /// Bounding-box half-widths, in routing tracks (the paper uses
+    /// 15/30/45).
+    pub bounding_boxes: Vec<i64>,
+    /// Routing-track pitch in DBU used to convert boxes to distances
+    /// (pitch of the layer right above the split).
+    pub track_pitch_dbu: i64,
+}
+
+impl Default for CroutingConfig {
+    fn default() -> Self {
+        CroutingConfig {
+            bounding_boxes: vec![15, 30, 45],
+            track_pitch_dbu: 280,
+        }
+    }
+}
+
+/// Per-bounding-box results.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoxReport {
+    /// Bounding-box half-width in tracks.
+    pub bbox_tracks: i64,
+    /// Expected (mean) candidate-list size over all vpins.
+    pub expected_list_size: f64,
+    /// Fraction of vpins whose true partner is inside the box.
+    pub match_in_list: f64,
+}
+
+/// Full crouting output (one row of Table 3).
+#[derive(Debug, Clone)]
+pub struct CroutingReport {
+    /// Total number of vpins the attacker must reconnect.
+    pub num_vpins: usize,
+    /// One entry per configured bounding box.
+    pub boxes: Vec<BoxReport>,
+}
+
+/// Runs the crouting attack on a split layout.
+///
+/// `golden` supplies the true partner relation for match-in-list scoring;
+/// pass the placed netlist itself for unprotected layouts.
+pub fn crouting_attack(
+    golden: &Netlist,
+    split: &SplitLayout,
+    config: &CroutingConfig,
+) -> CroutingReport {
+    let vpins = &split.feol.vpins;
+    let n = vpins.len();
+    let mut boxes = Vec::with_capacity(config.bounding_boxes.len());
+    for &bbox in &config.bounding_boxes {
+        let radius = bbox * config.track_pitch_dbu;
+        let mut total_candidates = 0usize;
+        let mut matches = 0usize;
+        for (i, v) in vpins.iter().enumerate() {
+            let mut list = 0usize;
+            let mut true_partner_in_list = false;
+            for (j, w) in vpins.iter().enumerate() {
+                if i == j || !opposite_sides(v.side, w.side) {
+                    continue;
+                }
+                let dx = (v.position.x - w.position.x).abs();
+                let dy = (v.position.y - w.position.y).abs();
+                if dx <= radius && dy <= radius {
+                    list += 1;
+                    if true_partner(golden, split, i, j) {
+                        true_partner_in_list = true;
+                    }
+                }
+            }
+            total_candidates += list;
+            if true_partner_in_list {
+                matches += 1;
+            }
+        }
+        boxes.push(BoxReport {
+            bbox_tracks: bbox,
+            expected_list_size: if n == 0 {
+                0.0
+            } else {
+                total_candidates as f64 / n as f64
+            },
+            match_in_list: if n == 0 { 0.0 } else { matches as f64 / n as f64 },
+        });
+    }
+    CroutingReport {
+        num_vpins: n,
+        boxes,
+    }
+}
+
+fn opposite_sides(a: VpinSide, b: VpinSide) -> bool {
+    matches!(
+        (a, b),
+        (VpinSide::Driver(_), VpinSide::Sink(_)) | (VpinSide::Sink(_), VpinSide::Driver(_))
+    )
+}
+
+/// `true` when vpins `i` and `j` are truly connected in `golden`.
+fn true_partner(golden: &Netlist, split: &SplitLayout, i: usize, j: usize) -> bool {
+    let (drv, snk) = match (split.feol.vpins[i].side, split.feol.vpins[j].side) {
+        (VpinSide::Driver(_), VpinSide::Sink(s)) => (i, s),
+        (VpinSide::Sink(s), VpinSide::Driver(_)) => (j, s),
+        _ => return false,
+    };
+    let true_net: NetId = match snk {
+        sm_netlist::Sink::Cell { cell, pin } => golden.cell(cell).inputs()[pin as usize],
+        sm_netlist::Sink::Port(p) => golden.output_ports()[p.index()].net,
+    };
+    split.feol.vpins[drv].net == true_net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sm_core::baselines::{naive_lifting, original_layout};
+    use sm_layout::split_layout;
+    use sm_netlist::parse::bench::{parse_bench, C17_BENCH};
+    use sm_netlist::Library;
+
+    fn c17() -> Netlist {
+        parse_bench("c17", C17_BENCH, &Library::nangate45()).unwrap()
+    }
+
+    #[test]
+    fn report_shape_matches_config() {
+        let n = c17();
+        let nets: Vec<_> = n
+            .nets()
+            .filter(|(_, net)| net.degree() >= 2)
+            .map(|(id, _)| id)
+            .collect();
+        let lifted = naive_lifting(&n, &nets, 6, 0.6, 1);
+        let split = split_layout(&n, &lifted.placement, &lifted.routing, 3);
+        let report = crouting_attack(&n, &split, &CroutingConfig::default());
+        assert_eq!(report.boxes.len(), 3);
+        assert_eq!(report.num_vpins, split.feol.vpins.len());
+        assert!(report.num_vpins > 0);
+    }
+
+    #[test]
+    fn bigger_boxes_never_shrink_lists() {
+        let n = c17();
+        let nets: Vec<_> = n
+            .nets()
+            .filter(|(_, net)| net.degree() >= 2)
+            .map(|(id, _)| id)
+            .collect();
+        let lifted = naive_lifting(&n, &nets, 6, 0.6, 2);
+        let split = split_layout(&n, &lifted.placement, &lifted.routing, 3);
+        let report = crouting_attack(&n, &split, &CroutingConfig::default());
+        for w in report.boxes.windows(2) {
+            assert!(w[1].expected_list_size >= w[0].expected_list_size);
+            assert!(w[1].match_in_list >= w[0].match_in_list);
+        }
+    }
+
+    #[test]
+    fn unprotected_layout_has_high_match_in_list() {
+        let n = c17();
+        let nets: Vec<_> = n
+            .nets()
+            .filter(|(_, net)| net.degree() >= 2)
+            .map(|(id, _)| id)
+            .collect();
+        // Lift everything so every net is cut; the die is tiny, so the
+        // widest box must contain the true partner of every vpin.
+        let lifted = naive_lifting(&n, &nets, 6, 0.6, 3);
+        let split = split_layout(&n, &lifted.placement, &lifted.routing, 3);
+        let report = crouting_attack(&n, &split, &CroutingConfig::default());
+        let widest = report.boxes.last().unwrap();
+        assert!(
+            widest.match_in_list > 0.9,
+            "match in list {}",
+            widest.match_in_list
+        );
+    }
+
+    #[test]
+    fn empty_split_is_safe() {
+        let n = c17();
+        let base = original_layout(&n, 0.6, 4);
+        // Split at M9: nothing routes that high in c17.
+        let split = split_layout(&n, &base.placement, &base.routing, 9);
+        let report = crouting_attack(&n, &split, &CroutingConfig::default());
+        assert_eq!(report.num_vpins, 0);
+        for b in &report.boxes {
+            assert_eq!(b.expected_list_size, 0.0);
+        }
+    }
+}

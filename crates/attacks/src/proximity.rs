@@ -1,0 +1,475 @@
+//! The network-flow proximity attack of Wang et al. (DAC'16).
+//!
+//! The attacker holds the FEOL: all gates, the placement, wiring up to the
+//! split layer, and the dangling via stacks (vpins) of every cut net. The
+//! attack reconnects each sink vpin to a driver vpin by minimizing a cost
+//! combining the hints the paper lists:
+//!
+//! 1. physical proximity of the dangling pins,
+//! 2. avoidance of combinational loops (a loop would be an invalid design),
+//! 3. load-capacitance constraints (a driver's fanout capacitance should
+//!    stay plausible for its drive strength),
+//! 4. the direction of dangling wires (the FEOL stub points toward the
+//!    BEOL continuation).
+//!
+//! Pairs are committed globally-cheapest-first (the practical equivalent of
+//! the min-cost-flow rounds in the original attack), re-checking loops
+//! against connections committed so far.
+
+use sm_layout::{Placement, SplitLayout, VpinSide};
+use sm_netlist::graph::would_create_cycle;
+use sm_netlist::{Netlist, Sink};
+use sm_sim::{security_metrics, PatternSource, SecurityMetrics};
+
+/// Tunables of the proximity attack.
+///
+/// Penalties are multiplicative so the attack behaves identically on a
+/// 3 µm toy die and a millimeter-scale superblue die.
+#[derive(Debug, Clone)]
+pub struct ProximityConfig {
+    /// Weight of the Manhattan distance term (cost per µm).
+    pub distance_weight: f64,
+    /// Multiplier applied to the distance when the driver's dangling stub
+    /// points away from the candidate sink (1.0 disables the hint).
+    pub direction_factor: f64,
+    /// Capacitive load (fF) a driver is expected to support before the
+    /// load hint starts penalizing further fanout.
+    pub load_budget_ff: f64,
+    /// Distance multiplier per fF of load-budget excess.
+    pub load_factor_per_ff: f64,
+    /// Patterns used to score OER/HD of the recovered netlist.
+    pub eval_patterns: usize,
+    /// Candidate drivers kept per sink in the flow network (pruning).
+    pub candidates_per_sink: usize,
+}
+
+impl Default for ProximityConfig {
+    fn default() -> Self {
+        ProximityConfig {
+            distance_weight: 1.0,
+            direction_factor: 1.5,
+            load_budget_ff: 12.0,
+            load_factor_per_ff: 0.25,
+            eval_patterns: 65_536,
+            candidates_per_sink: 24,
+        }
+    }
+}
+
+/// Everything the attack produces.
+#[derive(Debug, Clone)]
+pub struct AttackOutcome {
+    /// Committed `(driver_vpin, sink_vpin)` pairs.
+    pub pairs: Vec<(usize, usize)>,
+    /// Correct connection rate over the cut sinks (the paper's CCR).
+    pub ccr: f64,
+    /// The netlist the attacker reconstructed.
+    pub recovered: Netlist,
+    /// OER and HD of the recovered netlist against the true design.
+    pub metrics: SecurityMetrics,
+}
+
+/// Runs the network-flow attack.
+///
+/// * `golden` — the true design (scoring reference for OER/HD).
+/// * `placed` — the netlist that was actually placed and routed (equals
+///   `golden` for unprotected/prior-art layouts; the *erroneous* netlist
+///   for the proposed defense).
+/// * `placement` / `split` — the attacked FEOL.
+///
+/// # Panics
+///
+/// Panics if `split` was not derived from `placed` (vpin sink references
+/// must resolve in `placed`).
+pub fn network_flow_attack(
+    golden: &Netlist,
+    placed: &Netlist,
+    placement: &Placement,
+    split: &SplitLayout,
+    config: &ProximityConfig,
+) -> AttackOutcome {
+    let drivers = split.feol.driver_vpins();
+    let sinks = split.feol.sink_vpins();
+
+    // Candidate edges: the K cheapest drivers per sink (standard pruning;
+    // distant drivers never win the global optimum anyway).
+    let k = config.candidates_per_sink.max(1);
+    let mut candidates: Vec<Vec<(i64, usize)>> = Vec::with_capacity(sinks.len());
+    for &s in &sinks {
+        let mut row: Vec<(i64, usize)> = drivers
+            .iter()
+            .map(|&d| ((pair_cost(split, d, s, config, 0.0) * 1000.0) as i64, d))
+            .collect();
+        row.sort_unstable();
+        row.truncate(k);
+        candidates.push(row);
+    }
+
+    // Min-cost flow: source → drivers (capacity from the load hint) →
+    // sinks (capacity 1) → target. The optimal flow is the globally
+    // cheapest assignment under all hints simultaneously.
+    let d_index: std::collections::HashMap<usize, usize> = drivers
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| (d, i))
+        .collect();
+    let n_nodes = 2 + drivers.len() + sinks.len();
+    let (source, target) = (0usize, n_nodes - 1);
+    let d_node = |i: usize| 1 + i;
+    let s_node = |i: usize| 1 + drivers.len() + i;
+    let mut caps: Vec<i64> = drivers
+        .iter()
+        .map(|&d| driver_capacity(placed, split, d, config))
+        .collect();
+    let total_cap: i64 = caps.iter().sum();
+    if total_cap < sinks.len() as i64 && !caps.is_empty() {
+        // The load hint underestimates; scale capacities so a full
+        // assignment exists (the cost structure still favors light loads).
+        let scale = (sinks.len() as i64 + total_cap - 1) / total_cap.max(1) + 1;
+        for c in &mut caps {
+            *c *= scale;
+        }
+    }
+    let mut flow = crate::mcmf::MinCostFlow::new(n_nodes);
+    for (i, &cap) in caps.iter().enumerate() {
+        flow.add_edge(source, d_node(i), cap, 0);
+    }
+    let mut edge_handles: Vec<Vec<(usize, usize)>> = Vec::with_capacity(sinks.len());
+    for (si, row) in candidates.iter().enumerate() {
+        let mut handles = Vec::with_capacity(row.len());
+        for &(cost, d) in row {
+            let h = flow.add_edge(d_node(d_index[&d]), s_node(si), 1, cost.max(0));
+            handles.push((h, d));
+        }
+        flow.add_edge(s_node(si), target, 1, 0);
+        edge_handles.push(handles);
+    }
+    flow.run(source, target, sinks.len() as i64);
+
+    // Read the assignment off the flow; sinks the flow could not reach
+    // fall back to their cheapest candidate.
+    let mut chosen: Vec<Option<usize>> = vec![None; sinks.len()];
+    for (si, handles) in edge_handles.iter().enumerate() {
+        for &(h, d) in handles {
+            if flow.flow_on(h) > 0 {
+                chosen[si] = Some(d);
+                break;
+            }
+        }
+        if chosen[si].is_none() {
+            chosen[si] = candidates[si].first().map(|&(_, d)| d);
+        }
+    }
+
+    // Reconstruct the netlist, honoring the loop-avoidance hint: apply
+    // assignments cheapest-first; a connection that would close a loop is
+    // retargeted to the cheapest loop-free candidate.
+    let mut recovered = placed.clone();
+    let mut order: Vec<usize> = (0..sinks.len()).collect();
+    order.sort_by_key(|&si| {
+        chosen[si]
+            .and_then(|d| candidates[si].iter().find(|&&(_, dd)| dd == d))
+            .map(|&(c, _)| c)
+            .unwrap_or(i64::MAX)
+    });
+    let mut pairs = Vec::with_capacity(sinks.len());
+    for si in order {
+        let s = sinks[si];
+        let sink = match split.feol.vpins[s].side {
+            VpinSide::Sink(sk) => sk,
+            VpinSide::Driver(_) => unreachable!("s indexes sink vpins"),
+        };
+        let mut attempt: Vec<usize> = chosen[si].into_iter().collect();
+        attempt.extend(candidates[si].iter().map(|&(_, d)| d));
+        let mut connected = None;
+        for d in attempt {
+            let driver_net = split.feol.vpins[d].net; // FEOL-visible
+            let ok = match sink {
+                Sink::Cell { cell, .. } => !would_create_cycle(&recovered, driver_net, cell),
+                Sink::Port(_) => true,
+            };
+            if ok {
+                let current_net = current_net_of(&recovered, sink);
+                if current_net != driver_net {
+                    recovered
+                        .move_sink(current_net, sink, driver_net)
+                        .expect("split derived from placed netlist");
+                }
+                connected = Some(d);
+                break;
+            }
+        }
+        if let Some(d) = connected {
+            pairs.push((d, s));
+        }
+    }
+
+    let _ = placement; // positions are already baked into the vpins
+
+    let ccr = ccr_vs_golden(golden, split, &pairs);
+    let mut rng = seeded(golden);
+    let patterns = PatternSource::random(golden, config.eval_patterns, &mut rng);
+    let metrics =
+        security_metrics(golden, &recovered, &patterns).expect("same port interface");
+    AttackOutcome {
+        pairs,
+        ccr,
+        recovered,
+        metrics,
+    }
+}
+
+/// CCR of an assignment against the *true* design.
+///
+/// For protected layouts the split view is derived from the erroneous
+/// netlist, so [`SplitLayout::correct_connection_rate`] would score against
+/// the wrong reference; this function looks each sink's true driving net up
+/// in `golden` instead. Net/cell ids are shared between the original and
+/// the erroneous netlist (randomization only moves sinks), so ids resolve
+/// directly.
+pub fn ccr_vs_golden(golden: &Netlist, split: &SplitLayout, pairs: &[(usize, usize)]) -> f64 {
+    let sinks = split.feol.sink_vpins();
+    if sinks.is_empty() {
+        return 1.0;
+    }
+    let correct = pairs
+        .iter()
+        .filter(|&&(d, s)| {
+            let sink = match split.feol.vpins[s].side {
+                VpinSide::Sink(sk) => sk,
+                VpinSide::Driver(_) => return false,
+            };
+            current_net_of(golden, sink) == split.feol.vpins[d].net
+        })
+        .count();
+    correct as f64 / sinks.len() as f64
+}
+
+/// CCR over an explicit set of rewired connections — the metric behind
+/// the paper's "0% CCR" headline: for every `(sink, true_net)` pair the
+/// defense randomized, did the attacker reconnect that sink to its true
+/// net?
+pub fn ccr_over_connections(
+    split: &SplitLayout,
+    pairs: &[(usize, usize)],
+    connections: &[(Sink, sm_netlist::NetId)],
+) -> f64 {
+    use std::collections::HashMap;
+    let truth: HashMap<Sink, sm_netlist::NetId> = connections.iter().copied().collect();
+    let mut total = 0usize;
+    let mut correct = 0usize;
+    let mut assigned: HashMap<Sink, sm_netlist::NetId> = HashMap::new();
+    for &(d, s) in pairs {
+        if let VpinSide::Sink(sk) = split.feol.vpins[s].side {
+            assigned.insert(sk, split.feol.vpins[d].net);
+        }
+    }
+    for (sink, true_net) in &truth {
+        total += 1;
+        if assigned.get(sink) == Some(true_net) {
+            correct += 1;
+        }
+    }
+    if total == 0 {
+        1.0
+    } else {
+        correct as f64 / total as f64
+    }
+}
+
+/// CCR restricted to a net subset (the paper reports CCR over the
+/// randomized nets). A sink counts when its *true* net is in `nets`.
+pub fn ccr_vs_golden_for(
+    golden: &Netlist,
+    split: &SplitLayout,
+    pairs: &[(usize, usize)],
+    nets: &[sm_netlist::NetId],
+) -> f64 {
+    let mut total = 0usize;
+    let mut correct = 0usize;
+    for &(d, s) in pairs {
+        let sink = match split.feol.vpins[s].side {
+            VpinSide::Sink(sk) => sk,
+            VpinSide::Driver(_) => continue,
+        };
+        let truth = current_net_of(golden, sink);
+        if !nets.contains(&truth) {
+            continue;
+        }
+        total += 1;
+        if truth == split.feol.vpins[d].net {
+            correct += 1;
+        }
+    }
+    if total == 0 {
+        1.0
+    } else {
+        correct as f64 / total as f64
+    }
+}
+
+fn pair_cost(
+    split: &SplitLayout,
+    d: usize,
+    s: usize,
+    config: &ProximityConfig,
+    driver_load_ff: f64,
+) -> f64 {
+    let vd = &split.feol.vpins[d];
+    let vs = &split.feol.vpins[s];
+    let dist_um = vd.position.manhattan_um(vs.position);
+    // A small floor keeps the multiplicative hints meaningful even for
+    // coincident pins.
+    let mut cost = config.distance_weight * (dist_um + 0.1);
+    // Hint 4: dangling-wire direction. A stub pointing away from the sink
+    // scales the cost up; the hint never overrides proximity entirely.
+    if let Some((dx, dy)) = vd.stub_direction {
+        let to_sink = (
+            (vs.position.x - vd.position.x).signum(),
+            (vs.position.y - vd.position.y).signum(),
+        );
+        let disagrees = (dx != 0 && dx as i64 == -to_sink.0) || (dy != 0 && dy as i64 == -to_sink.1);
+        if disagrees {
+            cost *= config.direction_factor;
+        }
+    }
+    // Hint 3: load capacitance — progressively discourage overloading one
+    // driver with every sink in the neighborhood.
+    let excess = (driver_load_ff - config.load_budget_ff).max(0.0);
+    cost *= 1.0 + excess * config.load_factor_per_ff;
+    cost
+}
+
+/// Capacity of a driver in the flow network, from the load hint: how many
+/// typical sink pins its drive strength supports.
+fn driver_capacity(
+    placed: &Netlist,
+    split: &SplitLayout,
+    d: usize,
+    config: &ProximityConfig,
+) -> i64 {
+    const TYPICAL_SINK_FF: f64 = 1.2;
+    let strength = match split.feol.vpins[d].side {
+        VpinSide::Driver(sm_netlist::Driver::Cell(c)) => placed
+            .library()
+            .cell(placed.cell(c).lib)
+            .drive_strength(),
+        // Pad drivers are strong.
+        VpinSide::Driver(sm_netlist::Driver::Port(_)) => 4.0,
+        VpinSide::Sink(_) => unreachable!("d indexes driver vpins"),
+    };
+    ((strength * config.load_budget_ff / TYPICAL_SINK_FF) as i64).max(1)
+}
+
+fn current_net_of(netlist: &Netlist, sink: Sink) -> sm_netlist::NetId {
+    match sink {
+        Sink::Cell { cell, pin } => netlist.cell(cell).inputs()[pin as usize],
+        Sink::Port(p) => netlist.output_ports()[p.index()].net,
+    }
+}
+
+fn seeded(netlist: &Netlist) -> rand::rngs::StdRng {
+    use rand::SeedableRng;
+    let seed = netlist
+        .name()
+        .bytes()
+        .fold(0x9e3779b9u64, |h, b| h.wrapping_mul(131).wrapping_add(b as u64));
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sm_core::baselines::original_layout;
+    use sm_core::flow::{protect, FlowConfig};
+    use sm_layout::split_layout;
+    use sm_netlist::parse::bench::{parse_bench, C17_BENCH};
+    use sm_netlist::Library;
+
+    fn c17() -> Netlist {
+        parse_bench("c17", C17_BENCH, &Library::nangate45()).unwrap()
+    }
+
+    #[test]
+    fn attack_on_original_layout_recovers_most_connections() {
+        let n = c17();
+        let base = original_layout(&n, 0.6, 1);
+        let split = split_layout(&n, &base.placement, &base.routing, 3);
+        if split.cut_nets == 0 {
+            return; // everything below the split: nothing to attack
+        }
+        let out = network_flow_attack(
+            &n,
+            &n,
+            &base.placement,
+            &split,
+            &ProximityConfig::default(),
+        );
+        // Unprotected layouts leak: proximity recovers a clear majority.
+        assert!(out.ccr >= 0.5, "CCR {}", out.ccr);
+        assert_eq!(out.pairs.len(), split.feol.sink_vpins().len());
+    }
+
+    #[test]
+    fn attack_on_protected_layout_recovers_nothing() {
+        let n = c17();
+        let p = protect(&n, &FlowConfig::iscas_default(7));
+        let split = split_layout(
+            &p.randomization.erroneous,
+            &p.placement,
+            &p.feol_routing,
+            4,
+        );
+        let out = network_flow_attack(
+            &n,
+            &p.randomization.erroneous,
+            &p.placement,
+            &split,
+            &ProximityConfig::default(),
+        );
+        // The signature result of the paper: the randomized connections
+        // are never recovered correctly, and the recovered netlist behaves
+        // erroneously.
+        let swapped = p.randomization.swapped_connections();
+        let ccr_swapped = ccr_over_connections(&split, &out.pairs, &swapped);
+        assert!(
+            ccr_swapped <= 0.2,
+            "CCR over randomized connections should collapse, got {ccr_swapped}"
+        );
+        assert!(out.metrics.oer > 0.3, "OER {}", out.metrics.oer);
+    }
+
+    #[test]
+    fn recovered_netlist_is_structurally_valid() {
+        let n = c17();
+        let base = original_layout(&n, 0.6, 2);
+        let split = split_layout(&n, &base.placement, &base.routing, 3);
+        let out = network_flow_attack(
+            &n,
+            &n,
+            &base.placement,
+            &split,
+            &ProximityConfig::default(),
+        );
+        out.recovered.validate().unwrap();
+        sm_netlist::graph::topo_order(&out.recovered).unwrap();
+    }
+
+    #[test]
+    fn every_sink_gets_assigned_exactly_once() {
+        let n = c17();
+        let base = original_layout(&n, 0.6, 3);
+        let split = split_layout(&n, &base.placement, &base.routing, 3);
+        let out = network_flow_attack(
+            &n,
+            &n,
+            &base.placement,
+            &split,
+            &ProximityConfig::default(),
+        );
+        let mut seen = std::collections::HashSet::new();
+        for &(_, s) in &out.pairs {
+            assert!(seen.insert(s), "sink {s} assigned twice");
+        }
+    }
+}

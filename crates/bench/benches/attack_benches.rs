@@ -1,0 +1,60 @@
+//! Criterion benches for the attack side: network-flow matching, crouting
+//! candidate enumeration and the bit-parallel simulator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use sm_attacks::{crouting_attack, network_flow_attack, CroutingConfig, ProximityConfig};
+use sm_benchgen::iscas::{generate, IscasProfile};
+use sm_core::baselines::original_layout;
+use sm_layout::split_layout;
+use sm_sim::{PatternSource, Simulator};
+
+fn bench_network_flow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("network_flow_attack");
+    group.sample_size(10);
+    for profile in [IscasProfile::c432(), IscasProfile::c880()] {
+        let netlist = generate(&profile, 1);
+        let layout = original_layout(&netlist, 0.7, 1);
+        let split = split_layout(&netlist, &layout.placement, &layout.routing, 4);
+        group.bench_with_input(BenchmarkId::from_parameter(profile.name), &netlist, |b, n| {
+            let mut cfg = ProximityConfig::default();
+            cfg.eval_patterns = 4096; // measure the matching, not the sim
+            b.iter(|| network_flow_attack(n, n, &layout.placement, &split, &cfg))
+        });
+    }
+    group.finish();
+}
+
+fn bench_crouting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crouting_attack");
+    let netlist = generate(&IscasProfile::c2670(), 1);
+    let layout = original_layout(&netlist, 0.7, 1);
+    let split = split_layout(&netlist, &layout.placement, &layout.routing, 4);
+    group.bench_function("c2670", |b| {
+        b.iter(|| crouting_attack(&netlist, &split, &CroutingConfig::default()))
+    });
+    group.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_64x1024_patterns");
+    for profile in [IscasProfile::c880(), IscasProfile::c7552()] {
+        let netlist = generate(&profile, 1);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let patterns = PatternSource::random(&netlist, 64 * 1024, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(profile.name), &netlist, |b, n| {
+            b.iter(|| {
+                let mut sim = Simulator::new(n);
+                let mut acc = 0u64;
+                for (words, mask) in patterns.iter_words() {
+                    acc ^= sim.run_word(words).iter().fold(0, |a, w| a ^ w) & mask;
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_network_flow, bench_crouting, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion benches for the protection-flow components: randomization,
+//! placement, routing and the end-to-end flow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sm_benchgen::iscas::{generate, IscasProfile};
+use sm_core::flow::{protect, FlowConfig};
+use sm_core::randomize::{randomize, RandomizeConfig};
+use sm_layout::{Floorplan, PlacementEngine, RouteOptions, Router, Technology};
+
+fn bench_randomize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("randomize");
+    for profile in [IscasProfile::c432(), IscasProfile::c880()] {
+        let netlist = generate(&profile, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(profile.name), &netlist, |b, n| {
+            b.iter(|| randomize(n, &RandomizeConfig::new(7)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_place(c: &mut Criterion) {
+    let mut group = c.benchmark_group("place");
+    group.sample_size(10);
+    for profile in [IscasProfile::c432(), IscasProfile::c880(), IscasProfile::c2670()] {
+        let netlist = generate(&profile, 1);
+        let tech = Technology::nangate45_10lm();
+        let fp = Floorplan::for_netlist(&netlist, &tech, 0.7);
+        group.bench_with_input(BenchmarkId::from_parameter(profile.name), &netlist, |b, n| {
+            b.iter(|| PlacementEngine::new(7).place(n, &fp))
+        });
+    }
+    group.finish();
+}
+
+fn bench_route(c: &mut Criterion) {
+    let mut group = c.benchmark_group("route");
+    group.sample_size(10);
+    for profile in [IscasProfile::c432(), IscasProfile::c2670()] {
+        let netlist = generate(&profile, 1);
+        let tech = Technology::nangate45_10lm();
+        let fp = Floorplan::for_netlist(&netlist, &tech, 0.7);
+        let pl = PlacementEngine::new(7).place(&netlist, &fp);
+        group.bench_with_input(BenchmarkId::from_parameter(profile.name), &netlist, |b, n| {
+            b.iter(|| Router::new(&tech).route(n, &pl, &fp, &RouteOptions::default()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_flow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protect_flow");
+    group.sample_size(10);
+    let netlist = generate(&IscasProfile::c432(), 1);
+    group.bench_function("c432", |b| {
+        b.iter(|| protect(&netlist, &FlowConfig::iscas_default(7)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_randomize, bench_place, bench_route, bench_full_flow);
+criterion_main!(benches);

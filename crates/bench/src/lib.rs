@@ -1,0 +1,114 @@
+//! Experiment harness regenerating every table and figure of the paper.
+//!
+//! One binary per artifact (see `src/bin/`); the heavy lifting lives here
+//! so integration tests can assert on the same numbers the binaries print:
+//!
+//! | artifact | binary | module |
+//! |----------|--------|--------|
+//! | Table 1  | `table1_distances` | `experiments::table1` |
+//! | Table 2  | `table2_vias` | `experiments::table2` |
+//! | Table 3  | `table3_crouting` | `experiments::table3` |
+//! | Table 4  | `table4_placement_attack` | `experiments::security_row` |
+//! | Table 5  | `table5_routing_attack` | `experiments::security_row` |
+//! | Table 6  | `table6_via_comparison` | `experiments::table6` |
+//! | Fig. 4   | `fig4_distance_distribution` | `experiments::fig4` |
+//! | Fig. 5   | `fig5_wirelength_layers` | `experiments::fig5` |
+//! | Fig. 6   | `fig6_ppa` | `experiments::fig6` |
+//!
+//! Every binary accepts `--seed N`, `--scale N` (superblue down-scaling)
+//! and `--quick` (smaller benchmark selection for smoke runs).
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod quotes;
+pub mod suite;
+
+/// Command-line options shared by all experiment binaries.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Master seed.
+    pub seed: u64,
+    /// Superblue down-scaling factor (100 ⇒ 1/100 of the real design).
+    pub scale: usize,
+    /// Quick mode: fewer/smaller benchmarks.
+    pub quick: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            seed: 1,
+            scale: 100,
+            quick: false,
+        }
+    }
+}
+
+impl RunOptions {
+    /// Parses `--seed N`, `--scale N`, `--quick` from process arguments.
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        Self::from_slice(&args)
+    }
+
+    /// Parses options from an argument slice (testable core of
+    /// [`RunOptions::from_args`]). Unknown flags are ignored; malformed
+    /// values fall back to the defaults.
+    pub fn from_slice(args: &[String]) -> Self {
+        let mut opts = RunOptions::default();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--seed" if i + 1 < args.len() => {
+                    opts.seed = args[i + 1].parse().unwrap_or(opts.seed);
+                    i += 1;
+                }
+                "--scale" if i + 1 < args.len() => {
+                    opts.scale = args[i + 1].parse().unwrap_or(opts.scale);
+                    i += 1;
+                }
+                "--quick" => opts.quick = true,
+                _ => {}
+            }
+            i += 1;
+        }
+        opts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let o = RunOptions::from_slice(&args(&["--seed", "9", "--scale", "250", "--quick"]));
+        assert_eq!(o.seed, 9);
+        assert_eq!(o.scale, 250);
+        assert!(o.quick);
+    }
+
+    #[test]
+    fn malformed_values_fall_back() {
+        let o = RunOptions::from_slice(&args(&["--seed", "banana"]));
+        assert_eq!(o.seed, RunOptions::default().seed);
+    }
+
+    #[test]
+    fn unknown_flags_ignored() {
+        let o = RunOptions::from_slice(&args(&["--wat", "--quick"]));
+        assert!(o.quick);
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let o = RunOptions::default();
+        assert_eq!(o.scale, 100);
+        assert!(!o.quick);
+    }
+}

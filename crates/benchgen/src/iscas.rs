@@ -1,0 +1,375 @@
+//! ISCAS-85-like circuit generation.
+//!
+//! One [`IscasProfile`] per benchmark in the paper's Tables 4/5, carrying
+//! the published primary-input/primary-output/gate counts and logic depth.
+//! [`generate`] synthesizes a random layered DAG matching the profile:
+//! same interface, same size, same depth class — which is what the
+//! placement/routing/attack behavior depends on.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sm_netlist::{GateFn, Library, NetId, Netlist, NetlistBuilder};
+
+/// The nine ISCAS-85 benchmarks the paper's tables cover.
+pub const ISCAS85_NAMES: [&str; 9] = [
+    "c432", "c880", "c1355", "c1908", "c2670", "c3540", "c5315", "c6288", "c7552",
+];
+
+/// Size/shape profile of one ISCAS-85 benchmark.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IscasProfile {
+    /// Benchmark name (e.g. `"c432"`).
+    pub name: &'static str,
+    /// Primary inputs.
+    pub inputs: usize,
+    /// Primary outputs.
+    pub outputs: usize,
+    /// Gate count of the published netlist.
+    pub gates: usize,
+    /// Logic depth of the published netlist.
+    pub depth: usize,
+}
+
+macro_rules! profile_ctor {
+    ($(#[$doc:meta])* $fn_name:ident, $name:literal, $pi:expr, $po:expr, $gates:expr, $depth:expr) => {
+        $(#[$doc])*
+        pub fn $fn_name() -> IscasProfile {
+            IscasProfile {
+                name: $name,
+                inputs: $pi,
+                outputs: $po,
+                gates: $gates,
+                depth: $depth,
+            }
+        }
+    };
+}
+
+impl IscasProfile {
+    profile_ctor!(
+        /// 27-channel interrupt controller (36 PI, 7 PO, 160 gates).
+        c432, "c432", 36, 7, 160, 17
+    );
+    profile_ctor!(
+        /// 8-bit ALU (60 PI, 26 PO, 383 gates).
+        c880, "c880", 60, 26, 383, 24
+    );
+    profile_ctor!(
+        /// 32-bit SEC circuit (41 PI, 32 PO, 546 gates).
+        c1355, "c1355", 41, 32, 546, 24
+    );
+    profile_ctor!(
+        /// 16-bit SEC/DED circuit (33 PI, 25 PO, 880 gates).
+        c1908, "c1908", 33, 25, 880, 40
+    );
+    profile_ctor!(
+        /// 12-bit ALU and controller (233 PI, 140 PO, 1193 gates).
+        c2670, "c2670", 233, 140, 1193, 32
+    );
+    profile_ctor!(
+        /// 8-bit ALU (50 PI, 22 PO, 1669 gates).
+        c3540, "c3540", 50, 22, 1669, 47
+    );
+    profile_ctor!(
+        /// 9-bit ALU (178 PI, 123 PO, 2307 gates).
+        c5315, "c5315", 178, 123, 2307, 49
+    );
+    profile_ctor!(
+        /// 16×16 multiplier (32 PI, 32 PO, 2416 gates).
+        c6288, "c6288", 32, 32, 2416, 124
+    );
+    profile_ctor!(
+        /// 32-bit adder/comparator (207 PI, 108 PO, 3512 gates).
+        c7552, "c7552", 207, 108, 3512, 43
+    );
+
+    /// Profile by benchmark name.
+    pub fn by_name(name: &str) -> Option<IscasProfile> {
+        match name {
+            "c432" => Some(Self::c432()),
+            "c880" => Some(Self::c880()),
+            "c1355" => Some(Self::c1355()),
+            "c1908" => Some(Self::c1908()),
+            "c2670" => Some(Self::c2670()),
+            "c3540" => Some(Self::c3540()),
+            "c5315" => Some(Self::c5315()),
+            "c6288" => Some(Self::c6288()),
+            "c7552" => Some(Self::c7552()),
+            _ => None,
+        }
+    }
+
+    /// All nine profiles, in table order.
+    pub fn all() -> Vec<IscasProfile> {
+        ISCAS85_NAMES
+            .iter()
+            .map(|n| Self::by_name(n).expect("static table"))
+            .collect()
+    }
+
+    /// A down-scaled copy (for fast unit tests): gate count divided by
+    /// `factor`, I/O and depth reduced proportionally but kept ≥ 2.
+    pub fn scaled(&self, factor: usize) -> IscasProfile {
+        let f = factor.max(1);
+        IscasProfile {
+            name: self.name,
+            inputs: (self.inputs / f).max(2),
+            outputs: (self.outputs / f).max(2),
+            gates: (self.gates / f).max(4),
+            depth: (self.depth / 2).max(3),
+        }
+    }
+}
+
+/// Generates a circuit matching `profile`, deterministically for a given
+/// seed.
+///
+/// The construction builds a layered DAG: gates are spread over
+/// `profile.depth` levels; each gate draws 1–4 inputs from earlier levels
+/// with a strong bias toward the immediately preceding level (locality,
+/// as in real technology-mapped logic) and toward not-yet-used signals
+/// (limits dangling logic). Outputs tap the deepest levels.
+///
+/// # Panics
+///
+/// Panics if the profile has zero inputs or gates.
+pub fn generate(profile: &IscasProfile, seed: u64) -> Netlist {
+    assert!(profile.inputs > 0 && profile.gates > 0, "degenerate profile");
+    let lib = Library::nangate45();
+    let mut b = NetlistBuilder::new(profile.name, &lib);
+    let mut rng = StdRng::seed_from_u64(seed ^ fnv(profile.name));
+
+    let inputs: Vec<NetId> = (0..profile.inputs)
+        .map(|i| b.input(format!("N{}", i + 1)))
+        .collect();
+
+    let depth = profile.depth.max(2).min(profile.gates);
+    // Gates per level, front-loaded like mapped logic cones.
+    let mut per_level = vec![profile.gates / depth; depth];
+    for lvl in per_level.iter_mut().take(profile.gates % depth) {
+        *lvl += 1;
+    }
+
+    let mut levels: Vec<Vec<NetId>> = vec![inputs.clone()];
+    let mut use_count: Vec<u32> = Vec::new(); // parallel to `all`, below
+    let mut all: Vec<NetId> = inputs.clone();
+    use_count.resize(all.len(), 0);
+
+    // Structural hashing: synthesis tools deduplicate identical gates, so
+    // the generator must not emit two gates computing the same function of
+    // the same signals (duplicates would also hand attackers harmless
+    // "equivalent driver" recoveries the real benchmarks do not offer).
+    let mut seen: std::collections::HashSet<(GateFn, Vec<NetId>)> = std::collections::HashSet::new();
+    for &count in &per_level {
+        let mut level = Vec::with_capacity(count);
+        for _ in 0..count {
+            let mut structure = None;
+            let lane = level.len() as f64 / count.max(1) as f64;
+            for _attempt in 0..8 {
+                let fanin = match rng.gen_range(0..100) {
+                    0..=14 => 1,
+                    15..=64 => 2,
+                    65..=84 => 3,
+                    _ => 4,
+                };
+                let mut ins = Vec::with_capacity(fanin);
+                for _ in 0..fanin {
+                    let pick = pick_signal(&levels, &all, &use_count, lane, &mut rng);
+                    ins.push(all[pick]);
+                }
+                ins.sort_unstable();
+                ins.dedup();
+                let f = pick_function(ins.len(), &mut rng);
+                if seen.insert((f, ins.clone())) {
+                    structure = Some((f, ins));
+                    break;
+                }
+            }
+            let Some((f, ins)) = structure else { continue };
+            for &i in &ins {
+                use_count[i.index()] += 1;
+            }
+            let out = b.gate(f, &ins).expect("library covers fanin 1..=4");
+            level.push(out);
+        }
+        for &net in &level {
+            all.push(net);
+            use_count.push(0);
+        }
+        levels.push(level);
+    }
+
+    // Outputs: prefer unused signals from the deepest levels.
+    let mut candidates: Vec<usize> = (profile.inputs..all.len()).collect();
+    candidates.sort_by_key(|&i| (use_count[i], std::cmp::Reverse(i)));
+    for k in 0..profile.outputs {
+        let idx = candidates[k % candidates.len()];
+        b.output(format!("OUT{}", k + 1), all[idx]);
+    }
+    b.finish().expect("layered construction is acyclic")
+}
+
+/// Picks a signal index biased toward recent levels, toward the same
+/// *lane* (cone locality: real logic cones draw from neighbors, not from
+/// a random spot across the whole level), and toward unused outputs.
+fn pick_signal(
+    levels: &[Vec<NetId>],
+    all: &[NetId],
+    use_count: &[u32],
+    lane: f64,
+    rng: &mut StdRng,
+) -> usize {
+    // Power-law locality across levels: the overwhelming majority of
+    // connections come from the immediately preceding levels; genuinely
+    // global wires are rare.
+    let roll: f64 = rng.gen();
+    let lo = if roll < 0.80 && levels.len() > 1 {
+        all.len() - levels.last().expect("nonempty").len()
+    } else if roll < 0.95 && levels.len() > 3 {
+        let recent: usize = levels[levels.len() - 3..].iter().map(Vec::len).sum();
+        all.len() - recent
+    } else if roll < 0.995 && levels.len() > 8 {
+        let recent: usize = levels[levels.len() - 8..].iter().map(Vec::len).sum();
+        all.len() - recent
+    } else {
+        0
+    };
+    let lo = lo.min(all.len() - 1);
+    let window = all.len() - lo;
+    // Cone locality within the window: sample around the gate's own lane
+    // with a two-sided geometric spread of a few positions.
+    let center = lo as f64 + lane.clamp(0.0, 1.0) * (window.saturating_sub(1)) as f64;
+    let mut sample = || -> usize {
+        let mut offset = 0i64;
+        while rng.gen_bool(0.7) {
+            offset += 1;
+        }
+        if rng.gen_bool(0.5) {
+            offset = -offset;
+        }
+        let idx = center as i64 + offset * (1 + window as i64 / 64);
+        idx.clamp(lo as i64, all.len() as i64 - 1) as usize
+    };
+    // Two tries, keep the less-used one (mild preference, keeps fanout
+    // distribution realistic).
+    let a = sample();
+    let c = sample();
+    if use_count[a] <= use_count[c] {
+        a
+    } else {
+        c
+    }
+}
+
+fn pick_function(fanin: usize, rng: &mut StdRng) -> GateFn {
+    if fanin == 1 {
+        return if rng.gen_bool(0.6) {
+            GateFn::Inv
+        } else {
+            GateFn::Buf
+        };
+    }
+    match rng.gen_range(0..100) {
+        0..=39 => GateFn::Nand,
+        40..=59 => GateFn::Nor,
+        60..=74 => GateFn::And,
+        75..=84 => GateFn::Or,
+        85..=94 => {
+            if fanin == 2 {
+                GateFn::Xor
+            } else {
+                GateFn::Nand
+            }
+        }
+        _ => {
+            if fanin == 2 {
+                GateFn::Xnor
+            } else {
+                GateFn::Nor
+            }
+        }
+    }
+}
+
+fn fnv(s: &str) -> u64 {
+    s.bytes()
+        .fold(0xcbf29ce484222325u64, |h, b| (h ^ b as u64).wrapping_mul(0x100000001b3))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sm_netlist::stats::NetlistStats;
+
+    #[test]
+    fn profiles_match_published_counts() {
+        let p = IscasProfile::c7552();
+        assert_eq!(p.inputs, 207);
+        assert_eq!(p.outputs, 108);
+        assert_eq!(p.gates, 3512);
+        assert_eq!(IscasProfile::all().len(), 9);
+        assert!(IscasProfile::by_name("c9999").is_none());
+    }
+
+    #[test]
+    fn generated_circuit_matches_profile() {
+        let p = IscasProfile::c432();
+        let n = generate(&p, 1);
+        let s = NetlistStats::of(&n);
+        assert_eq!(s.inputs, 36);
+        assert_eq!(s.outputs, 7);
+        assert_eq!(s.cells, 160);
+        assert!(s.depth >= 10, "depth {}", s.depth);
+        n.validate().unwrap();
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = IscasProfile::c880();
+        let a = generate(&p, 5);
+        let b = generate(&p, 5);
+        assert_eq!(
+            sm_netlist::parse::bench::write_bench(&a),
+            sm_netlist::parse::bench::write_bench(&b)
+        );
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let p = IscasProfile::c432();
+        let a = generate(&p, 1);
+        let b = generate(&p, 2);
+        assert_ne!(
+            sm_netlist::parse::bench::write_bench(&a),
+            sm_netlist::parse::bench::write_bench(&b)
+        );
+    }
+
+    #[test]
+    fn all_profiles_generate_valid_circuits() {
+        for p in IscasProfile::all() {
+            let scaled = p.scaled(8); // keep the test fast
+            let n = generate(&scaled, 3);
+            n.validate().unwrap();
+            sm_netlist::graph::topo_order(&n).unwrap();
+        }
+    }
+
+    #[test]
+    fn generated_circuit_simulates() {
+        use rand::SeedableRng;
+        let n = generate(&IscasProfile::c432(), 7);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let patterns = sm_sim::PatternSource::random(&n, 256, &mut rng);
+        // Self-comparison must be silent (smoke test that sim handles it).
+        let m = sm_sim::security_metrics(&n, &n, &patterns).unwrap();
+        assert_eq!(m.oer, 0.0);
+    }
+
+    #[test]
+    fn scaled_profile_shrinks() {
+        let p = IscasProfile::c7552().scaled(10);
+        assert!(p.gates <= 352);
+        assert!(p.inputs >= 2);
+    }
+}

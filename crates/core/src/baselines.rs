@@ -1,0 +1,242 @@
+//! Baseline layouts for the comparative study:
+//!
+//! * [`naive_lifting`] — the paper's own control: the *same* lifting
+//!   machinery (naive lifting cells) applied to the *original* netlist, so
+//!   the wiring moves up the stack but the connectivity hints stay true.
+//! * [`placement_perturbation`] — the defense of Wang et al. \[5\] /
+//!   Sengupta et al. \[8\]: randomly displace a fraction of gates before
+//!   routing.
+//! * [`pin_swapping`] — Rajendran et al. \[3\]: swap I/O pin locations to
+//!   mislead attacks on the system-level interconnect.
+//! * [`routing_perturbation`] — Wang et al. \[12\]: post-route detours by
+//!   elevating a fraction of nets a couple of layers.
+//!
+//! All functions are deterministic per seed and return a
+//! [`BaselineLayout`] directly comparable with the protected design.
+
+use crate::flow::BaselineLayout;
+use crate::ppa::evaluate;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use sm_layout::{
+    Floorplan, PlacementEngine, Point, RouteOptions, Router, Technology,
+};
+use sm_netlist::{NetId, Netlist};
+
+/// Places and routes the plain, unprotected netlist (the "Original" rows
+/// of the paper's tables).
+pub fn original_layout(netlist: &Netlist, utilization: f64, seed: u64) -> BaselineLayout {
+    layout_with_options(netlist, utilization, seed, &RouteOptions::default())
+}
+
+/// Naive lifting: route the original netlist but lift `nets` to
+/// `lift_layer` (same net set as the protected design, per Table 2's "for
+/// a fair comparison, we randomize the same set of nets").
+pub fn naive_lifting(
+    netlist: &Netlist,
+    nets: &[NetId],
+    lift_layer: u8,
+    utilization: f64,
+    seed: u64,
+) -> BaselineLayout {
+    let mut opts = RouteOptions::default();
+    for &n in nets {
+        opts.lift.insert(n, lift_layer);
+    }
+    layout_with_options(netlist, utilization, seed, &opts)
+}
+
+/// Placement perturbation \[5\]/\[8\]: displace `fraction` of the cells by a
+/// random offset of up to `radius_rows` rows in each direction, then
+/// re-legalize and route.
+pub fn placement_perturbation(
+    netlist: &Netlist,
+    fraction: f64,
+    radius_rows: i64,
+    utilization: f64,
+    seed: u64,
+) -> BaselineLayout {
+    let tech = Technology::nangate45_10lm();
+    let fp = Floorplan::for_netlist(netlist, &tech, utilization);
+    let engine = PlacementEngine::new(seed);
+    let mut placement = engine.place(netlist, &fp);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e3779b97f4a7c15);
+    let mut cells: Vec<_> = netlist.cells().map(|(id, _)| id).collect();
+    cells.shuffle(&mut rng);
+    let k = ((cells.len() as f64) * fraction.clamp(0.0, 1.0)).round() as usize;
+    let radius = radius_rows.max(1) * fp.row_height();
+    for &c in &cells[..k] {
+        let o = placement.cell_origin(c);
+        let p = Point::new(
+            o.x + rng.gen_range(-radius..=radius),
+            o.y + rng.gen_range(-radius..=radius),
+        );
+        placement.set_cell_origin(c, fp.core().clamp(p));
+    }
+    engine.legalize(&mut placement, &fp);
+    let router = Router::new(&tech);
+    let routing = router.route(netlist, &placement, &fp, &RouteOptions::default());
+    let ppa = evaluate(netlist, &routing, &fp, &tech, seed);
+    BaselineLayout {
+        floorplan: fp,
+        placement,
+        routing,
+        ppa,
+    }
+}
+
+/// Pin swapping \[3\]: permute the pad locations of primary outputs (the
+/// system-level interconnect), leaving gate placement untouched. Only the
+/// port-level hints are perturbed, which is why the original attack still
+/// recovers ~87% of connections.
+pub fn pin_swapping(
+    netlist: &Netlist,
+    swap_fraction: f64,
+    utilization: f64,
+    seed: u64,
+) -> BaselineLayout {
+    let tech = Technology::nangate45_10lm();
+    let fp = Floorplan::for_netlist(netlist, &tech, utilization);
+    let engine = PlacementEngine::new(seed);
+    let mut placement = engine.place(netlist, &fp);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x517cc1b727220a95);
+    let num_out = netlist.output_ports().len();
+    let mut indices: Vec<usize> = (0..num_out).collect();
+    indices.shuffle(&mut rng);
+    let k = ((num_out as f64) * swap_fraction.clamp(0.0, 1.0)).round() as usize;
+    // Swap pad positions pairwise among the selected outputs.
+    for pair in indices[..k].chunks_exact(2) {
+        placement.swap_output_positions(pair[0], pair[1]);
+    }
+    let router = Router::new(&tech);
+    let routing = router.route(netlist, &placement, &fp, &RouteOptions::default());
+    let ppa = evaluate(netlist, &routing, &fp, &tech, seed);
+    BaselineLayout {
+        floorplan: fp,
+        placement,
+        routing,
+        ppa,
+    }
+}
+
+/// Routing perturbation \[12\]: elevate a random `fraction` of multi-pin
+/// nets by two layers (detours without netlist changes).
+pub fn routing_perturbation(
+    netlist: &Netlist,
+    fraction: f64,
+    utilization: f64,
+    seed: u64,
+) -> BaselineLayout {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x2545f4914f6cdd1d);
+    let mut nets: Vec<NetId> = netlist
+        .nets()
+        .filter(|(_, n)| n.degree() >= 2)
+        .map(|(id, _)| id)
+        .collect();
+    nets.shuffle(&mut rng);
+    let k = ((nets.len() as f64) * fraction.clamp(0.0, 1.0)).round() as usize;
+    let mut opts = RouteOptions::default();
+    for &n in &nets[..k] {
+        // Elevate to the mid stack (M4/M5): detours, not full lifting.
+        opts.lift.insert(n, 4);
+    }
+    layout_with_options(netlist, utilization, seed, &opts)
+}
+
+fn layout_with_options(
+    netlist: &Netlist,
+    utilization: f64,
+    seed: u64,
+    opts: &RouteOptions,
+) -> BaselineLayout {
+    let tech = Technology::nangate45_10lm();
+    let fp = Floorplan::for_netlist(netlist, &tech, utilization);
+    let placement = PlacementEngine::new(seed).place(netlist, &fp);
+    let routing = Router::new(&tech).route(netlist, &placement, &fp, opts);
+    let ppa = evaluate(netlist, &routing, &fp, &tech, seed);
+    BaselineLayout {
+        floorplan: fp,
+        placement,
+        routing,
+        ppa,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sm_netlist::parse::bench::{parse_bench, C17_BENCH};
+    use sm_netlist::Library;
+
+    fn c17() -> Netlist {
+        parse_bench("c17", C17_BENCH, &Library::nangate45()).unwrap()
+    }
+
+    #[test]
+    fn original_layout_is_clean() {
+        let n = c17();
+        let b = original_layout(&n, 0.6, 1);
+        assert!(b.placement.is_legal(&b.floorplan));
+        assert!(b.ppa.delay_ps > 0.0);
+    }
+
+    #[test]
+    fn naive_lifting_raises_nets() {
+        let n = c17();
+        let nets: Vec<NetId> = n
+            .nets()
+            .filter(|(_, net)| net.degree() >= 2)
+            .map(|(id, _)| id)
+            .take(3)
+            .collect();
+        let b = naive_lifting(&n, &nets, 6, 0.6, 1);
+        for &net in &nets {
+            assert!(b.routing.net_max_layer(net) >= 6);
+        }
+    }
+
+    #[test]
+    fn perturbation_changes_placement_but_stays_legal() {
+        let n = c17();
+        let plain = original_layout(&n, 0.6, 2);
+        let pert = placement_perturbation(&n, 0.5, 3, 0.6, 2);
+        assert!(pert.placement.is_legal(&pert.floorplan));
+        let moved = n
+            .cells()
+            .filter(|(id, _)| plain.placement.cell_origin(*id) != pert.placement.cell_origin(*id))
+            .count();
+        assert!(moved > 0, "perturbation moved no cells");
+    }
+
+    #[test]
+    fn pin_swapping_permutes_output_pads() {
+        let n = c17();
+        let plain = original_layout(&n, 0.6, 3);
+        let swapped = pin_swapping(&n, 1.0, 0.6, 3);
+        let changed = (0..n.output_ports().len())
+            .filter(|&i| plain.placement.output_position(i) != swapped.placement.output_position(i))
+            .count();
+        assert_eq!(changed, 2, "c17 has two outputs; both should swap");
+    }
+
+    #[test]
+    fn routing_perturbation_elevates_some_nets() {
+        let n = c17();
+        let plain = original_layout(&n, 0.6, 4);
+        let pert = routing_perturbation(&n, 1.0, 0.6, 4);
+        let plain_hi: u64 = (4..=9).map(|m| plain.routing.via_counts().between(m)).sum();
+        let pert_hi: u64 = (4..=9).map(|m| pert.routing.via_counts().between(m)).sum();
+        assert!(pert_hi >= plain_hi);
+    }
+
+    #[test]
+    fn baselines_are_deterministic() {
+        let n = c17();
+        let a = placement_perturbation(&n, 0.5, 2, 0.6, 9);
+        let b = placement_perturbation(&n, 0.5, 2, 0.6, 9);
+        for (id, _) in n.cells() {
+            assert_eq!(a.placement.cell_origin(id), b.placement.cell_origin(id));
+        }
+    }
+}

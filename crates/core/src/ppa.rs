@@ -1,0 +1,150 @@
+//! Power/performance/area evaluation and overhead accounting.
+//!
+//! The paper budgets PPA overheads (20% for ISCAS-85, 5% for superblue) and
+//! reports zero die-area cost; [`PpaReport`] captures the three numbers for
+//! one layout and [`PpaOverhead`] the relative cost of a protected layout
+//! against its unprotected baseline.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sm_layout::{power, timing, Floorplan, RoutingResult, Technology};
+use sm_netlist::Netlist;
+use sm_sim::ActivityProfile;
+use std::fmt;
+
+/// Absolute PPA numbers for one routed layout.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PpaReport {
+    /// Die area in µm² (outline, not cell area — correction cells add no
+    /// devices, so protection shows up here only if the outline grows).
+    pub area_um2: f64,
+    /// Total power in µW.
+    pub power_uw: f64,
+    /// Critical-path delay in ps.
+    pub delay_ps: f64,
+}
+
+impl fmt::Display for PpaReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "area {:.1} µm²  power {:.2} µW  delay {:.1} ps",
+            self.area_um2, self.power_uw, self.delay_ps
+        )
+    }
+}
+
+/// Relative PPA cost vs a baseline, in percent.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PpaOverhead {
+    /// Die-area overhead (%) — 0 when the protected design reuses the
+    /// baseline outline.
+    pub area_pct: f64,
+    /// Power overhead (%).
+    pub power_pct: f64,
+    /// Delay overhead (%).
+    pub delay_pct: f64,
+}
+
+impl PpaOverhead {
+    /// Computes the overhead of `protected` relative to `baseline`.
+    pub fn between(baseline: &PpaReport, protected: &PpaReport) -> Self {
+        let pct = |b: f64, p: f64| if b > 0.0 { (p - b) / b * 100.0 } else { 0.0 };
+        PpaOverhead {
+            area_pct: pct(baseline.area_um2, protected.area_um2),
+            power_pct: pct(baseline.power_uw, protected.power_uw),
+            delay_pct: pct(baseline.delay_ps, protected.delay_ps),
+        }
+    }
+
+    /// The worst of the power and delay overheads (the quantity checked
+    /// against the flow budget; area is handled separately because it is
+    /// held at zero by construction).
+    pub fn worst_pct(&self) -> f64 {
+        self.power_pct.max(self.delay_pct)
+    }
+}
+
+impl fmt::Display for PpaOverhead {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "area {:+.1}%  power {:+.1}%  delay {:+.1}%",
+            self.area_pct, self.power_pct, self.delay_pct
+        )
+    }
+}
+
+/// Evaluates PPA for one routed layout. Switching activity comes from
+/// random-pattern simulation with the given seed (kept fixed across
+/// baseline and protected runs so power deltas reflect the layout, not the
+/// stimuli).
+pub fn evaluate(
+    netlist: &Netlist,
+    routes: &RoutingResult,
+    fp: &Floorplan,
+    tech: &Technology,
+    activity_seed: u64,
+) -> PpaReport {
+    let mut rng = StdRng::seed_from_u64(activity_seed);
+    let activity = ActivityProfile::estimate(netlist, 64, &mut rng);
+    let p = power::analyze(netlist, routes, tech, &activity);
+    let t = timing::analyze(netlist, routes, tech);
+    PpaReport {
+        area_um2: fp.die_area_um2(),
+        power_uw: p.total_uw(),
+        delay_ps: t.critical_path_ps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sm_layout::{PlacementEngine, RouteOptions, Router};
+    use sm_netlist::parse::bench::{parse_bench, C17_BENCH};
+    use sm_netlist::Library;
+
+    #[test]
+    fn evaluate_produces_positive_numbers() {
+        let lib = Library::nangate45();
+        let n = parse_bench("c17", C17_BENCH, &lib).unwrap();
+        let tech = Technology::nangate45_10lm();
+        let fp = Floorplan::for_netlist(&n, &tech, 0.5);
+        let pl = PlacementEngine::new(1).place(&n, &fp);
+        let r = Router::new(&tech).route(&n, &pl, &fp, &RouteOptions::default());
+        let ppa = evaluate(&n, &r, &fp, &tech, 1);
+        assert!(ppa.area_um2 > 0.0);
+        assert!(ppa.power_uw > 0.0);
+        assert!(ppa.delay_ps > 0.0);
+    }
+
+    #[test]
+    fn overhead_math() {
+        let base = PpaReport {
+            area_um2: 100.0,
+            power_uw: 10.0,
+            delay_ps: 200.0,
+        };
+        let prot = PpaReport {
+            area_um2: 100.0,
+            power_uw: 11.5,
+            delay_ps: 220.0,
+        };
+        let o = PpaOverhead::between(&base, &prot);
+        assert!((o.area_pct - 0.0).abs() < 1e-12);
+        assert!((o.power_pct - 15.0).abs() < 1e-9);
+        assert!((o.delay_pct - 10.0).abs() < 1e-9);
+        assert!((o.worst_pct() - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_baseline_is_safe() {
+        let zero = PpaReport {
+            area_um2: 0.0,
+            power_uw: 0.0,
+            delay_ps: 0.0,
+        };
+        let o = PpaOverhead::between(&zero, &zero);
+        assert_eq!(o.worst_pct(), 0.0);
+    }
+}

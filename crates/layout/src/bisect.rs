@@ -1,0 +1,455 @@
+//! Recursive min-cut bisection global placement.
+//!
+//! The classic Breuer/Dunlop-Kernighan scheme: split the region along its
+//! longer axis, partition the cells to minimize the number of cut nets
+//! (greedy Fiduccia–Mattheyses-style refinement with terminal
+//! propagation), and recurse. Connected cells end up in the same small
+//! region — the tight driver/sink proximity that proximity attacks
+//! exploit and that Table 1 of the paper quantifies.
+
+use crate::geom::{Point, Rect};
+use rand::rngs::StdRng;
+use sm_netlist::{CellId, Driver, NetId, Netlist, Sink};
+use std::collections::HashMap;
+
+/// Per-cell estimated positions produced by recursive bisection.
+pub(crate) fn bisection_positions(
+    netlist: &Netlist,
+    core: Rect,
+    widths: &[i64],
+    port_pos: impl Fn(Driver) -> Point + Copy,
+    out_pos: impl Fn(usize) -> Point + Copy,
+    seed_positions: &[Point],
+    rng: &mut StdRng,
+) -> Vec<Point> {
+    let mut positions = seed_positions.to_vec();
+    // Nets per cell (deduped), and pins per net, computed once.
+    let mut nets_of: Vec<Vec<NetId>> = Vec::with_capacity(netlist.num_cells());
+    for (_, cell) in netlist.cells() {
+        let mut v: Vec<NetId> = cell.inputs().to_vec();
+        v.push(cell.output());
+        v.sort_unstable();
+        v.dedup();
+        nets_of.push(v);
+    }
+    let mut cells_of: Vec<Vec<CellId>> = vec![Vec::new(); netlist.num_nets()];
+    for (id, cell) in netlist.cells() {
+        for &n in &nets_of[id.index()] {
+            cells_of[n.index()].push(id);
+        }
+        let _ = cell;
+    }
+    // Fixed (port) pin positions per net.
+    let mut fixed_pins: Vec<Vec<Point>> = vec![Vec::new(); netlist.num_nets()];
+    for (id, net) in netlist.nets() {
+        if let Driver::Port(_) = net.driver() {
+            fixed_pins[id.index()].push(port_pos(net.driver()));
+        }
+        for s in net.sinks() {
+            if let Sink::Port(p) = s {
+                fixed_pins[id.index()].push(out_pos(p.index()));
+            }
+        }
+    }
+
+    let all: Vec<CellId> = netlist.cells().map(|(id, _)| id).collect();
+    let ctx = Ctx {
+        widths,
+        nets_of: &nets_of,
+        cells_of: &cells_of,
+        fixed_pins: &fixed_pins,
+    };
+    recurse(&ctx, all, core, &mut positions, rng, 0);
+    positions
+}
+
+struct Ctx<'a> {
+    widths: &'a [i64],
+    nets_of: &'a [Vec<NetId>],
+    cells_of: &'a [Vec<CellId>],
+    fixed_pins: &'a [Vec<Point>],
+}
+
+fn recurse(
+    ctx: &Ctx<'_>,
+    cells: Vec<CellId>,
+    region: Rect,
+    positions: &mut [Point],
+    rng: &mut StdRng,
+    depth: u32,
+) {
+    if cells.is_empty() {
+        return;
+    }
+    if cells.len() <= 3 || depth >= 24 || region.width() <= 1 || region.height() <= 1 {
+        for c in cells {
+            positions[c.index()] = region.center();
+        }
+        return;
+    }
+    let horizontal_axis = region.width() >= region.height();
+    // Anchor coordinate per cell: average of connected pin positions
+    // (current estimates + fixed ports), which implements terminal
+    // propagation down the recursion.
+    let coord = |p: Point| if horizontal_axis { p.x } else { p.y };
+    let mut keyed: Vec<(i64, CellId)> = cells
+        .iter()
+        .map(|&c| {
+            let mut sum = 0i64;
+            let mut k = 0i64;
+            for &n in &ctx.nets_of[c.index()] {
+                for q in &ctx.fixed_pins[n.index()] {
+                    sum += coord(*q);
+                    k += 1;
+                }
+                for &other in &ctx.cells_of[n.index()] {
+                    if other != c {
+                        sum += coord(positions[other.index()]);
+                        k += 1;
+                    }
+                }
+            }
+            let anchor = if k == 0 {
+                coord(positions[c.index()])
+            } else {
+                sum / k
+            };
+            (anchor, c)
+        })
+        .collect();
+    keyed.sort_unstable_by_key(|&(a, c)| (a, c));
+
+    // Balanced split by cell width.
+    let total: i64 = cells.iter().map(|&c| ctx.widths[c.index()]).sum();
+    let mut acc = 0i64;
+    let mut side = vec![false; keyed.len()]; // false = low side
+    let mut low_width = 0i64;
+    for (i, &(_, c)) in keyed.iter().enumerate() {
+        if acc * 2 < total {
+            side[i] = false;
+            low_width += ctx.widths[c.index()];
+        } else {
+            side[i] = true;
+        }
+        acc += ctx.widths[c.index()];
+    }
+
+    // Fiduccia–Mattheyses refinement with gain buckets and best-prefix
+    // rollback, within a ±10% balance corridor. External pins (ports and
+    // cells outside this region) are fixed on their geometric side
+    // (terminal propagation).
+    let index_of: HashMap<CellId, usize> = keyed
+        .iter()
+        .enumerate()
+        .map(|(i, &(_, c))| (c, i))
+        .collect();
+    let cut_coord = if horizontal_axis {
+        region.lo.x + region.width() / 2
+    } else {
+        region.lo.y + region.height() / 2
+    };
+    let balance_slack = total / 10 + 1;
+    let target_low = total / 2;
+
+    // Per-net pin bookkeeping restricted to this region, plus fixed pins.
+    // Collect the distinct nets touching the region once.
+    let mut region_nets: Vec<NetId> = keyed
+        .iter()
+        .flat_map(|&(_, c)| ctx.nets_of[c.index()].iter().copied())
+        .collect();
+    region_nets.sort_unstable();
+    region_nets.dedup();
+    let net_slot: HashMap<NetId, usize> = region_nets
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| (n, i))
+        .collect();
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); region_nets.len()];
+    let mut fixed = vec![[0u32; 2]; region_nets.len()];
+    for (i, &(_, c)) in keyed.iter().enumerate() {
+        for &n in &ctx.nets_of[c.index()] {
+            members[net_slot[&n]].push(i);
+        }
+    }
+    for (slot, &n) in region_nets.iter().enumerate() {
+        for q in &ctx.fixed_pins[n.index()] {
+            let side = usize::from(coord(*q) >= cut_coord);
+            fixed[slot][side] += 1;
+        }
+        for &other in &ctx.cells_of[n.index()] {
+            if !index_of.contains_key(&other) {
+                let side = usize::from(coord(positions[other.index()]) >= cut_coord);
+                fixed[slot][side] += 1;
+            }
+        }
+    }
+
+    let m = keyed.len();
+    let max_deg = keyed
+        .iter()
+        .map(|&(_, c)| ctx.nets_of[c.index()].len())
+        .max()
+        .unwrap_or(1) as i32;
+
+    for _pass in 0..3 {
+        // Pin counts per net per side for the current partition.
+        let mut count = vec![[0u32; 2]; region_nets.len()];
+        for (slot, mem) in members.iter().enumerate() {
+            count[slot] = fixed[slot];
+            for &i in mem {
+                count[slot][usize::from(side[i])] += 1;
+            }
+        }
+        // Initial gains.
+        let mut gain = vec![0i32; m];
+        for (i, &(_, c)) in keyed.iter().enumerate() {
+            let from = usize::from(side[i]);
+            let to = 1 - from;
+            for &n in &ctx.nets_of[c.index()] {
+                let slot = net_slot[&n];
+                if count[slot][from] == 1 {
+                    gain[i] += 1;
+                }
+                if count[slot][to] == 0 {
+                    gain[i] -= 1;
+                }
+            }
+        }
+        // Gain buckets.
+        let offset = max_deg;
+        let nbuckets = (2 * max_deg + 1) as usize;
+        let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); nbuckets];
+        for i in 0..m {
+            buckets[(gain[i] + offset) as usize].push(i);
+        }
+        let mut locked = vec![false; m];
+        let mut cur_low = low_width;
+        let mut best_delta = 0i32;
+        let mut cum_delta = 0i32;
+        let mut moves: Vec<usize> = Vec::with_capacity(m);
+        let mut best_prefix = 0usize;
+        loop {
+            // Highest-gain movable cell honoring balance.
+            let mut chosen = None;
+            'find: for b in (0..nbuckets).rev() {
+                let mut k = buckets[b].len();
+                while k > 0 {
+                    k -= 1;
+                    let i = buckets[b][k];
+                    if locked[i] || (gain[i] + offset) as usize != b {
+                        buckets[b].swap_remove(k);
+                        if !locked[i] {
+                            buckets[(gain[i] + offset) as usize].push(i);
+                        }
+                        continue;
+                    }
+                    let w = ctx.widths[keyed[i].1.index()];
+                    let new_low = if side[i] { cur_low + w } else { cur_low - w };
+                    if (new_low - target_low).abs() <= balance_slack {
+                        chosen = Some((b, k, i));
+                        break 'find;
+                    }
+                }
+            }
+            let Some((b, k, i)) = chosen else { break };
+            buckets[b].swap_remove(k);
+            locked[i] = true;
+            let w = ctx.widths[keyed[i].1.index()];
+            let from = usize::from(side[i]);
+            let to = 1 - from;
+            cum_delta += gain[i];
+            // FM delta updates on all nets of the moving cell.
+            for &n in &ctx.nets_of[keyed[i].1.index()] {
+                let slot = net_slot[&n];
+                if count[slot][to] == 0 {
+                    for &d in &members[slot] {
+                        if !locked[d] {
+                            gain[d] += 1;
+                            buckets[(gain[d] + offset) as usize].push(d);
+                        }
+                    }
+                } else if count[slot][to] == 1 {
+                    for &d in &members[slot] {
+                        if !locked[d] && usize::from(side[d]) == to {
+                            gain[d] -= 1;
+                            buckets[(gain[d] + offset) as usize].push(d);
+                        }
+                    }
+                }
+                count[slot][from] -= 1;
+                count[slot][to] += 1;
+                if count[slot][from] == 0 {
+                    for &d in &members[slot] {
+                        if !locked[d] {
+                            gain[d] -= 1;
+                            buckets[(gain[d] + offset) as usize].push(d);
+                        }
+                    }
+                } else if count[slot][from] == 1 {
+                    for &d in &members[slot] {
+                        if !locked[d] && usize::from(side[d]) == from {
+                            gain[d] += 1;
+                            buckets[(gain[d] + offset) as usize].push(d);
+                        }
+                    }
+                }
+            }
+            side[i] = !side[i];
+            cur_low = if to == 0 { cur_low + w } else { cur_low - w };
+            moves.push(i);
+            if cum_delta > best_delta {
+                best_delta = cum_delta;
+                best_prefix = moves.len();
+            }
+        }
+        // Roll back everything after the best prefix.
+        for &i in &moves[best_prefix..] {
+            let w = ctx.widths[keyed[i].1.index()];
+            if side[i] {
+                cur_low += w;
+            } else {
+                cur_low -= w;
+            }
+            side[i] = !side[i];
+        }
+        low_width = cur_low;
+        if best_delta == 0 {
+            break;
+        }
+    }
+    let _ = rng;
+
+    // Sub-regions proportional to the area each side needs.
+    let frac = low_width.max(1) as f64 / total.max(1) as f64;
+    let (low_region, high_region) = if horizontal_axis {
+        let cut = region.lo.x + ((region.width() as f64 * frac) as i64).clamp(1, region.width() - 1);
+        (
+            Rect::new(region.lo, Point::new(cut, region.hi.y)),
+            Rect::new(Point::new(cut, region.lo.y), region.hi),
+        )
+    } else {
+        let cut = region.lo.y + ((region.height() as f64 * frac) as i64).clamp(1, region.height() - 1);
+        (
+            Rect::new(region.lo, Point::new(region.hi.x, cut)),
+            Rect::new(Point::new(region.lo.x, cut), region.hi),
+        )
+    };
+    let mut low_cells = Vec::new();
+    let mut high_cells = Vec::new();
+    for (i, &(_, c)) in keyed.iter().enumerate() {
+        if side[i] {
+            high_cells.push(c);
+        } else {
+            low_cells.push(c);
+        }
+        positions[c.index()] = if side[i] {
+            high_region.center()
+        } else {
+            low_region.center()
+        };
+    }
+    recurse(ctx, low_cells, low_region, positions, rng, depth + 1);
+    recurse(ctx, high_cells, high_region, positions, rng, depth + 1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use sm_netlist::{GateFn, Library, NetlistBuilder};
+
+    /// Two 8-cell clusters joined by one net: bisection must keep each
+    /// cluster on one side (the bridging net is the only cut).
+    #[test]
+    fn fm_separates_two_clusters() {
+        let lib = Library::nangate45();
+        let mut b = NetlistBuilder::new("clusters", &lib);
+        let mut cluster_roots = Vec::new();
+        for k in 0..2 {
+            let a = b.input(format!("a{k}"));
+            let c = b.input(format!("b{k}"));
+            // A small dense cone: every gate feeds the next two.
+            let mut sigs = vec![a, c];
+            for i in 0..8 {
+                let x = sigs[sigs.len() - 1];
+                let y = sigs[sigs.len() - 2];
+                let g = b
+                    .gate(if i % 2 == 0 { GateFn::Nand } else { GateFn::Nor }, &[x, y])
+                    .unwrap();
+                sigs.push(g);
+            }
+            cluster_roots.push(*sigs.last().unwrap());
+        }
+        let bridge = b.gate(GateFn::And, &[cluster_roots[0], cluster_roots[1]]).unwrap();
+        b.output("y", bridge);
+        let n = b.finish().unwrap();
+
+        let core = Rect::new(Point::new(0, 0), Point::new(100_000, 100_000));
+        let widths = vec![600i64; n.num_cells()];
+        let seeds = vec![core.center(); n.num_cells()];
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let positions = bisection_positions(
+            &n,
+            core,
+            &widths,
+            |_| core.center(),
+            |_| core.center(),
+            &seeds,
+            &mut rng,
+        );
+        // Cells of the same cluster must be near each other; the two
+        // clusters must be separated by more than the intra-cluster spread.
+        let cluster_of = |i: usize| if i < 8 { 0 } else if i < 16 { 1 } else { 2 };
+        let mut centers = [Point::new(0, 0); 2];
+        for cl in 0..2 {
+            let members: Vec<usize> = (0..16).filter(|&i| cluster_of(i) == cl).collect();
+            let sx: i64 = members.iter().map(|&i| positions[i].x).sum();
+            let sy: i64 = members.iter().map(|&i| positions[i].y).sum();
+            centers[cl] = Point::new(sx / members.len() as i64, sy / members.len() as i64);
+        }
+        let separation = centers[0].manhattan(centers[1]);
+        let spread: i64 = (0..8)
+            .map(|i| positions[i].manhattan(centers[0]))
+            .max()
+            .unwrap();
+        assert!(
+            separation > spread,
+            "clusters not separated: sep {separation}, spread {spread}"
+        );
+    }
+
+    /// Bisection positions stay inside the region and are deterministic.
+    #[test]
+    fn positions_bounded_and_deterministic() {
+        let lib = Library::nangate45();
+        let mut b = NetlistBuilder::new("chain", &lib);
+        let mut cur = b.input("a");
+        for _ in 0..32 {
+            cur = b.gate(GateFn::Inv, &[cur]).unwrap();
+        }
+        b.output("y", cur);
+        let n = b.finish().unwrap();
+        let core = Rect::new(Point::new(0, 0), Point::new(50_000, 50_000));
+        let widths = vec![400i64; n.num_cells()];
+        let seeds = vec![core.center(); n.num_cells()];
+        let run = |seed: u64| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            bisection_positions(
+                &n,
+                core,
+                &widths,
+                |_| Point::new(0, 25_000),
+                |_| Point::new(50_000, 25_000),
+                &seeds,
+                &mut rng,
+            )
+        };
+        let a = run(5);
+        let b2 = run(5);
+        assert_eq!(a, b2);
+        for p in &a {
+            assert!(core.contains(*p) || (p.x == core.hi.x / 2 || p.y == core.hi.y / 2));
+            assert!(p.x >= 0 && p.y >= 0 && p.x <= 50_000 && p.y <= 50_000);
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Minimal DEF-like interchange: component placements and net pins.
+//!
+//! The paper's artifact ships DEF splitting/conversion scripts; this module
+//! provides the equivalent exchange point — enough to dump a placed design
+//! to text and read it back, e.g. to hand a layout to an out-of-process
+//! attack.
+
+use crate::geom::Point;
+use crate::place::Placement;
+use sm_netlist::{CellId, Netlist, NetlistError};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Serializes cell placements in a DEF-flavored `COMPONENTS` section.
+pub fn write_def(netlist: &Netlist, placement: &Placement) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "DESIGN {} ;", netlist.name());
+    let _ = writeln!(out, "COMPONENTS {} ;", netlist.num_cells());
+    for (id, cell) in netlist.cells() {
+        let o = placement.cell_origin(id);
+        let lib = netlist.library().cell(cell.lib);
+        let _ = writeln!(
+            out,
+            "- {} {} + PLACED ( {} {} ) N ;",
+            cell.name, lib.name, o.x, o.y
+        );
+    }
+    let _ = writeln!(out, "END COMPONENTS");
+    out
+}
+
+/// Parses the output of [`write_def`], returning cell origins keyed by
+/// instance name.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] for malformed component lines.
+pub fn parse_def_placements(text: &str) -> Result<HashMap<String, Point>, NetlistError> {
+    let mut out = HashMap::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if !line.starts_with("- ") {
+            continue;
+        }
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        // - NAME LIB + PLACED ( X Y ) N ;
+        let open = toks.iter().position(|&t| t == "(");
+        match open {
+            Some(i) if toks.len() > i + 2 => {
+                let x: i64 = toks[i + 1].parse().map_err(|_| NetlistError::Parse {
+                    line: idx + 1,
+                    message: format!("bad x coordinate `{}`", toks[i + 1]),
+                })?;
+                let y: i64 = toks[i + 2].parse().map_err(|_| NetlistError::Parse {
+                    line: idx + 1,
+                    message: format!("bad y coordinate `{}`", toks[i + 2]),
+                })?;
+                out.insert(toks[1].to_string(), Point::new(x, y));
+            }
+            _ => {
+                return Err(NetlistError::Parse {
+                    line: idx + 1,
+                    message: "component line without `( x y )`".into(),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Applies placements parsed from DEF text back onto a [`Placement`]
+/// (matching instances by name). Returns how many cells were placed.
+pub fn apply_def_placements(
+    netlist: &Netlist,
+    placement: &mut Placement,
+    parsed: &HashMap<String, Point>,
+) -> usize {
+    let mut applied = 0;
+    for (id, cell) in netlist.cells() {
+        if let Some(&p) = parsed.get(&cell.name) {
+            placement.set_cell_origin(CellId::new(id.index()), p);
+            applied += 1;
+        }
+    }
+    applied
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::place::PlacementEngine;
+    use crate::tech::Technology;
+    use crate::Floorplan;
+    use sm_netlist::parse::bench::{parse_bench, C17_BENCH};
+    use sm_netlist::Library;
+
+    #[test]
+    fn def_roundtrip() {
+        let lib = Library::nangate45();
+        let n = parse_bench("c17", C17_BENCH, &lib).unwrap();
+        let tech = Technology::nangate45_10lm();
+        let fp = Floorplan::for_netlist(&n, &tech, 0.5);
+        let pl = PlacementEngine::new(4).place(&n, &fp);
+        let def = write_def(&n, &pl);
+        assert!(def.contains("COMPONENTS 6"));
+        let parsed = parse_def_placements(&def).unwrap();
+        assert_eq!(parsed.len(), 6);
+        let mut pl2 = PlacementEngine::new(99).place(&n, &fp);
+        let applied = apply_def_placements(&n, &mut pl2, &parsed);
+        assert_eq!(applied, 6);
+        for (id, _) in n.cells() {
+            assert_eq!(pl2.cell_origin(id), pl.cell_origin(id));
+        }
+    }
+
+    #[test]
+    fn malformed_line_is_error() {
+        let text = "DESIGN x ;\n- U0 NAND2_X1 + PLACED broken ;\n";
+        assert!(parse_def_placements(text).is_err());
+    }
+
+    #[test]
+    fn bad_coordinate_is_error() {
+        let text = "- U0 NAND2_X1 + PLACED ( twelve 7 ) N ;\n";
+        assert!(parse_def_placements(text).is_err());
+    }
+}

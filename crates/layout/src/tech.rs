@@ -1,0 +1,150 @@
+//! Technology description: the ten-metal-layer stack of the Nangate-45
+//! flow used in the paper, with per-layer pitch, preferred direction and
+//! RC data for the timing/power models.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of metal layers in the stack (M1–M10).
+pub const NUM_METAL_LAYERS: usize = 10;
+
+/// Routing direction a layer prefers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Direction {
+    /// Horizontal wires (constant y).
+    Horizontal,
+    /// Vertical wires (constant x).
+    Vertical,
+}
+
+/// One metal layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Layer {
+    /// Name, `"M1"` … `"M10"`.
+    pub name: String,
+    /// 1-based layer number (M1 = 1).
+    pub number: u8,
+    /// Preferred routing direction (alternating up the stack).
+    pub direction: Direction,
+    /// Routing track pitch in DBU.
+    pub pitch_dbu: i64,
+    /// Wire resistance in Ω per µm.
+    pub res_ohm_per_um: f64,
+    /// Wire capacitance in fF per µm.
+    pub cap_ff_per_um: f64,
+}
+
+/// A metal stack plus via cost data.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Technology {
+    /// Technology name.
+    pub name: String,
+    /// The metal layers, M1 first.
+    pub layers: Vec<Layer>,
+    /// Standard-cell row height in DBU.
+    pub row_height_dbu: i64,
+    /// Placement site width in DBU.
+    pub site_width_dbu: i64,
+    /// Resistance of a single via in Ω.
+    pub via_res_ohm: f64,
+    /// Capacitance of a single via in fF.
+    pub via_cap_ff: f64,
+}
+
+impl Technology {
+    /// The ten-layer Nangate-45-like stack the paper's flow targets.
+    ///
+    /// Lower layers are fine-pitch and resistive; upper layers are coarse,
+    /// fast "fat" metal. M1 is horizontal; direction alternates upward.
+    pub fn nangate45_10lm() -> Self {
+        let mut layers = Vec::with_capacity(NUM_METAL_LAYERS);
+        // (pitch nm, R Ω/µm, C fF/µm) roughly following a 45 nm stack:
+        let data: [(i64, f64, f64); NUM_METAL_LAYERS] = [
+            (190, 3.8, 0.20),  // M1
+            (190, 3.8, 0.20),  // M2
+            (190, 3.1, 0.20),  // M3
+            (280, 2.1, 0.21),  // M4
+            (280, 2.1, 0.21),  // M5
+            (280, 2.1, 0.21),  // M6
+            (800, 0.38, 0.26), // M7
+            (800, 0.38, 0.26), // M8
+            (1600, 0.16, 0.28), // M9
+            (1600, 0.16, 0.28), // M10
+        ];
+        for (i, (pitch, r, c)) in data.into_iter().enumerate() {
+            layers.push(Layer {
+                name: format!("M{}", i + 1),
+                number: (i + 1) as u8,
+                direction: if i % 2 == 0 {
+                    Direction::Horizontal
+                } else {
+                    Direction::Vertical
+                },
+                pitch_dbu: pitch,
+                res_ohm_per_um: r,
+                cap_ff_per_um: c,
+            });
+        }
+        Technology {
+            name: "nangate45-10lm".into(),
+            layers,
+            row_height_dbu: 1400,
+            site_width_dbu: 190,
+            via_res_ohm: 5.0,
+            via_cap_ff: 0.05,
+        }
+    }
+
+    /// Returns layer `m` (1-based, M1 = 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is 0 or beyond the stack.
+    pub fn layer(&self, m: u8) -> &Layer {
+        &self.layers[(m - 1) as usize]
+    }
+
+    /// Number of metal layers.
+    pub fn num_layers(&self) -> u8 {
+        self.layers.len() as u8
+    }
+
+    /// Average of the wire capacitance (fF/µm) of layers `lo..=hi`, used by
+    /// net-level RC estimates when a net spans several layers.
+    pub fn avg_cap_ff_per_um(&self, lo: u8, hi: u8) -> f64 {
+        let (lo, hi) = (lo.max(1), hi.min(self.num_layers()));
+        let slice = &self.layers[(lo - 1) as usize..=(hi - 1) as usize];
+        slice.iter().map(|l| l.cap_ff_per_um).sum::<f64>() / slice.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_layer_stack() {
+        let t = Technology::nangate45_10lm();
+        assert_eq!(t.num_layers(), 10);
+        assert_eq!(t.layer(1).name, "M1");
+        assert_eq!(t.layer(10).name, "M10");
+        assert_eq!(t.layer(1).direction, Direction::Horizontal);
+        assert_eq!(t.layer(2).direction, Direction::Vertical);
+        assert_eq!(t.layer(6).direction, Direction::Vertical);
+    }
+
+    #[test]
+    fn upper_layers_are_faster_and_coarser() {
+        let t = Technology::nangate45_10lm();
+        assert!(t.layer(9).res_ohm_per_um < t.layer(2).res_ohm_per_um);
+        assert!(t.layer(9).pitch_dbu > t.layer(2).pitch_dbu);
+    }
+
+    #[test]
+    fn avg_cap_sane() {
+        let t = Technology::nangate45_10lm();
+        let c = t.avg_cap_ff_per_um(1, 10);
+        assert!(c > 0.19 && c < 0.29);
+        // Single-layer average equals that layer's cap.
+        assert_eq!(t.avg_cap_ff_per_um(3, 3), t.layer(3).cap_ff_per_um);
+    }
+}

@@ -1,0 +1,93 @@
+//! Error type shared by the netlist construction and parsing APIs.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised while building, editing or parsing a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A gate was instantiated with an input count the library cannot map to
+    /// any cell (for example a zero-input AND).
+    BadFanin {
+        /// The requested logic function, e.g. `"NAND"`.
+        function: String,
+        /// The offending number of inputs.
+        fanin: usize,
+    },
+    /// A name was defined twice (two gates or two ports with the same name).
+    DuplicateName(String),
+    /// A signal name was referenced before/without being defined.
+    UnknownSignal(String),
+    /// A library cell name was referenced that the library does not contain.
+    UnknownLibCell(String),
+    /// The netlist contains a combinational cycle; the payload names one cell
+    /// on the cycle.
+    CombinationalLoop(String),
+    /// A net edit referred to a sink that is not connected to the given net.
+    SinkNotOnNet {
+        /// Human-readable description of the sink.
+        sink: String,
+        /// Name of the net the sink was expected on.
+        net: String,
+    },
+    /// Parse failure with line number and message.
+    Parse {
+        /// 1-based line number in the input text.
+        line: usize,
+        /// Description of the syntax problem.
+        message: String,
+    },
+    /// Two netlists that must agree on their port interface do not.
+    PortMismatch(String),
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::BadFanin { function, fanin } => {
+                write!(f, "cannot realize {function} gate with {fanin} inputs")
+            }
+            NetlistError::DuplicateName(name) => write!(f, "duplicate name `{name}`"),
+            NetlistError::UnknownSignal(name) => write!(f, "unknown signal `{name}`"),
+            NetlistError::UnknownLibCell(name) => write!(f, "unknown library cell `{name}`"),
+            NetlistError::CombinationalLoop(name) => {
+                write!(f, "combinational loop through cell `{name}`")
+            }
+            NetlistError::SinkNotOnNet { sink, net } => {
+                write!(f, "sink {sink} is not connected to net `{net}`")
+            }
+            NetlistError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            NetlistError::PortMismatch(detail) => write!(f, "port mismatch: {detail}"),
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_concise() {
+        let e = NetlistError::BadFanin {
+            function: "NAND".into(),
+            fanin: 0,
+        };
+        assert_eq!(e.to_string(), "cannot realize NAND gate with 0 inputs");
+        let e = NetlistError::Parse {
+            line: 12,
+            message: "missing `)`".into(),
+        };
+        assert!(e.to_string().contains("line 12"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetlistError>();
+    }
+}

@@ -1,0 +1,262 @@
+//! Graph algorithms over a [`Netlist`]: topological order, levelization,
+//! loop detection, reachability and fan-in/out cones.
+//!
+//! The randomization defense must never introduce a combinational loop (a
+//! loop would let an attacker spot the modification, see Sec. 4 of the
+//! paper); [`would_create_cycle`] is the query it runs before every swap.
+
+use crate::id::{CellId, NetId};
+use crate::netlist::{Driver, Netlist, Sink};
+use crate::NetlistError;
+use std::collections::VecDeque;
+
+/// Computes a topological order of all cells (fan-in before fan-out).
+///
+/// # Errors
+///
+/// Returns [`NetlistError::CombinationalLoop`] naming one cell on a cycle
+/// if the netlist is cyclic.
+pub fn topo_order(netlist: &Netlist) -> Result<Vec<CellId>, NetlistError> {
+    let n = netlist.num_cells();
+    let mut indeg = vec![0u32; n];
+    // In-degree of a cell = number of its input pins driven by cells.
+    // Multiple pins fed by the same driver count separately, which is fine
+    // for Kahn's algorithm as long as decrements mirror the counting.
+    for (id, cell) in netlist.cells() {
+        indeg[id.index()] = cell
+            .inputs()
+            .iter()
+            .filter(|&&net| netlist.driver_cell(net).is_some())
+            .count() as u32;
+    }
+    let mut queue: VecDeque<CellId> = (0..n)
+        .map(CellId::new)
+        .filter(|c| indeg[c.index()] == 0)
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(c) = queue.pop_front() {
+        order.push(c);
+        for sink in netlist.net(netlist.cell(c).output()).sinks() {
+            if let Sink::Cell { cell, .. } = *sink {
+                indeg[cell.index()] -= 1;
+                if indeg[cell.index()] == 0 {
+                    queue.push_back(cell);
+                }
+            }
+        }
+    }
+    if order.len() != n {
+        let stuck = (0..n)
+            .map(CellId::new)
+            .find(|c| indeg[c.index()] > 0)
+            .expect("cycle implies a stuck cell");
+        return Err(NetlistError::CombinationalLoop(
+            netlist.cell(stuck).name.clone(),
+        ));
+    }
+    Ok(order)
+}
+
+/// Logic level of every cell: `level = 1 + max(level of cell fan-ins)`,
+/// with cells fed only by primary inputs at level 1.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError::CombinationalLoop`] from [`topo_order`].
+pub fn levelize(netlist: &Netlist) -> Result<Vec<u32>, NetlistError> {
+    let order = topo_order(netlist)?;
+    let mut level = vec![0u32; netlist.num_cells()];
+    for c in order {
+        let max_in = netlist
+            .cell(c)
+            .inputs()
+            .iter()
+            .filter_map(|&net| netlist.driver_cell(net))
+            .map(|d| level[d.index()])
+            .max()
+            .unwrap_or(0);
+        level[c.index()] = max_in + 1;
+    }
+    Ok(level)
+}
+
+/// Maximum logic depth of the design (0 for an empty netlist).
+///
+/// # Errors
+///
+/// Propagates [`NetlistError::CombinationalLoop`].
+pub fn depth(netlist: &Netlist) -> Result<u32, NetlistError> {
+    Ok(levelize(netlist)?.into_iter().max().unwrap_or(0))
+}
+
+/// `true` if combinational paths lead from cell `from` to cell `to`
+/// (including `from == to`).
+pub fn reaches(netlist: &Netlist, from: CellId, to: CellId) -> bool {
+    if from == to {
+        return true;
+    }
+    let mut visited = vec![false; netlist.num_cells()];
+    let mut stack = vec![from];
+    visited[from.index()] = true;
+    while let Some(c) = stack.pop() {
+        for sink in netlist.net(netlist.cell(c).output()).sinks() {
+            if let Sink::Cell { cell, .. } = *sink {
+                if cell == to {
+                    return true;
+                }
+                if !visited[cell.index()] {
+                    visited[cell.index()] = true;
+                    stack.push(cell);
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Would attaching net `driver_net` to an input pin of `sink_cell` create a
+/// combinational loop?
+///
+/// This is the guard the randomizer evaluates before every connectivity
+/// swap: the new edge `driver → sink_cell` closes a cycle exactly when
+/// `sink_cell` already reaches the driver cell.
+pub fn would_create_cycle(netlist: &Netlist, driver_net: NetId, sink_cell: CellId) -> bool {
+    match netlist.net(driver_net).driver() {
+        Driver::Cell(d) => reaches(netlist, sink_cell, d),
+        Driver::Port(_) => false, // primary inputs can never be downstream
+    }
+}
+
+/// All cells in the transitive fan-in cone of `net` (drivers of drivers…).
+pub fn fanin_cone(netlist: &Netlist, net: NetId) -> Vec<CellId> {
+    let mut visited = vec![false; netlist.num_cells()];
+    let mut stack: Vec<CellId> = netlist.driver_cell(net).into_iter().collect();
+    let mut cone = Vec::new();
+    while let Some(c) = stack.pop() {
+        if visited[c.index()] {
+            continue;
+        }
+        visited[c.index()] = true;
+        cone.push(c);
+        for &in_net in netlist.cell(c).inputs() {
+            if let Some(d) = netlist.driver_cell(in_net) {
+                if !visited[d.index()] {
+                    stack.push(d);
+                }
+            }
+        }
+    }
+    cone
+}
+
+/// All cells in the transitive fan-out cone of `net`.
+pub fn fanout_cone(netlist: &Netlist, net: NetId) -> Vec<CellId> {
+    let mut visited = vec![false; netlist.num_cells()];
+    let mut stack: Vec<CellId> = netlist
+        .net(net)
+        .sinks()
+        .iter()
+        .filter_map(|s| match s {
+            Sink::Cell { cell, .. } => Some(*cell),
+            Sink::Port(_) => None,
+        })
+        .collect();
+    let mut cone = Vec::new();
+    while let Some(c) = stack.pop() {
+        if visited[c.index()] {
+            continue;
+        }
+        visited[c.index()] = true;
+        cone.push(c);
+        for sink in netlist.net(netlist.cell(c).output()).sinks() {
+            if let Sink::Cell { cell, .. } = *sink {
+                if !visited[cell.index()] {
+                    stack.push(cell);
+                }
+            }
+        }
+    }
+    cone
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GateFn, Library, NetlistBuilder};
+
+    fn chain(len: usize) -> Netlist {
+        let lib = Library::nangate45();
+        let mut b = NetlistBuilder::new("chain", &lib);
+        let mut cur = b.input("a");
+        for _ in 0..len {
+            cur = b.gate(GateFn::Inv, &[cur]).unwrap();
+        }
+        b.output("y", cur);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let n = chain(5);
+        let order = topo_order(&n).unwrap();
+        assert_eq!(order.len(), 5);
+        // In a chain built in order, topological position equals build order.
+        let pos: Vec<usize> = order.iter().map(|c| c.index()).collect();
+        assert_eq!(pos, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn levelize_chain() {
+        let n = chain(4);
+        let lv = levelize(&n).unwrap();
+        assert_eq!(lv, vec![1, 2, 3, 4]);
+        assert_eq!(depth(&n).unwrap(), 4);
+    }
+
+    #[test]
+    fn reaches_transitively() {
+        let n = chain(4);
+        assert!(reaches(&n, CellId::new(0), CellId::new(3)));
+        assert!(!reaches(&n, CellId::new(3), CellId::new(0)));
+        assert!(reaches(&n, CellId::new(2), CellId::new(2)));
+    }
+
+    #[test]
+    fn cycle_guard_detects_back_edge() {
+        let n = chain(4);
+        // Connecting the last inverter's output back to the first would loop.
+        let last_out = n.cell(CellId::new(3)).output();
+        assert!(would_create_cycle(&n, last_out, CellId::new(0)));
+        // Forward edge is fine.
+        let first_out = n.cell(CellId::new(0)).output();
+        assert!(!would_create_cycle(&n, first_out, CellId::new(3)));
+        // Primary-input nets never create cycles.
+        let pi = n.input_ports()[0].net;
+        assert!(!would_create_cycle(&n, pi, CellId::new(0)));
+    }
+
+    #[test]
+    fn cones_cover_chain() {
+        let n = chain(4);
+        let out_net = n.cell(CellId::new(3)).output();
+        let cone = fanin_cone(&n, out_net);
+        assert_eq!(cone.len(), 4);
+        let in_net = n.input_ports()[0].net;
+        let fo = fanout_cone(&n, in_net);
+        assert_eq!(fo.len(), 4);
+    }
+
+    #[test]
+    fn diamond_levels() {
+        let lib = Library::nangate45();
+        let mut b = NetlistBuilder::new("diamond", &lib);
+        let a = b.input("a");
+        let l = b.gate(GateFn::Inv, &[a]).unwrap();
+        let r = b.gate(GateFn::Buf, &[a]).unwrap();
+        let y = b.gate(GateFn::And, &[l, r]).unwrap();
+        b.output("y", y);
+        let n = b.finish().unwrap();
+        let lv = levelize(&n).unwrap();
+        assert_eq!(lv[2], 2); // the AND sits one level above both branches
+    }
+}

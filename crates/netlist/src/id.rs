@@ -1,0 +1,87 @@
+//! Typed index handles into a [`crate::Netlist`] and [`crate::Library`].
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $tag:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates a handle from a raw index.
+            #[inline]
+            pub const fn new(index: usize) -> Self {
+                Self(index as u32)
+            }
+
+            /// Returns the raw index this handle wraps.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Handle to a standard cell instance in a [`crate::Netlist`].
+    CellId,
+    "c"
+);
+define_id!(
+    /// Handle to a net (a driver with zero or more sinks) in a [`crate::Netlist`].
+    NetId,
+    "n"
+);
+define_id!(
+    /// Handle to a primary input or output port of a [`crate::Netlist`].
+    PortId,
+    "p"
+);
+define_id!(
+    /// Handle to a cell definition inside a [`crate::Library`].
+    LibCellId,
+    "L"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_index() {
+        let id = CellId::new(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(usize::from(id), 42);
+    }
+
+    #[test]
+    fn display_is_tagged() {
+        assert_eq!(CellId::new(3).to_string(), "c3");
+        assert_eq!(NetId::new(9).to_string(), "n9");
+        assert_eq!(PortId::new(0).to_string(), "p0");
+        assert_eq!(LibCellId::new(7).to_string(), "L7");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NetId::new(1) < NetId::new(2));
+        assert_eq!(NetId::new(5), NetId::new(5));
+    }
+}

@@ -1,0 +1,55 @@
+//! Gate-level netlist core for the split-manufacturing reproduction.
+//!
+//! This crate provides the data model every other crate builds on:
+//!
+//! * [`Netlist`] — a single-output-per-cell, combinational gate-level
+//!   netlist with typed [`CellId`]/[`NetId`] handles and cheap connectivity
+//!   edits (the randomization defense rewires driver/sink pairs in place).
+//! * [`Library`] — a Nangate-45-like standard-cell library carrying the
+//!   area, capacitance, drive-resistance, delay and leakage data used by the
+//!   placement, timing and power engines.
+//! * [`parse`] — readers/writers for the ISCAS-85 `.bench` format and a
+//!   structural-Verilog subset, so the real benchmark files can be used
+//!   whenever they are available.
+//! * [`graph`] — topological ordering, levelization, combinational-loop
+//!   detection and the `would_create_cycle` query at the heart of the
+//!   loop-free randomizer.
+//!
+//! # Example
+//!
+//! ```
+//! use sm_netlist::{Library, NetlistBuilder, GateFn};
+//!
+//! # fn main() -> Result<(), sm_netlist::NetlistError> {
+//! let lib = Library::nangate45();
+//! let mut b = NetlistBuilder::new("half_adder", &lib);
+//! let a = b.input("a");
+//! let c = b.input("b");
+//! let s = b.gate(GateFn::Xor, &[a, c])?;
+//! let carry = b.gate(GateFn::And, &[a, c])?;
+//! b.output("sum", s);
+//! b.output("carry", carry);
+//! let netlist = b.finish()?;
+//! assert_eq!(netlist.num_cells(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod builder;
+mod error;
+mod id;
+mod library;
+mod netlist;
+
+pub mod graph;
+pub mod parse;
+pub mod stats;
+
+pub use builder::NetlistBuilder;
+pub use error::NetlistError;
+pub use id::{CellId, LibCellId, NetId, PortId};
+pub use library::{GateFn, LibCell, Library};
+pub use netlist::{Cell, Driver, Net, Netlist, Port, Sink};

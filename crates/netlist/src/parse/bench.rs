@@ -1,0 +1,335 @@
+//! ISCAS-85 `.bench` format reader/writer.
+//!
+//! The format, as distributed with the ISCAS-85 suite:
+//!
+//! ```text
+//! # c17 benchmark
+//! INPUT(G1)
+//! OUTPUT(G22)
+//! G10 = NAND(G1, G3)
+//! G22 = NOT(G10)
+//! ```
+//!
+//! Gates may reference signals defined further down the file; the parser
+//! resolves definitions in dependency order. Wide gates are decomposed to
+//! library fanins by [`crate::NetlistBuilder`].
+
+use crate::graph::topo_order;
+use crate::library::Library;
+use crate::netlist::{Driver, Netlist};
+use crate::{NetlistBuilder, NetlistError};
+use std::collections::{HashMap, HashSet};
+use std::fmt::Write as _;
+
+#[derive(Debug)]
+struct GateDef {
+    line: usize,
+    output: String,
+    function: String,
+    inputs: Vec<String>,
+}
+
+/// Parses `.bench` text into a netlist mapped onto `library`.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] for syntax problems,
+/// [`NetlistError::UnknownSignal`] for dangling references and
+/// [`NetlistError::CombinationalLoop`] for cyclic definitions.
+pub fn parse_bench(
+    name: &str,
+    text: &str,
+    library: &Library,
+) -> Result<Netlist, NetlistError> {
+    let mut builder = NetlistBuilder::new(name, library);
+    let mut outputs: Vec<(usize, String)> = Vec::new();
+    let mut gates: Vec<GateDef> = Vec::new();
+    let mut defined: HashSet<String> = HashSet::new();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(inner) = strip_call(line, "INPUT") {
+            builder
+                .try_input(inner.trim())
+                .map_err(|e| at(line_no, e))?;
+            defined.insert(inner.trim().to_string());
+        } else if let Some(inner) = strip_call(line, "OUTPUT") {
+            outputs.push((line_no, inner.trim().to_string()));
+        } else if let Some(eq) = line.find('=') {
+            let output = line[..eq].trim().to_string();
+            let rhs = line[eq + 1..].trim();
+            let open = rhs.find('(').ok_or_else(|| parse_err(line_no, "missing `(`"))?;
+            if !rhs.ends_with(')') {
+                return Err(parse_err(line_no, "missing `)`"));
+            }
+            let function = rhs[..open].trim().to_string();
+            let args = &rhs[open + 1..rhs.len() - 1];
+            let inputs: Vec<String> = args
+                .split(',')
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .collect();
+            if inputs.is_empty() {
+                return Err(parse_err(line_no, "gate with no inputs"));
+            }
+            if defined.contains(&output) {
+                return Err(at(line_no, NetlistError::DuplicateName(output)));
+            }
+            defined.insert(output.clone());
+            gates.push(GateDef {
+                line: line_no,
+                output,
+                function,
+                inputs,
+            });
+        } else {
+            return Err(parse_err(line_no, format!("unrecognized statement `{line}`")));
+        }
+    }
+
+    // Resolve gates in dependency order (definitions may be out of order).
+    let mut pending: Vec<GateDef> = gates;
+    while !pending.is_empty() {
+        let mut progressed = false;
+        let mut still_pending = Vec::with_capacity(pending.len());
+        for def in pending {
+            let resolved: Option<Vec<_>> = def
+                .inputs
+                .iter()
+                .map(|s| builder.net_by_name(s).ok())
+                .collect();
+            match resolved {
+                Some(nets) => {
+                    let function = crate::GateFn::from_bench_name(&def.function)
+                        .map_err(|e| at(def.line, e))?;
+                    let out = builder.gate(function, &nets).map_err(|e| at(def.line, e))?;
+                    builder
+                        .name_net(def.output.clone(), out)
+                        .map_err(|e| at(def.line, e))?;
+                    progressed = true;
+                }
+                None => still_pending.push(def),
+            }
+        }
+        if !progressed {
+            let def = &still_pending[0];
+            let missing = def
+                .inputs
+                .iter()
+                .find(|s| builder.net_by_name(s).is_err())
+                .cloned()
+                .unwrap_or_else(|| def.output.clone());
+            // Distinguish a truly undefined signal from a cyclic definition.
+            let is_defined_somewhere = still_pending.iter().any(|g| g.output == missing);
+            return Err(if is_defined_somewhere {
+                NetlistError::CombinationalLoop(missing)
+            } else {
+                at(def.line, NetlistError::UnknownSignal(missing))
+            });
+        }
+        pending = still_pending;
+    }
+
+    for (line_no, out_name) in outputs {
+        let net = builder
+            .net_by_name(&out_name)
+            .map_err(|e| at(line_no, e))?;
+        builder.output(out_name, net);
+    }
+    builder.finish()
+}
+
+/// Writes a netlist back to `.bench` text.
+///
+/// Decomposed wide gates are written as the decomposed tree; the result is
+/// functionally identical to the source and re-parsable by [`parse_bench`].
+pub fn write_bench(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {} — written by sm-netlist", netlist.name());
+    for port in netlist.input_ports() {
+        let _ = writeln!(out, "INPUT({})", port.name);
+    }
+    for port in netlist.output_ports() {
+        let _ = writeln!(out, "OUTPUT({})", port.name);
+    }
+    // Primary-output nets take the port name; input nets keep the input
+    // name. An output sharing a net with an input (or another output)
+    // cannot carry the defining label, so it gets an explicit BUFF alias
+    // at the end — the standard .bench idiom for port aliases.
+    let mut net_label: HashMap<usize, String> = HashMap::new();
+    for port in netlist.input_ports() {
+        net_label.insert(port.net.index(), port.name.clone());
+    }
+    for port in netlist.output_ports() {
+        net_label
+            .entry(port.net.index())
+            .or_insert_with(|| port.name.clone());
+    }
+    let label = |net: crate::NetId, labels: &HashMap<usize, String>| -> String {
+        labels
+            .get(&net.index())
+            .cloned()
+            .unwrap_or_else(|| netlist.net(net).name.clone())
+    };
+    let order = topo_order(netlist).expect("netlists are acyclic by construction");
+    for c in order {
+        let cell = netlist.cell(c);
+        let function = netlist.library().cell(cell.lib).function;
+        let args: Vec<String> = cell
+            .inputs()
+            .iter()
+            .map(|&n| label(n, &net_label))
+            .collect();
+        let _ = writeln!(
+            out,
+            "{} = {}({})",
+            label(cell.output(), &net_label),
+            function.bench_name(),
+            args.join(", ")
+        );
+    }
+    for port in netlist.output_ports() {
+        let canonical = label(port.net, &net_label);
+        if canonical != port.name {
+            let _ = writeln!(out, "{} = BUFF({})", port.name, canonical);
+        }
+    }
+    out
+}
+
+/// The real ISCAS-85 c17 circuit, embedded as ground truth for tests and
+/// the quickstart example.
+pub const C17_BENCH: &str = "\
+# c17 — smallest ISCAS-85 benchmark (6 NAND2 gates)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+";
+
+fn strip_call<'a>(line: &'a str, keyword: &str) -> Option<&'a str> {
+    let rest = line.strip_prefix(keyword)?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    rest.strip_suffix(')')
+}
+
+fn parse_err(line: usize, message: impl Into<String>) -> NetlistError {
+    NetlistError::Parse {
+        line,
+        message: message.into(),
+    }
+}
+
+fn at(line: usize, err: NetlistError) -> NetlistError {
+    match err {
+        e @ NetlistError::Parse { .. } => e,
+        other => NetlistError::Parse {
+            line,
+            message: other.to_string(),
+        },
+    }
+}
+
+/// `true` if `netlist`'s net is driven by a primary input (helper shared by
+/// writers).
+#[allow(dead_code)]
+fn is_pi_net(netlist: &Netlist, net: crate::NetId) -> bool {
+    matches!(netlist.net(net).driver(), Driver::Port(_))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Library;
+
+    #[test]
+    fn parse_c17() {
+        let lib = Library::nangate45();
+        let n = parse_bench("c17", C17_BENCH, &lib).unwrap();
+        assert_eq!(n.num_cells(), 6);
+        assert_eq!(n.input_ports().len(), 5);
+        assert_eq!(n.output_ports().len(), 2);
+        n.validate().unwrap();
+    }
+
+    #[test]
+    fn out_of_order_definitions_resolve() {
+        let lib = Library::nangate45();
+        let text = "\
+INPUT(a)
+OUTPUT(y)
+y = NOT(m)
+m = AND(a, a)
+";
+        let n = parse_bench("ooo", text, &lib).unwrap();
+        assert_eq!(n.num_cells(), 2);
+    }
+
+    #[test]
+    fn cyclic_definition_reported_as_loop() {
+        let lib = Library::nangate45();
+        let text = "\
+INPUT(a)
+OUTPUT(y)
+y = AND(a, z)
+z = NOT(y)
+";
+        let err = parse_bench("cyc", text, &lib).unwrap_err();
+        assert!(matches!(err, NetlistError::CombinationalLoop(_)), "{err}");
+    }
+
+    #[test]
+    fn undefined_signal_reported() {
+        let lib = Library::nangate45();
+        let text = "INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n";
+        let err = parse_bench("bad", text, &lib).unwrap_err();
+        assert!(err.to_string().contains("ghost"), "{err}");
+    }
+
+    #[test]
+    fn syntax_errors_carry_line_numbers() {
+        let lib = Library::nangate45();
+        let err = parse_bench("bad", "INPUT(a)\ny = AND(a, a\n", &lib).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let lib = Library::nangate45();
+        let n = parse_bench("c17", C17_BENCH, &lib).unwrap();
+        let text = write_bench(&n);
+        let n2 = parse_bench("c17rt", &text, &lib).unwrap();
+        assert_eq!(n2.num_cells(), n.num_cells());
+        assert_eq!(n2.input_ports().len(), n.input_ports().len());
+        assert_eq!(n2.output_ports().len(), n.output_ports().len());
+        n2.validate().unwrap();
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let lib = Library::nangate45();
+        let text = "# header\n\nINPUT(a)  # trailing comment\nOUTPUT(y)\ny = NOT(a)\n";
+        let n = parse_bench("c", text, &lib).unwrap();
+        assert_eq!(n.num_cells(), 1);
+    }
+
+    #[test]
+    fn duplicate_gate_definition_rejected() {
+        let lib = Library::nangate45();
+        let text = "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\ny = BUFF(a)\n";
+        assert!(parse_bench("dup", text, &lib).is_err());
+    }
+}

@@ -1,0 +1,394 @@
+//! Structural-Verilog subset reader/writer.
+//!
+//! Covers the netlists the superblue→Verilog conversion scripts emit: a
+//! single module with `input`/`output`/`wire` declarations and named-port
+//! standard-cell instances. Input pins are named `A`, `B`, `C`, `D` (in pin
+//! order) and the output pin `Z`:
+//!
+//! ```text
+//! module top (a, b, y);
+//!   input a, b;
+//!   output y;
+//!   wire w0;
+//!   NAND2_X1 U0 (.A(a), .B(b), .Z(w0));
+//!   INV_X1 U1 (.A(w0), .Z(y));
+//! endmodule
+//! ```
+
+use crate::graph::topo_order;
+use crate::library::Library;
+use crate::netlist::Netlist;
+use crate::{NetlistBuilder, NetlistError};
+use std::collections::{HashMap, HashSet};
+use std::fmt::Write as _;
+
+const INPUT_PIN_NAMES: [&str; 4] = ["A", "B", "C", "D"];
+
+/// Writes `netlist` as structural Verilog (re-parsable by
+/// [`parse_verilog`]).
+pub fn write_verilog(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    let ports: Vec<&str> = netlist
+        .input_ports()
+        .iter()
+        .chain(netlist.output_ports())
+        .map(|p| p.name.as_str())
+        .collect();
+    let _ = writeln!(out, "module {} ({});", sanitize(netlist.name()), ports.join(", "));
+    for p in netlist.input_ports() {
+        let _ = writeln!(out, "  input {};", p.name);
+    }
+    for p in netlist.output_ports() {
+        let _ = writeln!(out, "  output {};", p.name);
+    }
+
+    // Label nets: input ports keep their name; the first output on a net
+    // labels it unless an input already did. Aliased outputs get explicit
+    // BUF_X1 instances at the end.
+    let mut labels: HashMap<usize, String> = HashMap::new();
+    for p in netlist.input_ports() {
+        labels.insert(p.net.index(), p.name.clone());
+    }
+    for p in netlist.output_ports() {
+        labels.entry(p.net.index()).or_insert_with(|| p.name.clone());
+    }
+    let mut wires = Vec::new();
+    for (id, net) in netlist.nets() {
+        if !labels.contains_key(&id.index()) {
+            labels.insert(id.index(), net.name.clone());
+            if net.degree() > 1 {
+                wires.push(net.name.clone());
+            }
+        }
+    }
+    for chunk in wires.chunks(8) {
+        let _ = writeln!(out, "  wire {};", chunk.join(", "));
+    }
+    let order = topo_order(netlist).expect("netlists are acyclic by construction");
+    for c in order {
+        let cell = netlist.cell(c);
+        let lib = netlist.library().cell(cell.lib);
+        let mut pins = Vec::with_capacity(cell.inputs().len() + 1);
+        for (i, &net) in cell.inputs().iter().enumerate() {
+            pins.push(format!(".{}({})", INPUT_PIN_NAMES[i], labels[&net.index()]));
+        }
+        pins.push(format!(".Z({})", labels[&cell.output().index()]));
+        let _ = writeln!(out, "  {} {} ({});", lib.name, cell.name, pins.join(", "));
+    }
+    for (k, p) in netlist.output_ports().iter().enumerate() {
+        let canonical = &labels[&p.net.index()];
+        if canonical != &p.name {
+            let _ = writeln!(
+                out,
+                "  BUF_X1 UALIAS{k} (.A({canonical}), .Z({}));",
+                p.name
+            );
+        }
+    }
+    let _ = writeln!(out, "endmodule");
+    out
+}
+
+/// Parses the structural-Verilog subset into a netlist mapped onto
+/// `library`.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] for syntax problems, plus the usual
+/// construction errors for unknown cells/signals and loops.
+pub fn parse_verilog(text: &str, library: &Library) -> Result<Netlist, NetlistError> {
+    // Strip comments, then split into `;`-terminated statements (the module
+    // header ends with `;` too). Track line numbers per statement start.
+    let mut cleaned = String::with_capacity(text.len());
+    for line in text.lines() {
+        let line = line.split("//").next().unwrap_or("");
+        cleaned.push_str(line);
+        cleaned.push('\n');
+    }
+
+    let mut statements: Vec<(usize, String)> = Vec::new();
+    let mut current = String::new();
+    let mut start_line = 1usize;
+    let mut line_no = 1usize;
+    for ch in cleaned.chars() {
+        if ch == '\n' {
+            line_no += 1;
+        }
+        if ch == ';' {
+            statements.push((start_line, current.trim().to_string()));
+            current.clear();
+            start_line = line_no;
+        } else {
+            current.push(ch);
+        }
+    }
+    let tail = current.trim();
+    if !tail.is_empty() && tail != "endmodule" {
+        return Err(NetlistError::Parse {
+            line: start_line,
+            message: format!("unterminated statement `{}`", truncate(tail)),
+        });
+    }
+
+    let mut name = String::from("top");
+    let mut inputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    #[allow(clippy::type_complexity)]
+    let mut instances: Vec<(usize, String, String, Vec<(String, String)>)> = Vec::new();
+
+    for (line, stmt) in &statements {
+        let stmt = stmt.trim();
+        if stmt.is_empty() {
+            continue;
+        }
+        if let Some(rest) = stmt.strip_prefix("module") {
+            let rest = rest.trim();
+            let open = rest.find('(');
+            name = rest[..open.unwrap_or(rest.len())].trim().to_string();
+        } else if let Some(rest) = stmt.strip_prefix("input") {
+            inputs.extend(split_names(rest));
+        } else if let Some(rest) = stmt.strip_prefix("output") {
+            outputs.extend(split_names(rest));
+        } else if stmt.starts_with("wire") {
+            // Wire declarations carry no connectivity; instances define it.
+        } else if stmt == "endmodule" {
+            // Ignore.
+        } else {
+            // Cell instance: `LIB INST ( .PIN(net), ... )`.
+            let open = stmt.find('(').ok_or_else(|| NetlistError::Parse {
+                line: *line,
+                message: format!("expected instance, got `{}`", truncate(stmt)),
+            })?;
+            let head: Vec<&str> = stmt[..open].split_whitespace().collect();
+            if head.len() != 2 {
+                return Err(NetlistError::Parse {
+                    line: *line,
+                    message: format!("bad instance header `{}`", truncate(&stmt[..open])),
+                });
+            }
+            let body = stmt[open + 1..].trim_end();
+            let body = body.strip_suffix(')').ok_or_else(|| NetlistError::Parse {
+                line: *line,
+                message: "missing `)` on instance".into(),
+            })?;
+            let mut pins = Vec::new();
+            for conn in body.split(',') {
+                let conn = conn.trim();
+                if conn.is_empty() {
+                    continue;
+                }
+                let conn = conn.strip_prefix('.').ok_or_else(|| NetlistError::Parse {
+                    line: *line,
+                    message: format!("expected `.PIN(net)`, got `{}`", truncate(conn)),
+                })?;
+                let p_open = conn.find('(').ok_or_else(|| NetlistError::Parse {
+                    line: *line,
+                    message: "missing `(` in pin connection".into(),
+                })?;
+                let pin = conn[..p_open].trim().to_string();
+                let net = conn[p_open + 1..]
+                    .trim_end()
+                    .strip_suffix(')')
+                    .ok_or_else(|| NetlistError::Parse {
+                        line: *line,
+                        message: "missing `)` in pin connection".into(),
+                    })?
+                    .trim()
+                    .to_string();
+                pins.push((pin, net));
+            }
+            instances.push((*line, head[0].to_string(), head[1].to_string(), pins));
+        }
+    }
+
+    let mut builder = NetlistBuilder::new(name, library);
+    for i in &inputs {
+        builder
+            .try_input(i.clone())
+            .map_err(|e| wrap(1, e))?;
+    }
+    let output_set: HashSet<&String> = outputs.iter().collect();
+    let _ = output_set; // outputs resolved after instances
+
+    // Instances may be out of dependency order; resolve iteratively.
+    let mut pending = instances;
+    while !pending.is_empty() {
+        let mut progressed = false;
+        let mut still = Vec::with_capacity(pending.len());
+        for (line, lib_name, inst_name, pins) in pending {
+            let out_pin = pins.iter().find(|(p, _)| p == "Z" || p == "ZN" || p == "Y");
+            let out_net_name = match out_pin {
+                Some((_, n)) => n.clone(),
+                None => {
+                    return Err(NetlistError::Parse {
+                        line,
+                        message: format!("instance `{inst_name}` has no output pin"),
+                    })
+                }
+            };
+            let mut in_nets = Vec::new();
+            let mut ordered: Vec<&(String, String)> = pins
+                .iter()
+                .filter(|(p, _)| INPUT_PIN_NAMES.contains(&p.as_str()))
+                .collect();
+            ordered.sort_by(|a, b| a.0.cmp(&b.0));
+            let resolved = ordered
+                .iter()
+                .all(|(_, net)| builder.net_by_name(net).is_ok());
+            if !resolved {
+                still.push((line, lib_name, inst_name, pins));
+                continue;
+            }
+            for (_, net) in ordered {
+                in_nets.push(builder.net_by_name(net).expect("checked above"));
+            }
+            let out = builder
+                .lib_gate(&lib_name, &in_nets)
+                .map_err(|e| wrap(line, e))?;
+            builder
+                .name_net(out_net_name, out)
+                .map_err(|e| wrap(line, e))?;
+            progressed = true;
+        }
+        if !progressed {
+            let (line, _, inst, pins) = &still[0];
+            let missing = pins
+                .iter()
+                .filter(|(p, _)| INPUT_PIN_NAMES.contains(&p.as_str()))
+                .find(|(_, n)| builder.net_by_name(n).is_err())
+                .map(|(_, n)| n.clone())
+                .unwrap_or_else(|| inst.clone());
+            let cyclic = still
+                .iter()
+                .any(|(_, _, _, ps)| ps.iter().any(|(p, n)| p.starts_with('Z') && *n == missing));
+            return Err(if cyclic {
+                NetlistError::CombinationalLoop(missing)
+            } else {
+                wrap(*line, NetlistError::UnknownSignal(missing))
+            });
+        }
+        pending = still;
+    }
+
+    for o in outputs {
+        let net = builder.net_by_name(&o).map_err(|e| wrap(1, e))?;
+        builder.output(o, net);
+    }
+    builder.finish()
+}
+
+fn split_names(rest: &str) -> Vec<String> {
+    rest.split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .collect()
+}
+
+fn truncate(s: &str) -> String {
+    if s.len() > 40 {
+        format!("{}…", &s[..40])
+    } else {
+        s.to_string()
+    }
+}
+
+fn wrap(line: usize, err: NetlistError) -> NetlistError {
+    match err {
+        e @ NetlistError::Parse { .. } => e,
+        other => NetlistError::Parse {
+            line,
+            message: other.to_string(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::bench::{parse_bench, C17_BENCH};
+    use crate::Library;
+
+    #[test]
+    fn roundtrip_c17() {
+        let lib = Library::nangate45();
+        let n = parse_bench("c17", C17_BENCH, &lib).unwrap();
+        let v = write_verilog(&n);
+        let n2 = parse_verilog(&v, &lib).unwrap();
+        assert_eq!(n2.num_cells(), n.num_cells());
+        assert_eq!(n2.input_ports().len(), 5);
+        assert_eq!(n2.output_ports().len(), 2);
+        n2.validate().unwrap();
+    }
+
+    #[test]
+    fn parses_handwritten_module() {
+        let lib = Library::nangate45();
+        let text = "\
+// half adder
+module ha (a, b, s, c);
+  input a, b;
+  output s, c;
+  XOR2_X1 U0 (.A(a), .B(b), .Z(s));
+  AND2_X1 U1 (.A(a), .B(b), .Z(c));
+endmodule
+";
+        let n = parse_verilog(text, &lib).unwrap();
+        assert_eq!(n.name(), "ha");
+        assert_eq!(n.num_cells(), 2);
+        n.validate().unwrap();
+    }
+
+    #[test]
+    fn out_of_order_instances_resolve() {
+        let lib = Library::nangate45();
+        let text = "\
+module m (a, y);
+  input a;
+  output y;
+  wire w;
+  INV_X1 U1 (.A(w), .Z(y));
+  BUF_X1 U0 (.A(a), .Z(w));
+endmodule
+";
+        let n = parse_verilog(text, &lib).unwrap();
+        assert_eq!(n.num_cells(), 2);
+    }
+
+    #[test]
+    fn unknown_cell_is_error() {
+        let lib = Library::nangate45();
+        let text = "module m (a, y); input a; output y; MAGIC U0 (.A(a), .Z(y)); endmodule";
+        assert!(parse_verilog(text, &lib).is_err());
+    }
+
+    #[test]
+    fn missing_output_pin_is_error() {
+        let lib = Library::nangate45();
+        let text = "module m (a, y); input a; output y; INV_X1 U0 (.A(a)); endmodule";
+        let err = parse_verilog(text, &lib).unwrap_err();
+        assert!(err.to_string().contains("no output pin"), "{err}");
+    }
+
+    #[test]
+    fn cyclic_instances_detected() {
+        let lib = Library::nangate45();
+        let text = "\
+module m (a, y);
+  input a;
+  output y;
+  wire w1, w2;
+  AND2_X1 U0 (.A(a), .B(w2), .Z(w1));
+  INV_X1 U1 (.A(w1), .Z(w2));
+  BUF_X1 U2 (.A(w1), .Z(y));
+endmodule
+";
+        let err = parse_verilog(text, &lib).unwrap_err();
+        assert!(matches!(err, NetlistError::CombinationalLoop(_)), "{err}");
+    }
+}

@@ -1,0 +1,120 @@
+//! Summary statistics over a netlist, used by the benchmark generators to
+//! verify they hit their target profiles and by the experiment reports.
+
+use crate::graph::depth;
+use crate::netlist::Netlist;
+use crate::GateFn;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Aggregate statistics of a [`Netlist`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetlistStats {
+    /// Number of cell instances.
+    pub cells: usize,
+    /// Number of nets.
+    pub nets: usize,
+    /// Primary input count.
+    pub inputs: usize,
+    /// Primary output count.
+    pub outputs: usize,
+    /// Maximum logic depth in gate levels.
+    pub depth: u32,
+    /// Instance count per gate function.
+    pub gates_by_fn: BTreeMap<GateFn, usize>,
+    /// Average sinks per net.
+    pub avg_fanout: f64,
+    /// Largest sink count on any net.
+    pub max_fanout: usize,
+    /// Total standard-cell area in µm².
+    pub area_um2: f64,
+}
+
+impl NetlistStats {
+    /// Computes statistics for `netlist`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist contains a combinational loop (netlists built
+    /// through the public APIs never do).
+    pub fn of(netlist: &Netlist) -> Self {
+        let mut gates_by_fn = BTreeMap::new();
+        for (_, cell) in netlist.cells() {
+            *gates_by_fn
+                .entry(netlist.library().cell(cell.lib).function)
+                .or_insert(0) += 1;
+        }
+        let sink_counts: Vec<usize> = netlist.nets().map(|(_, n)| n.sinks().len()).collect();
+        let total_sinks: usize = sink_counts.iter().sum();
+        NetlistStats {
+            cells: netlist.num_cells(),
+            nets: netlist.num_nets(),
+            inputs: netlist.input_ports().len(),
+            outputs: netlist.output_ports().len(),
+            depth: depth(netlist).expect("acyclic netlist"),
+            avg_fanout: if sink_counts.is_empty() {
+                0.0
+            } else {
+                total_sinks as f64 / sink_counts.len() as f64
+            },
+            max_fanout: sink_counts.into_iter().max().unwrap_or(0),
+            gates_by_fn,
+            area_um2: netlist.total_cell_area_um2(),
+        }
+    }
+}
+
+impl fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "cells: {}  nets: {}  PI: {}  PO: {}  depth: {}",
+            self.cells, self.nets, self.inputs, self.outputs, self.depth
+        )?;
+        writeln!(
+            f,
+            "fanout avg: {:.2}  max: {}  area: {:.1} µm²",
+            self.avg_fanout, self.max_fanout, self.area_um2
+        )?;
+        for (g, n) in &self.gates_by_fn {
+            writeln!(f, "  {g}: {n}")?;
+        }
+        Ok(())
+    }
+}
+
+// GateFn ordering for the BTreeMap key.
+impl Ord for GateFn {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (*self as u8).cmp(&(*other as u8))
+    }
+}
+
+impl PartialOrd for GateFn {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::bench::{parse_bench, C17_BENCH};
+    use crate::Library;
+
+    #[test]
+    fn c17_stats() {
+        let lib = Library::nangate45();
+        let n = parse_bench("c17", C17_BENCH, &lib).unwrap();
+        let s = NetlistStats::of(&n);
+        assert_eq!(s.cells, 6);
+        assert_eq!(s.inputs, 5);
+        assert_eq!(s.outputs, 2);
+        assert_eq!(s.depth, 3);
+        assert_eq!(s.gates_by_fn[&GateFn::Nand], 6);
+        assert!(s.avg_fanout > 0.0);
+        assert!(s.area_um2 > 0.0);
+        let rendered = s.to_string();
+        assert!(rendered.contains("cells: 6"));
+    }
+}

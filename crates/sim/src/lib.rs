@@ -1,0 +1,47 @@
+//! Logic simulation and security-metric engines.
+//!
+//! The paper evaluates attacks with three functional metrics, all computed
+//! by stimulating netlists with test patterns (Synopsys VCS in the paper,
+//! 1,000,000 patterns):
+//!
+//! * **OER** (output error rate) — probability that at least one output bit
+//!   is wrong for a random input pattern ([`oer`]).
+//! * **HD** (Hamming distance) — average fraction of differing output bits
+//!   ([`hamming_distance`]).
+//! * functional equivalence — the paper validates restored layouts with
+//!   Synopsys Formality; we provide a miter + DPLL SAT check in
+//!   [`equiv`].
+//!
+//! Simulation is 64-way bit-parallel: each `u64` word carries 64 patterns.
+//!
+//! # Example
+//!
+//! ```
+//! use sm_netlist::{Library, parse::bench};
+//! use sm_sim::{PatternSource, hamming_distance};
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let lib = Library::nangate45();
+//! let golden = bench::parse_bench("c17", bench::C17_BENCH, &lib)?;
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let patterns = PatternSource::random(&golden, 1024, &mut rng);
+//! let hd = hamming_distance(&golden, &golden, &patterns)?;
+//! assert_eq!(hd, 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod metrics;
+mod patterns;
+mod simulator;
+
+pub mod equiv;
+pub mod sat;
+
+pub use metrics::{hamming_distance, oer, security_metrics, MetricsError, SecurityMetrics};
+pub use patterns::PatternSource;
+pub use simulator::{ActivityProfile, Simulator};

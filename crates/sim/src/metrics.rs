@@ -1,0 +1,225 @@
+//! OER and Hamming-distance security metrics.
+
+use crate::patterns::PatternSource;
+use crate::simulator::Simulator;
+use sm_netlist::Netlist;
+use std::error::Error;
+use std::fmt;
+
+/// Error raised when two netlists cannot be compared.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsError {
+    detail: String,
+}
+
+impl fmt::Display for MetricsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "netlists not comparable: {}", self.detail)
+    }
+}
+
+impl Error for MetricsError {}
+
+/// Combined OER/HD result, as reported in the paper's Tables 4 and 5.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SecurityMetrics {
+    /// Output error rate in `[0, 1]`: fraction of patterns with ≥1 wrong
+    /// output bit.
+    pub oer: f64,
+    /// Hamming distance in `[0, 1]`: average fraction of wrong output bits.
+    pub hd: f64,
+    /// Number of patterns evaluated.
+    pub patterns: usize,
+}
+
+impl fmt::Display for SecurityMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "OER {:.1}%  HD {:.1}% ({} patterns)",
+            self.oer * 100.0,
+            self.hd * 100.0,
+            self.patterns
+        )
+    }
+}
+
+fn check_interfaces(golden: &Netlist, candidate: &Netlist) -> Result<(), MetricsError> {
+    if golden.input_ports().len() != candidate.input_ports().len() {
+        return Err(MetricsError {
+            detail: format!(
+                "{} vs {} primary inputs",
+                golden.input_ports().len(),
+                candidate.input_ports().len()
+            ),
+        });
+    }
+    if golden.output_ports().len() != candidate.output_ports().len() {
+        return Err(MetricsError {
+            detail: format!(
+                "{} vs {} primary outputs",
+                golden.output_ports().len(),
+                candidate.output_ports().len()
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// Computes OER and HD of `candidate` against `golden` over `patterns` in
+/// one pass.
+///
+/// Ports are matched by position, as both netlists in this workflow always
+/// derive from the same source design.
+///
+/// # Errors
+///
+/// Returns [`MetricsError`] when port counts differ.
+pub fn security_metrics(
+    golden: &Netlist,
+    candidate: &Netlist,
+    patterns: &PatternSource,
+) -> Result<SecurityMetrics, MetricsError> {
+    check_interfaces(golden, candidate)?;
+    let mut sim_g = Simulator::new(golden);
+    let mut sim_c = Simulator::new(candidate);
+    let num_outputs = golden.output_ports().len();
+    let mut err_patterns = 0u64;
+    let mut err_bits = 0u64;
+    for (inputs, mask) in patterns.iter_words() {
+        let og = sim_g.run_word(inputs);
+        let oc = sim_c.run_word(inputs);
+        let mut any_err = 0u64;
+        for (wg, wc) in og.iter().zip(&oc) {
+            let diff = (wg ^ wc) & mask;
+            err_bits += diff.count_ones() as u64;
+            any_err |= diff;
+        }
+        err_patterns += any_err.count_ones() as u64;
+    }
+    let n = patterns.len() as f64;
+    Ok(SecurityMetrics {
+        oer: err_patterns as f64 / n,
+        hd: err_bits as f64 / (n * num_outputs as f64),
+        patterns: patterns.len(),
+    })
+}
+
+/// Output error rate of `candidate` vs `golden`. See [`security_metrics`].
+///
+/// # Errors
+///
+/// Returns [`MetricsError`] when port counts differ.
+pub fn oer(
+    golden: &Netlist,
+    candidate: &Netlist,
+    patterns: &PatternSource,
+) -> Result<f64, MetricsError> {
+    Ok(security_metrics(golden, candidate, patterns)?.oer)
+}
+
+/// Hamming distance of `candidate` vs `golden`. See [`security_metrics`].
+///
+/// # Errors
+///
+/// Returns [`MetricsError`] when port counts differ.
+pub fn hamming_distance(
+    golden: &Netlist,
+    candidate: &Netlist,
+    patterns: &PatternSource,
+) -> Result<f64, MetricsError> {
+    Ok(security_metrics(golden, candidate, patterns)?.hd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sm_netlist::parse::bench::{parse_bench, C17_BENCH};
+    use sm_netlist::{GateFn, Library, NetlistBuilder};
+
+    fn c17(lib: &Library) -> Netlist {
+        parse_bench("c17", C17_BENCH, lib).unwrap()
+    }
+
+    #[test]
+    fn identical_netlists_score_zero() {
+        let lib = Library::nangate45();
+        let n = c17(&lib);
+        let p = PatternSource::exhaustive(&n);
+        let m = security_metrics(&n, &n, &p).unwrap();
+        assert_eq!(m.oer, 0.0);
+        assert_eq!(m.hd, 0.0);
+        assert_eq!(m.patterns, 32);
+    }
+
+    #[test]
+    fn inverted_output_scores_full_hd() {
+        let lib = Library::nangate45();
+        // golden: y = a; candidate: y = !a  → OER 100%, HD 100%.
+        let mut b = NetlistBuilder::new("g", &lib);
+        let a = b.input("a");
+        let y = b.gate(GateFn::Buf, &[a]).unwrap();
+        b.output("y", y);
+        let golden = b.finish().unwrap();
+        let mut b = NetlistBuilder::new("c", &lib);
+        let a = b.input("a");
+        let y = b.gate(GateFn::Inv, &[a]).unwrap();
+        b.output("y", y);
+        let cand = b.finish().unwrap();
+        let p = PatternSource::exhaustive(&golden);
+        let m = security_metrics(&golden, &cand, &p).unwrap();
+        assert_eq!(m.oer, 1.0);
+        assert_eq!(m.hd, 1.0);
+    }
+
+    #[test]
+    fn half_wrong_output_scores_half_hd() {
+        let lib = Library::nangate45();
+        // golden: (y0 = a, y1 = b); candidate: (y0 = a, y1 = !b).
+        let mut b = NetlistBuilder::new("g", &lib);
+        let a = b.input("a");
+        let c = b.input("b");
+        let y0 = b.gate(GateFn::Buf, &[a]).unwrap();
+        let y1 = b.gate(GateFn::Buf, &[c]).unwrap();
+        b.output("y0", y0);
+        b.output("y1", y1);
+        let golden = b.finish().unwrap();
+        let mut b = NetlistBuilder::new("c", &lib);
+        let a = b.input("a");
+        let c = b.input("b");
+        let y0 = b.gate(GateFn::Buf, &[a]).unwrap();
+        let y1 = b.gate(GateFn::Inv, &[c]).unwrap();
+        b.output("y0", y0);
+        b.output("y1", y1);
+        let cand = b.finish().unwrap();
+        let p = PatternSource::exhaustive(&golden);
+        let m = security_metrics(&golden, &cand, &p).unwrap();
+        assert_eq!(m.oer, 1.0); // every pattern has the y1 bit wrong
+        assert_eq!(m.hd, 0.5); // half the output bits wrong
+    }
+
+    #[test]
+    fn mismatched_ports_rejected() {
+        let lib = Library::nangate45();
+        let n = c17(&lib);
+        let mut b = NetlistBuilder::new("small", &lib);
+        let a = b.input("a");
+        let y = b.gate(GateFn::Inv, &[a]).unwrap();
+        b.output("y", y);
+        let other = b.finish().unwrap();
+        let p = PatternSource::exhaustive(&other);
+        assert!(security_metrics(&n, &other, &p).is_err());
+    }
+
+    #[test]
+    fn display_formats_percentages() {
+        let m = SecurityMetrics {
+            oer: 0.999,
+            hd: 0.404,
+            patterns: 1000,
+        };
+        let s = m.to_string();
+        assert!(s.contains("99.9%"));
+        assert!(s.contains("40.4%"));
+    }
+}

@@ -1,0 +1,213 @@
+//! 64-way bit-parallel combinational simulator.
+
+use sm_netlist::graph::topo_order;
+use sm_netlist::Netlist;
+
+/// Compiled simulator for one netlist.
+///
+/// Construction topologically sorts the cells once; every
+/// [`Simulator::run_word`] call then evaluates 64 patterns in a single
+/// sweep. Reuse the simulator across pattern batches — that is what makes
+/// the OER-driven randomization loop (hundreds of evaluations) cheap.
+#[derive(Debug)]
+pub struct Simulator<'n> {
+    netlist: &'n Netlist,
+    order: Vec<sm_netlist::CellId>,
+    /// Scratch: one word per net.
+    values: Vec<u64>,
+}
+
+impl<'n> Simulator<'n> {
+    /// Compiles a simulator for `netlist`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist is cyclic (impossible through public APIs).
+    pub fn new(netlist: &'n Netlist) -> Self {
+        let order = topo_order(netlist).expect("netlist must be acyclic to simulate");
+        Simulator {
+            netlist,
+            order,
+            values: vec![0; netlist.num_nets()],
+        }
+    }
+
+    /// The netlist this simulator was compiled for.
+    pub fn netlist(&self) -> &'n Netlist {
+        self.netlist
+    }
+
+    /// Evaluates 64 patterns at once.
+    ///
+    /// `input_words[i]` carries the 64 values of primary input `i` (in
+    /// [`Netlist::input_ports`] order); the return value holds one word per
+    /// primary output in [`Netlist::output_ports`] order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_words.len()` differs from the number of primary
+    /// inputs.
+    pub fn run_word(&mut self, input_words: &[u64]) -> Vec<u64> {
+        let n = self.netlist;
+        assert_eq!(
+            input_words.len(),
+            n.input_ports().len(),
+            "one input word per primary input required"
+        );
+        for (port, &w) in n.input_ports().iter().zip(input_words) {
+            self.values[port.net.index()] = w;
+        }
+        let mut in_buf = [0u64; 8];
+        for &c in &self.order {
+            let cell = n.cell(c);
+            let k = cell.inputs().len();
+            for (slot, &net) in in_buf.iter_mut().zip(cell.inputs()) {
+                *slot = self.values[net.index()];
+            }
+            let f = n.library().cell(cell.lib).function;
+            self.values[cell.output().index()] = f.eval_word(&in_buf[..k]);
+        }
+        n.output_ports()
+            .iter()
+            .map(|p| self.values[p.net.index()])
+            .collect()
+    }
+
+    /// Evaluates a single pattern given as booleans, returning the output
+    /// booleans. Convenience wrapper over [`Simulator::run_word`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the number of primary inputs.
+    pub fn run_single(&mut self, inputs: &[bool]) -> Vec<bool> {
+        let words: Vec<u64> = inputs.iter().map(|&b| if b { !0 } else { 0 }).collect();
+        self.run_word(&words)
+            .into_iter()
+            .map(|w| w & 1 == 1)
+            .collect()
+    }
+
+    /// The value word most recently computed for `net` (all-zero before the
+    /// first run). Exposed so activity-based power estimation can read
+    /// internal switching.
+    pub fn net_value(&self, net: sm_netlist::NetId) -> u64 {
+        self.values[net.index()]
+    }
+}
+
+/// Per-net toggle statistics from random-pattern simulation, feeding the
+/// dynamic-power model.
+#[derive(Debug, Clone)]
+pub struct ActivityProfile {
+    /// Estimated toggle probability (0–1) per net, indexed by `NetId`.
+    pub toggle_prob: Vec<f64>,
+}
+
+impl ActivityProfile {
+    /// Estimates switching activity by simulating `num_words × 64` random
+    /// patterns and counting bit transitions between adjacent lanes.
+    pub fn estimate(
+        netlist: &Netlist,
+        num_words: usize,
+        rng: &mut impl rand::Rng,
+    ) -> ActivityProfile {
+        let mut sim = Simulator::new(netlist);
+        let mut toggles = vec![0u64; netlist.num_nets()];
+        let mut total_pairs = 0u64;
+        for _ in 0..num_words.max(1) {
+            let inputs: Vec<u64> = (0..netlist.input_ports().len())
+                .map(|_| rng.gen())
+                .collect();
+            sim.run_word(&inputs);
+            for (net, _) in netlist.nets() {
+                let w = sim.net_value(net);
+                // Transitions between adjacent pattern lanes approximate
+                // temporal toggling under random stimuli.
+                toggles[net.index()] += (w ^ (w >> 1)).count_ones() as u64;
+            }
+            total_pairs += 63;
+        }
+        ActivityProfile {
+            toggle_prob: toggles
+                .into_iter()
+                .map(|t| t as f64 / total_pairs as f64)
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use sm_netlist::parse::bench::{parse_bench, C17_BENCH};
+    use sm_netlist::{GateFn, Library, NetlistBuilder};
+
+    #[test]
+    fn c17_truth_spot_checks() {
+        let lib = Library::nangate45();
+        let n = parse_bench("c17", C17_BENCH, &lib).unwrap();
+        let mut sim = Simulator::new(&n);
+        // All-zero inputs: G10=G11=1, G16=NAND(0,1)=1, G19=NAND(1,0)=1,
+        // G22=NAND(1,1)=0, G23=NAND(1,1)=0.
+        assert_eq!(sim.run_single(&[false; 5]), vec![false, false]);
+        // All-one inputs: G10=G11=0, G16=NAND(1,0)=1, G19=NAND(0,1)=1,
+        // G22=NAND(0,1)=1, G23=NAND(1,1)=0.
+        assert_eq!(sim.run_single(&[true; 5]), vec![true, false]);
+    }
+
+    #[test]
+    fn word_and_single_agree() {
+        let lib = Library::nangate45();
+        let n = parse_bench("c17", C17_BENCH, &lib).unwrap();
+        let mut sim = Simulator::new(&n);
+        let words: Vec<u64> = vec![0xAAAA, 0xCCCC, 0xF0F0, 0xFF00, 0x0F0F];
+        let out_words = sim.run_word(&words);
+        for lane in 0..16 {
+            let ins: Vec<bool> = words.iter().map(|w| (w >> lane) & 1 == 1).collect();
+            let outs = sim.run_single(&ins);
+            for (o, w) in outs.iter().zip(&out_words) {
+                assert_eq!(*o, (w >> lane) & 1 == 1, "lane {lane}");
+            }
+        }
+    }
+
+    #[test]
+    fn xor_chain_parity() {
+        let lib = Library::nangate45();
+        let mut b = NetlistBuilder::new("parity", &lib);
+        let ins: Vec<_> = (0..5).map(|i| b.input(format!("i{i}"))).collect();
+        let y = b.gate(GateFn::Xor, &ins).unwrap();
+        b.output("y", y);
+        let n = b.finish().unwrap();
+        let mut sim = Simulator::new(&n);
+        for v in 0..32u32 {
+            let ins: Vec<bool> = (0..5).map(|i| (v >> i) & 1 == 1).collect();
+            let expect = v.count_ones() % 2 == 1;
+            assert_eq!(sim.run_single(&ins)[0], expect, "v={v}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one input word per primary input")]
+    fn wrong_input_arity_panics() {
+        let lib = Library::nangate45();
+        let n = parse_bench("c17", C17_BENCH, &lib).unwrap();
+        Simulator::new(&n).run_word(&[0, 1]);
+    }
+
+    #[test]
+    fn activity_profile_in_unit_range() {
+        let lib = Library::nangate45();
+        let n = parse_bench("c17", C17_BENCH, &lib).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let act = ActivityProfile::estimate(&n, 16, &mut rng);
+        assert_eq!(act.toggle_prob.len(), n.num_nets());
+        for &p in &act.toggle_prob {
+            assert!((0.0..=1.0).contains(&p));
+        }
+        // Random stimuli toggle the PI nets roughly half the time.
+        let pi = n.input_ports()[0].net;
+        assert!(act.toggle_prob[pi.index()] > 0.3);
+    }
+}
