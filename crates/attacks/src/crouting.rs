@@ -94,7 +94,11 @@ pub fn crouting_attack(
             } else {
                 total_candidates as f64 / n as f64
             },
-            match_in_list: if n == 0 { 0.0 } else { matches as f64 / n as f64 },
+            match_in_list: if n == 0 {
+                0.0
+            } else {
+                matches as f64 / n as f64
+            },
         });
     }
     CroutingReport {

@@ -108,11 +108,8 @@ pub fn network_flow_attack(
     // Min-cost flow: source → drivers (capacity from the load hint) →
     // sinks (capacity 1) → target. The optimal flow is the globally
     // cheapest assignment under all hints simultaneously.
-    let d_index: std::collections::HashMap<usize, usize> = drivers
-        .iter()
-        .enumerate()
-        .map(|(i, &d)| (d, i))
-        .collect();
+    let d_index: std::collections::HashMap<usize, usize> =
+        drivers.iter().enumerate().map(|(i, &d)| (d, i)).collect();
     let n_nodes = 2 + drivers.len() + sinks.len();
     let (source, target) = (0usize, n_nodes - 1);
     let d_node = |i: usize| 1 + i;
@@ -209,8 +206,7 @@ pub fn network_flow_attack(
     let ccr = ccr_vs_golden(golden, split, &pairs);
     let mut rng = seeded(golden);
     let patterns = PatternSource::random(golden, config.eval_patterns, &mut rng);
-    let metrics =
-        security_metrics(golden, &recovered, &patterns).expect("same port interface");
+    let metrics = security_metrics(golden, &recovered, &patterns).expect("same port interface");
     AttackOutcome {
         pairs,
         ccr,
@@ -328,7 +324,8 @@ fn pair_cost(
             (vs.position.x - vd.position.x).signum(),
             (vs.position.y - vd.position.y).signum(),
         );
-        let disagrees = (dx != 0 && dx as i64 == -to_sink.0) || (dy != 0 && dy as i64 == -to_sink.1);
+        let disagrees =
+            (dx != 0 && dx as i64 == -to_sink.0) || (dy != 0 && dy as i64 == -to_sink.1);
         if disagrees {
             cost *= config.direction_factor;
         }
@@ -350,10 +347,9 @@ fn driver_capacity(
 ) -> i64 {
     const TYPICAL_SINK_FF: f64 = 1.2;
     let strength = match split.feol.vpins[d].side {
-        VpinSide::Driver(sm_netlist::Driver::Cell(c)) => placed
-            .library()
-            .cell(placed.cell(c).lib)
-            .drive_strength(),
+        VpinSide::Driver(sm_netlist::Driver::Cell(c)) => {
+            placed.library().cell(placed.cell(c).lib).drive_strength()
+        }
         // Pad drivers are strong.
         VpinSide::Driver(sm_netlist::Driver::Port(_)) => 4.0,
         VpinSide::Sink(_) => unreachable!("d indexes driver vpins"),
@@ -370,10 +366,9 @@ fn current_net_of(netlist: &Netlist, sink: Sink) -> sm_netlist::NetId {
 
 fn seeded(netlist: &Netlist) -> rand::rngs::StdRng {
     use rand::SeedableRng;
-    let seed = netlist
-        .name()
-        .bytes()
-        .fold(0x9e3779b9u64, |h, b| h.wrapping_mul(131).wrapping_add(b as u64));
+    let seed = netlist.name().bytes().fold(0x9e3779b9u64, |h, b| {
+        h.wrapping_mul(131).wrapping_add(b as u64)
+    });
     rand::rngs::StdRng::seed_from_u64(seed)
 }
 
@@ -398,13 +393,7 @@ mod tests {
         if split.cut_nets == 0 {
             return; // everything below the split: nothing to attack
         }
-        let out = network_flow_attack(
-            &n,
-            &n,
-            &base.placement,
-            &split,
-            &ProximityConfig::default(),
-        );
+        let out = network_flow_attack(&n, &n, &base.placement, &split, &ProximityConfig::default());
         // Unprotected layouts leak: proximity recovers a clear majority.
         assert!(out.ccr >= 0.5, "CCR {}", out.ccr);
         assert_eq!(out.pairs.len(), split.feol.sink_vpins().len());
@@ -414,12 +403,7 @@ mod tests {
     fn attack_on_protected_layout_recovers_nothing() {
         let n = c17();
         let p = protect(&n, &FlowConfig::iscas_default(7));
-        let split = split_layout(
-            &p.randomization.erroneous,
-            &p.placement,
-            &p.feol_routing,
-            4,
-        );
+        let split = split_layout(&p.randomization.erroneous, &p.placement, &p.feol_routing, 4);
         let out = network_flow_attack(
             &n,
             &p.randomization.erroneous,
@@ -444,13 +428,7 @@ mod tests {
         let n = c17();
         let base = original_layout(&n, 0.6, 2);
         let split = split_layout(&n, &base.placement, &base.routing, 3);
-        let out = network_flow_attack(
-            &n,
-            &n,
-            &base.placement,
-            &split,
-            &ProximityConfig::default(),
-        );
+        let out = network_flow_attack(&n, &n, &base.placement, &split, &ProximityConfig::default());
         out.recovered.validate().unwrap();
         sm_netlist::graph::topo_order(&out.recovered).unwrap();
     }
@@ -460,13 +438,7 @@ mod tests {
         let n = c17();
         let base = original_layout(&n, 0.6, 3);
         let split = split_layout(&n, &base.placement, &base.routing, 3);
-        let out = network_flow_attack(
-            &n,
-            &n,
-            &base.placement,
-            &split,
-            &ProximityConfig::default(),
-        );
+        let out = network_flow_attack(&n, &n, &base.placement, &split, &ProximityConfig::default());
         let mut seen = std::collections::HashSet::new();
         for &(_, s) in &out.pairs {
             assert!(seen.insert(s), "sink {s} assigned twice");

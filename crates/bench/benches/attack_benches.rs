@@ -16,11 +16,17 @@ fn bench_network_flow(c: &mut Criterion) {
         let netlist = generate(&profile, 1);
         let layout = original_layout(&netlist, 0.7, 1);
         let split = split_layout(&netlist, &layout.placement, &layout.routing, 4);
-        group.bench_with_input(BenchmarkId::from_parameter(profile.name), &netlist, |b, n| {
-            let mut cfg = ProximityConfig::default();
-            cfg.eval_patterns = 4096; // measure the matching, not the sim
-            b.iter(|| network_flow_attack(n, n, &layout.placement, &split, &cfg))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(profile.name),
+            &netlist,
+            |b, n| {
+                let cfg = ProximityConfig {
+                    eval_patterns: 4096, // measure the matching, not the sim
+                    ..ProximityConfig::default()
+                };
+                b.iter(|| network_flow_attack(n, n, &layout.placement, &split, &cfg))
+            },
+        );
     }
     group.finish();
 }
@@ -42,16 +48,20 @@ fn bench_simulator(c: &mut Criterion) {
         let netlist = generate(&profile, 1);
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
         let patterns = PatternSource::random(&netlist, 64 * 1024, &mut rng);
-        group.bench_with_input(BenchmarkId::from_parameter(profile.name), &netlist, |b, n| {
-            b.iter(|| {
-                let mut sim = Simulator::new(n);
-                let mut acc = 0u64;
-                for (words, mask) in patterns.iter_words() {
-                    acc ^= sim.run_word(words).iter().fold(0, |a, w| a ^ w) & mask;
-                }
-                acc
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(profile.name),
+            &netlist,
+            |b, n| {
+                b.iter(|| {
+                    let mut sim = Simulator::new(n);
+                    let mut acc = 0u64;
+                    for (words, mask) in patterns.iter_words() {
+                        acc ^= sim.run_word(words).iter().fold(0, |a, w| a ^ w) & mask;
+                    }
+                    acc
+                })
+            },
+        );
     }
     group.finish();
 }

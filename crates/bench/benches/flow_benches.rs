@@ -11,9 +11,11 @@ fn bench_randomize(c: &mut Criterion) {
     let mut group = c.benchmark_group("randomize");
     for profile in [IscasProfile::c432(), IscasProfile::c880()] {
         let netlist = generate(&profile, 1);
-        group.bench_with_input(BenchmarkId::from_parameter(profile.name), &netlist, |b, n| {
-            b.iter(|| randomize(n, &RandomizeConfig::new(7)))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(profile.name),
+            &netlist,
+            |b, n| b.iter(|| randomize(n, &RandomizeConfig::new(7))),
+        );
     }
     group.finish();
 }
@@ -21,13 +23,19 @@ fn bench_randomize(c: &mut Criterion) {
 fn bench_place(c: &mut Criterion) {
     let mut group = c.benchmark_group("place");
     group.sample_size(10);
-    for profile in [IscasProfile::c432(), IscasProfile::c880(), IscasProfile::c2670()] {
+    for profile in [
+        IscasProfile::c432(),
+        IscasProfile::c880(),
+        IscasProfile::c2670(),
+    ] {
         let netlist = generate(&profile, 1);
         let tech = Technology::nangate45_10lm();
         let fp = Floorplan::for_netlist(&netlist, &tech, 0.7);
-        group.bench_with_input(BenchmarkId::from_parameter(profile.name), &netlist, |b, n| {
-            b.iter(|| PlacementEngine::new(7).place(n, &fp))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(profile.name),
+            &netlist,
+            |b, n| b.iter(|| PlacementEngine::new(7).place(n, &fp)),
+        );
     }
     group.finish();
 }
@@ -40,9 +48,11 @@ fn bench_route(c: &mut Criterion) {
         let tech = Technology::nangate45_10lm();
         let fp = Floorplan::for_netlist(&netlist, &tech, 0.7);
         let pl = PlacementEngine::new(7).place(&netlist, &fp);
-        group.bench_with_input(BenchmarkId::from_parameter(profile.name), &netlist, |b, n| {
-            b.iter(|| Router::new(&tech).route(n, &pl, &fp, &RouteOptions::default()))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(profile.name),
+            &netlist,
+            |b, n| b.iter(|| Router::new(&tech).route(n, &pl, &fp, &RouteOptions::default())),
+        );
     }
     group.finish();
 }
@@ -57,5 +67,11 @@ fn bench_full_flow(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_randomize, bench_place, bench_route, bench_full_flow);
+criterion_group!(
+    benches,
+    bench_randomize,
+    bench_place,
+    bench_route,
+    bench_full_flow
+);
 criterion_main!(benches);

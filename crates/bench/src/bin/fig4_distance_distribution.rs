@@ -1,35 +1,12 @@
 //! Regenerates Fig. 4: per-net distance distributions for superblue18.
+//!
+//! Thin wrapper over [`sm_bench::artifacts::run_fig4`]; `smctl run`
+//! prints the same artifact through the shared engine cache.
 
-use sm_bench::experiments::fig4;
-use sm_bench::suite::SuperblueRun;
+use sm_bench::artifacts::run_fig4;
+use sm_bench::session::Session;
 use sm_bench::RunOptions;
-use sm_benchgen::superblue::SuperblueProfile;
-
-fn histogram(label: &str, sample: &[f64]) {
-    let max = sample.iter().copied().fold(0.0f64, f64::max).max(1.0);
-    let buckets = 12usize;
-    let mut counts = vec![0usize; buckets];
-    for &v in sample {
-        let b = ((v / max) * (buckets as f64 - 1.0)) as usize;
-        counts[b.min(buckets - 1)] += 1;
-    }
-    let peak = counts.iter().copied().max().unwrap_or(1).max(1);
-    println!("\n{label}: {} connections, max {:.1} µm", sample.len(), max);
-    for (i, &c) in counts.iter().enumerate() {
-        let lo = max * i as f64 / buckets as f64;
-        let hi = max * (i + 1) as f64 / buckets as f64;
-        let bar = "#".repeat(c * 50 / peak);
-        println!("{lo:7.1}–{hi:7.1} µm |{bar} {c}");
-    }
-}
 
 fn main() {
-    let opts = RunOptions::from_args();
-    println!("Fig. 4 — distances between drivers/sinks, superblue18 (scale 1/{})", opts.scale);
-    let run = SuperblueRun::build(&SuperblueProfile::superblue18(), opts.scale, opts.seed);
-    let data = fig4(&run);
-    histogram("(a) original", &data.original);
-    histogram("(b) naively lifted", &data.lifted);
-    histogram("(c) proposed", &data.proposed);
-    println!("\npaper shape: (a) and (b) hug zero; (c) spreads to die scale.");
+    run_fig4(&Session::new(RunOptions::from_args()));
 }

@@ -1,24 +1,12 @@
 //! Regenerates Fig. 5: wirelength contribution per metal layer.
+//!
+//! Thin wrapper over [`sm_bench::artifacts::run_fig5`]; `smctl run`
+//! prints the same artifact through the shared engine cache.
 
-use sm_bench::experiments::fig5;
-use sm_bench::suite::{superblue_selection, SuperblueRun};
+use sm_bench::artifacts::run_fig5;
+use sm_bench::session::Session;
 use sm_bench::RunOptions;
 
 fn main() {
-    let opts = RunOptions::from_args();
-    println!("Fig. 5 — wirelength share per layer for randomized nets (scale 1/{})", opts.scale);
-    for profile in superblue_selection(opts.quick) {
-        let run = SuperblueRun::build(&profile, opts.scale, opts.seed);
-        let row = fig5(&run);
-        println!("\n{}", row.name);
-        print!("{:<12}", "layout");
-        for m in 1..=10 { print!("{:>7}", format!("M{m}")); }
-        println!();
-        for (label, shares) in [("Original", &row.original), ("Lifted", &row.lifted), ("Proposed", &row.proposed)] {
-            print!("{:<12}", label);
-            for s in shares.iter() { print!("{:>6.1}%", s); }
-            println!();
-        }
-    }
-    println!("\npaper shape: original keeps most wiring in M2–M5; proposed concentrates it in the lift layers (M8/M9).");
+    run_fig5(&Session::new(RunOptions::from_args()));
 }

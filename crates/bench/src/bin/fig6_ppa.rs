@@ -1,28 +1,12 @@
 //! Regenerates Fig. 6: PPA overheads of the proposed scheme on ISCAS-85.
+//!
+//! Thin wrapper over [`sm_bench::artifacts::run_fig6`]; `smctl run`
+//! prints the same artifact through the shared engine cache.
 
-use sm_bench::experiments::fig6;
-use sm_bench::quotes;
-use sm_bench::suite::{iscas_selection, IscasRun};
+use sm_bench::artifacts::run_fig6;
+use sm_bench::session::Session;
 use sm_bench::RunOptions;
 
 fn main() {
-    let opts = RunOptions::from_args();
-    println!("Fig. 6 — PPA overheads on ISCAS-85 (20% budget)");
-    println!("{:<8} {:>8} {:>8} {:>8}", "bench", "area%", "power%", "delay%");
-    let mut avg = [0.0f64; 3];
-    let mut n = 0.0;
-    for profile in iscas_selection(opts.quick) {
-        let run = IscasRun::build(&profile, opts.seed);
-        let row = fig6(&run);
-        println!("{:<8} {:>8.1} {:>8.1} {:>8.1}", row.name, row.area_pct, row.power_pct, row.delay_pct);
-        avg[0] += row.area_pct;
-        avg[1] += row.power_pct;
-        avg[2] += row.delay_pct;
-        n += 1.0;
-    }
-    let q = quotes::ppa();
-    println!(
-        "{:<8} {:>8.1} {:>8.1} {:>8.1}   (paper: 0 area, {:.1} power, {:.1} delay; [8] is higher on all three)",
-        "Average", avg[0] / n, avg[1] / n, avg[2] / n, q.iscas_power_pct, q.iscas_delay_pct
-    );
+    run_fig6(&Session::new(RunOptions::from_args()));
 }

@@ -1,0 +1,360 @@
+//! `smctl` — the unified CLI over the experiment-campaign engine.
+//!
+//! ```text
+//! smctl run <artifact...>     regenerate printed tables/figures
+//! smctl sweep [axes]          parallel campaign → JSON/CSV report
+//! smctl report --input FILE   re-render a stored report
+//! smctl help                  this text
+//! ```
+//!
+//! `smctl run all` regenerates all nine artifacts through one shared
+//! bundle cache (each benchmark's layouts are built exactly once; the
+//! hit count is printed at the end). `smctl sweep` runs the cartesian
+//! product benchmarks × seeds × split layers × attacks on the engine's
+//! thread pool and emits a canonical report that is byte-identical
+//! across runs of the same spec.
+
+use std::io::Write;
+use std::process::ExitCode;
+
+use sm_bench::artifacts::{artifact_by_name, ARTIFACTS};
+use sm_bench::cli;
+use sm_bench::session::Session;
+use sm_bench::suite::{iscas_selection, superblue_selection};
+use sm_bench::RunOptions;
+use sm_engine::campaign::{json_to_csv, run_sweep, SweepSpec};
+use sm_engine::exec::ExecutorConfig;
+use sm_engine::job::AttackKind;
+use sm_engine::report::{Json, ReportOptions};
+
+const HELP: &str = "\
+smctl — split-manufacturing experiment campaigns
+
+USAGE:
+    smctl run <artifact...> [--seed N] [--scale N] [--quick] [--threads N]
+    smctl sweep [--benchmarks LIST] [--seeds SPEC] [--split-layers LIST]
+                [--attacks LIST] [--scale N] [--seed N] [--quick]
+                [--threads N] [--format json|csv] [--timings] [--out FILE]
+    smctl report --input FILE [--format json|csv]
+    smctl help
+
+ARTIFACTS:
+    table1 table2 table3 table4 table5 table6 fig4 fig5 fig6 all
+
+SWEEP AXES:
+    --benchmarks   comma list of designs, or the groups `iscas`,
+                   `superblue`, `all` (default: all ISCAS-85 designs,
+                   narrowed to c432,c880 by --quick)
+    --seeds        comma list (`1,2,5`) and/or Rust ranges (`1..8`
+                   half-open, `1..=8` inclusive); default 1
+    --split-layers comma list of metal layers, e.g. `3,4,6` (default 3,4,5)
+    --attacks      comma list of `flow`, `crouting` (default flow)
+    --seed         campaign master seed folded into every derived seed
+    --timings      include wall-clock fields (report is then no longer
+                   byte-identical across runs)
+
+All value flags accept both `--flag N` and `--flag=N`. Reports print to
+stdout (or --out FILE); the run summary, including bundle-cache hit
+counts, prints to stderr.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match args.split_first() {
+        Some((cmd, rest)) => (cmd.as_str(), rest),
+        None => {
+            eprint!("{HELP}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match cmd {
+        "run" => cmd_run(rest),
+        "sweep" => cmd_sweep(rest),
+        "report" => cmd_report(rest),
+        "help" | "--help" | "-h" => {
+            print!("{HELP}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`; see `smctl help`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// `smctl run <artifact...>`: shared session, shared bundle cache.
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    // Artifact names and flags may interleave (`run table1 --quick fig4`):
+    // a non-flag token is an artifact name unless it is the value of the
+    // preceding value-taking flag.
+    let mut names: Vec<&str> = Vec::new();
+    let mut flags: Vec<String> = Vec::new();
+    let mut expecting_value = false;
+    for arg in args {
+        if arg.starts_with("--") {
+            let (flag, inline) = cli::split_flag(arg);
+            if !matches!(flag, "--seed" | "--scale" | "--threads" | "--quick") {
+                return Err(format!("unknown run flag `{flag}`; see `smctl help`"));
+            }
+            expecting_value =
+                inline.is_none() && matches!(flag, "--seed" | "--scale" | "--threads");
+            flags.push(arg.clone());
+        } else if expecting_value {
+            expecting_value = false;
+            flags.push(arg.clone());
+        } else if artifact_by_name(arg).is_some() || arg == "all" {
+            names.push(arg.as_str());
+        } else {
+            return Err(format!("unknown artifact `{arg}`"));
+        }
+    }
+    if names.is_empty() {
+        return Err("`smctl run` needs at least one artifact (or `all`)".into());
+    }
+    if names.contains(&"all") {
+        names = ARTIFACTS.iter().map(|(n, _)| *n).collect();
+    }
+    let mut runners = Vec::with_capacity(names.len());
+    for name in &names {
+        runners.push((
+            *name,
+            artifact_by_name(name).ok_or(format!("unknown artifact `{name}`"))?,
+        ));
+    }
+    let opts = RunOptions::from_slice(&flags)?;
+    let session = Session::new(opts);
+    for (i, (_, runner)) in runners.iter().enumerate() {
+        if i > 0 {
+            println!();
+        }
+        runner(&session);
+    }
+    let stats = session.cache_stats();
+    eprintln!(
+        "bundle cache: {} builds, {} hits over {} artifact(s)",
+        stats.builds,
+        stats.hits,
+        runners.len()
+    );
+    Ok(())
+}
+
+/// `smctl sweep`: expand axes, run on the pool, emit the report.
+fn cmd_sweep(args: &[String]) -> Result<(), String> {
+    let opts = RunOptions::from_slice(args)?;
+    let mut spec = SweepSpec {
+        benchmarks: Vec::new(),
+        seeds: vec![1],
+        split_layers: vec![3, 4, 5],
+        attacks: vec![AttackKind::NetworkFlow],
+        scale: opts.scale,
+        master_seed: opts.seed,
+    };
+    let mut format = "json".to_string();
+    let mut out_path: Option<String> = None;
+    let mut timings = false;
+
+    let mut i = 0;
+    while i < args.len() {
+        let (flag, inline) = cli::split_flag(args[i].as_str());
+        match flag {
+            "--benchmarks" => {
+                spec.benchmarks = parse_benchmarks(&cli::flag_value(flag, inline, args, &mut i)?)?
+            }
+            "--seeds" => spec.seeds = parse_seeds(&cli::flag_value(flag, inline, args, &mut i)?)?,
+            "--split-layers" => {
+                spec.split_layers = parse_layers(&cli::flag_value(flag, inline, args, &mut i)?)?
+            }
+            "--attacks" => {
+                spec.attacks = parse_attacks(&cli::flag_value(flag, inline, args, &mut i)?)?
+            }
+            "--format" => format = cli::flag_value(flag, inline, args, &mut i)?,
+            "--out" => out_path = Some(cli::flag_value(flag, inline, args, &mut i)?),
+            "--timings" => {
+                cli::no_value(flag, inline)?;
+                timings = true;
+            }
+            // RunOptions flags (--seed/--scale/--quick/--threads) were
+            // parsed above; skip their value tokens here. Anything else
+            // is a mistake worth rejecting in a report-producing command.
+            "--seed" | "--scale" | "--threads" => {
+                let _ = cli::flag_value(flag, inline, args, &mut i)?;
+            }
+            "--quick" => cli::no_value(flag, inline)?,
+            other => return Err(format!("unknown sweep flag `{other}`; see `smctl help`")),
+        }
+        i += 1;
+    }
+    if spec.benchmarks.is_empty() {
+        // Same semantics as the artifact binaries: full ISCAS selection
+        // by default, the c432/c880 pair under `--quick`.
+        spec.benchmarks = iscas_selection(opts.quick)
+            .iter()
+            .map(|p| p.name.to_string())
+            .collect();
+    }
+    if !matches!(format.as_str(), "json" | "csv") {
+        return Err(format!("unknown --format `{format}` (expected json|csv)"));
+    }
+
+    let campaign = run_sweep(
+        &spec,
+        ExecutorConfig {
+            threads: opts.threads,
+        },
+    )?;
+    let report_opts = ReportOptions {
+        include_timings: timings,
+    };
+    let rendered = match format.as_str() {
+        "json" => campaign.to_json(report_opts).render(),
+        _ => campaign.to_csv(report_opts),
+    };
+    match out_path {
+        Some(path) => {
+            std::fs::write(&path, rendered.as_bytes())
+                .map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("report written to {path}");
+        }
+        None => {
+            std::io::stdout()
+                .write_all(rendered.as_bytes())
+                .map_err(|e| e.to_string())?;
+        }
+    }
+    eprintln!("{}", campaign.summary());
+    Ok(())
+}
+
+/// `smctl report`: re-render a stored JSON report.
+fn cmd_report(args: &[String]) -> Result<(), String> {
+    let mut input: Option<String> = None;
+    let mut format = "json".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        let (flag, inline) = cli::split_flag(args[i].as_str());
+        match flag {
+            "--input" => input = Some(cli::flag_value(flag, inline, args, &mut i)?),
+            "--format" => format = cli::flag_value(flag, inline, args, &mut i)?,
+            other => return Err(format!("unknown report flag `{other}`")),
+        }
+        i += 1;
+    }
+    let path = input.ok_or("`smctl report` needs --input FILE")?;
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
+    let parsed = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    match format.as_str() {
+        "json" => print!("{}", parsed.render()),
+        "csv" => print!("{}", json_to_csv(&parsed)?),
+        other => return Err(format!("unknown --format `{other}` (expected json|csv)")),
+    }
+    Ok(())
+}
+
+fn parse_benchmarks(list: &str) -> Result<Vec<String>, String> {
+    let mut out = Vec::new();
+    for part in list.split(',').filter(|s| !s.is_empty()) {
+        match part {
+            "iscas" => out.extend(iscas_selection(false).iter().map(|p| p.name.to_string())),
+            "superblue" => out.extend(
+                superblue_selection(false)
+                    .iter()
+                    .map(|p| p.name.to_string()),
+            ),
+            "all" => {
+                out.extend(iscas_selection(false).iter().map(|p| p.name.to_string()));
+                out.extend(
+                    superblue_selection(false)
+                        .iter()
+                        .map(|p| p.name.to_string()),
+                );
+            }
+            name => out.push(name.to_string()),
+        }
+    }
+    // Overlapping specs (`all,iscas`, repeated names) must not double
+    // every job and report row: dedupe, keeping first-seen order.
+    let mut seen = std::collections::HashSet::new();
+    out.retain(|name| seen.insert(name.clone()));
+    if out.is_empty() {
+        return Err("--benchmarks list is empty".into());
+    }
+    Ok(out)
+}
+
+/// Upper bound on seeds per sweep: a fat-fingered range (`1..=10^9`)
+/// should be rejected up front, not materialized.
+const MAX_SEEDS: u64 = 100_000;
+
+/// Parses `1,2,5`, `1..8` (half-open) and `1..=8` (inclusive), mixed.
+fn parse_seeds(list: &str) -> Result<Vec<u64>, String> {
+    let mut out: Vec<u64> = Vec::new();
+    let push_range = |out: &mut Vec<u64>, part: &str, lo: u64, span: u64| {
+        if span == 0 {
+            return Err(format!("empty seed range `{part}`"));
+        }
+        if span > MAX_SEEDS - out.len() as u64 {
+            return Err(format!(
+                "seed range `{part}` exceeds the {MAX_SEEDS}-seed sweep limit"
+            ));
+        }
+        // `lo..lo + span` would overflow for ranges ending at u64::MAX.
+        out.extend((0..span).map(|k| lo + k));
+        Ok(())
+    };
+    for part in list.split(',').filter(|s| !s.is_empty()) {
+        if let Some((lo, hi)) = part.split_once("..=") {
+            let (lo, hi) = (parse_u64(lo)?, parse_u64(hi)?);
+            let span = hi.checked_sub(lo).map(|s| s.saturating_add(1)).unwrap_or(0);
+            push_range(&mut out, part, lo, span)?;
+        } else if let Some((lo, hi)) = part.split_once("..") {
+            let (lo, hi) = (parse_u64(lo)?, parse_u64(hi)?);
+            push_range(&mut out, part, lo, hi.saturating_sub(lo))?;
+        } else {
+            out.push(parse_u64(part)?);
+            if out.len() as u64 > MAX_SEEDS {
+                return Err(format!("--seeds exceeds the {MAX_SEEDS}-seed sweep limit"));
+            }
+        }
+    }
+    if out.is_empty() {
+        return Err("--seeds list is empty".into());
+    }
+    Ok(out)
+}
+
+fn parse_u64(s: &str) -> Result<u64, String> {
+    s.trim()
+        .parse()
+        .map_err(|e| format!("invalid number `{s}`: {e}"))
+}
+
+fn parse_layers(list: &str) -> Result<Vec<u8>, String> {
+    let mut out = Vec::new();
+    for part in list.split(',').filter(|s| !s.is_empty()) {
+        out.push(
+            part.trim()
+                .parse()
+                .map_err(|e| format!("invalid split layer `{part}`: {e}"))?,
+        );
+    }
+    if out.is_empty() {
+        return Err("--split-layers list is empty".into());
+    }
+    Ok(out)
+}
+
+fn parse_attacks(list: &str) -> Result<Vec<AttackKind>, String> {
+    let mut out = Vec::new();
+    for part in list.split(',').filter(|s| !s.is_empty()) {
+        out.push(AttackKind::parse(part.trim())?);
+    }
+    if out.is_empty() {
+        return Err("--attacks list is empty".into());
+    }
+    Ok(out)
+}

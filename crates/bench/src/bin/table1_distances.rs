@@ -1,32 +1,12 @@
 //! Regenerates Table 1: distances between connected gates (µm).
+//!
+//! Thin wrapper over [`sm_bench::artifacts::run_table1`]; `smctl run`
+//! prints the same artifact through the shared engine cache.
 
-use sm_bench::experiments::table1;
-use sm_bench::quotes;
-use sm_bench::suite::{superblue_selection, SuperblueRun};
+use sm_bench::artifacts::run_table1;
+use sm_bench::session::Session;
 use sm_bench::RunOptions;
 
 fn main() {
-    let opts = RunOptions::from_args();
-    println!("Table 1 — distances between connected gates (µm); superblue scale 1/{}", opts.scale);
-    println!("{:<13} {:<10} {:>8} {:>8} {:>9}   (paper: mean/median/σ)", "benchmark", "layout", "mean", "median", "std-dev");
-    let quotes = quotes::table1();
-    for profile in superblue_selection(opts.quick) {
-        let run = SuperblueRun::build(&profile, opts.scale, opts.seed);
-        let row = table1(&run);
-        let q = quotes.iter().find(|q| q.name == row.name);
-        let paper = |t: (f64, f64, f64)| format!("({:.2}/{:.2}/{:.2})", t.0, t.1, t.2);
-        for (label, st, pq) in [
-            ("Original", &row.original, q.map(|q| q.original)),
-            ("Lifted", &row.lifted, q.map(|q| q.lifted)),
-            ("Proposed", &row.proposed, q.map(|q| q.proposed)),
-        ] {
-            println!(
-                "{:<13} {:<10} {:>8.2} {:>8.2} {:>9.2}   {}",
-                row.name, label, st.mean, st.median, st.std_dev,
-                pq.map(paper).unwrap_or_default()
-            );
-        }
-        let ratio = row.proposed.mean / row.original.mean.max(1e-9);
-        println!("{:<13} proposed/original mean ratio: {:.1}×", row.name, ratio);
-    }
+    run_table1(&Session::new(RunOptions::from_args()));
 }

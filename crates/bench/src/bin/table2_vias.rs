@@ -1,29 +1,12 @@
 //! Regenerates Table 2: additional vias for lifted and proposed layouts.
+//!
+//! Thin wrapper over [`sm_bench::artifacts::run_table2`]; `smctl run`
+//! prints the same artifact through the shared engine cache.
 
-use sm_bench::experiments::table2;
-use sm_bench::suite::{superblue_selection, SuperblueRun};
+use sm_bench::artifacts::run_table2;
+use sm_bench::session::Session;
 use sm_bench::RunOptions;
 
 fn main() {
-    let opts = RunOptions::from_args();
-    println!("Table 2 — via counts vs original (superblue scale 1/{})", opts.scale);
-    for profile in superblue_selection(opts.quick) {
-        let run = SuperblueRun::build(&profile, opts.scale, opts.seed);
-        let row = table2(&run);
-        println!("\n{} ({} nets)", row.name, row.nets);
-        print!("{:<12}", "level");
-        for k in 1..=9 { print!("{:>9}", format!("V{}{}", k, k + 1)); }
-        println!("{:>10}", "total");
-        print!("{:<12}", "Original");
-        for k in 0..9 { print!("{:>9}", row.original.counts[k]); }
-        println!("{:>10}", row.original.total());
-        print!("{:<12}", "Lifted (%)");
-        for k in 0..9 { print!("{:>9.2}", row.lifted_pct[k]); }
-        println!("{:>10.2}", row.total_pct.0);
-        print!("{:<12}", "Proposed(%)");
-        for k in 0..9 { print!("{:>9.2}", row.proposed_pct[k]); }
-        println!("{:>10.2}", row.total_pct.1);
-    }
-    println!("\npaper shape: proposed adds 10–300% in V45..V910 while naive lifting stays <6%;");
-    println!("both keep total via overhead in the single digits.");
+    run_table2(&Session::new(RunOptions::from_args()));
 }

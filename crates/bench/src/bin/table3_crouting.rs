@@ -1,22 +1,12 @@
 //! Regenerates Table 3: crouting attack — #vpins and E\[LS\] per bounding box.
+//!
+//! Thin wrapper over [`sm_bench::artifacts::run_table3`]; `smctl run`
+//! prints the same artifact through the shared engine cache.
 
-use sm_bench::experiments::table3;
-use sm_bench::suite::{superblue_selection, SuperblueRun};
+use sm_bench::artifacts::run_table3;
+use sm_bench::session::Session;
 use sm_bench::RunOptions;
 
 fn main() {
-    let opts = RunOptions::from_args();
-    println!("Table 3 — crouting attack at the M5 split (superblue scale 1/{})", opts.scale);
-    println!("{:<13} {:<10} {:>8} {:>10} {:>10} {:>10} {:>8}", "benchmark", "layout", "#vpins", "E[LS]@15", "E[LS]@30", "E[LS]@45", "match");
-    for profile in superblue_selection(opts.quick) {
-        let run = SuperblueRun::build(&profile, opts.scale, opts.seed);
-        let row = table3(&run);
-        for (label, rep) in [("Original", &row.original), ("Lifted", &row.lifted), ("Proposed", &row.proposed)] {
-            print!("{:<13} {:<10} {:>8}", row.name, label, rep.num_vpins);
-            for b in &rep.boxes { print!(" {:>10.2}", b.expected_list_size); }
-            let match_widest = rep.boxes.last().map(|b| b.match_in_list * 100.0).unwrap_or(0.0);
-            println!(" {:>7.1}%", match_widest);
-        }
-    }
-    println!("\npaper shape: proposed has more vpins and equal-or-larger candidate lists.");
+    run_table3(&Session::new(RunOptions::from_args()));
 }

@@ -1,49 +1,12 @@
-//! Regenerates Table 4: network-flow attack vs placement-perturbation
-//! defenses (CCR/OER/HD in %, averaged over splits M3/M4/M5).
+//! Regenerates Table 4: network-flow attack vs placement-perturbation defenses.
+//!
+//! Thin wrapper over [`sm_bench::artifacts::run_table4`]; `smctl run`
+//! prints the same artifact through the shared engine cache.
 
-use sm_bench::experiments::security_row;
-use sm_bench::quotes;
-use sm_bench::suite::{iscas_selection, IscasRun};
+use sm_bench::artifacts::run_table4;
+use sm_bench::session::Session;
 use sm_bench::RunOptions;
 
 fn main() {
-    let opts = RunOptions::from_args();
-    println!("Table 4 — placement-centric comparison (CCR/OER/HD %, splits M3/M4/M5 averaged)");
-    println!(
-        "{:<8} | {:>18} | {:>18} | {:>18} || paper orig / paper proposed",
-        "bench", "original", "placement-perturb", "proposed"
-    );
-    let quotes = quotes::table4();
-    let mut avg = [0.0f64; 9];
-    let mut n = 0.0;
-    for profile in iscas_selection(opts.quick) {
-        let run = IscasRun::build(&profile, opts.seed);
-        let row = security_row(&run, opts.seed);
-        let q = quotes.iter().find(|q| q.name == row.name).expect("quoted");
-        let fmt = |s: &sm_bench::experiments::Security| {
-            format!("{:5.1}/{:5.1}/{:5.1}", s.ccr, s.oer, s.hd)
-        };
-        println!(
-            "{:<8} | {} | {} | {} || {:.1}/{:.1}/{:.1} — {:.1}/{:.1}/{:.1}",
-            row.name,
-            fmt(&row.original),
-            fmt(&row.placement_perturbation),
-            fmt(&row.proposed),
-            q.original.0, q.original.1, q.original.2,
-            q.proposed.0, q.proposed.1, q.proposed.2,
-        );
-        for (i, v) in [
-            row.original.ccr, row.original.oer, row.original.hd,
-            row.placement_perturbation.ccr, row.placement_perturbation.oer, row.placement_perturbation.hd,
-            row.proposed.ccr, row.proposed.oer, row.proposed.hd,
-        ].into_iter().enumerate() {
-            avg[i] += v;
-        }
-        n += 1.0;
-    }
-    for v in &mut avg { *v /= n; }
-    println!(
-        "{:<8} | {:5.1}/{:5.1}/{:5.1} | {:5.1}/{:5.1}/{:5.1} | {:5.1}/{:5.1}/{:5.1} || paper avg 94.3/65.3/7.1 — 0/99.9/40.4",
-        "Average", avg[0], avg[1], avg[2], avg[3], avg[4], avg[5], avg[6], avg[7], avg[8]
-    );
+    run_table4(&Session::new(RunOptions::from_args()));
 }

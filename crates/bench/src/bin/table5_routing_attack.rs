@@ -1,36 +1,12 @@
-//! Regenerates Table 5: network-flow attack vs routing-perturbation
-//! defenses (CCR/OER/HD in %, averaged over splits M3/M4/M5).
+//! Regenerates Table 5: network-flow attack vs routing-perturbation defenses.
+//!
+//! Thin wrapper over [`sm_bench::artifacts::run_table5`]; `smctl run`
+//! prints the same artifact through the shared engine cache.
 
-use sm_bench::experiments::security_row;
-use sm_bench::quotes;
-use sm_bench::suite::{iscas_selection, IscasRun};
+use sm_bench::artifacts::run_table5;
+use sm_bench::session::Session;
 use sm_bench::RunOptions;
 
 fn main() {
-    let opts = RunOptions::from_args();
-    println!("Table 5 — routing-centric comparison (CCR/OER/HD %, splits M3/M4/M5 averaged)");
-    println!(
-        "{:<8} | {:>18} | {:>18} | {:>18} | {:>18} || paper [3] CCR, [12] CCR",
-        "bench", "original", "pin-swapping", "routing-perturb", "proposed"
-    );
-    let quotes = quotes::table5();
-    for profile in iscas_selection(opts.quick) {
-        let run = IscasRun::build(&profile, opts.seed);
-        let row = security_row(&run, opts.seed);
-        let q = quotes.iter().find(|q| q.name == row.name).expect("quoted");
-        let fmt = |s: &sm_bench::experiments::Security| {
-            format!("{:5.1}/{:5.1}/{:5.1}", s.ccr, s.oer, s.hd)
-        };
-        println!(
-            "{:<8} | {} | {} | {} | {} || {}, {:.1}",
-            row.name,
-            fmt(&row.original),
-            fmt(&row.pin_swapping),
-            fmt(&row.routing_perturbation),
-            fmt(&row.proposed),
-            q.pin_swap.map(|p| format!("{:.1}", p.0)).unwrap_or_else(|| "N/A".into()),
-            q.wang17.0,
-        );
-    }
-    println!("paper averages: pin swapping 88.1 CCR; routing perturbation 72.4 CCR; proposed 0 CCR / 99.9 OER / 40.4 HD");
+    run_table5(&Session::new(RunOptions::from_args()));
 }

@@ -1,26 +1,12 @@
 //! Regenerates Table 6: Δ+V67/Δ+V78 with correction cells in M8.
+//!
+//! Thin wrapper over [`sm_bench::artifacts::run_table6`]; `smctl run`
+//! prints the same artifact through the shared engine cache.
 
-use sm_bench::experiments::table6;
-use sm_bench::quotes;
-use sm_bench::suite::{superblue_selection, SuperblueRun};
+use sm_bench::artifacts::run_table6;
+use sm_bench::session::Session;
 use sm_bench::RunOptions;
 
 fn main() {
-    let opts = RunOptions::from_args();
-    println!("Table 6 — additional upper vias vs routing blockage [7] (scale 1/{})", opts.scale);
-    println!("{:<13} {:>12} {:>12}   {:>12} {:>12}   {:>12} {:>12}", "benchmark", "ours ΔV67%", "ours ΔV78%", "paper ΔV67%", "paper ΔV78%", "[7] ΔV67%", "[7] ΔV78%");
-    let quotes = quotes::table6();
-    let mut ours = (0.0, 0.0);
-    let mut n = 0.0;
-    for profile in superblue_selection(opts.quick) {
-        let run = SuperblueRun::build(&profile, opts.scale, opts.seed);
-        let row = table6(&run);
-        let q = quotes.iter().find(|q| q.name == row.name).expect("all quoted");
-        println!("{:<13} {:>12.2} {:>12.2}   {:>12.2} {:>12.2}   {:>12.2} {:>12.2}",
-            row.name, row.dv67_pct, row.dv78_pct, q.proposed.0, q.proposed.1, q.blockage.0, q.blockage.1);
-        ours.0 += row.dv67_pct;
-        ours.1 += row.dv78_pct;
-        n += 1.0;
-    }
-    println!("{:<13} {:>12.2} {:>12.2}   (paper avg 58.95 / 75.31; blockage avg 28.52 / 53.48)", "Average", ours.0 / n, ours.1 / n);
+    run_table6(&Session::new(RunOptions::from_args()));
 }

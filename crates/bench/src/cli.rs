@@ -1,0 +1,90 @@
+//! Shared command-line parsing primitives.
+//!
+//! [`RunOptions::from_slice`](crate::RunOptions::from_slice) and both
+//! `smctl` subcommand parsers consume flags through these helpers so
+//! `--flag value` / `--flag=value` semantics cannot drift between them:
+//! value flags reject empty and missing values, boolean flags reject
+//! inline values (`--quick=yes` is an error, not a silent `true`).
+
+/// Splits `--flag=value` into `(flag, inline_value)`; a bare `--flag`
+/// yields `(flag, None)`.
+pub fn split_flag(arg: &str) -> (&str, Option<&str>) {
+    match arg.split_once('=') {
+        Some((f, v)) => (f, Some(v)),
+        None => (arg, None),
+    }
+}
+
+/// Resolves the value of a value-taking flag: the non-empty inline part
+/// if present, otherwise the next argument (which must exist and must
+/// not itself be a flag), advancing `*i` past it.
+pub fn flag_value(
+    flag: &str,
+    inline: Option<&str>,
+    args: &[String],
+    i: &mut usize,
+) -> Result<String, String> {
+    if let Some(v) = inline {
+        if v.is_empty() {
+            return Err(format!("{flag} needs a value (got `{flag}=`)"));
+        }
+        return Ok(v.to_string());
+    }
+    *i += 1;
+    args.get(*i)
+        .filter(|v| !v.starts_with("--"))
+        .cloned()
+        .ok_or(format!("{flag} needs a value"))
+}
+
+/// Enforces that a boolean flag carries no inline value.
+pub fn no_value(flag: &str, inline: Option<&str>) -> Result<(), String> {
+    match inline {
+        Some(v) => Err(format!("{flag} takes no value (got `{flag}={v}`)")),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn split_flag_handles_both_forms() {
+        assert_eq!(split_flag("--seed"), ("--seed", None));
+        assert_eq!(split_flag("--seed=7"), ("--seed", Some("7")));
+        assert_eq!(split_flag("--seed="), ("--seed", Some("")));
+    }
+
+    #[test]
+    fn flag_value_takes_inline_or_next() {
+        let a = args(&["--seed", "7"]);
+        let mut i = 0;
+        assert_eq!(flag_value("--seed", None, &a, &mut i).unwrap(), "7");
+        assert_eq!(i, 1);
+        let mut i = 0;
+        assert_eq!(flag_value("--seed", Some("9"), &a, &mut i).unwrap(), "9");
+        assert_eq!(i, 0);
+    }
+
+    #[test]
+    fn flag_value_rejects_empty_missing_and_flaglike() {
+        let mut i = 0;
+        assert!(flag_value("--seed", Some(""), &args(&["--seed="]), &mut i).is_err());
+        let mut i = 0;
+        assert!(flag_value("--seed", None, &args(&["--seed"]), &mut i).is_err());
+        let mut i = 0;
+        assert!(flag_value("--seed", None, &args(&["--seed", "--quick"]), &mut i).is_err());
+    }
+
+    #[test]
+    fn no_value_rejects_inline() {
+        assert!(no_value("--quick", None).is_ok());
+        assert!(no_value("--quick", Some("yes")).is_err());
+        assert!(no_value("--timings", Some("false")).is_err());
+    }
+}

@@ -129,7 +129,12 @@ pub struct Table3Row {
 /// Computes Table 3 (crouting at the M5 split, boxes 15/30/45 tracks).
 pub fn table3(run: &SuperblueRun) -> Table3Row {
     let cfg = CroutingConfig::default();
-    let split_orig = split_layout(&run.netlist, &run.original.placement, &run.original.routing, 5);
+    let split_orig = split_layout(
+        &run.netlist,
+        &run.original.placement,
+        &run.original.routing,
+        5,
+    );
     let split_lift = split_layout(&run.netlist, &run.lifted.placement, &run.lifted.routing, 5);
     let split_prop = split_layout(
         &run.protected.randomization.erroneous,
@@ -192,7 +197,12 @@ pub fn security_row(run: &IscasRun, seed: u64) -> SecurityRow {
     };
 
     let attack_baseline = |layout: &sm_core::flow::BaselineLayout, split_layer: u8| {
-        let split = split_layout(&run.netlist, &layout.placement, &layout.routing, split_layer);
+        let split = split_layout(
+            &run.netlist,
+            &layout.placement,
+            &layout.routing,
+            split_layer,
+        );
         let out = network_flow_attack(&run.netlist, &run.netlist, &layout.placement, &split, &cfg);
         Security {
             ccr: out.ccr * 100.0,
@@ -297,17 +307,9 @@ pub struct Fig4Data {
 pub fn fig4(run: &SuperblueRun) -> Fig4Data {
     let swapped = run.protected.randomization.swapped_connections();
     Fig4Data {
-        original: swapped_connection_distances_um(
-            &run.netlist,
-            &run.original.placement,
-            &swapped,
-        ),
+        original: swapped_connection_distances_um(&run.netlist, &run.original.placement, &swapped),
         lifted: swapped_connection_distances_um(&run.netlist, &run.lifted.placement, &swapped),
-        proposed: swapped_connection_distances_um(
-            &run.netlist,
-            &run.protected.placement,
-            &swapped,
-        ),
+        proposed: swapped_connection_distances_um(&run.netlist, &run.protected.placement, &swapped),
     }
 }
 

@@ -1,7 +1,12 @@
-//! Experiment harness regenerating every table and figure of the paper.
+//! Experiment definitions regenerating every table and figure of the
+//! paper, plus the unified `smctl` CLI.
 //!
-//! One binary per artifact (see `src/bin/`); the heavy lifting lives here
-//! so integration tests can assert on the same numbers the binaries print:
+//! The heavy machinery — job scheduling, the bundle cache, parallel
+//! execution, report emission — lives in [`sm_engine`]; this crate holds
+//! what is specific to the paper: the measurement drivers
+//! ([`experiments`]), the published numbers ([`quotes`]), the printed
+//! artifacts ([`artifacts`]) and the CLI wiring ([`session`],
+//! `src/bin/smctl.rs`).
 //!
 //! | artifact | binary | module |
 //! |----------|--------|--------|
@@ -15,17 +20,22 @@
 //! | Fig. 5   | `fig5_wirelength_layers` | `experiments::fig5` |
 //! | Fig. 6   | `fig6_ppa` | `experiments::fig6` |
 //!
-//! Every binary accepts `--seed N`, `--scale N` (superblue down-scaling)
-//! and `--quick` (smaller benchmark selection for smoke runs).
+//! Every binary accepts `--seed N`, `--scale N` (superblue down-scaling),
+//! `--threads N` and `--quick` (smaller benchmark selection); `=`-forms
+//! (`--seed=N`) work too. `smctl run all` regenerates everything through
+//! one shared bundle cache.
 
 #![warn(missing_docs)]
 
+pub mod artifacts;
+pub mod cli;
 pub mod experiments;
 pub mod quotes;
+pub mod session;
 pub mod suite;
 
 /// Command-line options shared by all experiment binaries.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunOptions {
     /// Master seed.
     pub seed: u64,
@@ -33,6 +43,8 @@ pub struct RunOptions {
     pub scale: usize,
     /// Quick mode: fewer/smaller benchmarks.
     pub quick: bool,
+    /// Worker threads (`None` = machine parallelism).
+    pub threads: Option<usize>,
 }
 
 impl Default for RunOptions {
@@ -41,39 +53,70 @@ impl Default for RunOptions {
             seed: 1,
             scale: 100,
             quick: false,
+            threads: None,
         }
     }
 }
 
 impl RunOptions {
-    /// Parses `--seed N`, `--scale N`, `--quick` from process arguments.
+    /// Parses `--seed N`, `--scale N`, `--threads N` (plus their
+    /// `--flag=N` forms) and `--quick` from process arguments; prints the
+    /// error and exits with status 2 on malformed input.
     pub fn from_args() -> Self {
         let args: Vec<String> = std::env::args().skip(1).collect();
-        Self::from_slice(&args)
+        match Self::from_slice(&args) {
+            Ok(opts) => opts,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                std::process::exit(2);
+            }
+        }
     }
 
     /// Parses options from an argument slice (testable core of
-    /// [`RunOptions::from_args`]). Unknown flags are ignored; malformed
-    /// values fall back to the defaults.
-    pub fn from_slice(args: &[String]) -> Self {
+    /// [`RunOptions::from_args`]).
+    ///
+    /// Both `--seed 7` and `--seed=7` are accepted. Malformed or missing
+    /// values are **rejected**, not silently defaulted. Unknown flags are
+    /// ignored so artifact binaries can share argument lists with
+    /// `smctl`.
+    pub fn from_slice(args: &[String]) -> Result<Self, String> {
         let mut opts = RunOptions::default();
         let mut i = 0;
         while i < args.len() {
-            match args[i].as_str() {
-                "--seed" if i + 1 < args.len() => {
-                    opts.seed = args[i + 1].parse().unwrap_or(opts.seed);
-                    i += 1;
+            let (flag, inline) = cli::split_flag(args[i].as_str());
+            match flag {
+                "--seed" => {
+                    let v = cli::flag_value("--seed", inline, args, &mut i)?;
+                    opts.seed = v
+                        .parse()
+                        .map_err(|e| format!("invalid --seed `{v}`: {e}"))?;
                 }
-                "--scale" if i + 1 < args.len() => {
-                    opts.scale = args[i + 1].parse().unwrap_or(opts.scale);
-                    i += 1;
+                "--scale" => {
+                    let v = cli::flag_value("--scale", inline, args, &mut i)?;
+                    opts.scale = v
+                        .parse()
+                        .map_err(|e| format!("invalid --scale `{v}`: {e}"))?;
+                    if opts.scale == 0 {
+                        return Err("invalid --scale `0`: must be ≥ 1".into());
+                    }
                 }
-                "--quick" => opts.quick = true,
+                "--threads" => {
+                    let v = cli::flag_value("--threads", inline, args, &mut i)?;
+                    let t: usize = v
+                        .parse()
+                        .map_err(|e| format!("invalid --threads `{v}`: {e}"))?;
+                    opts.threads = (t > 0).then_some(t);
+                }
+                "--quick" => {
+                    cli::no_value("--quick", inline)?;
+                    opts.quick = true;
+                }
                 _ => {}
             }
             i += 1;
         }
-        opts
+        Ok(opts)
     }
 }
 
@@ -87,21 +130,42 @@ mod tests {
 
     #[test]
     fn parses_all_flags() {
-        let o = RunOptions::from_slice(&args(&["--seed", "9", "--scale", "250", "--quick"]));
+        let o = RunOptions::from_slice(&args(&["--seed", "9", "--scale", "250", "--quick"]))
+            .expect("valid");
         assert_eq!(o.seed, 9);
         assert_eq!(o.scale, 250);
         assert!(o.quick);
     }
 
     #[test]
-    fn malformed_values_fall_back() {
-        let o = RunOptions::from_slice(&args(&["--seed", "banana"]));
-        assert_eq!(o.seed, RunOptions::default().seed);
+    fn parses_equals_forms() {
+        let o = RunOptions::from_slice(&args(&["--seed=9", "--scale=250", "--threads=4"]))
+            .expect("valid");
+        assert_eq!(o.seed, 9);
+        assert_eq!(o.scale, 250);
+        assert_eq!(o.threads, Some(4));
+        assert!(!o.quick);
+    }
+
+    #[test]
+    fn malformed_values_are_rejected() {
+        assert!(RunOptions::from_slice(&args(&["--seed", "banana"])).is_err());
+        assert!(RunOptions::from_slice(&args(&["--seed=banana"])).is_err());
+        assert!(RunOptions::from_slice(&args(&["--scale=-3"])).is_err());
+        assert!(RunOptions::from_slice(&args(&["--scale", "0"])).is_err());
+        assert!(RunOptions::from_slice(&args(&["--seed="])).is_err());
+        assert!(RunOptions::from_slice(&args(&["--quick=yes"])).is_err());
+    }
+
+    #[test]
+    fn missing_values_are_rejected() {
+        assert!(RunOptions::from_slice(&args(&["--seed"])).is_err());
+        assert!(RunOptions::from_slice(&args(&["--seed", "--quick"])).is_err());
     }
 
     #[test]
     fn unknown_flags_ignored() {
-        let o = RunOptions::from_slice(&args(&["--wat", "--quick"]));
+        let o = RunOptions::from_slice(&args(&["--wat", "--quick"])).expect("valid");
         assert!(o.quick);
     }
 
@@ -110,5 +174,12 @@ mod tests {
         let o = RunOptions::default();
         assert_eq!(o.scale, 100);
         assert!(!o.quick);
+        assert_eq!(o.threads, None);
+    }
+
+    #[test]
+    fn zero_threads_means_auto() {
+        let o = RunOptions::from_slice(&args(&["--threads", "0"])).expect("valid");
+        assert_eq!(o.threads, None);
     }
 }

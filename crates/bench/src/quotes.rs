@@ -24,15 +24,69 @@ pub struct Table4Quote {
 /// All Table 4 rows as published.
 pub fn table4() -> Vec<Table4Quote> {
     vec![
-        Table4Quote { name: "c432", original: (92.4, 75.4, 23.4), wang: (90.7, 98.8, 41.8), sengupta_ccr: Some((68.1, 84.4, 89.8, 78.8)), proposed: (0.0, 99.9, 48.4) },
-        Table4Quote { name: "c880", original: (100.0, 0.0, 0.0), wang: (96.8, 15.8, 1.2), sengupta_ccr: Some((56.1, 84.3, 81.4, 78.5)), proposed: (0.0, 99.9, 43.4) },
-        Table4Quote { name: "c1355", original: (95.4, 59.5, 2.4), wang: (93.2, 94.5, 8.0), sengupta_ccr: None, proposed: (0.0, 99.9, 40.1) },
-        Table4Quote { name: "c1908", original: (97.5, 52.3, 4.3), wang: (91.0, 97.8, 17.7), sengupta_ccr: Some((70.8, 83.9, 81.9, 79.9)), proposed: (0.0, 99.9, 46.2) },
-        Table4Quote { name: "c2670", original: (86.3, 99.9, 7.0), wang: (86.3, 100.0, 7.5), sengupta_ccr: Some((52.8, 66.6, 66.9, 56.5)), proposed: (0.0, 99.9, 39.8) },
-        Table4Quote { name: "c3540", original: (88.2, 95.4, 18.2), wang: (82.6, 98.8, 27.9), sengupta_ccr: Some((44.8, 40.3, 41.7, 42.4)), proposed: (0.0, 99.9, 47.9) },
-        Table4Quote { name: "c5315", original: (93.5, 98.7, 4.3), wang: (91.1, 98.7, 12.5), sengupta_ccr: Some((49.5, 54.1, 50.1, 56.2)), proposed: (0.0, 99.9, 38.3) },
-        Table4Quote { name: "c6288", original: (97.8, 36.8, 3.0), wang: (97.6, 74.2, 16.5), sengupta_ccr: None, proposed: (0.0, 99.9, 31.6) },
-        Table4Quote { name: "c7552", original: (97.8, 69.5, 1.6), wang: (97.9, 81.7, 3.1), sengupta_ccr: Some((56.9, 48.9, 53.3, 48.5)), proposed: (0.0, 99.9, 27.8) },
+        Table4Quote {
+            name: "c432",
+            original: (92.4, 75.4, 23.4),
+            wang: (90.7, 98.8, 41.8),
+            sengupta_ccr: Some((68.1, 84.4, 89.8, 78.8)),
+            proposed: (0.0, 99.9, 48.4),
+        },
+        Table4Quote {
+            name: "c880",
+            original: (100.0, 0.0, 0.0),
+            wang: (96.8, 15.8, 1.2),
+            sengupta_ccr: Some((56.1, 84.3, 81.4, 78.5)),
+            proposed: (0.0, 99.9, 43.4),
+        },
+        Table4Quote {
+            name: "c1355",
+            original: (95.4, 59.5, 2.4),
+            wang: (93.2, 94.5, 8.0),
+            sengupta_ccr: None,
+            proposed: (0.0, 99.9, 40.1),
+        },
+        Table4Quote {
+            name: "c1908",
+            original: (97.5, 52.3, 4.3),
+            wang: (91.0, 97.8, 17.7),
+            sengupta_ccr: Some((70.8, 83.9, 81.9, 79.9)),
+            proposed: (0.0, 99.9, 46.2),
+        },
+        Table4Quote {
+            name: "c2670",
+            original: (86.3, 99.9, 7.0),
+            wang: (86.3, 100.0, 7.5),
+            sengupta_ccr: Some((52.8, 66.6, 66.9, 56.5)),
+            proposed: (0.0, 99.9, 39.8),
+        },
+        Table4Quote {
+            name: "c3540",
+            original: (88.2, 95.4, 18.2),
+            wang: (82.6, 98.8, 27.9),
+            sengupta_ccr: Some((44.8, 40.3, 41.7, 42.4)),
+            proposed: (0.0, 99.9, 47.9),
+        },
+        Table4Quote {
+            name: "c5315",
+            original: (93.5, 98.7, 4.3),
+            wang: (91.1, 98.7, 12.5),
+            sengupta_ccr: Some((49.5, 54.1, 50.1, 56.2)),
+            proposed: (0.0, 99.9, 38.3),
+        },
+        Table4Quote {
+            name: "c6288",
+            original: (97.8, 36.8, 3.0),
+            wang: (97.6, 74.2, 16.5),
+            sengupta_ccr: None,
+            proposed: (0.0, 99.9, 31.6),
+        },
+        Table4Quote {
+            name: "c7552",
+            original: (97.8, 69.5, 1.6),
+            wang: (97.9, 81.7, 3.1),
+            sengupta_ccr: Some((56.9, 48.9, 53.3, 48.5)),
+            proposed: (0.0, 99.9, 27.8),
+        },
     ]
 }
 
@@ -53,15 +107,60 @@ pub struct Table5Quote {
 /// All Table 5 rows as published.
 pub fn table5() -> Vec<Table5Quote> {
     vec![
-        Table5Quote { name: "c432", pin_swap: Some((92.5, 39.8)), wang17: (78.8, 99.4, 46.1), feng: None },
-        Table5Quote { name: "c880", pin_swap: Some((85.0, 26.0)), wang17: (47.5, 99.9, 18.0), feng: None },
-        Table5Quote { name: "c1355", pin_swap: Some((86.0, 40.0)), wang17: (77.1, 100.0, 26.6), feng: None },
-        Table5Quote { name: "c1908", pin_swap: Some((86.2, 25.0)), wang17: (83.8, 100.0, 38.8), feng: None },
-        Table5Quote { name: "c2670", pin_swap: None, wang17: (58.3, 100.0, 14.0), feng: Some((33.3, 20.5)) },
-        Table5Quote { name: "c3540", pin_swap: Some((83.5, 50.0)), wang17: (77.0, 100.0, 36.1), feng: Some((11.5, 35.0)) },
-        Table5Quote { name: "c5315", pin_swap: Some((92.5, 41.0)), wang17: (74.7, 100.0, 18.1), feng: Some((14.9, 23.6)) },
-        Table5Quote { name: "c6288", pin_swap: None, wang17: (80.9, 100.0, 42.1), feng: Some((33.1, 40.6)) },
-        Table5Quote { name: "c7552", pin_swap: Some((91.0, 48.0)), wang17: (73.9, 100.0, 20.3), feng: Some((21.3, 24.7)) },
+        Table5Quote {
+            name: "c432",
+            pin_swap: Some((92.5, 39.8)),
+            wang17: (78.8, 99.4, 46.1),
+            feng: None,
+        },
+        Table5Quote {
+            name: "c880",
+            pin_swap: Some((85.0, 26.0)),
+            wang17: (47.5, 99.9, 18.0),
+            feng: None,
+        },
+        Table5Quote {
+            name: "c1355",
+            pin_swap: Some((86.0, 40.0)),
+            wang17: (77.1, 100.0, 26.6),
+            feng: None,
+        },
+        Table5Quote {
+            name: "c1908",
+            pin_swap: Some((86.2, 25.0)),
+            wang17: (83.8, 100.0, 38.8),
+            feng: None,
+        },
+        Table5Quote {
+            name: "c2670",
+            pin_swap: None,
+            wang17: (58.3, 100.0, 14.0),
+            feng: Some((33.3, 20.5)),
+        },
+        Table5Quote {
+            name: "c3540",
+            pin_swap: Some((83.5, 50.0)),
+            wang17: (77.0, 100.0, 36.1),
+            feng: Some((11.5, 35.0)),
+        },
+        Table5Quote {
+            name: "c5315",
+            pin_swap: Some((92.5, 41.0)),
+            wang17: (74.7, 100.0, 18.1),
+            feng: Some((14.9, 23.6)),
+        },
+        Table5Quote {
+            name: "c6288",
+            pin_swap: None,
+            wang17: (80.9, 100.0, 42.1),
+            feng: Some((33.1, 40.6)),
+        },
+        Table5Quote {
+            name: "c7552",
+            pin_swap: Some((91.0, 48.0)),
+            wang17: (73.9, 100.0, 20.3),
+            feng: Some((21.3, 24.7)),
+        },
     ]
 }
 
@@ -81,11 +180,36 @@ pub struct Table1Quote {
 /// All Table 1 rows as published.
 pub fn table1() -> Vec<Table1Quote> {
     vec![
-        Table1Quote { name: "superblue1", original: (14.31, 2.85, 54.84), lifted: (14.37, 2.92, 54.83), proposed: (198.46, 48.41, 318.88) },
-        Table1Quote { name: "superblue5", original: (14.38, 2.99, 49.16), lifted: (14.39, 2.99, 49.17), proposed: (244.73, 96.9, 328.84) },
-        Table1Quote { name: "superblue10", original: (12.66, 2.73, 49.59), lifted: (12.71, 2.8, 49.58), proposed: (254.06, 71.03, 372.07) },
-        Table1Quote { name: "superblue12", original: (19.06, 3.18, 75.37), lifted: (19.08, 3.23, 75.37), proposed: (263.21, 81.28, 395.26) },
-        Table1Quote { name: "superblue18", original: (12.91, 2.54, 41.74), lifted: (12.93, 2.54, 41.74), proposed: (208.47, 119.51, 244.81) },
+        Table1Quote {
+            name: "superblue1",
+            original: (14.31, 2.85, 54.84),
+            lifted: (14.37, 2.92, 54.83),
+            proposed: (198.46, 48.41, 318.88),
+        },
+        Table1Quote {
+            name: "superblue5",
+            original: (14.38, 2.99, 49.16),
+            lifted: (14.39, 2.99, 49.17),
+            proposed: (244.73, 96.9, 328.84),
+        },
+        Table1Quote {
+            name: "superblue10",
+            original: (12.66, 2.73, 49.59),
+            lifted: (12.71, 2.8, 49.58),
+            proposed: (254.06, 71.03, 372.07),
+        },
+        Table1Quote {
+            name: "superblue12",
+            original: (19.06, 3.18, 75.37),
+            lifted: (19.08, 3.23, 75.37),
+            proposed: (263.21, 81.28, 395.26),
+        },
+        Table1Quote {
+            name: "superblue18",
+            original: (12.91, 2.54, 41.74),
+            lifted: (12.93, 2.54, 41.74),
+            proposed: (208.47, 119.51, 244.81),
+        },
     ]
 }
 
@@ -103,11 +227,31 @@ pub struct Table6Quote {
 /// All Table 6 rows as published.
 pub fn table6() -> Vec<Table6Quote> {
     vec![
-        Table6Quote { name: "superblue1", blockage: (23.28, 65.07), proposed: (36.32, 49.22) },
-        Table6Quote { name: "superblue5", blockage: (12.74, 24.01), proposed: (55.12, 59.47) },
-        Table6Quote { name: "superblue10", blockage: (64.85, 84.09), proposed: (62.09, 73.12) },
-        Table6Quote { name: "superblue12", blockage: (16.99, 35.59), proposed: (79.34, 70.59) },
-        Table6Quote { name: "superblue18", blockage: (24.73, 58.66), proposed: (61.87, 124.16) },
+        Table6Quote {
+            name: "superblue1",
+            blockage: (23.28, 65.07),
+            proposed: (36.32, 49.22),
+        },
+        Table6Quote {
+            name: "superblue5",
+            blockage: (12.74, 24.01),
+            proposed: (55.12, 59.47),
+        },
+        Table6Quote {
+            name: "superblue10",
+            blockage: (64.85, 84.09),
+            proposed: (62.09, 73.12),
+        },
+        Table6Quote {
+            name: "superblue12",
+            blockage: (16.99, 35.59),
+            proposed: (79.34, 70.59),
+        },
+        Table6Quote {
+            name: "superblue18",
+            blockage: (24.73, 58.66),
+            proposed: (61.87, 124.16),
+        },
     ]
 }
 
@@ -149,8 +293,7 @@ mod tests {
     #[test]
     fn paper_averages_match_quotes() {
         // Sanity: average original CCR over Table 4 is ~94.3%.
-        let avg: f64 =
-            table4().iter().map(|r| r.original.0).sum::<f64>() / table4().len() as f64;
+        let avg: f64 = table4().iter().map(|r| r.original.0).sum::<f64>() / table4().len() as f64;
         assert!((avg - 94.3).abs() < 0.2, "avg {avg}");
         // Proposed CCR is 0 everywhere.
         assert!(table4().iter().all(|r| r.proposed.0 == 0.0));

@@ -1,0 +1,117 @@
+//! One experiment session: options + engine executor + shared bundle
+//! cache.
+//!
+//! Every artifact binary (and `smctl`) builds a [`Session`] and pulls
+//! layout bundles through it, so the engine parallelizes bundle
+//! construction across benchmarks and a multi-artifact run (`smctl run
+//! all`) builds each benchmark's bundle exactly once.
+
+use std::sync::{Arc, OnceLock};
+
+use sm_benchgen::superblue::SuperblueProfile;
+use sm_engine::bundle::{iscas_selection, superblue_selection, IscasRun, SuperblueRun};
+use sm_engine::cache::{ArtifactCache, CacheStats};
+use sm_engine::exec::{Executor, ExecutorConfig};
+
+use crate::experiments::{security_row, SecurityRow};
+use crate::RunOptions;
+
+/// Shared state for a batch of artifact runs.
+#[derive(Debug, Clone)]
+pub struct Session {
+    opts: RunOptions,
+    cache: Arc<ArtifactCache>,
+    exec: Executor,
+    // Tables 4 and 5 consume the identical attack measurements; computed
+    // once per session (they dominate post-bundle cost).
+    security_rows: Arc<OnceLock<Vec<SecurityRow>>>,
+}
+
+impl Session {
+    /// Builds a session for `opts`.
+    pub fn new(opts: RunOptions) -> Session {
+        let exec = Executor::new(ExecutorConfig {
+            threads: opts.threads,
+        });
+        Session {
+            opts,
+            cache: Arc::new(ArtifactCache::new()),
+            exec,
+            security_rows: Arc::default(),
+        }
+    }
+
+    /// The options this session runs with.
+    pub fn opts(&self) -> &RunOptions {
+        &self.opts
+    }
+
+    /// The engine executor (for parallel per-row measurement work).
+    pub fn executor(&self) -> &Executor {
+        &self.exec
+    }
+
+    /// Bundle-cache counters accumulated so far.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// All selected superblue bundles, built in parallel through the
+    /// cache (selection honors `--quick`).
+    pub fn superblue_runs(&self) -> Vec<Arc<SuperblueRun>> {
+        let profiles = superblue_selection(self.opts.quick);
+        self.exec.map(&profiles, |_, p| {
+            self.cache.superblue(p, self.opts.scale, self.opts.seed)
+        })
+    }
+
+    /// All selected ISCAS-85 bundles, built in parallel through the
+    /// cache.
+    pub fn iscas_runs(&self) -> Vec<Arc<IscasRun>> {
+        let profiles = iscas_selection(self.opts.quick);
+        self.exec
+            .map(&profiles, |_, p| self.cache.iscas(p, self.opts.seed))
+    }
+
+    /// The Table 4/5 attack measurements for the selected ISCAS runs,
+    /// computed in parallel once per session and shared between both
+    /// tables (the attack sweep, not the bundle build, dominates their
+    /// cost).
+    pub fn security_rows(&self) -> &[SecurityRow] {
+        self.security_rows.get_or_init(|| {
+            let runs = self.iscas_runs();
+            self.exec
+                .map(&runs, |_, run| security_row(run, self.opts.seed))
+        })
+    }
+
+    /// The superblue18 bundle (Fig. 4 uses only this one).
+    pub fn superblue18(&self) -> Arc<SuperblueRun> {
+        self.cache.superblue(
+            &SuperblueProfile::superblue18(),
+            self.opts.scale,
+            self.opts.seed,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_session_shares_bundles_across_requests() {
+        let session = Session::new(RunOptions {
+            quick: true,
+            threads: Some(2),
+            ..RunOptions::default()
+        });
+        let a = session.iscas_runs();
+        let b = session.iscas_runs();
+        assert_eq!(a.len(), 2); // c432 + c880 in quick mode
+        assert!(Arc::ptr_eq(&a[0], &b[0]));
+        let stats = session.cache_stats();
+        assert_eq!(stats.builds, 2);
+        assert_eq!(stats.hits, 2);
+    }
+}

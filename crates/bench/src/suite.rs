@@ -1,97 +1,93 @@
-//! Shared benchmark runs: build each layout bundle once, feed every table.
+//! Shared benchmark runs — now owned by the engine.
+//!
+//! The bundle builders moved to [`sm_engine::bundle`] so the engine's
+//! artifact cache can key on them; this module re-exports them under
+//! their historical paths so `sm_bench::suite::IscasRun` etc. keep
+//! working.
 
-use sm_core::baselines::{naive_lifting, original_layout};
-use sm_core::flow::{protect, BaselineLayout, FlowConfig, ProtectedDesign};
-use sm_benchgen::iscas::{self, IscasProfile};
-use sm_benchgen::superblue::{self, SuperblueProfile};
-use sm_netlist::{NetId, Netlist};
+pub use sm_engine::bundle::{
+    iscas_profile_by_name, iscas_selection, superblue_profile_by_name, superblue_selection,
+    IscasRun, SuperblueRun,
+};
 
-/// One fully-processed superblue-class benchmark: original, naively lifted
-/// and proposed (protected) layouts, sharing the protected-net set so the
-/// comparisons are apples-to-apples (Table 2's "same set of nets").
-#[derive(Debug)]
-pub struct SuperblueRun {
-    /// Benchmark name.
-    pub name: &'static str,
-    /// The original netlist.
-    pub netlist: Netlist,
-    /// Unprotected baseline layout.
-    pub original: BaselineLayout,
-    /// Naive-lifting baseline (same nets lifted, no randomization).
-    pub lifted: BaselineLayout,
-    /// The protected design produced by the full flow.
-    pub protected: ProtectedDesign,
-    /// Nets randomized/lifted in both protected and lifted layouts.
-    pub protected_nets: Vec<NetId>,
-}
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sm_benchgen::iscas::IscasProfile;
+    use sm_benchgen::superblue::SuperblueProfile;
 
-impl SuperblueRun {
-    /// Builds the three layouts for `profile` at the given scale.
-    pub fn build(profile: &SuperblueProfile, scale: usize, seed: u64) -> SuperblueRun {
-        let netlist = superblue::generate(profile, scale, seed);
-        let util = profile.utilization();
-        let config = FlowConfig {
-            utilization: util,
-            ..FlowConfig::superblue_default(seed)
-        };
-        let protected = protect(&netlist, &config);
-        let protected_nets = protected.protected_nets();
-        let original = original_layout(&netlist, util, seed);
-        let lifted = naive_lifting(&netlist, &protected_nets, config.lift_layer, util, seed);
-        SuperblueRun {
-            name: profile.name,
-            netlist,
-            original,
-            lifted,
-            protected,
-            protected_nets,
-        }
+    /// Quick-mode smoke test: the ISCAS bundle builder produces a
+    /// non-empty protected-net set and is deterministic for a fixed seed.
+    #[test]
+    fn iscas_run_is_nonempty_and_deterministic() {
+        let profile = IscasProfile::c432();
+        let a = IscasRun::build(&profile, 5);
+        let b = IscasRun::build(&profile, 5);
+        let nets_a = a.protected.protected_nets();
+        assert!(
+            !nets_a.is_empty(),
+            "protection must randomize at least one net"
+        );
+        assert_eq!(nets_a, b.protected.protected_nets());
+        assert_eq!(
+            a.protected.randomization.swapped_connections(),
+            b.protected.randomization.swapped_connections()
+        );
+        assert_eq!(a.netlist.num_nets(), b.netlist.num_nets());
+        assert_eq!(
+            a.protected.feol_routing.total_wirelength_dbu(),
+            b.protected.feol_routing.total_wirelength_dbu()
+        );
+        assert_eq!(
+            a.original.routing.via_counts(),
+            b.original.routing.via_counts()
+        );
     }
-}
 
-/// One fully-processed ISCAS-85-class benchmark.
-#[derive(Debug)]
-pub struct IscasRun {
-    /// Benchmark name.
-    pub name: &'static str,
-    /// The original netlist.
-    pub netlist: Netlist,
-    /// Unprotected baseline.
-    pub original: BaselineLayout,
-    /// The protected design.
-    pub protected: ProtectedDesign,
-}
-
-impl IscasRun {
-    /// Builds the layouts for `profile`.
-    pub fn build(profile: &IscasProfile, seed: u64) -> IscasRun {
-        let netlist = iscas::generate(profile, seed);
-        let config = FlowConfig::iscas_default(seed);
-        let protected = protect(&netlist, &config);
-        let original = original_layout(&netlist, config.utilization, seed);
-        IscasRun {
-            name: profile.name,
-            netlist,
-            original,
-            protected,
-        }
+    /// Different seeds must not produce the identical randomization.
+    #[test]
+    fn iscas_run_varies_with_seed() {
+        let profile = IscasProfile::c432();
+        let a = IscasRun::build(&profile, 1);
+        let b = IscasRun::build(&profile, 2);
+        assert_ne!(
+            a.protected.randomization.swapped_connections(),
+            b.protected.randomization.swapped_connections()
+        );
     }
-}
 
-/// The superblue profiles used in a run (`quick` keeps only superblue18).
-pub fn superblue_selection(quick: bool) -> Vec<SuperblueProfile> {
-    if quick {
-        vec![SuperblueProfile::superblue18()]
-    } else {
-        SuperblueProfile::all()
+    /// Quick-mode smoke test for the superblue builder: all three
+    /// layouts exist, the protected-net set is non-empty and shared with
+    /// the naive-lifting baseline, and the build is deterministic.
+    #[test]
+    fn superblue_run_is_nonempty_and_deterministic() {
+        let profile = SuperblueProfile::superblue18();
+        let scale = 400; // extra-small for the smoke test
+        let a = SuperblueRun::build(&profile, scale, 7);
+        let b = SuperblueRun::build(&profile, scale, 7);
+        assert!(!a.protected_nets.is_empty());
+        assert_eq!(a.protected_nets, b.protected_nets);
+        assert_eq!(a.netlist.num_nets(), b.netlist.num_nets());
+        assert_eq!(
+            a.original.routing.via_counts(),
+            b.original.routing.via_counts()
+        );
+        assert_eq!(a.lifted.routing.via_counts(), b.lifted.routing.via_counts());
+        assert_eq!(
+            a.protected.restored_routing.via_counts(),
+            b.protected.restored_routing.via_counts()
+        );
     }
-}
 
-/// The ISCAS-85 profiles used in a run (`quick` keeps c432 and c880).
-pub fn iscas_selection(quick: bool) -> Vec<IscasProfile> {
-    if quick {
-        vec![IscasProfile::c432(), IscasProfile::c880()]
-    } else {
-        IscasProfile::all()
+    /// Selections honor quick mode.
+    #[test]
+    fn selections_respect_quick() {
+        assert_eq!(iscas_selection(true).len(), 2);
+        assert_eq!(iscas_selection(false).len(), IscasProfile::all().len());
+        assert_eq!(superblue_selection(true).len(), 1);
+        assert_eq!(
+            superblue_selection(false).len(),
+            SuperblueProfile::all().len()
+        );
     }
 }

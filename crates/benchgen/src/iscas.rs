@@ -134,7 +134,10 @@ impl IscasProfile {
 ///
 /// Panics if the profile has zero inputs or gates.
 pub fn generate(profile: &IscasProfile, seed: u64) -> Netlist {
-    assert!(profile.inputs > 0 && profile.gates > 0, "degenerate profile");
+    assert!(
+        profile.inputs > 0 && profile.gates > 0,
+        "degenerate profile"
+    );
     let lib = Library::nangate45();
     let mut b = NetlistBuilder::new(profile.name, &lib);
     let mut rng = StdRng::seed_from_u64(seed ^ fnv(profile.name));
@@ -159,7 +162,8 @@ pub fn generate(profile: &IscasProfile, seed: u64) -> Netlist {
     // the generator must not emit two gates computing the same function of
     // the same signals (duplicates would also hand attackers harmless
     // "equivalent driver" recoveries the real benchmarks do not offer).
-    let mut seen: std::collections::HashSet<(GateFn, Vec<NetId>)> = std::collections::HashSet::new();
+    let mut seen: std::collections::HashSet<(GateFn, Vec<NetId>)> =
+        std::collections::HashSet::new();
     for &count in &per_level {
         let mut level = Vec::with_capacity(count);
         for _ in 0..count {
@@ -292,8 +296,9 @@ fn pick_function(fanin: usize, rng: &mut StdRng) -> GateFn {
 }
 
 fn fnv(s: &str) -> u64 {
-    s.bytes()
-        .fold(0xcbf29ce484222325u64, |h, b| (h ^ b as u64).wrapping_mul(0x100000001b3))
+    s.bytes().fold(0xcbf29ce484222325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x100000001b3)
+    })
 }
 
 #[cfg(test)]

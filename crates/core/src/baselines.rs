@@ -19,9 +19,7 @@ use crate::ppa::evaluate;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
-use sm_layout::{
-    Floorplan, PlacementEngine, Point, RouteOptions, Router, Technology,
-};
+use sm_layout::{Floorplan, PlacementEngine, Point, RouteOptions, Router, Technology};
 use sm_netlist::{NetId, Netlist};
 
 /// Places and routes the plain, unprotected netlist (the "Original" rows

@@ -158,7 +158,15 @@ pub fn protect(netlist: &Netlist, config: &FlowConfig) -> ProtectedDesign {
     let mut rounds = 0;
     loop {
         let randomization = truncate_randomization(netlist, &full, keep);
-        let design = build_layout(config, &tech, &fp, &engine, &router, randomization, baseline.clone());
+        let design = build_layout(
+            config,
+            &tech,
+            &fp,
+            &engine,
+            &router,
+            randomization,
+            baseline.clone(),
+        );
         let within = design.ppa_overhead.worst_pct() <= config.ppa_budget_percent;
         rounds += 1;
         if within || keep <= 1 || rounds >= config.max_budget_rounds {

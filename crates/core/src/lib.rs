@@ -46,4 +46,4 @@ pub mod randomize;
 pub use correction::CorrectionCell;
 pub use flow::{protect, FlowConfig, ProtectedDesign};
 pub use ppa::PpaReport;
-pub use randomize::{randomize, RandomizeConfig, Randomization, SwapRecord};
+pub use randomize::{randomize, Randomization, RandomizeConfig, SwapRecord};

@@ -76,11 +76,7 @@ impl Randomization {
     /// All nets touched by swaps — the "protected nets" that get lifted
     /// through correction cells.
     pub fn protected_nets(&self) -> Vec<NetId> {
-        let set: BTreeSet<NetId> = self
-            .swaps
-            .iter()
-            .flat_map(|s| [s.net_a, s.net_b])
-            .collect();
+        let set: BTreeSet<NetId> = self.swaps.iter().flat_map(|s| [s.net_a, s.net_b]).collect();
         set.into_iter().collect()
     }
 

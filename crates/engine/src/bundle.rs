@@ -1,0 +1,117 @@
+//! Layout bundles: the heavyweight artifacts experiments consume.
+//!
+//! A *bundle* is a fully-processed benchmark — netlist plus original /
+//! naively-lifted / protected layouts — that several tables and figures
+//! consume. Building one dominates campaign wall-clock, which is why the
+//! engine caches bundles content-keyed (see [`crate::cache`]) and shares
+//! them between jobs.
+//!
+//! These types started life as `sm_bench::suite`; they moved here so the
+//! engine can own caching without depending on the experiment
+//! definitions (which depend on the engine).
+
+use sm_benchgen::iscas::{self, IscasProfile};
+use sm_benchgen::superblue::{self, SuperblueProfile};
+use sm_core::baselines::{naive_lifting, original_layout};
+use sm_core::flow::{protect, BaselineLayout, FlowConfig, ProtectedDesign};
+use sm_netlist::{NetId, Netlist};
+
+/// One fully-processed superblue-class benchmark: original, naively lifted
+/// and proposed (protected) layouts, sharing the protected-net set so the
+/// comparisons are apples-to-apples (Table 2's "same set of nets").
+#[derive(Debug)]
+pub struct SuperblueRun {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// The original netlist.
+    pub netlist: Netlist,
+    /// Unprotected baseline layout.
+    pub original: BaselineLayout,
+    /// Naive-lifting baseline (same nets lifted, no randomization).
+    pub lifted: BaselineLayout,
+    /// The protected design produced by the full flow.
+    pub protected: ProtectedDesign,
+    /// Nets randomized/lifted in both protected and lifted layouts.
+    pub protected_nets: Vec<NetId>,
+}
+
+impl SuperblueRun {
+    /// Builds the three layouts for `profile` at the given scale.
+    pub fn build(profile: &SuperblueProfile, scale: usize, seed: u64) -> SuperblueRun {
+        let netlist = superblue::generate(profile, scale, seed);
+        let util = profile.utilization();
+        let config = FlowConfig {
+            utilization: util,
+            ..FlowConfig::superblue_default(seed)
+        };
+        let protected = protect(&netlist, &config);
+        let protected_nets = protected.protected_nets();
+        let original = original_layout(&netlist, util, seed);
+        let lifted = naive_lifting(&netlist, &protected_nets, config.lift_layer, util, seed);
+        SuperblueRun {
+            name: profile.name,
+            netlist,
+            original,
+            lifted,
+            protected,
+            protected_nets,
+        }
+    }
+}
+
+/// One fully-processed ISCAS-85-class benchmark.
+#[derive(Debug)]
+pub struct IscasRun {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// The original netlist.
+    pub netlist: Netlist,
+    /// Unprotected baseline.
+    pub original: BaselineLayout,
+    /// The protected design.
+    pub protected: ProtectedDesign,
+}
+
+impl IscasRun {
+    /// Builds the layouts for `profile`.
+    pub fn build(profile: &IscasProfile, seed: u64) -> IscasRun {
+        let netlist = iscas::generate(profile, seed);
+        let config = FlowConfig::iscas_default(seed);
+        let protected = protect(&netlist, &config);
+        let original = original_layout(&netlist, config.utilization, seed);
+        IscasRun {
+            name: profile.name,
+            netlist,
+            original,
+            protected,
+        }
+    }
+}
+
+/// The superblue profiles used in a run (`quick` keeps only superblue18).
+pub fn superblue_selection(quick: bool) -> Vec<SuperblueProfile> {
+    if quick {
+        vec![SuperblueProfile::superblue18()]
+    } else {
+        SuperblueProfile::all()
+    }
+}
+
+/// The ISCAS-85 profiles used in a run (`quick` keeps c432 and c880).
+pub fn iscas_selection(quick: bool) -> Vec<IscasProfile> {
+    if quick {
+        vec![IscasProfile::c432(), IscasProfile::c880()]
+    } else {
+        IscasProfile::all()
+    }
+}
+
+/// Looks up an ISCAS-85 profile by benchmark name.
+pub fn iscas_profile_by_name(name: &str) -> Option<IscasProfile> {
+    IscasProfile::all().into_iter().find(|p| p.name == name)
+}
+
+/// Looks up a superblue profile by benchmark name.
+pub fn superblue_profile_by_name(name: &str) -> Option<SuperblueProfile> {
+    SuperblueProfile::all().into_iter().find(|p| p.name == name)
+}

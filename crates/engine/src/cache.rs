@@ -1,0 +1,160 @@
+//! Content-keyed in-memory artifact cache for layout bundles.
+//!
+//! Building an [`IscasRun`]/[`SuperblueRun`] (protect → place → route →
+//! split) dominates campaign cost; every table that consumes the same
+//! benchmark+seed shares one bundle. The cache is keyed by the exact
+//! build inputs (profile name, scale, seed) and guarantees **exactly one
+//! build per key** even when many worker threads request the same bundle
+//! concurrently: late arrivals block on the first builder's `OnceLock`
+//! instead of duplicating the work.
+//!
+//! The cache is unbounded and never evicts: memory grows with the
+//! number of distinct (benchmark, scale, seed) points and is released
+//! only when the cache is dropped. Campaign-scoped caches (one per
+//! `run_sweep`/`Session`) keep this tame today; releasing bundles once
+//! their last consuming job finishes is a ROADMAP follow-up for
+//! huge-seed sweeps.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use sm_benchgen::iscas::IscasProfile;
+use sm_benchgen::superblue::SuperblueProfile;
+
+use crate::bundle::{IscasRun, SuperblueRun};
+
+/// Hit/build counters, reported by campaigns ("cache hit count").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Requests served from an already-built (or concurrently building)
+    /// bundle.
+    pub hits: u64,
+    /// Requests that built the bundle.
+    pub builds: u64,
+}
+
+impl CacheStats {
+    /// Total requests observed.
+    pub fn requests(&self) -> u64 {
+        self.hits + self.builds
+    }
+}
+
+type Slot<T> = Arc<OnceLock<Arc<T>>>;
+type BundleMap<K, T> = Mutex<HashMap<K, Slot<T>>>;
+
+/// The engine's bundle cache. Cheap to share: wrap in an [`Arc`].
+#[derive(Debug, Default)]
+pub struct ArtifactCache {
+    iscas: BundleMap<(&'static str, u64), IscasRun>,
+    superblue: BundleMap<(&'static str, usize, u64), SuperblueRun>,
+    hits: AtomicU64,
+    builds: AtomicU64,
+}
+
+impl ArtifactCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn fetch<T>(&self, slot: Slot<T>, build: impl FnOnce() -> T) -> Arc<T> {
+        let mut built = false;
+        let value = slot.get_or_init(|| {
+            built = true;
+            Arc::new(build())
+        });
+        if built {
+            self.builds.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        Arc::clone(value)
+    }
+
+    /// The bundle for `profile` at `seed`, building it on first request.
+    pub fn iscas(&self, profile: &IscasProfile, seed: u64) -> Arc<IscasRun> {
+        let slot = {
+            let mut map = self.iscas.lock().expect("iscas cache poisoned");
+            Arc::clone(map.entry((profile.name, seed)).or_default())
+        };
+        self.fetch(slot, || IscasRun::build(profile, seed))
+    }
+
+    /// The bundle for `profile` at `scale`/`seed`, building on first
+    /// request.
+    pub fn superblue(
+        &self,
+        profile: &SuperblueProfile,
+        scale: usize,
+        seed: u64,
+    ) -> Arc<SuperblueRun> {
+        let slot = {
+            let mut map = self.superblue.lock().expect("superblue cache poisoned");
+            Arc::clone(map.entry((profile.name, scale, seed)).or_default())
+        };
+        self.fetch(slot, || SuperblueRun::build(profile, scale, seed))
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            builds: self.builds.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn each_key_builds_exactly_once_under_contention() {
+        let cache = Arc::new(ArtifactCache::new());
+        let profile = IscasProfile::c432();
+        let ptrs: Vec<usize> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let cache = Arc::clone(&cache);
+                    let profile = profile.clone();
+                    s.spawn(move || Arc::as_ptr(&cache.iscas(&profile, 7)) as usize)
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(ptrs.windows(2).all(|w| w[0] == w[1]), "all shared one Arc");
+        let stats = cache.stats();
+        assert_eq!(stats.builds, 1);
+        assert_eq!(stats.hits, 3);
+    }
+
+    #[test]
+    fn distinct_seeds_are_distinct_entries() {
+        let cache = ArtifactCache::new();
+        let profile = IscasProfile::c432();
+        let a = cache.iscas(&profile, 1);
+        let b = cache.iscas(&profile, 2);
+        let a2 = cache.iscas(&profile, 1);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert!(Arc::ptr_eq(&a, &a2));
+        assert_eq!(cache.stats(), CacheStats { hits: 1, builds: 2 });
+    }
+
+    #[test]
+    fn fetch_counts_via_shared_slot() {
+        // Guard against double-building through a shared OnceLock.
+        static BUILDS: AtomicUsize = AtomicUsize::new(0);
+        let cache = ArtifactCache::new();
+        let slot: Slot<u32> = Arc::default();
+        let build = || {
+            BUILDS.fetch_add(1, Ordering::SeqCst);
+            9u32
+        };
+        assert_eq!(*cache.fetch(Arc::clone(&slot), build), 9);
+        assert_eq!(*cache.fetch(slot, build), 9);
+        assert_eq!(BUILDS.load(Ordering::SeqCst), 1);
+    }
+}

@@ -1,0 +1,695 @@
+//! Campaigns: expand a sweep specification into jobs, run them on the
+//! executor against the shared artifact cache, and assemble reports.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use sm_attacks::crouting::{crouting_attack, CroutingConfig};
+use sm_attacks::proximity::{ccr_over_connections, network_flow_attack, ProximityConfig};
+use sm_core::flow::BaselineLayout;
+use sm_layout::split_layout;
+use sm_netlist::{NetId, Netlist, Sink};
+
+use crate::bundle::{IscasRun, SuperblueRun};
+use crate::cache::{ArtifactCache, CacheStats};
+use crate::exec::{Executor, ExecutorConfig};
+use crate::job::{AttackKind, Benchmark, Job};
+use crate::report::{csv, Json, ReportOptions};
+
+/// A sweep specification: the cartesian product
+/// benchmarks × seeds × split layers × attacks.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// Benchmark names (ISCAS-85 or superblue).
+    pub benchmarks: Vec<String>,
+    /// User-facing seeds.
+    pub seeds: Vec<u64>,
+    /// Split layers (metal layer after which the FEOL ends).
+    pub split_layers: Vec<u8>,
+    /// Attacks to run per point.
+    pub attacks: Vec<AttackKind>,
+    /// Superblue down-scaling factor.
+    pub scale: usize,
+    /// Campaign master seed, folded into every derived seed.
+    pub master_seed: u64,
+}
+
+impl Default for SweepSpec {
+    fn default() -> Self {
+        SweepSpec {
+            benchmarks: vec!["c432".into(), "c880".into()],
+            seeds: vec![1],
+            split_layers: vec![3, 4, 5],
+            attacks: vec![AttackKind::NetworkFlow],
+            scale: 100,
+            master_seed: 1,
+        }
+    }
+}
+
+impl SweepSpec {
+    /// Expands the spec into the deterministic job list (row-major over
+    /// benchmarks → seeds → split layers → attacks).
+    pub fn jobs(&self) -> Result<Vec<Job>, String> {
+        if self.benchmarks.is_empty() {
+            return Err("sweep needs at least one benchmark".into());
+        }
+        if self.seeds.is_empty() {
+            return Err("sweep needs at least one seed".into());
+        }
+        if self.split_layers.is_empty() {
+            return Err("sweep needs at least one split layer".into());
+        }
+        if self.attacks.is_empty() {
+            return Err("sweep needs at least one attack".into());
+        }
+        for &layer in &self.split_layers {
+            if !(1..=9).contains(&layer) {
+                return Err(format!("split layer {layer} out of range 1..=9"));
+            }
+        }
+        if self.scale == 0 {
+            return Err("scale must be ≥ 1".into());
+        }
+        let mut jobs = Vec::new();
+        for name in &self.benchmarks {
+            let benchmark = Benchmark::parse(name, self.scale)?;
+            for &user_seed in &self.seeds {
+                for &split_layer in &self.split_layers {
+                    for &attack in &self.attacks {
+                        jobs.push(Job {
+                            index: jobs.len(),
+                            benchmark: benchmark.clone(),
+                            user_seed,
+                            split_layer,
+                            attack,
+                            master_seed: self.master_seed,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(jobs)
+    }
+}
+
+/// A cached layout bundle, uniform over the two benchmark classes.
+#[derive(Debug, Clone)]
+pub enum Bundle {
+    /// ISCAS-85-class bundle.
+    Iscas(Arc<IscasRun>),
+    /// Superblue-class bundle.
+    Superblue(Arc<SuperblueRun>),
+}
+
+impl Bundle {
+    /// Fetches (or builds) the bundle for `job` from the cache.
+    pub fn fetch(cache: &ArtifactCache, job: &Job) -> Bundle {
+        let seed = job.bundle_seed();
+        match &job.benchmark {
+            Benchmark::Iscas(p) => Bundle::Iscas(cache.iscas(p, seed)),
+            Benchmark::Superblue(p, scale) => Bundle::Superblue(cache.superblue(p, *scale, seed)),
+        }
+    }
+
+    /// The true (golden) netlist.
+    pub fn netlist(&self) -> &Netlist {
+        match self {
+            Bundle::Iscas(r) => &r.netlist,
+            Bundle::Superblue(r) => &r.netlist,
+        }
+    }
+
+    /// The unprotected baseline layout.
+    pub fn original(&self) -> &BaselineLayout {
+        match self {
+            Bundle::Iscas(r) => &r.original,
+            Bundle::Superblue(r) => &r.original,
+        }
+    }
+
+    /// The protected design.
+    pub fn protected(&self) -> &sm_core::flow::ProtectedDesign {
+        match self {
+            Bundle::Iscas(r) => &r.protected,
+            Bundle::Superblue(r) => &r.protected,
+        }
+    }
+
+    /// The randomized `(sink, true_net)` connections.
+    pub fn swapped(&self) -> Vec<(Sink, NetId)> {
+        self.protected().randomization.swapped_connections()
+    }
+}
+
+/// Metrics measured by one job.
+#[derive(Debug, Clone)]
+pub enum JobMetrics {
+    /// Network-flow attack outcome (percentages, as the paper reports).
+    Flow {
+        /// CCR over the randomized connections of the protected layout.
+        ccr_protected_pct: f64,
+        /// OER of the netlist recovered from the protected layout.
+        oer_pct: f64,
+        /// HD of the netlist recovered from the protected layout.
+        hd_pct: f64,
+        /// CCR of the same attack on the unprotected baseline.
+        ccr_original_pct: f64,
+    },
+    /// Crouting attack outcome, one entry per bounding box.
+    Crouting {
+        /// Vpins the attacker must reconnect in the protected layout.
+        vpins_protected: usize,
+        /// Vpins in the unprotected baseline.
+        vpins_original: usize,
+        /// Per-box `(tracks, els_protected, match_protected,
+        /// els_original, match_original)`.
+        boxes: Vec<(i64, f64, f64, f64, f64)>,
+    },
+}
+
+/// One finished job: spec echo plus metrics plus timing.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// The job that ran.
+    pub job: Job,
+    /// Measured metrics.
+    pub metrics: JobMetrics,
+    /// Wall-clock time this job took (includes any bundle build/wait).
+    pub wall: Duration,
+}
+
+/// A finished campaign.
+#[derive(Debug)]
+pub struct Campaign {
+    /// The sweep that ran.
+    pub spec: SweepSpec,
+    /// Outcomes in job order (scheduling-independent).
+    pub outcomes: Vec<JobOutcome>,
+    /// Bundle-cache counters.
+    pub cache: CacheStats,
+    /// Worker threads used.
+    pub threads: usize,
+    /// End-to-end campaign wall clock.
+    pub total_wall: Duration,
+}
+
+/// Runs one job against the cache.
+pub fn run_job(cache: &ArtifactCache, job: &Job) -> JobOutcome {
+    let start = Instant::now();
+    let bundle = Bundle::fetch(cache, job);
+    let metrics = match job.attack {
+        AttackKind::NetworkFlow => flow_metrics(&bundle, job.split_layer),
+        AttackKind::Crouting => crouting_metrics(&bundle, job.split_layer),
+    };
+    JobOutcome {
+        job: job.clone(),
+        metrics,
+        wall: start.elapsed(),
+    }
+}
+
+fn flow_metrics(bundle: &Bundle, split_layer: u8) -> JobMetrics {
+    let cfg = ProximityConfig::default();
+    let netlist = bundle.netlist();
+    let protected = bundle.protected();
+
+    let split_prot = split_layout(
+        &protected.randomization.erroneous,
+        &protected.placement,
+        &protected.feol_routing,
+        split_layer,
+    );
+    let out = network_flow_attack(
+        netlist,
+        &protected.randomization.erroneous,
+        &protected.placement,
+        &split_prot,
+        &cfg,
+    );
+    let swapped = bundle.swapped();
+    let ccr_protected = ccr_over_connections(&split_prot, &out.pairs, &swapped);
+
+    let original = bundle.original();
+    let split_orig = split_layout(netlist, &original.placement, &original.routing, split_layer);
+    let out_orig = network_flow_attack(netlist, netlist, &original.placement, &split_orig, &cfg);
+
+    JobMetrics::Flow {
+        ccr_protected_pct: ccr_protected * 100.0,
+        oer_pct: out.metrics.oer * 100.0,
+        hd_pct: out.metrics.hd * 100.0,
+        ccr_original_pct: out_orig.ccr * 100.0,
+    }
+}
+
+fn crouting_metrics(bundle: &Bundle, split_layer: u8) -> JobMetrics {
+    let cfg = CroutingConfig::default();
+    let netlist = bundle.netlist();
+    let protected = bundle.protected();
+
+    let split_prot = split_layout(
+        &protected.randomization.erroneous,
+        &protected.placement,
+        &protected.feol_routing,
+        split_layer,
+    );
+    // Candidate lists are structural, so the erroneous netlist is the
+    // right golden reference for the protected FEOL (cf. Table 3).
+    let rep_prot = crouting_attack(&protected.randomization.erroneous, &split_prot, &cfg);
+
+    let original = bundle.original();
+    let split_orig = split_layout(netlist, &original.placement, &original.routing, split_layer);
+    let rep_orig = crouting_attack(netlist, &split_orig, &cfg);
+
+    let boxes = rep_prot
+        .boxes
+        .iter()
+        .zip(&rep_orig.boxes)
+        .map(|(p, o)| {
+            (
+                p.bbox_tracks,
+                p.expected_list_size,
+                p.match_in_list,
+                o.expected_list_size,
+                o.match_in_list,
+            )
+        })
+        .collect();
+    JobMetrics::Crouting {
+        vpins_protected: rep_prot.num_vpins,
+        vpins_original: rep_orig.num_vpins,
+        boxes,
+    }
+}
+
+/// Runs a full sweep: expands jobs, executes them on the pool, collects
+/// outcomes in deterministic job order.
+pub fn run_sweep(spec: &SweepSpec, exec: ExecutorConfig) -> Result<Campaign, String> {
+    let jobs = spec.jobs()?;
+    let executor = Executor::new(exec);
+    let cache = ArtifactCache::new();
+    let start = Instant::now();
+    let outcomes = executor.map(&jobs, |_, job| run_job(&cache, job));
+    Ok(Campaign {
+        spec: spec.clone(),
+        outcomes,
+        cache: cache.stats(),
+        threads: executor.threads(),
+        total_wall: start.elapsed(),
+    })
+}
+
+impl Campaign {
+    /// The canonical JSON report.
+    pub fn to_json(&self, opts: ReportOptions) -> Json {
+        let spec = &self.spec;
+        let mut top = vec![
+            ("campaign".to_string(), Json::str("sweep")),
+            ("master_seed".to_string(), Json::UInt(spec.master_seed)),
+            ("scale".to_string(), Json::UInt(spec.scale as u64)),
+            (
+                "benchmarks".to_string(),
+                Json::Arr(spec.benchmarks.iter().map(Json::str).collect()),
+            ),
+            (
+                "seeds".to_string(),
+                Json::Arr(spec.seeds.iter().map(|&s| Json::UInt(s)).collect()),
+            ),
+            (
+                "split_layers".to_string(),
+                Json::Arr(
+                    spec.split_layers
+                        .iter()
+                        .map(|&l| Json::UInt(l as u64))
+                        .collect(),
+                ),
+            ),
+            (
+                "attacks".to_string(),
+                Json::Arr(spec.attacks.iter().map(|a| Json::str(a.id())).collect()),
+            ),
+            (
+                "jobs".to_string(),
+                Json::Arr(
+                    self.outcomes
+                        .iter()
+                        .map(|o| outcome_json(o, opts))
+                        .collect(),
+                ),
+            ),
+            (
+                "cache".to_string(),
+                Json::obj([
+                    ("hits", Json::UInt(self.cache.hits)),
+                    ("builds", Json::UInt(self.cache.builds)),
+                ]),
+            ),
+        ];
+        if opts.include_timings {
+            top.push(("threads".to_string(), Json::UInt(self.threads as u64)));
+            top.push((
+                "total_wall_ms".to_string(),
+                Json::Num(wall_ms(self.total_wall)),
+            ));
+        }
+        Json::Obj(top)
+    }
+
+    /// The CSV report: one row per flow job, one row per crouting box.
+    pub fn to_csv(&self, opts: ReportOptions) -> String {
+        let mut header = vec![
+            "benchmark",
+            "seed",
+            "split_layer",
+            "attack",
+            "derived_seed",
+            "ccr_protected_pct",
+            "oer_pct",
+            "hd_pct",
+            "ccr_original_pct",
+            "vpins_protected",
+            "vpins_original",
+            "bbox_tracks",
+            "els_protected",
+            "match_protected",
+            "els_original",
+            "match_original",
+        ];
+        if opts.include_timings {
+            header.push("wall_ms");
+        }
+        let mut rows = Vec::new();
+        for o in &self.outcomes {
+            let base = vec![
+                o.job.benchmark.name().to_string(),
+                o.job.user_seed.to_string(),
+                o.job.split_layer.to_string(),
+                o.job.attack.id().to_string(),
+                o.job.derived_seed().to_string(),
+            ];
+            let wall = format!("{:.3}", o.wall.as_secs_f64() * 1e3);
+            match &o.metrics {
+                JobMetrics::Flow {
+                    ccr_protected_pct,
+                    oer_pct,
+                    hd_pct,
+                    ccr_original_pct,
+                } => {
+                    let mut row = base.clone();
+                    row.extend([
+                        format!("{ccr_protected_pct:.4}"),
+                        format!("{oer_pct:.4}"),
+                        format!("{hd_pct:.4}"),
+                        format!("{ccr_original_pct:.4}"),
+                        String::new(),
+                        String::new(),
+                        String::new(),
+                        String::new(),
+                        String::new(),
+                        String::new(),
+                        String::new(),
+                    ]);
+                    if opts.include_timings {
+                        row.push(wall.clone());
+                    }
+                    rows.push(row);
+                }
+                JobMetrics::Crouting {
+                    vpins_protected,
+                    vpins_original,
+                    boxes,
+                } => {
+                    for &(tracks, els_p, match_p, els_o, match_o) in boxes {
+                        let mut row = base.clone();
+                        row.extend([
+                            String::new(),
+                            String::new(),
+                            String::new(),
+                            String::new(),
+                            vpins_protected.to_string(),
+                            vpins_original.to_string(),
+                            tracks.to_string(),
+                            format!("{els_p:.4}"),
+                            format!("{match_p:.4}"),
+                            format!("{els_o:.4}"),
+                            format!("{match_o:.4}"),
+                        ]);
+                        if opts.include_timings {
+                            row.push(wall.clone());
+                        }
+                        rows.push(row);
+                    }
+                }
+            }
+        }
+        csv(&header, &rows)
+    }
+
+    /// One-line human summary (thread count, cache effectiveness, time).
+    pub fn summary(&self) -> String {
+        format!(
+            "{} jobs on {} threads in {:.2}s — cache: {} builds, {} hits",
+            self.outcomes.len(),
+            self.threads,
+            self.total_wall.as_secs_f64(),
+            self.cache.builds,
+            self.cache.hits,
+        )
+    }
+}
+
+/// Milliseconds rounded to µs precision, so timing fields render as
+/// `121.474` rather than a 17-digit float tail.
+fn wall_ms(d: std::time::Duration) -> f64 {
+    (d.as_secs_f64() * 1e6).round() / 1e3
+}
+
+/// Converts a parsed campaign JSON report (as produced by
+/// [`Campaign::to_json`]) into the CSV format of [`Campaign::to_csv`],
+/// so `smctl report` can re-render stored reports without re-running the
+/// campaign.
+pub fn json_to_csv(report: &Json) -> Result<String, String> {
+    let jobs = report
+        .get("jobs")
+        .and_then(Json::as_arr)
+        .ok_or("not a campaign report: missing `jobs` array")?;
+    let timed = jobs
+        .first()
+        .map(|j| j.get("wall_ms").is_some())
+        .unwrap_or(false);
+    let mut header = vec![
+        "benchmark",
+        "seed",
+        "split_layer",
+        "attack",
+        "derived_seed",
+        "ccr_protected_pct",
+        "oer_pct",
+        "hd_pct",
+        "ccr_original_pct",
+        "vpins_protected",
+        "vpins_original",
+        "bbox_tracks",
+        "els_protected",
+        "match_protected",
+        "els_original",
+        "match_original",
+    ];
+    if timed {
+        header.push("wall_ms");
+    }
+    let mut rows = Vec::new();
+    for (i, job) in jobs.iter().enumerate() {
+        let field = |key: &str| -> Result<&Json, String> {
+            job.get(key).ok_or(format!("job {i}: missing `{key}`"))
+        };
+        let base = vec![
+            field("benchmark")?.as_str().unwrap_or_default().to_string(),
+            field("seed")?.as_u64().unwrap_or_default().to_string(),
+            field("split_layer")?
+                .as_u64()
+                .unwrap_or_default()
+                .to_string(),
+            field("attack")?.as_str().unwrap_or_default().to_string(),
+            field("derived_seed")?
+                .as_u64()
+                .unwrap_or_default()
+                .to_string(),
+        ];
+        let metrics = field("metrics")?;
+        let wall = job
+            .get("wall_ms")
+            .and_then(Json::as_f64)
+            .map(|w| format!("{w:.3}"))
+            .unwrap_or_default();
+        let fnum = |m: &Json, key: &str| {
+            m.get(key)
+                .and_then(Json::as_f64)
+                .map(|v| format!("{v:.4}"))
+                .unwrap_or_default()
+        };
+        if metrics.get("ccr_protected_pct").is_some() {
+            let mut row = base.clone();
+            row.extend([
+                fnum(metrics, "ccr_protected_pct"),
+                fnum(metrics, "oer_pct"),
+                fnum(metrics, "hd_pct"),
+                fnum(metrics, "ccr_original_pct"),
+            ]);
+            row.extend(std::iter::repeat_with(String::new).take(7));
+            if timed {
+                row.push(wall.clone());
+            }
+            rows.push(row);
+        } else if metrics.get("vpins_protected").is_some() {
+            let vp = metrics
+                .get("vpins_protected")
+                .and_then(Json::as_u64)
+                .unwrap_or_default()
+                .to_string();
+            let vo = metrics
+                .get("vpins_original")
+                .and_then(Json::as_u64)
+                .unwrap_or_default()
+                .to_string();
+            for bx in metrics.get("boxes").and_then(Json::as_arr).unwrap_or(&[]) {
+                let mut row = base.clone();
+                row.extend(std::iter::repeat_with(String::new).take(4));
+                row.extend([
+                    vp.clone(),
+                    vo.clone(),
+                    bx.get("bbox_tracks")
+                        .and_then(Json::as_f64)
+                        .map(|v| format!("{v}"))
+                        .unwrap_or_default(),
+                    fnum(bx, "els_protected"),
+                    fnum(bx, "match_protected"),
+                    fnum(bx, "els_original"),
+                    fnum(bx, "match_original"),
+                ]);
+                if timed {
+                    row.push(wall.clone());
+                }
+                rows.push(row);
+            }
+        } else {
+            return Err(format!("job {i}: unrecognized metrics shape"));
+        }
+    }
+    Ok(csv(&header, &rows))
+}
+
+fn outcome_json(o: &JobOutcome, opts: ReportOptions) -> Json {
+    let mut pairs = vec![
+        ("benchmark".to_string(), Json::str(o.job.benchmark.name())),
+        ("seed".to_string(), Json::UInt(o.job.user_seed)),
+        (
+            "split_layer".to_string(),
+            Json::UInt(o.job.split_layer as u64),
+        ),
+        ("attack".to_string(), Json::str(o.job.attack.id())),
+        ("derived_seed".to_string(), Json::UInt(o.job.derived_seed())),
+    ];
+    match &o.metrics {
+        JobMetrics::Flow {
+            ccr_protected_pct,
+            oer_pct,
+            hd_pct,
+            ccr_original_pct,
+        } => {
+            pairs.push((
+                "metrics".to_string(),
+                Json::obj([
+                    ("ccr_protected_pct", Json::Num(*ccr_protected_pct)),
+                    ("oer_pct", Json::Num(*oer_pct)),
+                    ("hd_pct", Json::Num(*hd_pct)),
+                    ("ccr_original_pct", Json::Num(*ccr_original_pct)),
+                ]),
+            ));
+        }
+        JobMetrics::Crouting {
+            vpins_protected,
+            vpins_original,
+            boxes,
+        } => {
+            pairs.push((
+                "metrics".to_string(),
+                Json::obj([
+                    ("vpins_protected", Json::UInt(*vpins_protected as u64)),
+                    ("vpins_original", Json::UInt(*vpins_original as u64)),
+                    (
+                        "boxes",
+                        Json::Arr(
+                            boxes
+                                .iter()
+                                .map(|&(tracks, els_p, match_p, els_o, match_o)| {
+                                    Json::obj([
+                                        ("bbox_tracks", Json::Int(tracks)),
+                                        ("els_protected", Json::Num(els_p)),
+                                        ("match_protected", Json::Num(match_p)),
+                                        ("els_original", Json::Num(els_o)),
+                                        ("match_original", Json::Num(match_o)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ));
+        }
+    }
+    if opts.include_timings {
+        pairs.push(("wall_ms".to_string(), Json::Num(wall_ms(o.wall))));
+    }
+    Json::Obj(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jobs_expand_row_major_and_validate() {
+        let spec = SweepSpec {
+            benchmarks: vec!["c432".into(), "c880".into()],
+            seeds: vec![1, 2],
+            split_layers: vec![3, 4],
+            attacks: vec![AttackKind::NetworkFlow, AttackKind::Crouting],
+            scale: 100,
+            master_seed: 7,
+        };
+        let jobs = spec.jobs().unwrap();
+        assert_eq!(jobs.len(), 2 * 2 * 2 * 2);
+        assert_eq!(jobs[0].benchmark.name(), "c432");
+        assert_eq!(jobs[0].split_layer, 3);
+        assert_eq!(jobs[1].attack, AttackKind::Crouting);
+        assert_eq!(jobs[15].benchmark.name(), "c880");
+        for (i, j) in jobs.iter().enumerate() {
+            assert_eq!(j.index, i);
+        }
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected() {
+        let bad_layer = SweepSpec {
+            split_layers: vec![12],
+            ..SweepSpec::default()
+        };
+        assert!(bad_layer.jobs().is_err());
+        let bad_bench = SweepSpec {
+            benchmarks: vec!["c404".into()],
+            ..SweepSpec::default()
+        };
+        assert!(bad_bench.jobs().is_err());
+        let no_seeds = SweepSpec {
+            seeds: Vec::new(),
+            ..SweepSpec::default()
+        };
+        assert!(no_seeds.jobs().is_err());
+        let zero_scale = SweepSpec {
+            scale: 0,
+            ..SweepSpec::default()
+        };
+        assert!(zero_scale.jobs().is_err());
+    }
+}

@@ -322,13 +322,15 @@ fn recurse(
     // Sub-regions proportional to the area each side needs.
     let frac = low_width.max(1) as f64 / total.max(1) as f64;
     let (low_region, high_region) = if horizontal_axis {
-        let cut = region.lo.x + ((region.width() as f64 * frac) as i64).clamp(1, region.width() - 1);
+        let cut =
+            region.lo.x + ((region.width() as f64 * frac) as i64).clamp(1, region.width() - 1);
         (
             Rect::new(region.lo, Point::new(cut, region.hi.y)),
             Rect::new(Point::new(cut, region.lo.y), region.hi),
         )
     } else {
-        let cut = region.lo.y + ((region.height() as f64 * frac) as i64).clamp(1, region.height() - 1);
+        let cut =
+            region.lo.y + ((region.height() as f64 * frac) as i64).clamp(1, region.height() - 1);
         (
             Rect::new(region.lo, Point::new(region.hi.x, cut)),
             Rect::new(Point::new(region.lo.x, cut), region.hi),
@@ -361,6 +363,7 @@ mod tests {
     /// Two 8-cell clusters joined by one net: bisection must keep each
     /// cluster on one side (the bridging net is the only cut).
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn fm_separates_two_clusters() {
         let lib = Library::nangate45();
         let mut b = NetlistBuilder::new("clusters", &lib);
@@ -374,13 +377,22 @@ mod tests {
                 let x = sigs[sigs.len() - 1];
                 let y = sigs[sigs.len() - 2];
                 let g = b
-                    .gate(if i % 2 == 0 { GateFn::Nand } else { GateFn::Nor }, &[x, y])
+                    .gate(
+                        if i % 2 == 0 {
+                            GateFn::Nand
+                        } else {
+                            GateFn::Nor
+                        },
+                        &[x, y],
+                    )
                     .unwrap();
                 sigs.push(g);
             }
             cluster_roots.push(*sigs.last().unwrap());
         }
-        let bridge = b.gate(GateFn::And, &[cluster_roots[0], cluster_roots[1]]).unwrap();
+        let bridge = b
+            .gate(GateFn::And, &[cluster_roots[0], cluster_roots[1]])
+            .unwrap();
         b.output("y", bridge);
         let n = b.finish().unwrap();
 
@@ -399,7 +411,15 @@ mod tests {
         );
         // Cells of the same cluster must be near each other; the two
         // clusters must be separated by more than the intra-cluster spread.
-        let cluster_of = |i: usize| if i < 8 { 0 } else if i < 16 { 1 } else { 2 };
+        let cluster_of = |i: usize| {
+            if i < 8 {
+                0
+            } else if i < 16 {
+                1
+            } else {
+                2
+            }
+        };
         let mut centers = [Point::new(0, 0); 2];
         for cl in 0..2 {
             let members: Vec<usize> = (0..16).filter(|&i| cluster_of(i) == cl).collect();

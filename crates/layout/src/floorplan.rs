@@ -66,7 +66,10 @@ impl Floorplan {
         fp.num_rows += extra_rows;
         fp.core = Rect::new(
             fp.core.lo,
-            Point::new(fp.core.hi.x, fp.core.lo.y + fp.num_rows as i64 * fp.row_height),
+            Point::new(
+                fp.core.hi.x,
+                fp.core.lo.y + fp.num_rows as i64 * fp.row_height,
+            ),
         );
         fp
     }

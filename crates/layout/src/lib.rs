@@ -51,6 +51,6 @@ pub use floorplan::Floorplan;
 pub use geom::{Point, Rect, DBU_PER_UM};
 pub use place::{Placement, PlacementEngine};
 pub use route::{RouteOptions, Router, RoutingResult, ViaCounts};
-pub use split::{FeolView, SplitLayout, Vpin};
 pub use split::{split_layout, split_layout_with, SplitOptions, VpinSide};
+pub use split::{FeolView, SplitLayout, Vpin};
 pub use tech::{Direction, Layer, Technology, NUM_METAL_LAYERS};

@@ -32,7 +32,10 @@ impl Placement {
     /// Center of a cell (the proximity metric the attacks use).
     pub fn cell_center(&self, cell: CellId) -> Point {
         let o = self.origins[cell.index()];
-        Point::new(o.x + self.widths[cell.index()] / 2, o.y + self.row_height / 2)
+        Point::new(
+            o.x + self.widths[cell.index()] / 2,
+            o.y + self.row_height / 2,
+        )
     }
 
     /// Cell width in DBU (derived from library area and row height).
@@ -92,7 +95,10 @@ impl Placement {
 
     /// Total half-perimeter wirelength in DBU.
     pub fn total_hpwl(&self, netlist: &Netlist) -> i64 {
-        netlist.nets().map(|(id, _)| self.net_hpwl(netlist, id)).sum()
+        netlist
+            .nets()
+            .map(|(id, _)| self.net_hpwl(netlist, id))
+            .sum()
     }
 
     /// `true` if no two cells overlap and every cell is inside the core.
@@ -409,8 +415,7 @@ fn edge_positions(core: Rect, count: usize, left: bool) -> Vec<Point> {
     let x = if left { core.lo.x } else { core.hi.x };
     (0..count)
         .map(|i| {
-            let y = core.lo.y
-                + core.height() * (2 * i as i64 + 1) / (2 * count.max(1) as i64);
+            let y = core.lo.y + core.height() * (2 * i as i64 + 1) / (2 * count.max(1) as i64);
             Point::new(x, y)
         })
         .collect()

@@ -49,9 +49,9 @@ impl ViaCounts {
     /// Percentage increase of each level vs a baseline (Table 2's Δ%).
     pub fn percent_increase_vs(&self, baseline: &ViaCounts) -> [f64; 9] {
         let mut out = [0.0; 9];
-        for i in 0..9 {
+        for (i, slot) in out.iter_mut().enumerate() {
             if baseline.counts[i] > 0 {
-                out[i] = (self.counts[i] as f64 - baseline.counts[i] as f64)
+                *slot = (self.counts[i] as f64 - baseline.counts[i] as f64)
                     / baseline.counts[i] as f64
                     * 100.0;
             }
@@ -269,7 +269,10 @@ impl Grid {
 impl<'t> Router<'t> {
     /// Creates a router for the given technology.
     pub fn new(tech: &'t Technology) -> Self {
-        Router { tech, max_grid: 128 }
+        Router {
+            tech,
+            max_grid: 128,
+        }
     }
 
     /// Overrides the maximum grid resolution per axis.
@@ -406,9 +409,11 @@ impl<'t> Router<'t> {
     /// Layer pair `(horizontal, vertical)` for a lifted net: the lift layer
     /// plus the adjacent layer of the other direction (above if possible).
     fn lift_pair(&self, lift: u8) -> (u8, u8) {
+        // The clamp keeps `lift` below the top layer, so the partner
+        // above always exists.
         let lift = lift.clamp(2, self.tech.num_layers() - 1);
         let lift_dir = self.tech.layer(lift).direction;
-        let partner = if lift < self.tech.num_layers() { lift + 1 } else { lift - 1 };
+        let partner = lift + 1;
         match lift_dir {
             Direction::Horizontal => (lift, partner),
             Direction::Vertical => (partner, lift),

@@ -159,7 +159,7 @@ pub fn split_layout_with(
 ) -> SplitLayout {
     let split_layer = options.split_layer;
     assert!(
-        split_layer >= 1 && split_layer < 10,
+        (1..10).contains(&split_layer),
         "split layer must be in 1..=9"
     );
     let mut visible = Vec::new();

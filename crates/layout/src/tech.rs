@@ -59,14 +59,14 @@ impl Technology {
         let mut layers = Vec::with_capacity(NUM_METAL_LAYERS);
         // (pitch nm, R Ω/µm, C fF/µm) roughly following a 45 nm stack:
         let data: [(i64, f64, f64); NUM_METAL_LAYERS] = [
-            (190, 3.8, 0.20),  // M1
-            (190, 3.8, 0.20),  // M2
-            (190, 3.1, 0.20),  // M3
-            (280, 2.1, 0.21),  // M4
-            (280, 2.1, 0.21),  // M5
-            (280, 2.1, 0.21),  // M6
-            (800, 0.38, 0.26), // M7
-            (800, 0.38, 0.26), // M8
+            (190, 3.8, 0.20),   // M1
+            (190, 3.8, 0.20),   // M2
+            (190, 3.1, 0.20),   // M3
+            (280, 2.1, 0.21),   // M4
+            (280, 2.1, 0.21),   // M5
+            (280, 2.1, 0.21),   // M6
+            (800, 0.38, 0.26),  // M7
+            (800, 0.38, 0.26),  // M8
             (1600, 0.16, 0.28), // M9
             (1600, 0.16, 0.28), // M10
         ];

@@ -23,29 +23,44 @@ pub struct TimingReport {
 
 /// Wire capacitance of a net in fF given its routed length, averaged over
 /// the layers it occupies.
-fn wire_cap_ff(netlist: &Netlist, routes: &RoutingResult, tech: &Technology, net: sm_netlist::NetId) -> f64 {
+fn wire_cap_ff(
+    netlist: &Netlist,
+    routes: &RoutingResult,
+    tech: &Technology,
+    net: sm_netlist::NetId,
+) -> f64 {
     let _ = netlist;
     let len_um = routes.net_wirelength_dbu(net) as f64 / 1000.0;
     let max_layer = routes.net_max_layer(net).max(2);
     let cap_per_um = tech.avg_cap_ff_per_um(2, max_layer);
-    let via_cap: f64 = routes.route(net).vias.iter().map(|v| {
-        (v.to_layer - v.from_layer) as f64 * tech.via_cap_ff
-    }).sum();
+    let via_cap: f64 = routes
+        .route(net)
+        .vias
+        .iter()
+        .map(|v| (v.to_layer - v.from_layer) as f64 * tech.via_cap_ff)
+        .sum();
     len_um * cap_per_um + via_cap
 }
 
 /// Wire resistance of a net in kΩ (for the Elmore term), averaged over its
 /// layers.
-fn wire_res_kohm(netlist: &Netlist, routes: &RoutingResult, tech: &Technology, net: sm_netlist::NetId) -> f64 {
+fn wire_res_kohm(
+    netlist: &Netlist,
+    routes: &RoutingResult,
+    tech: &Technology,
+    net: sm_netlist::NetId,
+) -> f64 {
     let _ = netlist;
     let len_um = routes.net_wirelength_dbu(net) as f64 / 1000.0;
     let max_layer = routes.net_max_layer(net).max(2);
     let slice = &tech.layers[1..max_layer as usize];
-    let res_per_um =
-        slice.iter().map(|l| l.res_ohm_per_um).sum::<f64>() / slice.len() as f64;
-    let via_res: f64 = routes.route(net).vias.iter().map(|v| {
-        (v.to_layer - v.from_layer) as f64 * tech.via_res_ohm
-    }).sum();
+    let res_per_um = slice.iter().map(|l| l.res_ohm_per_um).sum::<f64>() / slice.len() as f64;
+    let via_res: f64 = routes
+        .route(net)
+        .vias
+        .iter()
+        .map(|v| (v.to_layer - v.from_layer) as f64 * tech.via_res_ohm)
+        .sum();
     (len_um * res_per_um + via_res) / 1000.0
 }
 
@@ -198,6 +213,9 @@ mod tests {
         // Upsizing trades pin capacitance for drive strength; on a tiny
         // circuit the path may move either way but must stay in the same
         // ballpark.
-        assert!(after > 0.0 && after <= before * 1.5, "before {before} after {after}");
+        assert!(
+            after > 0.0 && after <= before * 1.5,
+            "before {before} after {after}"
+        );
     }
 }

@@ -259,7 +259,8 @@ impl Library {
     pub fn nangate45() -> Self {
         let mut lib = Library::new("nangate45");
         // (name, fn, fanin, area µm², cap fF, R kΩ, d0 ps, leak nW)
-        let rows: &[(&str, GateFn, usize, f64, f64, f64, f64, f64)] = &[
+        type LibRow = (&'static str, GateFn, usize, f64, f64, f64, f64, f64);
+        let rows: &[LibRow] = &[
             ("INV_X1", GateFn::Inv, 1, 0.532, 1.0, 8.0, 6.0, 1.2),
             ("INV_X2", GateFn::Inv, 1, 0.798, 2.0, 4.0, 6.0, 2.2),
             ("INV_X4", GateFn::Inv, 1, 1.330, 4.0, 2.0, 6.5, 4.2),

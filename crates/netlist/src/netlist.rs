@@ -212,9 +212,7 @@ impl Netlist {
             .sinks
             .iter()
             .map(|s| match s {
-                Sink::Cell { cell, .. } => {
-                    self.library.cell(self.cell(*cell).lib).input_cap_ff
-                }
+                Sink::Cell { cell, .. } => self.library.cell(self.cell(*cell).lib).input_cap_ff,
                 Sink::Port(_) => PAD_LOAD_FF,
             })
             .sum()

@@ -36,11 +36,7 @@ struct GateDef {
 /// Returns [`NetlistError::Parse`] for syntax problems,
 /// [`NetlistError::UnknownSignal`] for dangling references and
 /// [`NetlistError::CombinationalLoop`] for cyclic definitions.
-pub fn parse_bench(
-    name: &str,
-    text: &str,
-    library: &Library,
-) -> Result<Netlist, NetlistError> {
+pub fn parse_bench(name: &str, text: &str, library: &Library) -> Result<Netlist, NetlistError> {
     let mut builder = NetlistBuilder::new(name, library);
     let mut outputs: Vec<(usize, String)> = Vec::new();
     let mut gates: Vec<GateDef> = Vec::new();
@@ -62,7 +58,9 @@ pub fn parse_bench(
         } else if let Some(eq) = line.find('=') {
             let output = line[..eq].trim().to_string();
             let rhs = line[eq + 1..].trim();
-            let open = rhs.find('(').ok_or_else(|| parse_err(line_no, "missing `(`"))?;
+            let open = rhs
+                .find('(')
+                .ok_or_else(|| parse_err(line_no, "missing `(`"))?;
             if !rhs.ends_with(')') {
                 return Err(parse_err(line_no, "missing `)`"));
             }
@@ -87,7 +85,10 @@ pub fn parse_bench(
                 inputs,
             });
         } else {
-            return Err(parse_err(line_no, format!("unrecognized statement `{line}`")));
+            return Err(parse_err(
+                line_no,
+                format!("unrecognized statement `{line}`"),
+            ));
         }
     }
 
@@ -135,9 +136,7 @@ pub fn parse_bench(
     }
 
     for (line_no, out_name) in outputs {
-        let net = builder
-            .net_by_name(&out_name)
-            .map_err(|e| at(line_no, e))?;
+        let net = builder.net_by_name(&out_name).map_err(|e| at(line_no, e))?;
         builder.output(out_name, net);
     }
     builder.finish()

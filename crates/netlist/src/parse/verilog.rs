@@ -34,7 +34,12 @@ pub fn write_verilog(netlist: &Netlist) -> String {
         .chain(netlist.output_ports())
         .map(|p| p.name.as_str())
         .collect();
-    let _ = writeln!(out, "module {} ({});", sanitize(netlist.name()), ports.join(", "));
+    let _ = writeln!(
+        out,
+        "module {} ({});",
+        sanitize(netlist.name()),
+        ports.join(", ")
+    );
     for p in netlist.input_ports() {
         let _ = writeln!(out, "  input {};", p.name);
     }
@@ -50,12 +55,14 @@ pub fn write_verilog(netlist: &Netlist) -> String {
         labels.insert(p.net.index(), p.name.clone());
     }
     for p in netlist.output_ports() {
-        labels.entry(p.net.index()).or_insert_with(|| p.name.clone());
+        labels
+            .entry(p.net.index())
+            .or_insert_with(|| p.name.clone());
     }
     let mut wires = Vec::new();
     for (id, net) in netlist.nets() {
-        if !labels.contains_key(&id.index()) {
-            labels.insert(id.index(), net.name.clone());
+        if let std::collections::hash_map::Entry::Vacant(slot) = labels.entry(id.index()) {
+            slot.insert(net.name.clone());
             if net.degree() > 1 {
                 wires.push(net.name.clone());
             }
@@ -78,11 +85,7 @@ pub fn write_verilog(netlist: &Netlist) -> String {
     for (k, p) in netlist.output_ports().iter().enumerate() {
         let canonical = &labels[&p.net.index()];
         if canonical != &p.name {
-            let _ = writeln!(
-                out,
-                "  BUF_X1 UALIAS{k} (.A({canonical}), .Z({}));",
-                p.name
-            );
+            let _ = writeln!(out, "  BUF_X1 UALIAS{k} (.A({canonical}), .Z({}));", p.name);
         }
     }
     let _ = writeln!(out, "endmodule");
@@ -203,9 +206,7 @@ pub fn parse_verilog(text: &str, library: &Library) -> Result<Netlist, NetlistEr
 
     let mut builder = NetlistBuilder::new(name, library);
     for i in &inputs {
-        builder
-            .try_input(i.clone())
-            .map_err(|e| wrap(1, e))?;
+        builder.try_input(i.clone()).map_err(|e| wrap(1, e))?;
     }
     let output_set: HashSet<&String> = outputs.iter().collect();
     let _ = output_set; // outputs resolved after instances
@@ -286,7 +287,13 @@ fn split_names(rest: &str) -> Vec<String> {
 
 fn sanitize(name: &str) -> String {
     name.chars()
-        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect()
 }
 

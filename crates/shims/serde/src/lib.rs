@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde`.
+//!
+//! crates.io is unreachable in this build environment, so `Serialize` and
+//! `Deserialize` are marker traits here: deriving them compiles and tags
+//! the type, but no wire format is implemented. Actual JSON/CSV emission
+//! in this workspace lives in `sm-engine`'s hand-rolled reporters, which
+//! do not go through serde. Swap this shim for the real crates once the
+//! build environment has registry access.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for serializable types (no-op stand-in for `serde::Serialize`).
+pub trait Serialize {}
+
+/// Marker for deserializable types (no-op stand-in for
+/// `serde::Deserialize`).
+pub trait Deserialize<'de> {}

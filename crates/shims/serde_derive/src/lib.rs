@@ -1,0 +1,45 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! crates.io is unreachable in this build environment, so the workspace's
+//! `serde` shim exposes `Serialize`/`Deserialize` as marker traits and this
+//! proc-macro crate derives them by emitting empty impls. `#[serde(...)]`
+//! field/variant attributes are accepted and ignored. Only plain (non-
+//! generic) structs and enums are supported — which covers every derive in
+//! this repository.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name following the `struct`/`enum` keyword.
+fn type_name(input: TokenStream) -> String {
+    let mut saw_kw = false;
+    for tt in input {
+        if let TokenTree::Ident(id) = tt {
+            let s = id.to_string();
+            if saw_kw {
+                return s;
+            }
+            if s == "struct" || s == "enum" {
+                saw_kw = true;
+            }
+        }
+    }
+    panic!("serde shim derive: expected a struct or enum");
+}
+
+/// Derives the shim's marker `Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Derives the shim's marker `Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}

@@ -51,10 +51,9 @@ pub fn check(
 fn seeded_rng(netlist: &Netlist) -> rand::rngs::StdRng {
     use rand::SeedableRng;
     // Deterministic per design name so checks are reproducible.
-    let seed = netlist
-        .name()
-        .bytes()
-        .fold(0xcafef00du64, |h, b| h.wrapping_mul(31).wrapping_add(b as u64));
+    let seed = netlist.name().bytes().fold(0xcafef00du64, |h, b| {
+        h.wrapping_mul(31).wrapping_add(b as u64)
+    });
     rand::rngs::StdRng::seed_from_u64(seed)
 }
 
@@ -83,7 +82,11 @@ fn find_counterexample(
 /// Encodes one netlist into `cnf`, returning (input literals, output
 /// literals). `shared_inputs` lets the second netlist reuse the first's
 /// input variables so the miter quantifies over a single input vector.
-fn encode_netlist(cnf: &mut Cnf, netlist: &Netlist, shared_inputs: Option<&[Lit]>) -> (Vec<Lit>, Vec<Lit>) {
+fn encode_netlist(
+    cnf: &mut Cnf,
+    netlist: &Netlist,
+    shared_inputs: Option<&[Lit]>,
+) -> (Vec<Lit>, Vec<Lit>) {
     let input_lits: Vec<Lit> = match shared_inputs {
         Some(lits) => lits.to_vec(),
         None => (0..netlist.input_ports().len())
@@ -179,9 +182,12 @@ pub fn sat_check(golden: &Netlist, candidate: &Netlist, max_conflicts: u64) -> E
     cnf.add_clause(&[miter]);
     match cnf.solve(max_conflicts) {
         SatResult::Unsat => Equivalence::Equivalent,
-        SatResult::Sat(model) => {
-            Equivalence::NotEquivalent(inputs.iter().map(|l| model[l.var()] != l.is_neg()).collect())
-        }
+        SatResult::Sat(model) => Equivalence::NotEquivalent(
+            inputs
+                .iter()
+                .map(|l| model[l.var()] != l.is_neg())
+                .collect(),
+        ),
         SatResult::Unknown => Equivalence::Unknown,
     }
 }
@@ -217,7 +223,10 @@ mod tests {
         let y = b.gate(GateFn::Or, &[na, nc]).unwrap();
         b.output("y", y);
         let cand = b.finish().unwrap();
-        assert_eq!(check(&golden, &cand, 100_000).unwrap(), Equivalence::Equivalent);
+        assert_eq!(
+            check(&golden, &cand, 100_000).unwrap(),
+            Equivalence::Equivalent
+        );
     }
 
     #[test]

@@ -78,7 +78,11 @@ impl PatternSource {
         let n = self.num_patterns;
         self.words.iter().enumerate().map(move |(w, inputs)| {
             let used = n.saturating_sub(w * 64).min(64);
-            let mask = if used == 64 { !0u64 } else { (1u64 << used) - 1 };
+            let mask = if used == 64 {
+                !0u64
+            } else {
+                (1u64 << used) - 1
+            };
             (inputs.as_slice(), mask)
         })
     }

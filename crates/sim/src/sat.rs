@@ -475,6 +475,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn pigeonhole_3_into_2_unsat() {
         // 3 pigeons, 2 holes: var p*2+h means pigeon p in hole h.
         let mut cnf = Cnf::new();

@@ -30,7 +30,10 @@ fn main() {
         protected.randomization.swaps.len(),
         protected.randomization.oer_achieved * 100.0
     );
-    println!("PPA overhead vs unprotected baseline: {}", protected.ppa_overhead);
+    println!(
+        "PPA overhead vs unprotected baseline: {}",
+        protected.ppa_overhead
+    );
 
     // Attack at each split layer the paper averages over.
     let swapped = protected.randomization.swapped_connections();

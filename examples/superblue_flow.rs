@@ -42,7 +42,13 @@ fn main() {
 
     // Distances between truly connected gates (Table 1's story).
     let original = original_layout(&design, profile.utilization(), seed);
-    let lifted = naive_lifting(&design, &nets, config.lift_layer, profile.utilization(), seed);
+    let lifted = naive_lifting(
+        &design,
+        &nets,
+        config.lift_layer,
+        profile.utilization(),
+        seed,
+    );
     let d_orig = distance_stats(driver_sink_distances_um(
         &design,
         &original.placement,
@@ -67,7 +73,22 @@ fn main() {
     let vl = lifted.routing.via_counts();
     let vp = protected.restored_routing.via_counts();
     println!("vias V67/V78/V89 —");
-    println!("  original: {} / {} / {}", vo.between(6), vo.between(7), vo.between(8));
-    println!("  lifted:   {} / {} / {}", vl.between(6), vl.between(7), vl.between(8));
-    println!("  proposed: {} / {} / {}", vp.between(6), vp.between(7), vp.between(8));
+    println!(
+        "  original: {} / {} / {}",
+        vo.between(6),
+        vo.between(7),
+        vo.between(8)
+    );
+    println!(
+        "  lifted:   {} / {} / {}",
+        vl.between(6),
+        vl.between(7),
+        vl.between(8)
+    );
+    println!(
+        "  proposed: {} / {} / {}",
+        vp.between(6),
+        vp.between(7),
+        vp.between(8)
+    );
 }

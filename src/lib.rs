@@ -18,7 +18,10 @@
 //!   FEOL/BEOL splitting (the Innovus stand-in);
 //! * [`core`] — the protection flow, correction cells and baselines;
 //! * [`attacks`] — the network-flow proximity attack and `crouting`;
-//! * [`benchgen`] — deterministic ISCAS-85 / superblue-like generators.
+//! * [`benchgen`] — deterministic ISCAS-85 / superblue-like generators;
+//! * [`engine`] — the parallel experiment-campaign engine behind the
+//!   `smctl` CLI: jobs, a work-stealing executor, a content-keyed
+//!   bundle cache and deterministic JSON/CSV reporters.
 //!
 //! # Quickstart
 //!
@@ -60,17 +63,19 @@
 pub use sm_attacks as attacks;
 pub use sm_benchgen as benchgen;
 pub use sm_core as core;
+pub use sm_engine as engine;
 pub use sm_layout as layout;
 pub use sm_netlist as netlist;
 pub use sm_sim as sim;
 
 /// The types most workflows need, in one import.
 pub mod prelude {
-    pub use sm_attacks::{
-        crouting_attack, network_flow_attack, CroutingConfig, ProximityConfig,
-    };
+    pub use sm_attacks::{crouting_attack, network_flow_attack, CroutingConfig, ProximityConfig};
     pub use sm_benchgen::{IscasProfile, SuperblueProfile};
     pub use sm_core::{protect, FlowConfig, ProtectedDesign, RandomizeConfig};
+    pub use sm_engine::{
+        run_sweep, ArtifactCache, AttackKind, Executor, ExecutorConfig, SweepSpec,
+    };
     pub use sm_layout::{
         split_layout, Floorplan, PlacementEngine, RouteOptions, Router, Technology,
     };

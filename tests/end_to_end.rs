@@ -105,9 +105,9 @@ fn correction_cells_are_paired_and_legal() {
         protected.correction_cells.len(),
         protected.randomization.swaps.len() * 2
     );
-    assert!(split_manufacturing::core::correction::correction_cells_legal(
-        &protected.correction_cells
-    ));
+    assert!(
+        split_manufacturing::core::correction::correction_cells_legal(&protected.correction_cells)
+    );
     for cell in &protected.correction_cells {
         assert_eq!(cell.pin_layer, 6);
     }
