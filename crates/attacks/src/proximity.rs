@@ -41,6 +41,10 @@ pub struct ProximityConfig {
     pub eval_patterns: usize,
     /// Candidate drivers kept per sink in the flow network (pruning).
     pub candidates_per_sink: usize,
+    /// Seed of the OER/HD evaluation RNG. `None` falls back to hashing
+    /// the netlist name (the historical behavior); campaigns pass the
+    /// job's derived seed so seed sweeps explore attack variance.
+    pub eval_seed: Option<u64>,
 }
 
 impl Default for ProximityConfig {
@@ -52,6 +56,7 @@ impl Default for ProximityConfig {
             load_factor_per_ff: 0.25,
             eval_patterns: 65_536,
             candidates_per_sink: 24,
+            eval_seed: None,
         }
     }
 }
@@ -204,7 +209,7 @@ pub fn network_flow_attack(
     let _ = placement; // positions are already baked into the vpins
 
     let ccr = ccr_vs_golden(golden, split, &pairs);
-    let mut rng = seeded(golden);
+    let mut rng = seeded(golden, config.eval_seed);
     let patterns = PatternSource::random(golden, config.eval_patterns, &mut rng);
     let metrics = security_metrics(golden, &recovered, &patterns).expect("same port interface");
     AttackOutcome {
@@ -364,10 +369,12 @@ fn current_net_of(netlist: &Netlist, sink: Sink) -> sm_netlist::NetId {
     }
 }
 
-fn seeded(netlist: &Netlist) -> rand::rngs::StdRng {
+fn seeded(netlist: &Netlist, eval_seed: Option<u64>) -> rand::rngs::StdRng {
     use rand::SeedableRng;
-    let seed = netlist.name().bytes().fold(0x9e3779b9u64, |h, b| {
-        h.wrapping_mul(131).wrapping_add(b as u64)
+    let seed = eval_seed.unwrap_or_else(|| {
+        netlist.name().bytes().fold(0x9e3779b9u64, |h, b| {
+            h.wrapping_mul(131).wrapping_add(b as u64)
+        })
     });
     rand::rngs::StdRng::seed_from_u64(seed)
 }

@@ -3,7 +3,9 @@
 //! ```text
 //! smctl run <artifact...>     regenerate printed tables/figures
 //! smctl sweep [axes]          parallel campaign → JSON/CSV report
+//! smctl resume <report.json>  re-run missing jobs of a stored campaign
 //! smctl report --input FILE   re-render a stored report
+//! smctl store stats|gc|clear  inspect/maintain the artifact store
 //! smctl help                  this text
 //! ```
 //!
@@ -13,29 +15,51 @@
 //! product benchmarks × seeds × split layers × attacks on the engine's
 //! thread pool and emits a canonical report that is byte-identical
 //! across runs of the same spec.
+//!
+//! Both commands persist bundles and finished job results under
+//! `.sm-store/` (override with `--store DIR`, disable with
+//! `--no-store`), so a second invocation decodes warm artifacts instead
+//! of rebuilding them — the canonical reports stay byte-identical
+//! either way, which CI enforces.
 
 use std::io::Write;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use sm_bench::artifacts::{artifact_by_name, ARTIFACTS};
 use sm_bench::cli;
 use sm_bench::session::Session;
 use sm_bench::suite::{iscas_selection, superblue_selection};
-use sm_bench::RunOptions;
-use sm_engine::campaign::{json_to_csv, run_sweep, SweepSpec};
-use sm_engine::exec::ExecutorConfig;
+use sm_bench::{RunOptions, StoreMode};
+use sm_engine::campaign::{
+    json_to_csv, merge_outcomes, missing_jobs, run_jobs, run_sweep_with, Campaign, SweepSpec,
+};
+use sm_engine::exec::{Executor, ExecutorConfig};
 use sm_engine::job::AttackKind;
 use sm_engine::report::{Json, ReportOptions};
+use sm_engine::store::ArtifactStore;
+use sm_engine::ArtifactCache;
+
+/// The store directory `smctl run`/`sweep`/`resume` use when no
+/// `--store`/`--no-store` is given.
+const DEFAULT_STORE: &str = ".sm-store";
 
 const HELP: &str = "\
 smctl — split-manufacturing experiment campaigns
 
 USAGE:
     smctl run <artifact...> [--seed N] [--scale N] [--quick] [--threads N]
+                [--store DIR | --no-store] [--store-cap SIZE]
     smctl sweep [--benchmarks LIST] [--seeds SPEC] [--split-layers LIST]
                 [--attacks LIST] [--scale N] [--seed N] [--quick]
-                [--threads N] [--format json|csv] [--timings] [--out FILE]
-    smctl report --input FILE [--format json|csv]
+                [--threads N] [--jobs SPEC]
+                [--format json|csv|agg-csv|table] [--timings] [--out FILE]
+                [--store DIR | --no-store] [--store-cap SIZE]
+    smctl resume <report.json> [--threads N] [--out FILE]
+                [--format json|csv|agg-csv|table]
+                [--store DIR | --no-store] [--store-cap SIZE]
+    smctl report --input FILE [--format json|csv|agg-csv|table]
+    smctl store stats|gc|clear [--store DIR] [--store-cap SIZE]
     smctl help
 
 ARTIFACTS:
@@ -50,12 +74,31 @@ SWEEP AXES:
     --split-layers comma list of metal layers, e.g. `3,4,6` (default 3,4,5)
     --attacks      comma list of `flow`, `crouting` (default flow)
     --seed         campaign master seed folded into every derived seed
-    --timings      include wall-clock fields (report is then no longer
-                   byte-identical across runs)
+    --jobs         run only these job indices of the expansion, e.g.
+                   `0,2,5..9` (the report stays mergeable via resume)
+    --timings      include wall-clock + cache diagnostics (report is then
+                   no longer byte-identical across runs)
+
+STORE:
+    run/sweep/resume persist layout bundles and job outcomes under
+    .sm-store/ by default; --store DIR relocates it, --no-store disables
+    it, --store-cap SIZE (bytes, or K/M/G) bounds it with LRU eviction.
+
+FORMATS:
+    json      canonical campaign report (storable, resumable)
+    csv       one row per flow job / crouting box
+    agg-csv   mean/std_dev/min/max over seeds per sweep point
+    table     human-readable aggregate table
+
+`smctl resume` re-runs only the jobs missing from a stored report (e.g.
+after an interrupted or --jobs-filtered run) and merges the results into
+the canonical JSON report (to --out for `--format json`, in place
+otherwise; non-JSON formats are additional views and never replace the
+stored report).
 
 All value flags accept both `--flag N` and `--flag=N`. Reports print to
-stdout (or --out FILE); the run summary, including bundle-cache hit
-counts, prints to stderr.
+stdout (or --out FILE); the run summary, including bundle-cache and
+store hit counts, prints to stderr.
 ";
 
 fn main() -> ExitCode {
@@ -70,7 +113,9 @@ fn main() -> ExitCode {
     let result = match cmd {
         "run" => cmd_run(rest),
         "sweep" => cmd_sweep(rest),
+        "resume" => cmd_resume(rest),
         "report" => cmd_report(rest),
+        "store" => cmd_store(rest),
         "help" | "--help" | "-h" => {
             print!("{HELP}");
             Ok(())
@@ -94,14 +139,14 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let mut names: Vec<&str> = Vec::new();
     let mut flags: Vec<String> = Vec::new();
     let mut expecting_value = false;
+    const VALUE_FLAGS: [&str; 5] = ["--seed", "--scale", "--threads", "--store", "--store-cap"];
     for arg in args {
         if arg.starts_with("--") {
             let (flag, inline) = cli::split_flag(arg);
-            if !matches!(flag, "--seed" | "--scale" | "--threads" | "--quick") {
+            if !VALUE_FLAGS.contains(&flag) && !matches!(flag, "--quick" | "--no-store") {
                 return Err(format!("unknown run flag `{flag}`; see `smctl help`"));
             }
-            expecting_value =
-                inline.is_none() && matches!(flag, "--seed" | "--scale" | "--threads");
+            expecting_value = inline.is_none() && VALUE_FLAGS.contains(&flag);
             flags.push(arg.clone());
         } else if expecting_value {
             expecting_value = false;
@@ -125,7 +170,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             artifact_by_name(name).ok_or(format!("unknown artifact `{name}`"))?,
         ));
     }
-    let opts = RunOptions::from_slice(&flags)?;
+    let opts = default_store(RunOptions::from_slice(&flags)?);
     let session = Session::new(opts);
     for (i, (_, runner)) in runners.iter().enumerate() {
         if i > 0 {
@@ -135,17 +180,36 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     }
     let stats = session.cache_stats();
     eprintln!(
-        "bundle cache: {} builds, {} hits over {} artifact(s)",
+        "bundle cache: {} builds, {} hits, {} disk hits over {} artifact(s)",
         stats.builds,
         stats.hits,
+        stats.disk_hits,
         runners.len()
     );
+    print_store_stats(session.cache());
     Ok(())
+}
+
+/// `smctl run`/`sweep`/`resume` persist by default: an unset store mode
+/// resolves to [`DEFAULT_STORE`].
+fn default_store(mut opts: RunOptions) -> RunOptions {
+    if opts.store == StoreMode::Auto {
+        opts.store = StoreMode::At(DEFAULT_STORE.into());
+    }
+    opts
+}
+
+/// The cache an `opts`-configured campaign runs against.
+fn cache_for(opts: &RunOptions) -> ArtifactCache {
+    match opts.store_dir(None) {
+        Some(dir) => ArtifactCache::with_store(Arc::new(ArtifactStore::open(dir, opts.store_cap))),
+        None => ArtifactCache::new(),
+    }
 }
 
 /// `smctl sweep`: expand axes, run on the pool, emit the report.
 fn cmd_sweep(args: &[String]) -> Result<(), String> {
-    let opts = RunOptions::from_slice(args)?;
+    let opts = default_store(RunOptions::from_slice(args)?);
     let mut spec = SweepSpec {
         benchmarks: Vec::new(),
         seeds: vec![1],
@@ -157,6 +221,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     let mut format = "json".to_string();
     let mut out_path: Option<String> = None;
     let mut timings = false;
+    let mut job_filter: Option<Vec<usize>> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -172,19 +237,25 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
             "--attacks" => {
                 spec.attacks = parse_attacks(&cli::flag_value(flag, inline, args, &mut i)?)?
             }
+            "--jobs" => {
+                job_filter = Some(parse_indices(&cli::flag_value(
+                    flag, inline, args, &mut i,
+                )?)?)
+            }
             "--format" => format = cli::flag_value(flag, inline, args, &mut i)?,
             "--out" => out_path = Some(cli::flag_value(flag, inline, args, &mut i)?),
             "--timings" => {
                 cli::no_value(flag, inline)?;
                 timings = true;
             }
-            // RunOptions flags (--seed/--scale/--quick/--threads) were
-            // parsed above; skip their value tokens here. Anything else
-            // is a mistake worth rejecting in a report-producing command.
-            "--seed" | "--scale" | "--threads" => {
+            // RunOptions flags (--seed/--scale/--quick/--threads/store
+            // selection) were parsed above; skip their value tokens
+            // here. Anything else is a mistake worth rejecting in a
+            // report-producing command.
+            "--seed" | "--scale" | "--threads" | "--store" | "--store-cap" => {
                 let _ = cli::flag_value(flag, inline, args, &mut i)?;
             }
-            "--quick" => cli::no_value(flag, inline)?,
+            "--quick" | "--no-store" => cli::no_value(flag, inline)?,
             other => return Err(format!("unknown sweep flag `{other}`; see `smctl help`")),
         }
         i += 1;
@@ -197,27 +268,203 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
             .map(|p| p.name.to_string())
             .collect();
     }
-    if !matches!(format.as_str(), "json" | "csv") {
-        return Err(format!("unknown --format `{format}` (expected json|csv)"));
-    }
+    check_format(&format)?;
 
-    let campaign = run_sweep(
+    let cache = cache_for(&opts);
+    let campaign = run_sweep_with(
         &spec,
         ExecutorConfig {
             threads: opts.threads,
         },
+        &cache,
+        job_filter.as_deref(),
     )?;
+    let rendered = render_campaign(&campaign, &format, timings);
+    emit(&rendered, out_path.as_deref())?;
+    eprintln!("{}", campaign.summary());
+    print_store_stats(&cache);
+    Ok(())
+}
+
+/// One stderr line of store counters, when a store is attached.
+fn print_store_stats(cache: &ArtifactCache) {
+    if let Some(store) = cache.store() {
+        let s = store.stats();
+        eprintln!(
+            "store: {} disk hits, {} misses, {} writes, {} evictions",
+            s.disk_hits, s.disk_misses, s.writes, s.evictions
+        );
+    }
+}
+
+/// `smctl resume <report.json>`: re-run only the jobs missing from a
+/// stored campaign report and merge the results back in.
+fn cmd_resume(args: &[String]) -> Result<(), String> {
+    let opts = default_store(RunOptions::from_slice(args)?);
+    let mut input: Option<String> = None;
+    let mut out_path: Option<String> = None;
+    let mut format = "json".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        let (flag, inline) = cli::split_flag(args[i].as_str());
+        match flag {
+            "--out" => out_path = Some(cli::flag_value(flag, inline, args, &mut i)?),
+            "--format" => format = cli::flag_value(flag, inline, args, &mut i)?,
+            "--threads" | "--store" | "--store-cap" => {
+                let _ = cli::flag_value(flag, inline, args, &mut i)?;
+            }
+            "--no-store" => cli::no_value(flag, inline)?,
+            _ if !flag.starts_with("--") => match input {
+                None => input = Some(args[i].clone()),
+                Some(_) => return Err(format!("unexpected argument `{flag}`")),
+            },
+            other => return Err(format!("unknown resume flag `{other}`; see `smctl help`")),
+        }
+        i += 1;
+    }
+    let path = input.ok_or("`smctl resume` needs a stored report file")?;
+    check_format(&format)?;
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
+    let stored = Campaign::from_json(&Json::parse(&text).map_err(|e| format!("{path}: {e}"))?)
+        .map_err(|e| format!("{path}: {e}"))?;
+
+    let expansion = stored.spec.jobs()?;
+    let missing = missing_jobs(&expansion, &stored.outcomes);
+    eprintln!(
+        "{}: {} of {} jobs present, {} to run",
+        path,
+        stored.outcomes.len(),
+        expansion.len(),
+        missing.len()
+    );
+
+    let cache = cache_for(&opts);
+    let executor = Executor::new(ExecutorConfig {
+        threads: opts.threads,
+    });
+    let fresh = run_jobs(&missing, &executor, &cache);
+    let outcomes = merge_outcomes(&expansion, stored.outcomes, fresh);
+    let campaign = Campaign {
+        spec: stored.spec,
+        outcomes,
+        cache: cache.stats(),
+        threads: executor.threads(),
+        total_wall: std::time::Duration::ZERO,
+    };
+    // The canonical JSON report is always preserved: it goes to --out
+    // for `--format json`, otherwise the input file is updated in
+    // place. Non-JSON renderings are *views* — they go to --out or
+    // stdout and never replace the stored campaign.
+    let canonical = render_campaign(&campaign, "json", false);
+    if format == "json" {
+        emit(
+            &canonical,
+            Some(out_path.as_deref().unwrap_or(path.as_str())),
+        )?;
+    } else {
+        emit(&canonical, Some(path.as_str()))?;
+        emit(
+            &render_campaign(&campaign, &format, false),
+            out_path.as_deref(),
+        )?;
+    }
+    eprintln!("{}", campaign.summary());
+    print_store_stats(&cache);
+    Ok(())
+}
+
+/// `smctl store stats|gc|clear`: inspect and maintain the artifact
+/// store without running anything.
+fn cmd_store(args: &[String]) -> Result<(), String> {
+    let (action, rest) = match args.split_first() {
+        Some((a, rest)) if !a.starts_with("--") => (a.as_str(), rest),
+        _ => return Err("`smctl store` needs an action: stats|gc|clear".into()),
+    };
+    // Strict flag validation: a typo'd --store must not silently hit
+    // the default directory (gc/clear are destructive).
+    let mut i = 0;
+    while i < rest.len() {
+        let (flag, inline) = cli::split_flag(rest[i].as_str());
+        match flag {
+            "--store" | "--store-cap" => {
+                let _ = cli::flag_value(flag, inline, rest, &mut i)?;
+            }
+            "--no-store" => cli::no_value(flag, inline)?,
+            other => return Err(format!("unknown store flag `{other}`; see `smctl help`")),
+        }
+        i += 1;
+    }
+    let opts = default_store(RunOptions::from_slice(rest)?);
+    let dir = opts
+        .store_dir(None)
+        .ok_or("`smctl store` needs a store (remove --no-store)")?;
+    let store = ArtifactStore::open(&dir, opts.store_cap);
+    match action {
+        "stats" => {
+            let usage = store.usage();
+            println!(
+                "{dir}: {} file(s), {} bytes{}",
+                usage.files,
+                usage.bytes,
+                match opts.store_cap {
+                    Some(cap) => format!(" (cap {cap})"),
+                    None => String::new(),
+                }
+            );
+        }
+        "gc" => {
+            let cap = opts
+                .store_cap
+                .ok_or("`smctl store gc` needs --store-cap SIZE")?;
+            let evicted = store.gc_to(cap);
+            let usage = store.usage();
+            println!(
+                "{dir}: evicted {evicted} file(s); {} file(s), {} bytes remain",
+                usage.files, usage.bytes
+            );
+        }
+        "clear" => {
+            let removed = store.clear();
+            println!("{dir}: removed {removed} file(s)");
+        }
+        other => return Err(format!("unknown store action `{other}` (stats|gc|clear)")),
+    }
+    Ok(())
+}
+
+fn check_format(format: &str) -> Result<(), String> {
+    if matches!(format, "json" | "csv" | "agg-csv" | "table") {
+        Ok(())
+    } else {
+        Err(format!(
+            "unknown --format `{format}` (expected json|csv|agg-csv|table)"
+        ))
+    }
+}
+
+fn render_campaign(campaign: &Campaign, format: &str, timings: bool) -> String {
     let report_opts = ReportOptions {
         include_timings: timings,
     };
-    let rendered = match format.as_str() {
+    match format {
         "json" => campaign.to_json(report_opts).render(),
-        _ => campaign.to_csv(report_opts),
-    };
+        "csv" => campaign.to_csv(report_opts),
+        "agg-csv" => campaign.aggregates_to_csv(),
+        _ => campaign.to_table(),
+    }
+}
+
+fn emit(rendered: &str, out_path: Option<&str>) -> Result<(), String> {
     match out_path {
         Some(path) => {
-            std::fs::write(&path, rendered.as_bytes())
-                .map_err(|e| format!("writing {path}: {e}"))?;
+            // Stage-and-rename, so an interrupted write can never tear
+            // an existing report (resume rewrites its input in place).
+            let tmp = format!("{path}.tmp-{}", std::process::id());
+            std::fs::write(&tmp, rendered.as_bytes()).map_err(|e| format!("writing {tmp}: {e}"))?;
+            std::fs::rename(&tmp, path).map_err(|e| {
+                let _ = std::fs::remove_file(&tmp);
+                format!("writing {path}: {e}")
+            })?;
             eprintln!("report written to {path}");
         }
         None => {
@@ -226,7 +473,6 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
                 .map_err(|e| e.to_string())?;
         }
     }
-    eprintln!("{}", campaign.summary());
     Ok(())
 }
 
@@ -245,14 +491,35 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
         i += 1;
     }
     let path = input.ok_or("`smctl report` needs --input FILE")?;
+    check_format(&format)?;
     let text = std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
     let parsed = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
     match format.as_str() {
         "json" => print!("{}", parsed.render()),
         "csv" => print!("{}", json_to_csv(&parsed)?),
-        other => return Err(format!("unknown --format `{other}` (expected json|csv)")),
+        // Aggregate views re-derive from the parsed outcomes, so stored
+        // reports can be summarized without re-running anything.
+        _ => {
+            let campaign = Campaign::from_json(&parsed).map_err(|e| format!("{path}: {e}"))?;
+            print!("{}", render_campaign(&campaign, &format, false));
+        }
     }
     Ok(())
+}
+
+/// Upper bound on explicit `--jobs` indices, matching the seed limit.
+const MAX_JOBS: u64 = 100_000;
+
+/// Parses a job-index list: `0,2,5..9` and `5..=9` forms, mixed.
+fn parse_indices(list: &str) -> Result<Vec<usize>, String> {
+    let seeds = parse_seeds(list)?;
+    if seeds.len() as u64 > MAX_JOBS {
+        return Err(format!("--jobs exceeds the {MAX_JOBS}-index limit"));
+    }
+    seeds
+        .into_iter()
+        .map(|s| usize::try_from(s).map_err(|_| format!("--jobs index {s} out of range")))
+        .collect()
 }
 
 fn parse_benchmarks(list: &str) -> Result<Vec<String>, String> {

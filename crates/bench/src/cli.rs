@@ -45,6 +45,24 @@ pub fn no_value(flag: &str, inline: Option<&str>) -> Result<(), String> {
     }
 }
 
+/// Parses a byte size: a plain integer, optionally suffixed with
+/// `K`/`M`/`G` (case-insensitive, powers of 1024). Used by
+/// `--store-cap`.
+pub fn parse_size(s: &str) -> Result<u64, String> {
+    let t = s.trim();
+    let (digits, multiplier) = match t.char_indices().next_back() {
+        Some((i, c)) if c.eq_ignore_ascii_case(&'k') => (&t[..i], 1u64 << 10),
+        Some((i, c)) if c.eq_ignore_ascii_case(&'m') => (&t[..i], 1u64 << 20),
+        Some((i, c)) if c.eq_ignore_ascii_case(&'g') => (&t[..i], 1u64 << 30),
+        _ => (t, 1),
+    };
+    let n: u64 = digits
+        .parse()
+        .map_err(|e| format!("invalid size `{s}`: {e}"))?;
+    n.checked_mul(multiplier)
+        .ok_or(format!("size `{s}` overflows"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -86,5 +104,17 @@ mod tests {
         assert!(no_value("--quick", None).is_ok());
         assert!(no_value("--quick", Some("yes")).is_err());
         assert!(no_value("--timings", Some("false")).is_err());
+    }
+
+    #[test]
+    fn parse_size_accepts_suffixes() {
+        assert_eq!(parse_size("1024").unwrap(), 1024);
+        assert_eq!(parse_size("4K").unwrap(), 4096);
+        assert_eq!(parse_size("2m").unwrap(), 2 << 20);
+        assert_eq!(parse_size("1G").unwrap(), 1 << 30);
+        assert!(parse_size("").is_err());
+        assert!(parse_size("12T").is_err());
+        assert!(parse_size("-1").is_err());
+        assert!(parse_size("99999999999G").is_err());
     }
 }

@@ -34,6 +34,19 @@ pub mod quotes;
 pub mod session;
 pub mod suite;
 
+/// Where the disk-backed artifact store lives, if anywhere.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum StoreMode {
+    /// No preference given: the caller decides (`smctl run`/`sweep`
+    /// default to `.sm-store/`, artifact binaries to no store).
+    #[default]
+    Auto,
+    /// `--no-store`: run without persistence.
+    Off,
+    /// `--store DIR`: persist bundles and job outcomes under `DIR`.
+    At(String),
+}
+
 /// Command-line options shared by all experiment binaries.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunOptions {
@@ -45,6 +58,10 @@ pub struct RunOptions {
     pub quick: bool,
     /// Worker threads (`None` = machine parallelism).
     pub threads: Option<usize>,
+    /// Disk-backed artifact store selection.
+    pub store: StoreMode,
+    /// Store size budget in bytes (`--store-cap`, e.g. `512M`).
+    pub store_cap: Option<u64>,
 }
 
 impl Default for RunOptions {
@@ -54,6 +71,8 @@ impl Default for RunOptions {
             scale: 100,
             quick: false,
             threads: None,
+            store: StoreMode::Auto,
+            store_cap: None,
         }
     }
 }
@@ -112,11 +131,34 @@ impl RunOptions {
                     cli::no_value("--quick", inline)?;
                     opts.quick = true;
                 }
+                "--store" => {
+                    let v = cli::flag_value("--store", inline, args, &mut i)?;
+                    opts.store = StoreMode::At(v);
+                }
+                "--no-store" => {
+                    cli::no_value("--no-store", inline)?;
+                    opts.store = StoreMode::Off;
+                }
+                "--store-cap" => {
+                    let v = cli::flag_value("--store-cap", inline, args, &mut i)?;
+                    opts.store_cap = Some(cli::parse_size(&v)?);
+                }
                 _ => {}
             }
             i += 1;
         }
         Ok(opts)
+    }
+
+    /// Resolves [`StoreMode::Auto`] against the caller's default
+    /// (`Some(path)` to enable the store by default, `None` to leave it
+    /// off), yielding the effective store directory.
+    pub fn store_dir(&self, auto_default: Option<&str>) -> Option<String> {
+        match &self.store {
+            StoreMode::At(path) => Some(path.clone()),
+            StoreMode::Off => None,
+            StoreMode::Auto => auto_default.map(str::to_string),
+        }
     }
 }
 
@@ -181,5 +223,26 @@ mod tests {
     fn zero_threads_means_auto() {
         let o = RunOptions::from_slice(&args(&["--threads", "0"])).expect("valid");
         assert_eq!(o.threads, None);
+    }
+
+    #[test]
+    fn store_flags_resolve_modes() {
+        let o = RunOptions::from_slice(&args(&["--store", "my-store", "--store-cap", "4M"]))
+            .expect("valid");
+        assert_eq!(o.store, StoreMode::At("my-store".into()));
+        assert_eq!(o.store_cap, Some(4 << 20));
+        assert_eq!(o.store_dir(Some(".sm-store")), Some("my-store".into()));
+
+        let off = RunOptions::from_slice(&args(&["--no-store"])).expect("valid");
+        assert_eq!(off.store, StoreMode::Off);
+        assert_eq!(off.store_dir(Some(".sm-store")), None);
+
+        let auto = RunOptions::default();
+        assert_eq!(auto.store_dir(Some(".sm-store")), Some(".sm-store".into()));
+        assert_eq!(auto.store_dir(None), None);
+
+        assert!(RunOptions::from_slice(&args(&["--store-cap", "soon"])).is_err());
+        assert!(RunOptions::from_slice(&args(&["--store"])).is_err());
+        assert!(RunOptions::from_slice(&args(&["--no-store=yes"])).is_err());
     }
 }

@@ -12,6 +12,7 @@ use sm_benchgen::superblue::SuperblueProfile;
 use sm_engine::bundle::{iscas_selection, superblue_selection, IscasRun, SuperblueRun};
 use sm_engine::cache::{ArtifactCache, CacheStats};
 use sm_engine::exec::{Executor, ExecutorConfig};
+use sm_engine::store::{ArtifactStore, StoreStats};
 
 use crate::experiments::{security_row, SecurityRow};
 use crate::RunOptions;
@@ -28,14 +29,25 @@ pub struct Session {
 }
 
 impl Session {
-    /// Builds a session for `opts`.
+    /// Builds a session for `opts`. A store directory resolved from
+    /// `opts.store` (explicit `--store` only; [`StoreMode::Auto`] means
+    /// no store here — `smctl` resolves its own default before calling
+    /// this) layers the bundle cache over disk.
+    ///
+    /// [`StoreMode::Auto`]: crate::StoreMode::Auto
     pub fn new(opts: RunOptions) -> Session {
         let exec = Executor::new(ExecutorConfig {
             threads: opts.threads,
         });
+        let cache = match opts.store_dir(None) {
+            Some(dir) => {
+                ArtifactCache::with_store(Arc::new(ArtifactStore::open(dir, opts.store_cap)))
+            }
+            None => ArtifactCache::new(),
+        };
         Session {
             opts,
-            cache: Arc::new(ArtifactCache::new()),
+            cache: Arc::new(cache),
             exec,
             security_rows: Arc::default(),
         }
@@ -44,6 +56,16 @@ impl Session {
     /// The options this session runs with.
     pub fn opts(&self) -> &RunOptions {
         &self.opts
+    }
+
+    /// The session's bundle cache (shared with campaign helpers).
+    pub fn cache(&self) -> &Arc<ArtifactCache> {
+        &self.cache
+    }
+
+    /// Disk-store counters, when a store is attached.
+    pub fn store_stats(&self) -> Option<StoreStats> {
+        self.cache.store().map(|s| s.stats())
     }
 
     /// The engine executor (for parallel per-row measurement work).
@@ -113,5 +135,42 @@ mod tests {
         let stats = session.cache_stats();
         assert_eq!(stats.builds, 2);
         assert_eq!(stats.hits, 2);
+        assert!(session.store_stats().is_none(), "no store by default");
+    }
+
+    /// The `smctl run` warm-path guarantee at the session level: a
+    /// second session over the same store directory rebuilds nothing.
+    #[test]
+    fn store_backed_sessions_share_bundles_across_processes() {
+        let dir =
+            std::env::temp_dir().join(format!("sm-session-store-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = RunOptions {
+            quick: true,
+            threads: Some(2),
+            store: crate::StoreMode::At(dir.to_string_lossy().into_owned()),
+            ..RunOptions::default()
+        };
+
+        let cold = Session::new(opts.clone());
+        let a = cold.iscas_runs();
+        assert_eq!(cold.cache_stats().builds, 2);
+        assert_eq!(cold.store_stats().unwrap().writes, 2);
+
+        // A fresh session (new process, in effect) over the same store.
+        let warm = Session::new(opts);
+        let b = warm.iscas_runs();
+        let stats = warm.cache_stats();
+        assert_eq!(stats.builds, 0, "warm session must not rebuild");
+        assert_eq!(stats.disk_hits, 2);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.netlist.num_nets(), y.netlist.num_nets());
+            assert_eq!(
+                x.protected.randomization.swaps,
+                y.protected.randomization.swaps
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,0 +1,503 @@
+//! `sm-codec` — the compact binary serialization framework behind the
+//! engine's disk-backed artifact store.
+//!
+//! The workspace's `serde` is an offline marker-trait shim (crates.io is
+//! unreachable), so persistence needs its own wire format. The design
+//! goals are the store's, not a general interchange format's:
+//!
+//! * **deterministic** — equal values encode to equal bytes, so stored
+//!   artifacts can be content-compared;
+//! * **hostile-input safe** — [`Decode`] never panics on truncated or
+//!   corrupted bytes; every failure surfaces as a [`CodecError`] the
+//!   store turns into a cache miss (rebuild), and length prefixes never
+//!   pre-allocate unbounded memory;
+//! * **boring** — fixed-width little-endian primitives, `u64` length
+//!   prefixes, no varints, no schema evolution (the store's version
+//!   header invalidates old formats wholesale instead).
+//!
+//! Implementations for domain types live next to the types themselves
+//! (`sm-netlist`, `sm-layout`, `sm-core`, `sm-engine`), where private
+//! fields are reachable.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// A decoding failure. Encoding is infallible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input ended before the value was complete.
+    UnexpectedEof {
+        /// Byte offset the reader stopped at.
+        at: usize,
+        /// Bytes the failed read needed.
+        needed: usize,
+    },
+    /// A tag, length or payload was structurally invalid.
+    Invalid(String),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnexpectedEof { at, needed } => {
+                write!(
+                    f,
+                    "unexpected end of input at byte {at} (needed {needed} more)"
+                )
+            }
+            CodecError::Invalid(msg) => write!(f, "invalid encoding: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Byte sink for encoding.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the writer, yielding the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends raw bytes verbatim.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+}
+
+/// Byte source for decoding. Tracks its position; all reads are bounds
+/// checked.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader over `bytes`, positioned at the start.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    /// Current byte offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Reads exactly `n` raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::UnexpectedEof`] if fewer than `n` bytes remain.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::UnexpectedEof {
+                at: self.pos,
+                needed: n - self.remaining(),
+            });
+        }
+        let out = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::UnexpectedEof`] at end of input.
+    pub fn take_u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a `u64` length prefix and sanity-checks it against the bytes
+    /// actually remaining (each element needs ≥ `min_element_size` bytes),
+    /// so corrupted prefixes fail fast instead of driving huge
+    /// allocations.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on EOF or an implausible length.
+    pub fn take_len(&mut self, min_element_size: usize) -> Result<usize, CodecError> {
+        let raw = u64::decode(self)?;
+        let len = usize::try_from(raw)
+            .map_err(|_| CodecError::Invalid(format!("length {raw} overflows usize")))?;
+        let floor = len.saturating_mul(min_element_size.max(1));
+        if floor > self.remaining() {
+            return Err(CodecError::Invalid(format!(
+                "length prefix {len} needs ≥ {floor} bytes but only {} remain",
+                self.remaining()
+            )));
+        }
+        Ok(len)
+    }
+
+    /// Succeeds only if every byte has been consumed.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Invalid`] if trailing bytes remain.
+    pub fn finish(&self) -> Result<(), CodecError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(CodecError::Invalid(format!(
+                "{} trailing bytes after value",
+                self.remaining()
+            )))
+        }
+    }
+}
+
+/// Serialize into a [`Writer`].
+pub trait Encode {
+    /// Appends this value's encoding to `w`.
+    fn encode(&self, w: &mut Writer);
+}
+
+/// Deserialize from a [`Reader`].
+pub trait Decode: Sized {
+    /// Reads one value.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on truncated or invalid input.
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError>;
+}
+
+/// Encodes `value` into a fresh byte vector.
+pub fn encode_to_vec<T: Encode + ?Sized>(value: &T) -> Vec<u8> {
+    let mut w = Writer::new();
+    value.encode(&mut w);
+    w.into_bytes()
+}
+
+/// Decodes exactly one `T` from `bytes`, rejecting trailing garbage.
+///
+/// # Errors
+///
+/// [`CodecError`] on truncated, invalid or over-long input.
+pub fn decode_from_slice<T: Decode>(bytes: &[u8]) -> Result<T, CodecError> {
+    let mut r = Reader::new(bytes);
+    let value = T::decode(&mut r)?;
+    r.finish()?;
+    Ok(value)
+}
+
+macro_rules! impl_fixed_int {
+    ($($ty:ty),*) => {$(
+        impl Encode for $ty {
+            fn encode(&self, w: &mut Writer) {
+                w.put_bytes(&self.to_le_bytes());
+            }
+        }
+        impl Decode for $ty {
+            fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+                let raw = r.take(std::mem::size_of::<$ty>())?;
+                Ok(<$ty>::from_le_bytes(raw.try_into().expect("exact take")))
+            }
+        }
+    )*};
+}
+
+impl_fixed_int!(u8, u16, u32, u64, i8, i16, i32, i64);
+
+impl Encode for usize {
+    fn encode(&self, w: &mut Writer) {
+        (*self as u64).encode(w);
+    }
+}
+
+impl Decode for usize {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let raw = u64::decode(r)?;
+        usize::try_from(raw)
+            .map_err(|_| CodecError::Invalid(format!("usize value {raw} overflows")))
+    }
+}
+
+impl Encode for bool {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(*self as u8);
+    }
+}
+
+impl Decode for bool {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.take_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(CodecError::Invalid(format!("bool tag {other}"))),
+        }
+    }
+}
+
+impl Encode for f64 {
+    fn encode(&self, w: &mut Writer) {
+        self.to_bits().encode(w);
+    }
+}
+
+impl Decode for f64 {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(f64::from_bits(u64::decode(r)?))
+    }
+}
+
+impl Encode for str {
+    fn encode(&self, w: &mut Writer) {
+        (self.len() as u64).encode(w);
+        w.put_bytes(self.as_bytes());
+    }
+}
+
+impl Encode for String {
+    fn encode(&self, w: &mut Writer) {
+        self.as_str().encode(w);
+    }
+}
+
+impl Decode for String {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let len = r.take_len(1)?;
+        let raw = r.take(len)?;
+        std::str::from_utf8(raw)
+            .map(str::to_string)
+            .map_err(|e| CodecError::Invalid(format!("non-UTF-8 string: {e}")))
+    }
+}
+
+impl<T: Encode> Encode for [T] {
+    fn encode(&self, w: &mut Writer) {
+        (self.len() as u64).encode(w);
+        for item in self {
+            item.encode(w);
+        }
+    }
+}
+
+impl<T: Encode> Encode for Vec<T> {
+    fn encode(&self, w: &mut Writer) {
+        self.as_slice().encode(w);
+    }
+}
+
+impl<T: Decode> Decode for Vec<T> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        // Every element encodes to ≥ 1 byte, which bounds the
+        // pre-allocation a corrupted length prefix can trigger.
+        let len = r.take_len(1)?;
+        let mut out = Vec::with_capacity(len.min(r.remaining()));
+        for _ in 0..len {
+            out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Encode> Encode for Option<T> {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            None => w.put_u8(0),
+            Some(v) => {
+                w.put_u8(1);
+                v.encode(w);
+            }
+        }
+    }
+}
+
+impl<T: Decode> Decode for Option<T> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.take_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            other => Err(CodecError::Invalid(format!("Option tag {other}"))),
+        }
+    }
+}
+
+impl<A: Encode, B: Encode> Encode for (A, B) {
+    fn encode(&self, w: &mut Writer) {
+        self.0.encode(w);
+        self.1.encode(w);
+    }
+}
+
+impl<A: Decode, B: Decode> Decode for (A, B) {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+impl<A: Encode, B: Encode, C: Encode> Encode for (A, B, C) {
+    fn encode(&self, w: &mut Writer) {
+        self.0.encode(w);
+        self.1.encode(w);
+        self.2.encode(w);
+    }
+}
+
+impl<A: Decode, B: Decode, C: Decode> Decode for (A, B, C) {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok((A::decode(r)?, B::decode(r)?, C::decode(r)?))
+    }
+}
+
+impl<A: Encode, B: Encode, C: Encode, D: Encode, E: Encode> Encode for (A, B, C, D, E) {
+    fn encode(&self, w: &mut Writer) {
+        self.0.encode(w);
+        self.1.encode(w);
+        self.2.encode(w);
+        self.3.encode(w);
+        self.4.encode(w);
+    }
+}
+
+impl<A: Decode, B: Decode, C: Decode, D: Decode, E: Decode> Decode for (A, B, C, D, E) {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok((
+            A::decode(r)?,
+            B::decode(r)?,
+            C::decode(r)?,
+            D::decode(r)?,
+            E::decode(r)?,
+        ))
+    }
+}
+
+impl<T: Encode, const N: usize> Encode for [T; N] {
+    fn encode(&self, w: &mut Writer) {
+        for item in self {
+            item.encode(w);
+        }
+    }
+}
+
+impl<T: Decode + Copy + Default, const N: usize> Decode for [T; N] {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let mut out = [T::default(); N];
+        for slot in &mut out {
+            *slot = T::decode(r)?;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Encode + Decode + PartialEq + std::fmt::Debug>(value: T) {
+        let bytes = encode_to_vec(&value);
+        let back: T = decode_from_slice(&bytes).expect("roundtrip decode");
+        assert_eq!(back, value);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(0u8);
+        roundtrip(u64::MAX);
+        roundtrip(-42i64);
+        roundtrip(usize::MAX as u64);
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(1.5f64);
+        roundtrip(f64::NEG_INFINITY);
+        roundtrip(String::from("héllo \u{1f600}"));
+        roundtrip(String::new());
+    }
+
+    #[test]
+    fn nan_payload_survives() {
+        let bytes = encode_to_vec(&f64::NAN);
+        let back: f64 = decode_from_slice(&bytes).unwrap();
+        assert!(back.is_nan());
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        roundtrip(vec![1u64, 2, 3]);
+        roundtrip(Vec::<u32>::new());
+        roundtrip(Some(vec![(1u8, -2i64), (3, 4)]));
+        roundtrip(Option::<u64>::None);
+        roundtrip([7i64; 10]);
+        roundtrip((1u8, String::from("x"), vec![false, true]));
+    }
+
+    #[test]
+    fn equal_values_encode_identically() {
+        let a = encode_to_vec(&vec![(1u64, String::from("x")); 3]);
+        let b = encode_to_vec(&vec![(1u64, String::from("x")); 3]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn truncated_input_errors_without_panic() {
+        let bytes = encode_to_vec(&vec![1u64, 2, 3]);
+        for cut in 0..bytes.len() {
+            let r: Result<Vec<u64>, _> = decode_from_slice(&bytes[..cut]);
+            assert!(r.is_err(), "truncation at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = encode_to_vec(&7u64);
+        bytes.push(0);
+        assert!(decode_from_slice::<u64>(&bytes).is_err());
+    }
+
+    #[test]
+    fn hostile_length_prefix_is_rejected_cheaply() {
+        // Claims u64::MAX elements; must fail on the plausibility check,
+        // not by attempting the allocation.
+        let bytes = encode_to_vec(&u64::MAX);
+        assert!(decode_from_slice::<Vec<u8>>(&bytes).is_err());
+        assert!(decode_from_slice::<String>(&bytes).is_err());
+    }
+
+    #[test]
+    fn invalid_tags_are_rejected() {
+        assert!(decode_from_slice::<bool>(&[2]).is_err());
+        assert!(decode_from_slice::<Option<u8>>(&[9]).is_err());
+        let not_utf8 = {
+            let mut w = Writer::new();
+            2u64.encode(&mut w);
+            w.put_bytes(&[0xff, 0xfe]);
+            w.into_bytes()
+        };
+        assert!(decode_from_slice::<String>(&not_utf8).is_err());
+    }
+}

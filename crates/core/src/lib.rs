@@ -38,6 +38,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod baselines;
+mod codec;
 pub mod correction;
 pub mod flow;
 pub mod ppa;

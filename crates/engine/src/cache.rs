@@ -1,19 +1,26 @@
-//! Content-keyed in-memory artifact cache for layout bundles.
+//! Content-keyed artifact cache for layout bundles: an in-memory tier
+//! with an optional disk tier underneath.
 //!
 //! Building an [`IscasRun`]/[`SuperblueRun`] (protect → place → route →
 //! split) dominates campaign cost; every table that consumes the same
 //! benchmark+seed shares one bundle. The cache is keyed by the exact
-//! build inputs (profile name, scale, seed) and guarantees **exactly one
-//! build per key** even when many worker threads request the same bundle
-//! concurrently: late arrivals block on the first builder's `OnceLock`
-//! instead of duplicating the work.
+//! build inputs ([`BundleKey`]: profile name, scale, seed) and
+//! guarantees **exactly one build per key** even when many worker
+//! threads request the same bundle concurrently: late arrivals block on
+//! the first builder's `OnceLock` instead of duplicating the work.
 //!
-//! The cache is unbounded and never evicts: memory grows with the
-//! number of distinct (benchmark, scale, seed) points and is released
-//! only when the cache is dropped. Campaign-scoped caches (one per
-//! `run_sweep`/`Session`) keep this tame today; releasing bundles once
-//! their last consuming job finishes is a ROADMAP follow-up for
-//! huge-seed sweeps.
+//! Lookup is tiered: memory hit → disk hit (via the
+//! [`ArtifactStore`]) → build (and persist). A warm store therefore
+//! turns a fresh process's first request into a decode instead of a
+//! rebuild — the "zero bundle builds on the second run" guarantee the
+//! CI determinism gate enforces.
+//!
+//! Memory is bounded two ways: campaign-scoped caches die with their
+//! campaign, and campaigns *release* bundles once their last consuming
+//! job finishes — per-key job counts are known at expansion time and
+//! registered with [`ArtifactCache::reserve`]; [`ArtifactCache::release`]
+//! drops the cache's reference when the count reaches zero, so peak
+//! memory tracks the working set instead of the whole sweep.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -23,22 +30,57 @@ use sm_benchgen::iscas::IscasProfile;
 use sm_benchgen::superblue::SuperblueProfile;
 
 use crate::bundle::{IscasRun, SuperblueRun};
+use crate::store::ArtifactStore;
+
+/// The content key a bundle is cached (and persisted) under: exactly
+/// the build inputs of [`IscasRun::build`]/[`SuperblueRun::build`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BundleKey {
+    /// An ISCAS-85-class bundle.
+    Iscas {
+        /// Benchmark name.
+        name: &'static str,
+        /// Bundle build seed (see `Job::bundle_seed`).
+        seed: u64,
+    },
+    /// A superblue-class bundle.
+    Superblue {
+        /// Benchmark name.
+        name: &'static str,
+        /// Down-scaling factor.
+        scale: usize,
+        /// Bundle build seed.
+        seed: u64,
+    },
+}
 
 /// Hit/build counters, reported by campaigns ("cache hit count").
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Requests served from an already-built (or concurrently building)
-    /// bundle.
+    /// in-memory bundle.
     pub hits: u64,
+    /// Requests served by decoding a persisted bundle from the disk
+    /// store (no build ran).
+    pub disk_hits: u64,
     /// Requests that built the bundle.
     pub builds: u64,
+    /// In-memory bundles dropped after their last consuming job
+    /// finished.
+    pub released: u64,
 }
 
 impl CacheStats {
     /// Total requests observed.
     pub fn requests(&self) -> u64 {
-        self.hits + self.builds
+        self.hits + self.disk_hits + self.builds
     }
+}
+
+/// How a cache miss was satisfied.
+enum Origin {
+    Built,
+    Disk,
 }
 
 type Slot<T> = Arc<OnceLock<Arc<T>>>;
@@ -49,27 +91,46 @@ type BundleMap<K, T> = Mutex<HashMap<K, Slot<T>>>;
 pub struct ArtifactCache {
     iscas: BundleMap<(&'static str, u64), IscasRun>,
     superblue: BundleMap<(&'static str, usize, u64), SuperblueRun>,
+    store: Option<Arc<ArtifactStore>>,
+    expected: Mutex<HashMap<BundleKey, usize>>,
     hits: AtomicU64,
+    disk_hits: AtomicU64,
     builds: AtomicU64,
+    released: AtomicU64,
 }
 
 impl ArtifactCache {
-    /// An empty cache.
+    /// An empty, memory-only cache.
     pub fn new() -> Self {
         Self::default()
     }
 
-    fn fetch<T>(&self, slot: Slot<T>, build: impl FnOnce() -> T) -> Arc<T> {
-        let mut built = false;
-        let value = slot.get_or_init(|| {
-            built = true;
-            Arc::new(build())
-        });
-        if built {
-            self.builds.fetch_add(1, Ordering::Relaxed);
-        } else {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+    /// An empty cache layered over a disk store: memory hit → disk hit
+    /// → build (persisting what it builds).
+    pub fn with_store(store: Arc<ArtifactStore>) -> Self {
+        ArtifactCache {
+            store: Some(store),
+            ..Self::default()
         }
+    }
+
+    /// The disk store underneath, if any.
+    pub fn store(&self) -> Option<&Arc<ArtifactStore>> {
+        self.store.as_ref()
+    }
+
+    fn fetch<T>(&self, slot: Slot<T>, obtain: impl FnOnce() -> (T, Origin)) -> Arc<T> {
+        let mut origin = None;
+        let value = slot.get_or_init(|| {
+            let (value, o) = obtain();
+            origin = Some(o);
+            Arc::new(value)
+        });
+        match origin {
+            None => self.hits.fetch_add(1, Ordering::Relaxed),
+            Some(Origin::Disk) => self.disk_hits.fetch_add(1, Ordering::Relaxed),
+            Some(Origin::Built) => self.builds.fetch_add(1, Ordering::Relaxed),
+        };
         Arc::clone(value)
     }
 
@@ -79,7 +140,22 @@ impl ArtifactCache {
             let mut map = self.iscas.lock().expect("iscas cache poisoned");
             Arc::clone(map.entry((profile.name, seed)).or_default())
         };
-        self.fetch(slot, || IscasRun::build(profile, seed))
+        let key = BundleKey::Iscas {
+            name: profile.name,
+            seed,
+        };
+        self.fetch(slot, || {
+            if let Some(store) = &self.store {
+                if let Some(run) = store.load_iscas(&key) {
+                    return (run, Origin::Disk);
+                }
+            }
+            let run = IscasRun::build(profile, seed);
+            if let Some(store) = &self.store {
+                store.save_iscas(&key, &run);
+            }
+            (run, Origin::Built)
+        })
     }
 
     /// The bundle for `profile` at `scale`/`seed`, building on first
@@ -94,14 +170,99 @@ impl ArtifactCache {
             let mut map = self.superblue.lock().expect("superblue cache poisoned");
             Arc::clone(map.entry((profile.name, scale, seed)).or_default())
         };
-        self.fetch(slot, || SuperblueRun::build(profile, scale, seed))
+        let key = BundleKey::Superblue {
+            name: profile.name,
+            scale,
+            seed,
+        };
+        self.fetch(slot, || {
+            if let Some(store) = &self.store {
+                if let Some(run) = store.load_superblue(&key) {
+                    return (run, Origin::Disk);
+                }
+            }
+            let run = SuperblueRun::build(profile, scale, seed);
+            if let Some(store) = &self.store {
+                store.save_superblue(&key, &run);
+            }
+            (run, Origin::Built)
+        })
+    }
+
+    /// Registers `uses` upcoming consumers of `key` (called once per key
+    /// at campaign expansion, before any job runs). Counts accumulate,
+    /// so resumed/filtered runs over the same cache compose.
+    pub fn reserve(&self, key: BundleKey, uses: usize) {
+        if uses == 0 {
+            return;
+        }
+        *self
+            .expected
+            .lock()
+            .expect("reserve table poisoned")
+            .entry(key)
+            .or_insert(0) += uses;
+    }
+
+    /// Signals that one consumer of `key` finished. When the last
+    /// reserved consumer releases, the in-memory bundle is dropped (the
+    /// disk store, if any, still holds it). Unreserved keys — e.g.
+    /// session-driven artifact runs — are unaffected.
+    pub fn release(&self, key: &BundleKey) {
+        let drop_now = {
+            let mut expected = self.expected.lock().expect("reserve table poisoned");
+            match expected.get_mut(key) {
+                Some(count) => {
+                    *count = count.saturating_sub(1);
+                    if *count == 0 {
+                        expected.remove(key);
+                        true
+                    } else {
+                        false
+                    }
+                }
+                None => false,
+            }
+        };
+        if !drop_now {
+            return;
+        }
+        let removed = match key {
+            BundleKey::Iscas { name, seed } => self
+                .iscas
+                .lock()
+                .expect("iscas cache poisoned")
+                .remove(&(*name, *seed))
+                .is_some(),
+            BundleKey::Superblue { name, scale, seed } => self
+                .superblue
+                .lock()
+                .expect("superblue cache poisoned")
+                .remove(&(*name, *scale, *seed))
+                .is_some(),
+        };
+        if removed {
+            self.released.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of bundles currently held in memory.
+    pub fn resident(&self) -> usize {
+        self.iscas.lock().expect("iscas cache poisoned").len()
+            + self
+                .superblue
+                .lock()
+                .expect("superblue cache poisoned")
+                .len()
     }
 
     /// Counters accumulated so far.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
             builds: self.builds.load(Ordering::Relaxed),
+            released: self.released.load(Ordering::Relaxed),
         }
     }
 }
@@ -129,6 +290,7 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.builds, 1);
         assert_eq!(stats.hits, 3);
+        assert_eq!(stats.disk_hits, 0);
     }
 
     #[test]
@@ -140,7 +302,8 @@ mod tests {
         let a2 = cache.iscas(&profile, 1);
         assert!(!Arc::ptr_eq(&a, &b));
         assert!(Arc::ptr_eq(&a, &a2));
-        assert_eq!(cache.stats(), CacheStats { hits: 1, builds: 2 });
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.builds), (1, 2));
     }
 
     #[test]
@@ -149,12 +312,51 @@ mod tests {
         static BUILDS: AtomicUsize = AtomicUsize::new(0);
         let cache = ArtifactCache::new();
         let slot: Slot<u32> = Arc::default();
-        let build = || {
+        let obtain = || {
             BUILDS.fetch_add(1, Ordering::SeqCst);
-            9u32
+            (9u32, Origin::Built)
         };
-        assert_eq!(*cache.fetch(Arc::clone(&slot), build), 9);
-        assert_eq!(*cache.fetch(slot, build), 9);
+        assert_eq!(*cache.fetch(Arc::clone(&slot), obtain), 9);
+        assert_eq!(*cache.fetch(slot, obtain), 9);
         assert_eq!(BUILDS.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn release_drops_bundle_after_last_reserved_use() {
+        let cache = ArtifactCache::new();
+        let profile = IscasProfile::c432();
+        let key = BundleKey::Iscas {
+            name: profile.name,
+            seed: 4,
+        };
+        cache.reserve(key, 2);
+        let run = cache.iscas(&profile, 4);
+        assert_eq!(cache.resident(), 1);
+
+        cache.release(&key);
+        assert_eq!(cache.resident(), 1, "one consumer still outstanding");
+        cache.release(&key);
+        assert_eq!(cache.resident(), 0, "last release drops the bundle");
+        assert_eq!(cache.stats().released, 1);
+        // Our own Arc keeps the data alive; the cache no longer pins it.
+        assert_eq!(Arc::strong_count(&run), 1);
+
+        // A fresh request rebuilds.
+        let _again = cache.iscas(&profile, 4);
+        assert_eq!(cache.stats().builds, 2);
+    }
+
+    #[test]
+    fn release_without_reserve_is_a_no_op() {
+        let cache = ArtifactCache::new();
+        let profile = IscasProfile::c432();
+        let key = BundleKey::Iscas {
+            name: profile.name,
+            seed: 9,
+        };
+        let _run = cache.iscas(&profile, 9);
+        cache.release(&key);
+        assert_eq!(cache.resident(), 1);
+        assert_eq!(cache.stats().released, 0);
     }
 }

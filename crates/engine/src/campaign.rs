@@ -1,6 +1,16 @@
 //! Campaigns: expand a sweep specification into jobs, run them on the
 //! executor against the shared artifact cache, and assemble reports.
+//!
+//! Reports come in four shapes, all deterministic functions of the spec:
+//! canonical JSON (the storable format — [`Campaign::from_json`] parses
+//! it back, which powers `smctl resume`), per-job CSV, per-point
+//! aggregate CSV (mean/σ/min/max over seeds), and a human-readable
+//! aggregate table. Wall-clock timings and cache counters are
+//! diagnostics, not results: they appear only under
+//! [`ReportOptions::include_timings`], so canonical reports are
+//! byte-identical across cold runs, warm-store runs and thread counts.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -175,7 +185,8 @@ pub struct JobOutcome {
     pub job: Job,
     /// Measured metrics.
     pub metrics: JobMetrics,
-    /// Wall-clock time this job took (includes any bundle build/wait).
+    /// Wall-clock time this job took (includes any bundle build/wait;
+    /// zero for outcomes replayed from a stored report or the store).
     pub wall: Duration,
 }
 
@@ -188,20 +199,33 @@ pub struct Campaign {
     pub outcomes: Vec<JobOutcome>,
     /// Bundle-cache counters.
     pub cache: CacheStats,
-    /// Worker threads used.
+    /// Worker threads used (0 for campaigns parsed from a report).
     pub threads: usize,
     /// End-to-end campaign wall clock.
     pub total_wall: Duration,
 }
 
-/// Runs one job against the cache.
+/// Runs one job against the cache (consulting the disk store for a
+/// finished outcome first, when one is attached), then releases the
+/// job's claim on its bundle.
 pub fn run_job(cache: &ArtifactCache, job: &Job) -> JobOutcome {
     let start = Instant::now();
-    let bundle = Bundle::fetch(cache, job);
-    let metrics = match job.attack {
-        AttackKind::NetworkFlow => flow_metrics(&bundle, job.split_layer),
-        AttackKind::Crouting => crouting_metrics(&bundle, job.split_layer),
+    let stored = cache.store().and_then(|s| s.load_outcome(job));
+    let metrics = match stored {
+        Some(metrics) => metrics,
+        None => {
+            let bundle = Bundle::fetch(cache, job);
+            let metrics = match job.attack {
+                AttackKind::NetworkFlow => flow_metrics(&bundle, job),
+                AttackKind::Crouting => crouting_metrics(&bundle, job.split_layer),
+            };
+            if let Some(store) = cache.store() {
+                store.save_outcome(job, &metrics);
+            }
+            metrics
+        }
     };
+    cache.release(&job.bundle_key());
     JobOutcome {
         job: job.clone(),
         metrics,
@@ -209,8 +233,15 @@ pub fn run_job(cache: &ArtifactCache, job: &Job) -> JobOutcome {
     }
 }
 
-fn flow_metrics(bundle: &Bundle, split_layer: u8) -> JobMetrics {
-    let cfg = ProximityConfig::default();
+fn flow_metrics(bundle: &Bundle, job: &Job) -> JobMetrics {
+    let cfg = ProximityConfig {
+        // Tie the attack's evaluation RNG to the job, so seed sweeps
+        // explore attack variance instead of replaying one stream per
+        // netlist.
+        eval_seed: Some(job.derived_seed()),
+        ..ProximityConfig::default()
+    };
+    let split_layer = job.split_layer;
     let netlist = bundle.netlist();
     let protected = bundle.protected();
 
@@ -282,14 +313,50 @@ fn crouting_metrics(bundle: &Bundle, split_layer: u8) -> JobMetrics {
     }
 }
 
-/// Runs a full sweep: expands jobs, executes them on the pool, collects
-/// outcomes in deterministic job order.
+/// Runs a full sweep on a fresh memory-only cache. See
+/// [`run_sweep_with`] for store-backed and filtered runs.
 pub fn run_sweep(spec: &SweepSpec, exec: ExecutorConfig) -> Result<Campaign, String> {
-    let jobs = spec.jobs()?;
+    run_sweep_with(spec, exec, &ArtifactCache::new(), None)
+}
+
+/// Runs a sweep (optionally restricted to the job indices in `filter`)
+/// against a caller-provided cache — which may be layered over a disk
+/// store, and may be shared across campaigns.
+///
+/// Per-key consumer counts are reserved up front, so each bundle is
+/// dropped from memory as soon as its last selected job finishes.
+///
+/// # Errors
+///
+/// Returns an error for an invalid spec or an out-of-range job filter.
+pub fn run_sweep_with(
+    spec: &SweepSpec,
+    exec: ExecutorConfig,
+    cache: &ArtifactCache,
+    filter: Option<&[usize]>,
+) -> Result<Campaign, String> {
+    let mut jobs = spec.jobs()?;
+    if let Some(indices) = filter {
+        let total = jobs.len();
+        let mut selected: Vec<usize> = Vec::new();
+        for &i in indices {
+            if i >= total {
+                return Err(format!(
+                    "--jobs index {i} out of range (campaign has {total} jobs)"
+                ));
+            }
+            selected.push(i);
+        }
+        selected.sort_unstable();
+        selected.dedup();
+        if selected.is_empty() {
+            return Err("--jobs selected no jobs".into());
+        }
+        jobs = selected.into_iter().map(|i| jobs[i].clone()).collect();
+    }
     let executor = Executor::new(exec);
-    let cache = ArtifactCache::new();
     let start = Instant::now();
-    let outcomes = executor.map(&jobs, |_, job| run_job(&cache, job));
+    let outcomes = run_jobs(&jobs, &executor, cache);
     Ok(Campaign {
         spec: spec.clone(),
         outcomes,
@@ -299,8 +366,232 @@ pub fn run_sweep(spec: &SweepSpec, exec: ExecutorConfig) -> Result<Campaign, Str
     })
 }
 
+/// Executes an explicit job list on the pool, reserving and releasing
+/// bundle claims so memory tracks the working set. Outcomes come back
+/// in `jobs` order.
+pub fn run_jobs(jobs: &[Job], executor: &Executor, cache: &ArtifactCache) -> Vec<JobOutcome> {
+    let mut uses: HashMap<_, usize> = HashMap::new();
+    for job in jobs {
+        *uses.entry(job.bundle_key()).or_insert(0) += 1;
+    }
+    for (key, count) in uses {
+        cache.reserve(key, count);
+    }
+    executor.map(jobs, |_, job| run_job(cache, job))
+}
+
+// ----- aggregation --------------------------------------------------------
+
+/// Mean/σ/min/max summary of one metric over the seeds of a sweep point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricStats {
+    /// Samples aggregated (the number of seeds with an outcome).
+    pub n: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl MetricStats {
+    fn over(values: &[f64]) -> MetricStats {
+        let n = values.len().max(1) as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        MetricStats {
+            n: values.len() as u64,
+            mean,
+            std_dev: var.sqrt(),
+            min: values.iter().copied().fold(f64::INFINITY, f64::min),
+            max: values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+}
+
+/// Aggregated metrics of one sweep point (benchmark × split layer ×
+/// attack), over every seed that produced an outcome.
+#[derive(Debug, Clone)]
+pub struct AggregateRow {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Split layer.
+    pub split_layer: u8,
+    /// Attack.
+    pub attack: AttackKind,
+    /// `(metric name, stats)` in a fixed per-attack order.
+    pub metrics: Vec<(&'static str, MetricStats)>,
+}
+
+/// The scalar metrics an outcome contributes to aggregation.
+fn scalar_metrics(metrics: &JobMetrics) -> Vec<(&'static str, f64)> {
+    match metrics {
+        JobMetrics::Flow {
+            ccr_protected_pct,
+            oer_pct,
+            hd_pct,
+            ccr_original_pct,
+        } => vec![
+            ("ccr_protected_pct", *ccr_protected_pct),
+            ("oer_pct", *oer_pct),
+            ("hd_pct", *hd_pct),
+            ("ccr_original_pct", *ccr_original_pct),
+        ],
+        JobMetrics::Crouting {
+            vpins_protected,
+            vpins_original,
+            boxes,
+        } => {
+            let n = boxes.len().max(1) as f64;
+            let match_p = boxes.iter().map(|b| b.2).sum::<f64>() / n;
+            let match_o = boxes.iter().map(|b| b.4).sum::<f64>() / n;
+            vec![
+                ("vpins_protected", *vpins_protected as f64),
+                ("vpins_original", *vpins_original as f64),
+                ("match_protected_mean", match_p),
+                ("match_original_mean", match_o),
+            ]
+        }
+    }
+}
+
+/// A sweep point's identity during aggregation.
+type PointKey = (String, u8, AttackKind);
+
 impl Campaign {
-    /// The canonical JSON report.
+    /// Aggregates outcomes over seeds: one row per benchmark × split
+    /// layer × attack, in first-appearance (job) order.
+    pub fn aggregates(&self) -> Vec<AggregateRow> {
+        let mut order: Vec<PointKey> = Vec::new();
+        let mut samples: HashMap<PointKey, Vec<Vec<(&'static str, f64)>>> = HashMap::new();
+        for o in &self.outcomes {
+            let key = (
+                o.job.benchmark.name().to_string(),
+                o.job.split_layer,
+                o.job.attack,
+            );
+            let entry = samples.entry(key.clone()).or_default();
+            if entry.is_empty() {
+                order.push(key);
+            }
+            entry.push(scalar_metrics(&o.metrics));
+        }
+        order
+            .into_iter()
+            .map(|key| {
+                let rows = &samples[&key];
+                let names: Vec<&'static str> = rows[0].iter().map(|&(n, _)| n).collect();
+                let metrics = names
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, name)| {
+                        let values: Vec<f64> = rows
+                            .iter()
+                            .filter_map(|r| r.get(i).map(|&(_, v)| v))
+                            .collect();
+                        (name, MetricStats::over(&values))
+                    })
+                    .collect();
+                AggregateRow {
+                    benchmark: key.0,
+                    split_layer: key.1,
+                    attack: key.2,
+                    metrics,
+                }
+            })
+            .collect()
+    }
+}
+
+// ----- reports --------------------------------------------------------
+
+/// The per-job CSV columns shared by [`Campaign::to_csv`] and
+/// [`json_to_csv`] (a `wall_ms` column is appended for timed reports).
+pub const CSV_HEADER: [&str; 16] = [
+    "benchmark",
+    "seed",
+    "split_layer",
+    "attack",
+    "derived_seed",
+    "ccr_protected_pct",
+    "oer_pct",
+    "hd_pct",
+    "ccr_original_pct",
+    "vpins_protected",
+    "vpins_original",
+    "bbox_tracks",
+    "els_protected",
+    "match_protected",
+    "els_original",
+    "match_original",
+];
+
+fn csv_header(timed: bool) -> Vec<&'static str> {
+    let mut header = CSV_HEADER.to_vec();
+    if timed {
+        header.push("wall_ms");
+    }
+    header
+}
+
+/// Shapes one flow-job CSV row from its five identity fields and four
+/// formatted metric fields.
+fn flow_row(base: &[String], metrics: [String; 4], wall: Option<&str>) -> Vec<String> {
+    let mut row = base.to_vec();
+    row.extend(metrics);
+    row.extend(std::iter::repeat_with(String::new).take(7));
+    if let Some(w) = wall {
+        row.push(w.to_string());
+    }
+    row
+}
+
+/// Shapes one crouting-box CSV row: identity fields, the two vpin
+/// counts, then the five per-box fields.
+fn crouting_row(
+    base: &[String],
+    vpins: [String; 2],
+    bx: [String; 5],
+    wall: Option<&str>,
+) -> Vec<String> {
+    let mut row = base.to_vec();
+    row.extend(std::iter::repeat_with(String::new).take(4));
+    row.extend(vpins);
+    row.extend(bx);
+    if let Some(w) = wall {
+        row.push(w.to_string());
+    }
+    row
+}
+
+fn base_fields(
+    benchmark: &str,
+    seed: u64,
+    split_layer: u64,
+    attack: &str,
+    derived_seed: u64,
+) -> [String; 5] {
+    [
+        benchmark.to_string(),
+        seed.to_string(),
+        split_layer.to_string(),
+        attack.to_string(),
+        derived_seed.to_string(),
+    ]
+}
+
+fn f4(v: f64) -> String {
+    format!("{v:.4}")
+}
+
+impl Campaign {
+    /// The canonical JSON report. Timings and cache counters are
+    /// diagnostics: they appear only with
+    /// [`ReportOptions::include_timings`], keeping the canonical form a
+    /// pure function of the spec.
     pub fn to_json(&self, opts: ReportOptions) -> Json {
         let spec = &self.spec;
         let mut top = vec![
@@ -338,14 +629,20 @@ impl Campaign {
                 ),
             ),
             (
-                "cache".to_string(),
-                Json::obj([
-                    ("hits", Json::UInt(self.cache.hits)),
-                    ("builds", Json::UInt(self.cache.builds)),
-                ]),
+                "aggregates".to_string(),
+                Json::Arr(self.aggregates().iter().map(aggregate_json).collect()),
             ),
         ];
         if opts.include_timings {
+            top.push((
+                "cache".to_string(),
+                Json::obj([
+                    ("hits", Json::UInt(self.cache.hits)),
+                    ("disk_hits", Json::UInt(self.cache.disk_hits)),
+                    ("builds", Json::UInt(self.cache.builds)),
+                    ("released", Json::UInt(self.cache.released)),
+                ]),
+            ));
             top.push(("threads".to_string(), Json::UInt(self.threads as u64)));
             top.push((
                 "total_wall_ms".to_string(),
@@ -357,37 +654,17 @@ impl Campaign {
 
     /// The CSV report: one row per flow job, one row per crouting box.
     pub fn to_csv(&self, opts: ReportOptions) -> String {
-        let mut header = vec![
-            "benchmark",
-            "seed",
-            "split_layer",
-            "attack",
-            "derived_seed",
-            "ccr_protected_pct",
-            "oer_pct",
-            "hd_pct",
-            "ccr_original_pct",
-            "vpins_protected",
-            "vpins_original",
-            "bbox_tracks",
-            "els_protected",
-            "match_protected",
-            "els_original",
-            "match_original",
-        ];
-        if opts.include_timings {
-            header.push("wall_ms");
-        }
         let mut rows = Vec::new();
         for o in &self.outcomes {
-            let base = vec![
-                o.job.benchmark.name().to_string(),
-                o.job.user_seed.to_string(),
-                o.job.split_layer.to_string(),
-                o.job.attack.id().to_string(),
-                o.job.derived_seed().to_string(),
-            ];
+            let base = base_fields(
+                o.job.benchmark.name(),
+                o.job.user_seed,
+                o.job.split_layer as u64,
+                o.job.attack.id(),
+                o.job.derived_seed(),
+            );
             let wall = format!("{:.3}", o.wall.as_secs_f64() * 1e3);
+            let wall = opts.include_timings.then_some(wall.as_str());
             match &o.metrics {
                 JobMetrics::Flow {
                     ccr_protected_pct,
@@ -395,24 +672,16 @@ impl Campaign {
                     hd_pct,
                     ccr_original_pct,
                 } => {
-                    let mut row = base.clone();
-                    row.extend([
-                        format!("{ccr_protected_pct:.4}"),
-                        format!("{oer_pct:.4}"),
-                        format!("{hd_pct:.4}"),
-                        format!("{ccr_original_pct:.4}"),
-                        String::new(),
-                        String::new(),
-                        String::new(),
-                        String::new(),
-                        String::new(),
-                        String::new(),
-                        String::new(),
-                    ]);
-                    if opts.include_timings {
-                        row.push(wall.clone());
-                    }
-                    rows.push(row);
+                    rows.push(flow_row(
+                        &base,
+                        [
+                            f4(*ccr_protected_pct),
+                            f4(*oer_pct),
+                            f4(*hd_pct),
+                            f4(*ccr_original_pct),
+                        ],
+                        wall,
+                    ));
                 }
                 JobMetrics::Crouting {
                     vpins_protected,
@@ -420,42 +689,128 @@ impl Campaign {
                     boxes,
                 } => {
                     for &(tracks, els_p, match_p, els_o, match_o) in boxes {
-                        let mut row = base.clone();
-                        row.extend([
-                            String::new(),
-                            String::new(),
-                            String::new(),
-                            String::new(),
-                            vpins_protected.to_string(),
-                            vpins_original.to_string(),
-                            tracks.to_string(),
-                            format!("{els_p:.4}"),
-                            format!("{match_p:.4}"),
-                            format!("{els_o:.4}"),
-                            format!("{match_o:.4}"),
-                        ]);
-                        if opts.include_timings {
-                            row.push(wall.clone());
-                        }
-                        rows.push(row);
+                        rows.push(crouting_row(
+                            &base,
+                            [vpins_protected.to_string(), vpins_original.to_string()],
+                            [
+                                tracks.to_string(),
+                                f4(els_p),
+                                f4(match_p),
+                                f4(els_o),
+                                f4(match_o),
+                            ],
+                            wall,
+                        ));
                     }
                 }
+            }
+        }
+        csv(&csv_header(opts.include_timings), &rows)
+    }
+
+    /// The aggregate CSV: one row per sweep point × metric.
+    pub fn aggregates_to_csv(&self) -> String {
+        let header = [
+            "benchmark",
+            "split_layer",
+            "attack",
+            "metric",
+            "n",
+            "mean",
+            "std_dev",
+            "min",
+            "max",
+        ];
+        let mut rows = Vec::new();
+        for agg in self.aggregates() {
+            for (name, s) in &agg.metrics {
+                rows.push(vec![
+                    agg.benchmark.clone(),
+                    agg.split_layer.to_string(),
+                    agg.attack.id().to_string(),
+                    name.to_string(),
+                    s.n.to_string(),
+                    f4(s.mean),
+                    f4(s.std_dev),
+                    f4(s.min),
+                    f4(s.max),
+                ]);
             }
         }
         csv(&header, &rows)
     }
 
+    /// A human-readable aggregate table (mean ± σ [min, max] over
+    /// seeds), for quick terminal reading.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<13} {:>5}  {:<8} {:<22} {:>3} {:>10} {:>9} {:>10} {:>10}\n",
+            "benchmark", "layer", "attack", "metric", "n", "mean", "σ", "min", "max"
+        ));
+        for agg in self.aggregates() {
+            for (name, s) in &agg.metrics {
+                out.push_str(&format!(
+                    "{:<13} {:>5}  {:<8} {:<22} {:>3} {:>10.4} {:>9.4} {:>10.4} {:>10.4}\n",
+                    agg.benchmark,
+                    agg.split_layer,
+                    agg.attack.id(),
+                    name,
+                    s.n,
+                    s.mean,
+                    s.std_dev,
+                    s.min,
+                    s.max
+                ));
+            }
+        }
+        out
+    }
+
     /// One-line human summary (thread count, cache effectiveness, time).
     pub fn summary(&self) -> String {
         format!(
-            "{} jobs on {} threads in {:.2}s — cache: {} builds, {} hits",
+            "{} jobs on {} threads in {:.2}s — cache: {} builds, {} hits, {} disk hits, {} released",
             self.outcomes.len(),
             self.threads,
             self.total_wall.as_secs_f64(),
             self.cache.builds,
             self.cache.hits,
+            self.cache.disk_hits,
+            self.cache.released,
         )
     }
+}
+
+fn aggregate_json(agg: &AggregateRow) -> Json {
+    Json::Obj(vec![
+        ("benchmark".to_string(), Json::str(&agg.benchmark)),
+        (
+            "split_layer".to_string(),
+            Json::UInt(agg.split_layer as u64),
+        ),
+        ("attack".to_string(), Json::str(agg.attack.id())),
+        (
+            "metrics".to_string(),
+            Json::Obj(
+                agg.metrics
+                    .iter()
+                    .map(|(name, s)| {
+                        (
+                            name.to_string(),
+                            Json::obj([
+                                ("n", Json::UInt(s.n)),
+                                ("mean", Json::Num(s.mean)),
+                                ("std_dev", Json::Num(s.std_dev)),
+                                ("min", Json::Num(s.min)),
+                                ("max", Json::Num(s.max)),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
 }
 
 /// Milliseconds rounded to µs precision, so timing fields render as
@@ -477,106 +832,77 @@ pub fn json_to_csv(report: &Json) -> Result<String, String> {
         .first()
         .map(|j| j.get("wall_ms").is_some())
         .unwrap_or(false);
-    let mut header = vec![
-        "benchmark",
-        "seed",
-        "split_layer",
-        "attack",
-        "derived_seed",
-        "ccr_protected_pct",
-        "oer_pct",
-        "hd_pct",
-        "ccr_original_pct",
-        "vpins_protected",
-        "vpins_original",
-        "bbox_tracks",
-        "els_protected",
-        "match_protected",
-        "els_original",
-        "match_original",
-    ];
-    if timed {
-        header.push("wall_ms");
-    }
     let mut rows = Vec::new();
     for (i, job) in jobs.iter().enumerate() {
         let field = |key: &str| -> Result<&Json, String> {
             job.get(key).ok_or(format!("job {i}: missing `{key}`"))
         };
-        let base = vec![
-            field("benchmark")?.as_str().unwrap_or_default().to_string(),
-            field("seed")?.as_u64().unwrap_or_default().to_string(),
-            field("split_layer")?
-                .as_u64()
-                .unwrap_or_default()
-                .to_string(),
-            field("attack")?.as_str().unwrap_or_default().to_string(),
-            field("derived_seed")?
-                .as_u64()
-                .unwrap_or_default()
-                .to_string(),
-        ];
+        let base = base_fields(
+            field("benchmark")?.as_str().unwrap_or_default(),
+            field("seed")?.as_u64().unwrap_or_default(),
+            field("split_layer")?.as_u64().unwrap_or_default(),
+            field("attack")?.as_str().unwrap_or_default(),
+            field("derived_seed")?.as_u64().unwrap_or_default(),
+        );
         let metrics = field("metrics")?;
         let wall = job
             .get("wall_ms")
             .and_then(Json::as_f64)
             .map(|w| format!("{w:.3}"))
             .unwrap_or_default();
+        let wall = timed.then_some(wall.as_str());
         let fnum = |m: &Json, key: &str| {
             m.get(key)
                 .and_then(Json::as_f64)
-                .map(|v| format!("{v:.4}"))
+                .map(f4)
                 .unwrap_or_default()
         };
         if metrics.get("ccr_protected_pct").is_some() {
-            let mut row = base.clone();
-            row.extend([
-                fnum(metrics, "ccr_protected_pct"),
-                fnum(metrics, "oer_pct"),
-                fnum(metrics, "hd_pct"),
-                fnum(metrics, "ccr_original_pct"),
-            ]);
-            row.extend(std::iter::repeat_with(String::new).take(7));
-            if timed {
-                row.push(wall.clone());
-            }
-            rows.push(row);
+            rows.push(flow_row(
+                &base,
+                [
+                    fnum(metrics, "ccr_protected_pct"),
+                    fnum(metrics, "oer_pct"),
+                    fnum(metrics, "hd_pct"),
+                    fnum(metrics, "ccr_original_pct"),
+                ],
+                wall,
+            ));
         } else if metrics.get("vpins_protected").is_some() {
-            let vp = metrics
-                .get("vpins_protected")
-                .and_then(Json::as_u64)
-                .unwrap_or_default()
-                .to_string();
-            let vo = metrics
-                .get("vpins_original")
-                .and_then(Json::as_u64)
-                .unwrap_or_default()
-                .to_string();
+            let vpins = [
+                metrics
+                    .get("vpins_protected")
+                    .and_then(Json::as_u64)
+                    .unwrap_or_default()
+                    .to_string(),
+                metrics
+                    .get("vpins_original")
+                    .and_then(Json::as_u64)
+                    .unwrap_or_default()
+                    .to_string(),
+            ];
             for bx in metrics.get("boxes").and_then(Json::as_arr).unwrap_or(&[]) {
-                let mut row = base.clone();
-                row.extend(std::iter::repeat_with(String::new).take(4));
-                row.extend([
-                    vp.clone(),
-                    vo.clone(),
-                    bx.get("bbox_tracks")
-                        .and_then(Json::as_f64)
-                        .map(|v| format!("{v}"))
-                        .unwrap_or_default(),
-                    fnum(bx, "els_protected"),
-                    fnum(bx, "match_protected"),
-                    fnum(bx, "els_original"),
-                    fnum(bx, "match_original"),
-                ]);
-                if timed {
-                    row.push(wall.clone());
-                }
-                rows.push(row);
+                rows.push(crouting_row(
+                    &base,
+                    vpins.clone(),
+                    [
+                        bx.get("bbox_tracks")
+                            .and_then(Json::as_i64)
+                            .map(|v| v.to_string())
+                            .unwrap_or_default(),
+                        fnum(bx, "els_protected"),
+                        fnum(bx, "match_protected"),
+                        fnum(bx, "els_original"),
+                        fnum(bx, "match_original"),
+                    ],
+                    wall,
+                ));
             }
         } else {
             return Err(format!("job {i}: unrecognized metrics shape"));
         }
     }
-    Ok(csv(&header, &rows))
+    Ok(csv(&csv_header(timed), &rows))
 }
 
 fn outcome_json(o: &JobOutcome, opts: ReportOptions) -> Json {
@@ -644,6 +970,211 @@ fn outcome_json(o: &JobOutcome, opts: ReportOptions) -> Json {
     Json::Obj(pairs)
 }
 
+// ----- parsing stored reports (resume) -------------------------------------
+
+impl Campaign {
+    /// Parses a stored canonical JSON report back into a campaign
+    /// (threads/timings/cache counters reset — they are diagnostics of
+    /// the producing run, not results).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or malformed field.
+    pub fn from_json(report: &Json) -> Result<Campaign, String> {
+        let str_list = |key: &str| -> Result<Vec<String>, String> {
+            report
+                .get(key)
+                .and_then(Json::as_arr)
+                .ok_or(format!("report missing `{key}` array"))?
+                .iter()
+                .map(|v| {
+                    v.as_str()
+                        .map(str::to_string)
+                        .ok_or(format!("`{key}` entry is not a string"))
+                })
+                .collect()
+        };
+        let u64_list = |key: &str| -> Result<Vec<u64>, String> {
+            report
+                .get(key)
+                .and_then(Json::as_arr)
+                .ok_or(format!("report missing `{key}` array"))?
+                .iter()
+                .map(|v| v.as_u64().ok_or(format!("`{key}` entry is not a u64")))
+                .collect()
+        };
+        let scale = report
+            .get("scale")
+            .and_then(Json::as_u64)
+            .ok_or("report missing `scale`")? as usize;
+        let master_seed = report
+            .get("master_seed")
+            .and_then(Json::as_u64)
+            .ok_or("report missing `master_seed`")?;
+        let attacks = str_list("attacks")?
+            .iter()
+            .map(|s| AttackKind::parse(s))
+            .collect::<Result<Vec<_>, _>>()?;
+        let split_layers = u64_list("split_layers")?
+            .into_iter()
+            .map(|l| u8::try_from(l).map_err(|_| format!("split layer {l} out of range")))
+            .collect::<Result<Vec<_>, _>>()?;
+        let spec = SweepSpec {
+            benchmarks: str_list("benchmarks")?,
+            seeds: u64_list("seeds")?,
+            split_layers,
+            attacks,
+            scale,
+            master_seed,
+        };
+
+        let jobs = report
+            .get("jobs")
+            .and_then(Json::as_arr)
+            .ok_or("report missing `jobs` array")?;
+        let mut outcomes = Vec::with_capacity(jobs.len());
+        for (i, job) in jobs.iter().enumerate() {
+            outcomes.push(outcome_from_json(job, &spec).map_err(|e| format!("job {i}: {e}"))?);
+        }
+        Ok(Campaign {
+            spec,
+            outcomes,
+            cache: CacheStats::default(),
+            threads: 0,
+            total_wall: Duration::ZERO,
+        })
+    }
+}
+
+fn outcome_from_json(job: &Json, spec: &SweepSpec) -> Result<JobOutcome, String> {
+    let benchmark = job
+        .get("benchmark")
+        .and_then(Json::as_str)
+        .ok_or("missing `benchmark`")?;
+    let user_seed = job
+        .get("seed")
+        .and_then(Json::as_u64)
+        .ok_or("missing `seed`")?;
+    let split_layer = job
+        .get("split_layer")
+        .and_then(Json::as_u64)
+        .and_then(|l| u8::try_from(l).ok())
+        .ok_or("missing or out-of-range `split_layer`")?;
+    let attack = AttackKind::parse(
+        job.get("attack")
+            .and_then(Json::as_str)
+            .ok_or("missing `attack`")?,
+    )?;
+    let metrics = job.get("metrics").ok_or("missing `metrics`")?;
+    let f = |key: &str| -> Result<f64, String> {
+        metrics
+            .get(key)
+            .and_then(Json::as_f64)
+            .ok_or(format!("missing metric `{key}`"))
+    };
+    let parsed = if metrics.get("ccr_protected_pct").is_some() {
+        JobMetrics::Flow {
+            ccr_protected_pct: f("ccr_protected_pct")?,
+            oer_pct: f("oer_pct")?,
+            hd_pct: f("hd_pct")?,
+            ccr_original_pct: f("ccr_original_pct")?,
+        }
+    } else if metrics.get("vpins_protected").is_some() {
+        let u = |key: &str| -> Result<usize, String> {
+            metrics
+                .get(key)
+                .and_then(Json::as_u64)
+                .map(|v| v as usize)
+                .ok_or(format!("missing metric `{key}`"))
+        };
+        let mut boxes = Vec::new();
+        for bx in metrics
+            .get("boxes")
+            .and_then(Json::as_arr)
+            .ok_or("missing `boxes`")?
+        {
+            let bf = |key: &str| -> Result<f64, String> {
+                bx.get(key)
+                    .and_then(Json::as_f64)
+                    .ok_or(format!("missing box field `{key}`"))
+            };
+            boxes.push((
+                bx.get("bbox_tracks")
+                    .and_then(Json::as_i64)
+                    .ok_or("missing box field `bbox_tracks`")?,
+                bf("els_protected")?,
+                bf("match_protected")?,
+                bf("els_original")?,
+                bf("match_original")?,
+            ));
+        }
+        JobMetrics::Crouting {
+            vpins_protected: u("vpins_protected")?,
+            vpins_original: u("vpins_original")?,
+            boxes,
+        }
+    } else {
+        return Err("unrecognized metrics shape".into());
+    };
+    Ok(JobOutcome {
+        job: Job {
+            index: 0, // re-assigned when merged against an expansion
+            benchmark: Benchmark::parse(benchmark, spec.scale)?,
+            user_seed,
+            split_layer,
+            attack,
+            master_seed: spec.master_seed,
+        },
+        metrics: parsed,
+        wall: Duration::ZERO,
+    })
+}
+
+/// The identity of a job within a campaign (what stored outcomes are
+/// matched on — indices are not stored in reports).
+fn job_key(job: &Job) -> (String, u64, u8, AttackKind) {
+    (
+        job.benchmark.name().to_string(),
+        job.user_seed,
+        job.split_layer,
+        job.attack,
+    )
+}
+
+/// The jobs of `expansion` that have no outcome in `have` — what
+/// `smctl resume` must still run.
+pub fn missing_jobs(expansion: &[Job], have: &[JobOutcome]) -> Vec<Job> {
+    let done: std::collections::HashSet<_> = have.iter().map(|o| job_key(&o.job)).collect();
+    expansion
+        .iter()
+        .filter(|job| !done.contains(&job_key(job)))
+        .cloned()
+        .collect()
+}
+
+/// Merges stored and freshly-run outcomes into canonical campaign order
+/// (`expansion` order; fresh outcomes win on duplicate keys). Jobs with
+/// no outcome in either set are simply absent — a resume restricted by
+/// `--jobs` stays partial.
+pub fn merge_outcomes(
+    expansion: &[Job],
+    stored: Vec<JobOutcome>,
+    fresh: Vec<JobOutcome>,
+) -> Vec<JobOutcome> {
+    let mut by_key: HashMap<(String, u64, u8, AttackKind), JobOutcome> = HashMap::new();
+    for outcome in stored.into_iter().chain(fresh) {
+        by_key.insert(job_key(&outcome.job), outcome);
+    }
+    let mut merged = Vec::new();
+    for job in expansion {
+        if let Some(mut outcome) = by_key.remove(&job_key(job)) {
+            outcome.job = job.clone();
+            merged.push(outcome);
+        }
+    }
+    merged
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -691,5 +1222,138 @@ mod tests {
             ..SweepSpec::default()
         };
         assert!(zero_scale.jobs().is_err());
+    }
+
+    #[test]
+    fn job_filter_selects_validates_and_dedupes() {
+        let spec = SweepSpec {
+            benchmarks: vec!["c432".into()],
+            seeds: vec![1],
+            split_layers: vec![4],
+            attacks: vec![AttackKind::NetworkFlow, AttackKind::Crouting],
+            scale: 100,
+            master_seed: 1,
+        };
+        let cache = ArtifactCache::new();
+        let exec = ExecutorConfig { threads: Some(2) };
+        let filtered = run_sweep_with(&spec, exec, &cache, Some(&[1, 1])).unwrap();
+        assert_eq!(filtered.outcomes.len(), 1);
+        assert_eq!(filtered.outcomes[0].job.attack, AttackKind::Crouting);
+        assert!(run_sweep_with(&spec, exec, &cache, Some(&[9])).is_err());
+        assert!(run_sweep_with(&spec, exec, &cache, Some(&[])).is_err());
+    }
+
+    #[test]
+    fn campaign_roundtrips_through_json() {
+        let spec = SweepSpec {
+            benchmarks: vec!["c432".into()],
+            seeds: vec![1, 2],
+            split_layers: vec![4],
+            attacks: vec![AttackKind::NetworkFlow, AttackKind::Crouting],
+            scale: 100,
+            master_seed: 3,
+        };
+        let campaign = run_sweep(&spec, ExecutorConfig { threads: Some(2) }).unwrap();
+        let rendered = campaign.to_json(ReportOptions::default()).render();
+        let parsed = Campaign::from_json(&Json::parse(&rendered).unwrap()).unwrap();
+        assert_eq!(parsed.outcomes.len(), campaign.outcomes.len());
+        // Re-rendering the parsed campaign reproduces the bytes exactly.
+        assert_eq!(parsed.to_json(ReportOptions::default()).render(), rendered);
+        assert_eq!(
+            parsed.to_csv(ReportOptions::default()),
+            campaign.to_csv(ReportOptions::default())
+        );
+    }
+
+    #[test]
+    fn missing_jobs_and_merge_reconstruct_a_partial_campaign() {
+        let spec = SweepSpec {
+            benchmarks: vec!["c432".into()],
+            seeds: vec![1, 2],
+            split_layers: vec![4],
+            attacks: vec![AttackKind::NetworkFlow],
+            scale: 100,
+            master_seed: 1,
+        };
+        let expansion = spec.jobs().unwrap();
+        let cache = ArtifactCache::new();
+        let exec = ExecutorConfig { threads: Some(2) };
+        // Run only job 1, as `--jobs 1` would.
+        let partial = run_sweep_with(&spec, exec, &cache, Some(&[1])).unwrap();
+        let missing = missing_jobs(&expansion, &partial.outcomes);
+        assert_eq!(missing.len(), 1);
+        assert_eq!(missing[0].index, 0);
+
+        let executor = Executor::new(exec);
+        let fresh = run_jobs(&missing, &executor, &cache);
+        let merged = merge_outcomes(&expansion, partial.outcomes, fresh);
+        assert_eq!(merged.len(), expansion.len());
+        for (i, o) in merged.iter().enumerate() {
+            assert_eq!(o.job.index, i);
+        }
+
+        // The merged report equals a from-scratch full run.
+        let full = run_sweep(&spec, exec).unwrap();
+        let merged_campaign = Campaign {
+            spec: spec.clone(),
+            outcomes: merged,
+            cache: CacheStats::default(),
+            threads: 0,
+            total_wall: Duration::ZERO,
+        };
+        assert_eq!(
+            merged_campaign.to_json(ReportOptions::default()).render(),
+            full.to_json(ReportOptions::default()).render()
+        );
+    }
+
+    #[test]
+    fn aggregates_summarize_over_seeds() {
+        let spec = SweepSpec {
+            benchmarks: vec!["c432".into()],
+            seeds: vec![1, 2, 3],
+            split_layers: vec![4],
+            attacks: vec![AttackKind::NetworkFlow],
+            scale: 100,
+            master_seed: 1,
+        };
+        let campaign = run_sweep(&spec, ExecutorConfig { threads: Some(3) }).unwrap();
+        let aggs = campaign.aggregates();
+        assert_eq!(aggs.len(), 1, "one benchmark × layer × attack point");
+        let agg = &aggs[0];
+        assert_eq!(agg.benchmark, "c432");
+        assert_eq!(agg.metrics.len(), 4);
+        for (name, s) in &agg.metrics {
+            assert_eq!(s.n, 3, "{name} aggregates all three seeds");
+            assert!(s.min <= s.mean && s.mean <= s.max, "{name} ordering");
+            assert!(s.std_dev >= 0.0);
+        }
+        // Mean of ccr_protected_pct matches a hand computation.
+        let values: Vec<f64> = campaign
+            .outcomes
+            .iter()
+            .map(|o| match o.metrics {
+                JobMetrics::Flow {
+                    ccr_protected_pct, ..
+                } => ccr_protected_pct,
+                _ => unreachable!(),
+            })
+            .collect();
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        assert!((agg.metrics[0].1.mean - mean).abs() < 1e-12);
+        // Table and aggregate CSV render without panicking and carry
+        // the point.
+        assert!(campaign.to_table().contains("ccr_protected_pct"));
+        assert!(campaign.aggregates_to_csv().starts_with("benchmark,"));
+    }
+
+    #[test]
+    fn metric_stats_math() {
+        let s = MetricStats::over(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.n, 3);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert!((s.std_dev - (2.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
     }
 }

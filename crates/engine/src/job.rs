@@ -9,6 +9,7 @@ use sm_benchgen::iscas::IscasProfile;
 use sm_benchgen::superblue::SuperblueProfile;
 
 use crate::bundle::{iscas_profile_by_name, superblue_profile_by_name};
+use crate::cache::BundleKey;
 
 /// SplitMix64 finalizer: the mixing primitive behind all seed derivation.
 pub fn mix64(mut x: u64) -> u64 {
@@ -43,6 +44,14 @@ impl Benchmark {
         match self {
             Benchmark::Iscas(p) => p.name,
             Benchmark::Superblue(p, _) => p.name,
+        }
+    }
+
+    /// The down-scaling factor, for superblue-class designs.
+    pub fn scale(&self) -> Option<usize> {
+        match self {
+            Benchmark::Iscas(_) => None,
+            Benchmark::Superblue(_, scale) => Some(*scale),
         }
     }
 
@@ -116,13 +125,26 @@ impl Job {
         mix64(self.master_seed ^ fnv1a(self.benchmark.name()) ^ self.user_seed.rotate_left(17))
     }
 
+    /// The cache/store key of the bundle this job consumes (shared by
+    /// every job touching the same design + seed).
+    pub fn bundle_key(&self) -> BundleKey {
+        let seed = self.bundle_seed();
+        match &self.benchmark {
+            Benchmark::Iscas(p) => BundleKey::Iscas { name: p.name, seed },
+            Benchmark::Superblue(p, scale) => BundleKey::Superblue {
+                name: p.name,
+                scale: *scale,
+                seed,
+            },
+        }
+    }
+
     /// The fully-derived per-job seed (bundle seed + split layer +
     /// attack), recorded in reports as the job's stable random-stream
-    /// identifier.
-    ///
-    /// The current attacks derive their evaluation RNG from netlist
-    /// content and do not consume this value yet; wiring it into
-    /// attack-stage randomness is a ROADMAP follow-up.
+    /// identifier. Campaigns feed it to the network-flow attack's
+    /// evaluation RNG (`ProximityConfig::eval_seed`), so seed sweeps
+    /// explore attack variance as well as layout variance. It also keys
+    /// the store's persisted job outcomes.
     pub fn derived_seed(&self) -> u64 {
         mix64(self.bundle_seed() ^ (self.split_layer as u64) << 8 ^ fnv1a(self.attack.id()))
     }

@@ -10,11 +10,17 @@
 //! * [`bundle`] — the heavyweight layout bundles
 //!   ([`IscasRun`](bundle::IscasRun), [`SuperblueRun`](bundle::SuperblueRun))
 //!   every table consumes;
-//! * [`cache`] — a content-keyed in-memory artifact cache guaranteeing
-//!   each bundle is built exactly once per campaign;
+//! * [`cache`] — a content-keyed artifact cache guaranteeing each
+//!   bundle is built exactly once per campaign, with refcounted release
+//!   once a bundle's last consuming job finishes;
+//! * [`store`] — the disk-backed tier under the cache: bundles and
+//!   finished job results persist across processes under `.sm-store/`,
+//!   so repeated runs decode instead of rebuilding;
 //! * [`exec`] — a work-stealing thread-pool executor whose output order
 //!   is independent of scheduling;
-//! * [`campaign`] — sweep expansion, job execution and report assembly;
+//! * [`campaign`] — sweep expansion, job execution, seed-sweep
+//!   aggregation (mean/σ/min/max) and report assembly, including
+//!   re-running subsets of a stored campaign (`smctl resume`);
 //! * [`report`] — deterministic JSON/CSV emission (timings opt-in, so
 //!   canonical reports are byte-identical across runs).
 //!
@@ -47,13 +53,17 @@ pub mod campaign;
 pub mod exec;
 pub mod job;
 pub mod report;
+pub mod store;
 
 pub use bundle::{iscas_selection, superblue_selection, IscasRun, SuperblueRun};
-pub use cache::{ArtifactCache, CacheStats};
-pub use campaign::{run_job, run_sweep, Campaign, JobMetrics, JobOutcome, SweepSpec};
+pub use cache::{ArtifactCache, BundleKey, CacheStats};
+pub use campaign::{
+    run_job, run_sweep, run_sweep_with, Campaign, JobMetrics, JobOutcome, SweepSpec,
+};
 pub use exec::{Executor, ExecutorConfig};
 pub use job::{AttackKind, Benchmark, Job};
 pub use report::{Json, ReportOptions};
+pub use store::{ArtifactStore, StoreStats, StoreUsage};
 
 #[cfg(test)]
 mod tests {

@@ -149,6 +149,17 @@ impl Json {
         }
     }
 
+    /// The value as i64 (exact for `Int`/in-range `UInt`, truncating for
+    /// integral `Num`).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(i) => Some(*i),
+            Json::UInt(u) if *u <= i64::MAX as u64 => Some(*u as i64),
+            Json::Num(f) if f.fract() == 0.0 && f.abs() < i64::MAX as f64 => Some(*f as i64),
+            _ => None,
+        }
+    }
+
     /// The value as f64.
     pub fn as_f64(&self) -> Option<f64> {
         match self {

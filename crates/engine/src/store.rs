@@ -1,0 +1,491 @@
+//! Disk-backed artifact store: the persistent tier under the in-memory
+//! bundle cache.
+//!
+//! PR 1's content-keyed cache dies with the process, so every `smctl`
+//! invocation rebuilt the same layout bundles. The store persists
+//! serialized bundles (and finished job metrics) under a root directory
+//! — `.sm-store/` by default — keyed by the **same content keys** the
+//! in-memory cache uses, which makes repeated paper runs warm-cache
+//! reloads instead of minutes of place-and-route.
+//!
+//! Robustness rules, each covered by a test:
+//!
+//! * **atomic write-then-rename** — payloads land in a unique temp file
+//!   first and are `rename`d into place, so a crash (or a concurrent
+//!   `smctl` writing the same key) never leaves a torn file behind;
+//! * **version header** — every file starts with magic, format version,
+//!   payload kind and a payload checksum; any mismatch is a *miss*
+//!   (rebuild and overwrite), never a misparse;
+//! * **corrupt tolerance** — truncation and bit-flips are caught by the
+//!   checksum before decoding, and [`sm_codec`] never panics on hostile
+//!   input even if bytes collide; both count as misses;
+//! * **size budget** — an optional byte cap (`--store-cap`) is enforced
+//!   by least-recently-used eviction (loads refresh a file's mtime).
+//!
+//! The store is deliberately quiet about I/O errors: a store that cannot
+//! read or write must degrade to "no store" (every operation a miss),
+//! never break a campaign. Failures are counted in [`StoreStats`].
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::SystemTime;
+
+use sm_codec::{decode_from_slice, CodecError, Decode, Encode, Reader, Writer};
+
+use crate::bundle::{iscas_profile_by_name, superblue_profile_by_name, IscasRun, SuperblueRun};
+use crate::cache::BundleKey;
+use crate::campaign::JobMetrics;
+use crate::job::Job;
+
+/// File magic: every store file starts with these four bytes.
+pub const STORE_MAGIC: [u8; 4] = *b"SMST";
+
+/// Store format version. Bump on **any** change to the encodings in this
+/// workspace; readers treat other versions as misses so stale artifacts
+/// are rebuilt, never misparsed.
+pub const STORE_FORMAT_VERSION: u16 = 1;
+
+/// Payload kind tags (part of the header, so a bundle file renamed onto
+/// an outcome key still fails cleanly).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PayloadKind {
+    Iscas = 1,
+    Superblue = 2,
+    Outcome = 3,
+}
+
+/// Store operation counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    /// Loads that returned a decoded artifact.
+    pub disk_hits: u64,
+    /// Loads that found no file, a stale header, or a corrupt payload.
+    pub disk_misses: u64,
+    /// Artifacts persisted successfully.
+    pub writes: u64,
+    /// Writes that failed on I/O (the campaign continues without them).
+    pub write_failures: u64,
+    /// Files removed by the size-budget eviction.
+    pub evictions: u64,
+}
+
+/// Disk usage summary for `smctl store stats`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreUsage {
+    /// Store files present.
+    pub files: u64,
+    /// Total payload bytes.
+    pub bytes: u64,
+}
+
+/// The disk-backed artifact store. Cheap to share behind an `Arc`.
+#[derive(Debug)]
+pub struct ArtifactStore {
+    root: PathBuf,
+    cap_bytes: Option<u64>,
+    disk_hits: AtomicU64,
+    disk_misses: AtomicU64,
+    writes: AtomicU64,
+    write_failures: AtomicU64,
+    evictions: AtomicU64,
+    tmp_counter: AtomicU64,
+    /// Estimated bytes on disk, used to decide *when* a capped store
+    /// must scan for eviction (the scan itself recomputes exact sizes).
+    /// `u64::MAX` means "not yet measured".
+    approx_bytes: AtomicU64,
+}
+
+/// Sentinel for [`ArtifactStore::approx_bytes`]: usage not measured yet.
+const UNMEASURED: u64 = u64::MAX;
+
+impl ArtifactStore {
+    /// Opens (lazily — directories are created on first write) a store
+    /// rooted at `root` with an optional size budget in bytes.
+    pub fn open(root: impl Into<PathBuf>, cap_bytes: Option<u64>) -> ArtifactStore {
+        ArtifactStore {
+            root: root.into(),
+            cap_bytes,
+            disk_hits: AtomicU64::new(0),
+            disk_misses: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            write_failures: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            tmp_counter: AtomicU64::new(0),
+            approx_bytes: AtomicU64::new(UNMEASURED),
+        }
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The configured size budget, if any.
+    pub fn cap_bytes(&self) -> Option<u64> {
+        self.cap_bytes
+    }
+
+    /// Counters accumulated by this handle.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            disk_misses: self.disk_misses.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            write_failures: self.write_failures.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    // ----- keys → paths ---------------------------------------------------
+
+    fn bundle_path(&self, key: &BundleKey) -> PathBuf {
+        let name = match key {
+            BundleKey::Iscas { name, seed } => format!("iscas-{name}-s{seed:016x}.bundle"),
+            BundleKey::Superblue { name, scale, seed } => {
+                format!("superblue-{name}-x{scale}-s{seed:016x}.bundle")
+            }
+        };
+        self.root.join("bundles").join(name)
+    }
+
+    fn outcome_path(&self, job: &Job) -> PathBuf {
+        let scale = job.benchmark.scale().unwrap_or(0);
+        let name = format!(
+            "{}-x{}-{}-d{:016x}.outcome",
+            job.benchmark.name(),
+            scale,
+            job.attack.id(),
+            job.derived_seed()
+        );
+        self.root.join("jobs").join(name)
+    }
+
+    // ----- bundle I/O -----------------------------------------------------
+
+    /// Loads the ISCAS bundle stored under `key`, if present and intact.
+    pub fn load_iscas(&self, key: &BundleKey) -> Option<IscasRun> {
+        self.load_payload(&self.bundle_path(key), PayloadKind::Iscas)
+    }
+
+    /// Persists an ISCAS bundle under `key`.
+    pub fn save_iscas(&self, key: &BundleKey, run: &IscasRun) {
+        self.save_payload(&self.bundle_path(key), PayloadKind::Iscas, run);
+    }
+
+    /// Loads the superblue bundle stored under `key`, if present/intact.
+    pub fn load_superblue(&self, key: &BundleKey) -> Option<SuperblueRun> {
+        self.load_payload(&self.bundle_path(key), PayloadKind::Superblue)
+    }
+
+    /// Persists a superblue bundle under `key`.
+    pub fn save_superblue(&self, key: &BundleKey, run: &SuperblueRun) {
+        self.save_payload(&self.bundle_path(key), PayloadKind::Superblue, run);
+    }
+
+    /// Loads the finished metrics of `job`, if present and intact.
+    pub fn load_outcome(&self, job: &Job) -> Option<JobMetrics> {
+        self.load_payload(&self.outcome_path(job), PayloadKind::Outcome)
+    }
+
+    /// Persists the finished metrics of `job`.
+    pub fn save_outcome(&self, job: &Job, metrics: &JobMetrics) {
+        self.save_payload(&self.outcome_path(job), PayloadKind::Outcome, metrics);
+    }
+
+    fn load_payload<T: Decode>(&self, path: &Path, kind: PayloadKind) -> Option<T> {
+        let loaded = self.try_load(path, kind);
+        match loaded {
+            Some(_) => self.disk_hits.fetch_add(1, Ordering::Relaxed),
+            None => self.disk_misses.fetch_add(1, Ordering::Relaxed),
+        };
+        loaded
+    }
+
+    fn try_load<T: Decode>(&self, path: &Path, kind: PayloadKind) -> Option<T> {
+        let bytes = fs::read(path).ok()?;
+        let payload = check_header(&bytes, kind)?;
+        let value = decode_from_slice(payload).ok()?;
+        // Refresh mtime so eviction is least-recently-*used*, not
+        // least-recently-written. Best effort: a read-only store still
+        // serves hits.
+        if let Ok(f) = fs::OpenOptions::new().append(true).open(path) {
+            let _ = f.set_modified(SystemTime::now());
+        }
+        Some(value)
+    }
+
+    fn save_payload<T: Encode>(&self, path: &Path, kind: PayloadKind, value: &T) {
+        match self.try_save(path, kind, value) {
+            Ok(written) => {
+                self.writes.fetch_add(1, Ordering::Relaxed);
+                if let Some(cap) = self.cap_bytes {
+                    // Maintain a running usage estimate so the
+                    // directory is only scanned when the budget may
+                    // actually be exceeded — not once per write.
+                    let before = self.approx_bytes.load(Ordering::Relaxed);
+                    let approx = if before == UNMEASURED {
+                        let measured = self.usage().bytes;
+                        self.approx_bytes.store(measured, Ordering::Relaxed);
+                        measured
+                    } else {
+                        self.approx_bytes.fetch_add(written, Ordering::Relaxed) + written
+                    };
+                    if approx > cap {
+                        self.gc_to(cap);
+                    }
+                }
+            }
+            Err(_) => {
+                self.write_failures.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Stages and renames the encoded artifact, returning its size.
+    fn try_save<T: Encode>(&self, path: &Path, kind: PayloadKind, value: &T) -> io::Result<u64> {
+        let dir = path.parent().expect("store paths have a parent");
+        fs::create_dir_all(dir)?;
+        let payload = sm_codec::encode_to_vec(value);
+        let mut w = Writer::new();
+        w.put_bytes(&STORE_MAGIC);
+        STORE_FORMAT_VERSION.encode(&mut w);
+        w.put_u8(kind as u8);
+        fnv1a_bytes(&payload).encode(&mut w);
+        w.put_bytes(&payload);
+        let bytes = w.into_bytes();
+        let written = bytes.len() as u64;
+        // Unique temp name per (process, write): concurrent writers of
+        // the same key each stage their own file; whoever renames last
+        // wins with a complete, valid artifact either way.
+        let tmp = dir.join(format!(
+            ".tmp-{}-{}-{}",
+            std::process::id(),
+            self.tmp_counter.fetch_add(1, Ordering::Relaxed),
+            path.file_name().and_then(|n| n.to_str()).unwrap_or("f")
+        ));
+        fs::write(&tmp, bytes)?;
+        match fs::rename(&tmp, path) {
+            Ok(()) => Ok(written),
+            Err(e) => {
+                let _ = fs::remove_file(&tmp);
+                Err(e)
+            }
+        }
+    }
+
+    // ----- maintenance ----------------------------------------------------
+
+    /// Files and bytes currently stored.
+    pub fn usage(&self) -> StoreUsage {
+        let mut usage = StoreUsage::default();
+        for (_, _, len) in self.entries() {
+            usage.files += 1;
+            usage.bytes += len;
+        }
+        usage
+    }
+
+    /// Enforces the size budget by deleting least-recently-used files
+    /// until total usage fits. Returns the number of files evicted.
+    /// A no-op without a configured cap.
+    pub fn gc(&self) -> u64 {
+        let Some(cap) = self.cap_bytes else { return 0 };
+        self.gc_to(cap)
+    }
+
+    /// Evicts least-recently-used files until total usage is ≤ `cap`
+    /// bytes, regardless of the configured budget.
+    pub fn gc_to(&self, cap: u64) -> u64 {
+        let mut entries = self.entries();
+        let mut total: u64 = entries.iter().map(|(_, _, len)| len).sum();
+        if total <= cap {
+            self.approx_bytes.store(total, Ordering::Relaxed);
+            return 0;
+        }
+        entries.sort_by_key(|&(_, mtime, _)| mtime);
+        let mut evicted = 0;
+        for (path, _, len) in entries {
+            if total <= cap {
+                break;
+            }
+            if fs::remove_file(&path).is_ok() {
+                total -= len;
+                evicted += 1;
+            }
+        }
+        self.approx_bytes.store(total, Ordering::Relaxed);
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        evicted
+    }
+
+    /// Deletes every stored artifact. Returns the number of files
+    /// removed.
+    pub fn clear(&self) -> u64 {
+        let mut removed = 0;
+        for (path, _, _) in self.entries() {
+            if fs::remove_file(&path).is_ok() {
+                removed += 1;
+            }
+        }
+        self.approx_bytes.store(0, Ordering::Relaxed);
+        removed
+    }
+
+    /// All store files as `(path, mtime, len)`, temp files excluded.
+    fn entries(&self) -> Vec<(PathBuf, SystemTime, u64)> {
+        let mut out = Vec::new();
+        for sub in ["bundles", "jobs"] {
+            let Ok(dir) = fs::read_dir(self.root.join(sub)) else {
+                continue;
+            };
+            for entry in dir.flatten() {
+                let path = entry.path();
+                let name = entry.file_name();
+                if name.to_string_lossy().starts_with(".tmp-") {
+                    continue;
+                }
+                let Ok(meta) = entry.metadata() else { continue };
+                if !meta.is_file() {
+                    continue;
+                }
+                let mtime = meta.modified().unwrap_or(SystemTime::UNIX_EPOCH);
+                out.push((path, mtime, meta.len()));
+            }
+        }
+        out
+    }
+}
+
+/// Validates the store header, returning the payload slice on success.
+fn check_header(bytes: &[u8], kind: PayloadKind) -> Option<&[u8]> {
+    let mut r = Reader::new(bytes);
+    let magic = r.take(4).ok()?;
+    if magic != STORE_MAGIC {
+        return None;
+    }
+    if u16::decode(&mut r).ok()? != STORE_FORMAT_VERSION {
+        return None;
+    }
+    if r.take_u8().ok()? != kind as u8 {
+        return None;
+    }
+    let expected = u64::decode(&mut r).ok()?;
+    let payload = &bytes[r.position()..];
+    if fnv1a_bytes(payload) != expected {
+        // Bit-flips and truncation both land here, before any decode.
+        return None;
+    }
+    Some(payload)
+}
+
+/// FNV-1a over raw bytes: the payload checksum in the store header.
+fn fnv1a_bytes(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+// ----- bundle & metrics encodings ----------------------------------------
+
+impl Encode for IscasRun {
+    fn encode(&self, w: &mut Writer) {
+        self.name.encode(w);
+        self.netlist.encode(w);
+        self.original.encode(w);
+        self.protected.encode(w);
+    }
+}
+
+impl Decode for IscasRun {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let name = String::decode(r)?;
+        let profile = iscas_profile_by_name(&name)
+            .ok_or_else(|| CodecError::Invalid(format!("unknown ISCAS benchmark `{name}`")))?;
+        Ok(IscasRun {
+            name: profile.name,
+            netlist: Decode::decode(r)?,
+            original: Decode::decode(r)?,
+            protected: Decode::decode(r)?,
+        })
+    }
+}
+
+impl Encode for SuperblueRun {
+    fn encode(&self, w: &mut Writer) {
+        self.name.encode(w);
+        self.netlist.encode(w);
+        self.original.encode(w);
+        self.lifted.encode(w);
+        self.protected.encode(w);
+        self.protected_nets.encode(w);
+    }
+}
+
+impl Decode for SuperblueRun {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let name = String::decode(r)?;
+        let profile = superblue_profile_by_name(&name)
+            .ok_or_else(|| CodecError::Invalid(format!("unknown superblue benchmark `{name}`")))?;
+        Ok(SuperblueRun {
+            name: profile.name,
+            netlist: Decode::decode(r)?,
+            original: Decode::decode(r)?,
+            lifted: Decode::decode(r)?,
+            protected: Decode::decode(r)?,
+            protected_nets: Vec::decode(r)?,
+        })
+    }
+}
+
+impl Encode for JobMetrics {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            JobMetrics::Flow {
+                ccr_protected_pct,
+                oer_pct,
+                hd_pct,
+                ccr_original_pct,
+            } => {
+                w.put_u8(0);
+                ccr_protected_pct.encode(w);
+                oer_pct.encode(w);
+                hd_pct.encode(w);
+                ccr_original_pct.encode(w);
+            }
+            JobMetrics::Crouting {
+                vpins_protected,
+                vpins_original,
+                boxes,
+            } => {
+                w.put_u8(1);
+                vpins_protected.encode(w);
+                vpins_original.encode(w);
+                boxes.encode(w);
+            }
+        }
+    }
+}
+
+impl Decode for JobMetrics {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(match r.take_u8()? {
+            0 => JobMetrics::Flow {
+                ccr_protected_pct: f64::decode(r)?,
+                oer_pct: f64::decode(r)?,
+                hd_pct: f64::decode(r)?,
+                ccr_original_pct: f64::decode(r)?,
+            },
+            1 => JobMetrics::Crouting {
+                vpins_protected: usize::decode(r)?,
+                vpins_original: usize::decode(r)?,
+                boxes: Vec::decode(r)?,
+            },
+            other => return Err(CodecError::Invalid(format!("JobMetrics tag {other}"))),
+        })
+    }
+}

@@ -1,0 +1,271 @@
+//! Integration tests for the disk-backed artifact store: warm-run
+//! zero-build guarantee, corruption tolerance, version gating, atomic
+//! concurrent writes and size-budget eviction.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use sm_engine::campaign::{run_sweep_with, SweepSpec};
+use sm_engine::exec::ExecutorConfig;
+use sm_engine::job::AttackKind;
+use sm_engine::report::ReportOptions;
+use sm_engine::store::{ArtifactStore, STORE_MAGIC};
+use sm_engine::{ArtifactCache, BundleKey, IscasRun};
+
+/// A unique scratch directory per test invocation, removed on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "sm-store-test-{tag}-{}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        Scratch(dir)
+    }
+
+    fn path(&self) -> &PathBuf {
+        &self.0
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+fn tiny_spec() -> SweepSpec {
+    SweepSpec {
+        benchmarks: vec!["c432".into()],
+        seeds: vec![1],
+        split_layers: vec![4],
+        attacks: vec![AttackKind::NetworkFlow, AttackKind::Crouting],
+        scale: 100,
+        master_seed: 1,
+    }
+}
+
+fn store_at(dir: &Path) -> Arc<ArtifactStore> {
+    Arc::new(ArtifactStore::open(dir, None))
+}
+
+fn bundle_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out: Vec<PathBuf> = fs::read_dir(dir.join("bundles"))
+        .expect("bundles dir exists after a cold run")
+        .flatten()
+        .map(|e| e.path())
+        .collect();
+    out.sort();
+    out
+}
+
+/// The acceptance bar of this PR: a second run against a warm store
+/// performs **zero** bundle builds and reproduces the cold run's
+/// canonical reports byte-for-byte.
+#[test]
+fn warm_store_second_run_builds_nothing_and_matches_bytes() {
+    let scratch = Scratch::new("warm");
+    let spec = tiny_spec();
+    let exec = ExecutorConfig { threads: Some(2) };
+
+    let cold_cache = ArtifactCache::with_store(store_at(scratch.path()));
+    let cold = run_sweep_with(&spec, exec, &cold_cache, None).unwrap();
+    assert_eq!(cold.cache.builds, 1, "cold run builds the bundle once");
+
+    // Fresh cache + fresh store handle = a new process, same directory.
+    let warm_store = store_at(scratch.path());
+    let warm_cache = ArtifactCache::with_store(Arc::clone(&warm_store));
+    let warm = run_sweep_with(&spec, exec, &warm_cache, None).unwrap();
+    assert_eq!(warm.cache.builds, 0, "warm run must not build bundles");
+    assert!(
+        warm_store.stats().disk_hits > 0,
+        "warm run is served from the store (persisted outcomes/bundles)"
+    );
+
+    let opts = ReportOptions::default();
+    assert_eq!(
+        cold.to_json(opts).render(),
+        warm.to_json(opts).render(),
+        "canonical JSON must be byte-identical cold vs warm"
+    );
+    assert_eq!(cold.to_csv(opts), warm.to_csv(opts));
+    assert_eq!(cold.aggregates_to_csv(), warm.aggregates_to_csv());
+}
+
+/// Corrupted or truncated store files are misses that trigger a clean
+/// rebuild (and get overwritten), never a panic or a misparse.
+#[test]
+fn corrupt_and_truncated_files_fall_back_to_rebuild() {
+    let scratch = Scratch::new("corrupt");
+    let spec = tiny_spec();
+    let exec = ExecutorConfig { threads: Some(2) };
+    let cold = run_sweep_with(
+        &spec,
+        exec,
+        &ArtifactCache::with_store(store_at(scratch.path())),
+        None,
+    )
+    .unwrap();
+
+    for mutilate in [
+        // Garble payload bytes past the header.
+        |bytes: &mut Vec<u8>| {
+            let n = bytes.len();
+            for b in bytes[n / 2..].iter_mut().take(64) {
+                *b ^= 0xa5;
+            }
+        },
+        // Truncate mid-payload.
+        |bytes: &mut Vec<u8>| bytes.truncate(bytes.len() / 3),
+    ] {
+        for file in bundle_files(scratch.path()) {
+            let mut bytes = fs::read(&file).unwrap();
+            mutilate(&mut bytes);
+            fs::write(&file, bytes).unwrap();
+        }
+        // Also mutilate persisted job outcomes so the jobs re-run.
+        for file in fs::read_dir(scratch.path().join("jobs")).unwrap().flatten() {
+            let mut bytes = fs::read(file.path()).unwrap();
+            mutilate(&mut bytes);
+            fs::write(file.path(), bytes).unwrap();
+        }
+        let store = store_at(scratch.path());
+        let cache = ArtifactCache::with_store(Arc::clone(&store));
+        let rebuilt = run_sweep_with(&spec, exec, &cache, None).unwrap();
+        assert_eq!(rebuilt.cache.builds, 1, "corrupt store falls back to build");
+        assert!(store.stats().disk_misses > 0);
+        assert_eq!(
+            rebuilt.to_json(ReportOptions::default()).render(),
+            cold.to_json(ReportOptions::default()).render()
+        );
+    }
+}
+
+/// A version-header mismatch is treated as a stale format: rebuilt,
+/// never misparsed.
+#[test]
+fn version_header_mismatch_triggers_rebuild() {
+    let scratch = Scratch::new("version");
+    let profile = sm_benchgen::iscas::IscasProfile::c432();
+    let key = BundleKey::Iscas {
+        name: profile.name,
+        seed: 7,
+    };
+    let store = store_at(scratch.path());
+    store.save_iscas(&key, &IscasRun::build(&profile, 7));
+    assert!(store.load_iscas(&key).is_some());
+
+    for file in bundle_files(scratch.path()) {
+        let mut bytes = fs::read(&file).unwrap();
+        assert_eq!(&bytes[..4], STORE_MAGIC.as_slice());
+        // Bump the format version field (little-endian u16 after magic).
+        bytes[4] = bytes[4].wrapping_add(1);
+        fs::write(&file, bytes).unwrap();
+    }
+    let fresh = store_at(scratch.path());
+    assert!(
+        fresh.load_iscas(&key).is_none(),
+        "future/stale format version must be a miss"
+    );
+    assert_eq!(fresh.stats().disk_misses, 1);
+
+    // The cache transparently rebuilds and re-persists.
+    let cache = ArtifactCache::with_store(Arc::clone(&fresh));
+    let _ = cache.iscas(&profile, 7);
+    assert_eq!(cache.stats().builds, 1);
+    assert!(fresh.load_iscas(&key).is_some(), "rebuilt artifact stored");
+}
+
+/// Concurrent writers of the same key (as two racing `smctl` processes
+/// would be) never leave a torn file: whoever renames last wins with a
+/// complete artifact.
+#[test]
+fn concurrent_writers_do_not_clobber_each_other() {
+    let scratch = Scratch::new("concurrent");
+    let profile = sm_benchgen::iscas::IscasProfile::c432();
+    let key = BundleKey::Iscas {
+        name: profile.name,
+        seed: 3,
+    };
+    let run = IscasRun::build(&profile, 3);
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            // Separate store handles, like separate processes.
+            let store = store_at(scratch.path());
+            let run = &run;
+            let key = &key;
+            s.spawn(move || {
+                for _ in 0..3 {
+                    store.save_iscas(key, run);
+                }
+            });
+        }
+    });
+    let store = store_at(scratch.path());
+    let loaded = store.load_iscas(&key).expect("file intact after the race");
+    assert_eq!(loaded.netlist.num_nets(), run.netlist.num_nets());
+    assert_eq!(
+        loaded.protected.randomization.swaps,
+        run.protected.randomization.swaps
+    );
+    // No temp files left behind.
+    let leftovers: Vec<_> = fs::read_dir(scratch.path().join("bundles"))
+        .unwrap()
+        .flatten()
+        .filter(|e| e.file_name().to_string_lossy().starts_with(".tmp-"))
+        .collect();
+    assert!(leftovers.is_empty(), "staging files must not leak");
+}
+
+/// The size budget is enforced least-recently-used-first and the store
+/// never exceeds it after a write settles.
+#[test]
+fn eviction_respects_the_size_budget() {
+    let scratch = Scratch::new("evict");
+    let profile = sm_benchgen::iscas::IscasProfile::c432();
+    let run = IscasRun::build(&profile, 1);
+
+    // Measure one artifact, then cap the store at roughly two of them.
+    let unbounded = store_at(scratch.path());
+    let key = |seed| BundleKey::Iscas {
+        name: profile.name,
+        seed,
+    };
+    unbounded.save_iscas(&key(1), &run);
+    let one = unbounded.usage().bytes;
+    assert!(one > 0);
+    unbounded.clear();
+
+    let cap = one * 2 + one / 2;
+    let capped = Arc::new(ArtifactStore::open(scratch.path(), Some(cap)));
+    for seed in 1..=4 {
+        capped.save_iscas(&key(seed), &run);
+        assert!(
+            capped.usage().bytes <= cap,
+            "store exceeded its budget after write {seed}"
+        );
+    }
+    let stats = capped.stats();
+    assert!(stats.evictions >= 2, "older artifacts were evicted");
+    // The most recent write survives; the oldest is gone.
+    assert!(capped.load_iscas(&key(4)).is_some());
+    assert!(capped.load_iscas(&key(1)).is_none());
+
+    // Loads refresh recency: touch seed 3, then push it over budget —
+    // the untouched artifact is evicted first.
+    assert!(capped.load_iscas(&key(3)).is_some());
+    capped.save_iscas(&key(5), &run);
+    assert!(
+        capped.load_iscas(&key(3)).is_some(),
+        "recently-used artifact survives eviction"
+    );
+
+    assert!(capped.clear() > 0);
+    assert_eq!(capped.usage().files, 0);
+}

@@ -1,0 +1,300 @@
+//! Binary [`sm_codec`] implementations for layout types.
+//!
+//! A persisted bundle carries full physical views — floorplans,
+//! placements and routing results — so warm `smctl` runs can skip
+//! place-and-route entirely. All encodings are positional (ids index
+//! vectors), mirroring the in-memory representation exactly; decoding
+//! only validates what cannot be represented (truncation, bad tags) and
+//! leaves semantic checks to the store's rebuild-on-error policy.
+
+use sm_codec::{CodecError, Decode, Encode, Reader, Writer};
+
+use crate::floorplan::Floorplan;
+use crate::geom::{Point, Rect};
+use crate::place::Placement;
+use crate::route::{NetRoute, RouteSegment, RoutingResult, TwoPinRoute, ViaCounts, ViaStack};
+
+impl Encode for Point {
+    fn encode(&self, w: &mut Writer) {
+        self.x.encode(w);
+        self.y.encode(w);
+    }
+}
+
+impl Decode for Point {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Point::new(i64::decode(r)?, i64::decode(r)?))
+    }
+}
+
+impl Encode for Rect {
+    fn encode(&self, w: &mut Writer) {
+        self.lo.encode(w);
+        self.hi.encode(w);
+    }
+}
+
+impl Decode for Rect {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let lo = Point::decode(r)?;
+        let hi = Point::decode(r)?;
+        if hi.x < lo.x || hi.y < lo.y {
+            // `Rect::new` panics on degenerate corners; decode must not.
+            return Err(CodecError::Invalid(format!(
+                "degenerate rectangle {lo}..{hi}"
+            )));
+        }
+        Ok(Rect::new(lo, hi))
+    }
+}
+
+impl Encode for Floorplan {
+    fn encode(&self, w: &mut Writer) {
+        self.core.encode(w);
+        self.num_rows.encode(w);
+        self.row_height.encode(w);
+        self.site_width.encode(w);
+        self.sites_per_row.encode(w);
+        self.target_utilization.encode(w);
+    }
+}
+
+impl Decode for Floorplan {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let fp = Floorplan {
+            core: Rect::decode(r)?,
+            num_rows: usize::decode(r)?,
+            row_height: i64::decode(r)?,
+            site_width: i64::decode(r)?,
+            sites_per_row: usize::decode(r)?,
+            target_utilization: f64::decode(r)?,
+        };
+        if fp.num_rows == 0 || fp.row_height <= 0 {
+            // `row_of` divides by row_height and indexes rows.
+            return Err(CodecError::Invalid("floorplan with no rows".into()));
+        }
+        Ok(fp)
+    }
+}
+
+impl Encode for Placement {
+    fn encode(&self, w: &mut Writer) {
+        self.origins.encode(w);
+        self.widths.encode(w);
+        self.row_height.encode(w);
+        self.inputs.encode(w);
+        self.outputs.encode(w);
+    }
+}
+
+impl Decode for Placement {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let p = Placement {
+            origins: Vec::decode(r)?,
+            widths: Vec::decode(r)?,
+            row_height: i64::decode(r)?,
+            inputs: Vec::decode(r)?,
+            outputs: Vec::decode(r)?,
+        };
+        if p.origins.len() != p.widths.len() {
+            return Err(CodecError::Invalid(format!(
+                "placement with {} origins but {} widths",
+                p.origins.len(),
+                p.widths.len()
+            )));
+        }
+        Ok(p)
+    }
+}
+
+impl Encode for ViaCounts {
+    fn encode(&self, w: &mut Writer) {
+        self.counts.encode(w);
+    }
+}
+
+impl Decode for ViaCounts {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(ViaCounts {
+            counts: <[u64; 9]>::decode(r)?,
+        })
+    }
+}
+
+impl Encode for RouteSegment {
+    fn encode(&self, w: &mut Writer) {
+        self.layer.encode(w);
+        self.a.encode(w);
+        self.b.encode(w);
+    }
+}
+
+impl Decode for RouteSegment {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(RouteSegment {
+            layer: u8::decode(r)?,
+            a: <(u16, u16)>::decode(r)?,
+            b: <(u16, u16)>::decode(r)?,
+        })
+    }
+}
+
+impl Encode for ViaStack {
+    fn encode(&self, w: &mut Writer) {
+        self.at.encode(w);
+        self.from_layer.encode(w);
+        self.to_layer.encode(w);
+    }
+}
+
+impl Decode for ViaStack {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(ViaStack {
+            at: <(u16, u16)>::decode(r)?,
+            from_layer: u8::decode(r)?,
+            to_layer: u8::decode(r)?,
+        })
+    }
+}
+
+impl Encode for TwoPinRoute {
+    fn encode(&self, w: &mut Writer) {
+        self.a_pin.encode(w);
+        self.b_pin.encode(w);
+        self.a.encode(w);
+        self.b.encode(w);
+        self.corner.encode(w);
+        self.first_layer.encode(w);
+        self.second_layer.encode(w);
+    }
+}
+
+impl Decode for TwoPinRoute {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(TwoPinRoute {
+            a_pin: u32::decode(r)?,
+            b_pin: u32::decode(r)?,
+            a: <(u16, u16)>::decode(r)?,
+            b: <(u16, u16)>::decode(r)?,
+            corner: <(u16, u16)>::decode(r)?,
+            first_layer: u8::decode(r)?,
+            second_layer: u8::decode(r)?,
+        })
+    }
+}
+
+impl Encode for NetRoute {
+    fn encode(&self, w: &mut Writer) {
+        self.segments.encode(w);
+        self.vias.encode(w);
+        self.twopins.encode(w);
+    }
+}
+
+impl Decode for NetRoute {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(NetRoute {
+            segments: Vec::decode(r)?,
+            vias: Vec::decode(r)?,
+            twopins: Vec::decode(r)?,
+        })
+    }
+}
+
+impl Encode for RoutingResult {
+    fn encode(&self, w: &mut Writer) {
+        self.tile_dbu.encode(w);
+        self.nx.encode(w);
+        self.ny.encode(w);
+        self.routes.encode(w);
+        self.via_counts.encode(w);
+        self.wirelength_per_layer.encode(w);
+        self.overflow_edges.encode(w);
+    }
+}
+
+impl Decode for RoutingResult {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(RoutingResult {
+            tile_dbu: i64::decode(r)?,
+            nx: u16::decode(r)?,
+            ny: u16::decode(r)?,
+            routes: Vec::decode(r)?,
+            via_counts: ViaCounts::decode(r)?,
+            wirelength_per_layer: <[i64; 10]>::decode(r)?,
+            overflow_edges: usize::decode(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use sm_codec::{decode_from_slice, encode_to_vec};
+    use sm_netlist::parse::bench::{parse_bench, C17_BENCH};
+    use sm_netlist::{Library, Netlist};
+
+    use crate::tech::Technology;
+    use crate::{Floorplan, Placement, PlacementEngine, RouteOptions, Router, RoutingResult};
+
+    fn placed_and_routed() -> (Netlist, Floorplan, Placement, RoutingResult) {
+        let n = parse_bench("c17", C17_BENCH, &Library::nangate45()).unwrap();
+        let tech = Technology::nangate45_10lm();
+        let fp = Floorplan::for_netlist(&n, &tech, 0.6);
+        let pl = PlacementEngine::new(3).place(&n, &fp);
+        let rt = Router::new(&tech).route(&n, &pl, &fp, &RouteOptions::default());
+        (n, fp, pl, rt)
+    }
+
+    #[test]
+    fn physical_views_roundtrip() {
+        let (n, fp, pl, rt) = placed_and_routed();
+
+        let fp2: Floorplan = decode_from_slice(&encode_to_vec(&fp)).unwrap();
+        assert_eq!(fp2, fp);
+
+        let pl2: Placement = decode_from_slice(&encode_to_vec(&pl)).unwrap();
+        assert_eq!(pl2, pl);
+        assert!(pl2.is_legal(&fp2));
+
+        let rt2: RoutingResult = decode_from_slice(&encode_to_vec(&rt)).unwrap();
+        assert_eq!(rt2.via_counts(), rt.via_counts());
+        assert_eq!(rt2.total_wirelength_dbu(), rt.total_wirelength_dbu());
+        assert_eq!(rt2.grid_dims(), rt.grid_dims());
+        assert_eq!(rt2.overflow_edges(), rt.overflow_edges());
+        for (id, _) in n.nets() {
+            assert_eq!(rt2.route(id).segments, rt.route(id).segments);
+            assert_eq!(rt2.route(id).vias, rt.route(id).vias);
+            assert_eq!(rt2.route(id).twopins, rt.route(id).twopins);
+            assert_eq!(rt2.net_max_layer(id), rt.net_max_layer(id));
+        }
+    }
+
+    #[test]
+    fn corrupt_layout_bytes_fail_cleanly() {
+        let (_, fp, pl, rt) = placed_and_routed();
+        for bytes in [encode_to_vec(&fp), encode_to_vec(&pl), encode_to_vec(&rt)] {
+            assert!(decode_from_slice::<RoutingResult>(&bytes[..bytes.len() / 3]).is_err());
+            // Flipping length-prefix bytes must never panic.
+            let mut garbled = bytes.clone();
+            for b in garbled.iter_mut().take(24) {
+                *b = 0xff;
+            }
+            let _ = decode_from_slice::<Floorplan>(&garbled);
+            let _ = decode_from_slice::<Placement>(&garbled);
+            let _ = decode_from_slice::<RoutingResult>(&garbled);
+        }
+    }
+
+    #[test]
+    fn mismatched_placement_vectors_are_rejected() {
+        use sm_codec::{Encode, Writer};
+        let (_, _, pl, _) = placed_and_routed();
+        let mut w = Writer::new();
+        pl.origins.encode(&mut w);
+        vec![0i64; pl.origins.len() + 1].encode(&mut w);
+        pl.row_height.encode(&mut w);
+        pl.inputs.encode(&mut w);
+        pl.outputs.encode(&mut w);
+        assert!(decode_from_slice::<Placement>(&w.into_bytes()).is_err());
+    }
+}

@@ -12,12 +12,12 @@ use sm_netlist::Netlist;
 /// avoid congestion.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Floorplan {
-    core: Rect,
-    num_rows: usize,
-    row_height: i64,
-    site_width: i64,
-    sites_per_row: usize,
-    target_utilization: f64,
+    pub(crate) core: Rect,
+    pub(crate) num_rows: usize,
+    pub(crate) row_height: i64,
+    pub(crate) site_width: i64,
+    pub(crate) sites_per_row: usize,
+    pub(crate) target_utilization: f64,
 }
 
 impl Floorplan {

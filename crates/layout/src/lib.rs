@@ -35,6 +35,7 @@
 #![warn(missing_debug_implementations)]
 
 mod bisect;
+mod codec;
 mod floorplan;
 mod geom;
 mod tech;

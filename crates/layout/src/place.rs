@@ -16,11 +16,11 @@ use sm_netlist::{CellId, Driver, NetId, Netlist, Sink};
 /// Cell and port locations for one netlist on one floorplan.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Placement {
-    origins: Vec<Point>,
-    widths: Vec<i64>,
-    row_height: i64,
-    inputs: Vec<Point>,
-    outputs: Vec<Point>,
+    pub(crate) origins: Vec<Point>,
+    pub(crate) widths: Vec<i64>,
+    pub(crate) row_height: i64,
+    pub(crate) inputs: Vec<Point>,
+    pub(crate) outputs: Vec<Point>,
 }
 
 impl Placement {

@@ -153,13 +153,13 @@ pub struct RouteOptions {
 /// Result of routing one netlist.
 #[derive(Debug, Clone)]
 pub struct RoutingResult {
-    tile_dbu: i64,
-    nx: u16,
-    ny: u16,
-    routes: Vec<NetRoute>,
-    via_counts: ViaCounts,
-    wirelength_per_layer: [i64; 10],
-    overflow_edges: usize,
+    pub(crate) tile_dbu: i64,
+    pub(crate) nx: u16,
+    pub(crate) ny: u16,
+    pub(crate) routes: Vec<NetRoute>,
+    pub(crate) via_counts: ViaCounts,
+    pub(crate) wirelength_per_layer: [i64; 10],
+    pub(crate) overflow_edges: usize,
 }
 
 impl RoutingResult {

@@ -1,0 +1,312 @@
+//! Binary [`sm_codec`] implementations for netlist types.
+//!
+//! These power the engine's disk-backed artifact store: a fully-processed
+//! layout bundle embeds several [`Netlist`]s, and persisting one must
+//! round-trip connectivity exactly (ids are positional, so encoding keeps
+//! vector order). Decoding validates enum tags and rebuilds derived state
+//! (the library's name index); structural invariants beyond that are the
+//! caller's to check — the store treats any [`CodecError`] as a cache
+//! miss and rebuilds from scratch.
+
+use std::sync::Arc;
+
+use sm_codec::{CodecError, Decode, Encode, Reader, Writer};
+
+use crate::id::{CellId, LibCellId, NetId, PortId};
+use crate::library::{GateFn, LibCell, Library};
+use crate::netlist::{Cell, Driver, Net, Netlist, Port, Sink};
+
+macro_rules! impl_id_codec {
+    ($($ty:ty),*) => {$(
+        impl Encode for $ty {
+            fn encode(&self, w: &mut Writer) {
+                (self.index() as u32).encode(w);
+            }
+        }
+        impl Decode for $ty {
+            fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+                Ok(<$ty>::new(u32::decode(r)? as usize))
+            }
+        }
+    )*};
+}
+
+impl_id_codec!(CellId, NetId, PortId, LibCellId);
+
+impl Encode for GateFn {
+    fn encode(&self, w: &mut Writer) {
+        let tag: u8 = match self {
+            GateFn::Buf => 0,
+            GateFn::Inv => 1,
+            GateFn::And => 2,
+            GateFn::Nand => 3,
+            GateFn::Or => 4,
+            GateFn::Nor => 5,
+            GateFn::Xor => 6,
+            GateFn::Xnor => 7,
+        };
+        tag.encode(w);
+    }
+}
+
+impl Decode for GateFn {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(match u8::decode(r)? {
+            0 => GateFn::Buf,
+            1 => GateFn::Inv,
+            2 => GateFn::And,
+            3 => GateFn::Nand,
+            4 => GateFn::Or,
+            5 => GateFn::Nor,
+            6 => GateFn::Xor,
+            7 => GateFn::Xnor,
+            other => return Err(CodecError::Invalid(format!("GateFn tag {other}"))),
+        })
+    }
+}
+
+impl Encode for LibCell {
+    fn encode(&self, w: &mut Writer) {
+        self.name.encode(w);
+        self.function.encode(w);
+        self.num_inputs.encode(w);
+        self.area_um2.encode(w);
+        self.input_cap_ff.encode(w);
+        self.drive_res_kohm.encode(w);
+        self.intrinsic_delay_ps.encode(w);
+        self.leakage_nw.encode(w);
+    }
+}
+
+impl Decode for LibCell {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(LibCell {
+            name: String::decode(r)?,
+            function: GateFn::decode(r)?,
+            num_inputs: usize::decode(r)?,
+            area_um2: f64::decode(r)?,
+            input_cap_ff: f64::decode(r)?,
+            drive_res_kohm: f64::decode(r)?,
+            intrinsic_delay_ps: f64::decode(r)?,
+            leakage_nw: f64::decode(r)?,
+        })
+    }
+}
+
+impl Encode for Library {
+    fn encode(&self, w: &mut Writer) {
+        self.name.encode(w);
+        self.cells.encode(w);
+    }
+}
+
+impl Decode for Library {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let name = String::decode(r)?;
+        let cells = Vec::<LibCell>::decode(r)?;
+        // Rebuild through the public constructor so the name index stays
+        // consistent; duplicate names mean corrupted input ([`Library::
+        // add_cell`] would panic, which decode must never do).
+        let mut lib = Library::new(name);
+        for cell in cells {
+            if lib.find(&cell.name).is_some() {
+                return Err(CodecError::Invalid(format!(
+                    "duplicate library cell `{}`",
+                    cell.name
+                )));
+            }
+            lib.add_cell(cell);
+        }
+        Ok(lib)
+    }
+}
+
+impl Encode for Driver {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Driver::Cell(c) => {
+                w.put_u8(0);
+                c.encode(w);
+            }
+            Driver::Port(p) => {
+                w.put_u8(1);
+                p.encode(w);
+            }
+        }
+    }
+}
+
+impl Decode for Driver {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(match r.take_u8()? {
+            0 => Driver::Cell(CellId::decode(r)?),
+            1 => Driver::Port(PortId::decode(r)?),
+            other => return Err(CodecError::Invalid(format!("Driver tag {other}"))),
+        })
+    }
+}
+
+impl Encode for Sink {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Sink::Cell { cell, pin } => {
+                w.put_u8(0);
+                cell.encode(w);
+                pin.encode(w);
+            }
+            Sink::Port(p) => {
+                w.put_u8(1);
+                p.encode(w);
+            }
+        }
+    }
+}
+
+impl Decode for Sink {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(match r.take_u8()? {
+            0 => Sink::Cell {
+                cell: CellId::decode(r)?,
+                pin: u8::decode(r)?,
+            },
+            1 => Sink::Port(PortId::decode(r)?),
+            other => return Err(CodecError::Invalid(format!("Sink tag {other}"))),
+        })
+    }
+}
+
+impl Encode for Port {
+    fn encode(&self, w: &mut Writer) {
+        self.name.encode(w);
+        self.net.encode(w);
+    }
+}
+
+impl Decode for Port {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Port {
+            name: String::decode(r)?,
+            net: NetId::decode(r)?,
+        })
+    }
+}
+
+impl Encode for Cell {
+    fn encode(&self, w: &mut Writer) {
+        self.name.encode(w);
+        self.lib.encode(w);
+        self.inputs.encode(w);
+        self.output.encode(w);
+    }
+}
+
+impl Decode for Cell {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Cell {
+            name: String::decode(r)?,
+            lib: LibCellId::decode(r)?,
+            inputs: Vec::decode(r)?,
+            output: NetId::decode(r)?,
+        })
+    }
+}
+
+impl Encode for Net {
+    fn encode(&self, w: &mut Writer) {
+        self.name.encode(w);
+        self.driver.encode(w);
+        self.sinks.encode(w);
+    }
+}
+
+impl Decode for Net {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Net {
+            name: String::decode(r)?,
+            driver: Driver::decode(r)?,
+            sinks: Vec::decode(r)?,
+        })
+    }
+}
+
+impl Encode for Netlist {
+    fn encode(&self, w: &mut Writer) {
+        self.name.encode(w);
+        self.library.encode(w);
+        self.cells.encode(w);
+        self.nets.encode(w);
+        self.inputs.encode(w);
+        self.outputs.encode(w);
+    }
+}
+
+impl Decode for Netlist {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Netlist::from_parts(
+            String::decode(r)?,
+            Arc::new(Library::decode(r)?),
+            Vec::decode(r)?,
+            Vec::decode(r)?,
+            Vec::decode(r)?,
+            Vec::decode(r)?,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use sm_codec::{decode_from_slice, encode_to_vec};
+
+    use crate::parse::bench::{parse_bench, C17_BENCH};
+    use crate::{Library, Netlist};
+
+    fn c17() -> Netlist {
+        parse_bench("c17", C17_BENCH, &Library::nangate45()).unwrap()
+    }
+
+    #[test]
+    fn netlist_roundtrips_exactly() {
+        let n = c17();
+        let bytes = encode_to_vec(&n);
+        let back: Netlist = decode_from_slice(&bytes).unwrap();
+        back.validate().unwrap();
+        assert_eq!(back.name(), n.name());
+        assert_eq!(back.num_cells(), n.num_cells());
+        assert_eq!(back.num_nets(), n.num_nets());
+        assert_eq!(back.input_ports(), n.input_ports());
+        assert_eq!(back.output_ports(), n.output_ports());
+        for (id, cell) in n.cells() {
+            assert_eq!(back.cell(id), cell);
+        }
+        for (id, net) in n.nets() {
+            assert_eq!(back.net(id), net);
+        }
+        assert_eq!(back.library().name(), n.library().name());
+        assert_eq!(back.total_cell_area_um2(), n.total_cell_area_um2());
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        assert_eq!(encode_to_vec(&c17()), encode_to_vec(&c17()));
+    }
+
+    #[test]
+    fn truncated_netlist_fails_cleanly() {
+        let bytes = encode_to_vec(&c17());
+        for cut in [0, 1, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode_from_slice::<Netlist>(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn duplicate_library_cells_are_rejected() {
+        use sm_codec::{Encode, Writer};
+        let lib = Library::nangate45();
+        let mut w = Writer::new();
+        // A library whose cell list repeats the first cell.
+        lib.name().encode(&mut w);
+        let first = lib.iter().next().unwrap().1.clone();
+        vec![first.clone(), first].encode(&mut w);
+        assert!(decode_from_slice::<Library>(&w.into_bytes()).is_err());
+    }
+}

@@ -39,6 +39,7 @@
 #![warn(missing_debug_implementations)]
 
 mod builder;
+mod codec;
 mod error;
 mod id;
 mod library;

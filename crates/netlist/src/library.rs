@@ -149,8 +149,8 @@ impl LibCell {
 /// on; [`Library::new`] exists for tests and custom technologies.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Library {
-    name: String,
-    cells: Vec<LibCell>,
+    pub(crate) name: String,
+    pub(crate) cells: Vec<LibCell>,
     #[serde(skip)]
     by_name: HashMap<String, LibCellId>,
 }

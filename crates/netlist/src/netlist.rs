@@ -103,8 +103,8 @@ impl Net {
 /// primitive the randomization defense is built on).
 #[derive(Debug, Clone)]
 pub struct Netlist {
-    name: String,
-    library: Arc<Library>,
+    pub(crate) name: String,
+    pub(crate) library: Arc<Library>,
     pub(crate) cells: Vec<Cell>,
     pub(crate) nets: Vec<Net>,
     pub(crate) inputs: Vec<Port>,
