@@ -76,12 +76,25 @@ impl MinCostFlow {
         let mut potential = vec![0i64; n];
         let mut total_flow = 0i64;
         let mut total_cost = 0i64;
+        // Dijkstra state is reused across augmenting rounds: `reached`
+        // records which nodes this round touched, so the reset and the
+        // potential update walk only the reachable frontier instead of
+        // scanning all |V| nodes per round (unreached nodes keep
+        // `dist == MAX` and, as before, an unchanged potential).
+        let mut dist = vec![i64::MAX; n];
+        let mut prev_edge = vec![usize::MAX; n];
+        let mut reached: Vec<usize> = Vec::with_capacity(n);
+        let mut heap = BinaryHeap::new();
         while total_flow < max_flow {
             // Dijkstra on reduced costs.
-            let mut dist = vec![i64::MAX; n];
-            let mut prev_edge = vec![usize::MAX; n];
+            for &v in &reached {
+                dist[v] = i64::MAX;
+                prev_edge[v] = usize::MAX;
+            }
+            reached.clear();
+            heap.clear();
             dist[s] = 0;
-            let mut heap = BinaryHeap::new();
+            reached.push(s);
             heap.push(Reverse((0i64, s)));
             while let Some(Reverse((d, u))) = heap.pop() {
                 if d > dist[u] {
@@ -94,6 +107,9 @@ impl MinCostFlow {
                     }
                     let nd = d + e.cost + potential[u] - potential[e.to];
                     if nd < dist[e.to] {
+                        if dist[e.to] == i64::MAX {
+                            reached.push(e.to);
+                        }
                         dist[e.to] = nd;
                         prev_edge[e.to] = eid;
                         heap.push(Reverse((nd, e.to)));
@@ -103,10 +119,8 @@ impl MinCostFlow {
             if dist[t] == i64::MAX {
                 break;
             }
-            for v in 0..n {
-                if dist[v] < i64::MAX {
-                    potential[v] += dist[v];
-                }
+            for &v in &reached {
+                potential[v] += dist[v];
             }
             // Bottleneck along the path.
             let mut push = max_flow - total_flow;

@@ -16,7 +16,7 @@
 //! the min-cost-flow rounds in the original attack), re-checking loops
 //! against connections committed so far.
 
-use sm_layout::{Placement, SplitLayout, VpinSide};
+use sm_layout::{Placement, Point, SplitLayout, VpinSide};
 use sm_netlist::graph::would_create_cycle;
 use sm_netlist::{Netlist, Sink};
 use sm_sim::{security_metrics, PatternSource, SecurityMetrics};
@@ -97,17 +97,31 @@ pub fn network_flow_attack(
     let sinks = split.feol.sink_vpins();
 
     // Candidate edges: the K cheapest drivers per sink (standard pruning;
-    // distant drivers never win the global optimum anyway).
+    // distant drivers never win the global optimum anyway). Driver
+    // geometry is flattened into one contiguous array up front and the
+    // scored row reuses a single scratch buffer, so the sink × driver
+    // scoring loop only allocates each sink's final top-K list.
     let k = config.candidates_per_sink.max(1);
+    let driver_geom: Vec<(Point, Option<(i8, i8)>)> = drivers
+        .iter()
+        .map(|&d| {
+            let v = &split.feol.vpins[d];
+            (v.position, v.stub_direction)
+        })
+        .collect();
+    let mut row: Vec<(i64, usize)> = Vec::with_capacity(drivers.len());
     let mut candidates: Vec<Vec<(i64, usize)>> = Vec::with_capacity(sinks.len());
     for &s in &sinks {
-        let mut row: Vec<(i64, usize)> = drivers
-            .iter()
-            .map(|&d| ((pair_cost(split, d, s, config, 0.0) * 1000.0) as i64, d))
-            .collect();
+        let sink_pos = split.feol.vpins[s].position;
+        row.clear();
+        row.extend(drivers.iter().zip(&driver_geom).map(|(&d, &(pos, stub))| {
+            (
+                (pair_cost(pos, stub, sink_pos, config, 0.0) * 1000.0) as i64,
+                d,
+            )
+        }));
         row.sort_unstable();
-        row.truncate(k);
-        candidates.push(row);
+        candidates.push(row[..row.len().min(k)].to_vec());
     }
 
     // Min-cost flow: source → drivers (capacity from the load hint) →
@@ -309,25 +323,27 @@ pub fn ccr_vs_golden_for(
     }
 }
 
+/// Cost of pairing a driver vpin (given by its flattened geometry) with
+/// a sink vpin at `sink_pos`. Taking the geometry by value keeps the
+/// sink × driver scoring loop on two flat arrays instead of chasing
+/// vpin structs per pair.
 fn pair_cost(
-    split: &SplitLayout,
-    d: usize,
-    s: usize,
+    driver_pos: Point,
+    driver_stub: Option<(i8, i8)>,
+    sink_pos: Point,
     config: &ProximityConfig,
     driver_load_ff: f64,
 ) -> f64 {
-    let vd = &split.feol.vpins[d];
-    let vs = &split.feol.vpins[s];
-    let dist_um = vd.position.manhattan_um(vs.position);
+    let dist_um = driver_pos.manhattan_um(sink_pos);
     // A small floor keeps the multiplicative hints meaningful even for
     // coincident pins.
     let mut cost = config.distance_weight * (dist_um + 0.1);
     // Hint 4: dangling-wire direction. A stub pointing away from the sink
     // scales the cost up; the hint never overrides proximity entirely.
-    if let Some((dx, dy)) = vd.stub_direction {
+    if let Some((dx, dy)) = driver_stub {
         let to_sink = (
-            (vs.position.x - vd.position.x).signum(),
-            (vs.position.y - vd.position.y).signum(),
+            (sink_pos.x - driver_pos.x).signum(),
+            (sink_pos.y - driver_pos.y).signum(),
         );
         let disagrees =
             (dx != 0 && dx as i64 == -to_sink.0) || (dy != 0 && dy as i64 == -to_sink.1);

@@ -347,20 +347,81 @@ pub fn run_fig6(session: &Session) {
 /// An artifact runner: prints one table/figure from a session.
 pub type ArtifactFn = fn(&Session);
 
-/// Every artifact name `smctl run` accepts, in canonical order.
-pub const ARTIFACTS: [(&str, ArtifactFn); 9] = [
-    ("table1", run_table1),
-    ("table2", run_table2),
-    ("table3", run_table3),
-    ("table4", run_table4),
-    ("table5", run_table5),
-    ("table6", run_table6),
-    ("fig4", run_fig4),
-    ("fig5", run_fig5),
-    ("fig6", run_fig6),
+/// Which bundles an artifact pulls through its [`Session`]. Declared
+/// next to each runner registration so the session's reserve/release
+/// accounting ([`Session::reserve_for_artifacts`]) cannot drift from
+/// what the runner actually fetches: an undercounted reservation would
+/// silently rebuild bundles mid-run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BundleUses {
+    /// Calls [`Session::superblue_runs`] (all selected superblue).
+    pub superblue_runs: bool,
+    /// Calls [`Session::superblue18`] only.
+    pub superblue18: bool,
+    /// Calls [`Session::iscas_runs`] directly.
+    pub iscas_runs: bool,
+    /// Consumes [`Session::security_rows`] (one shared `iscas_runs`
+    /// fetch for however many such artifacts are selected).
+    pub security_rows: bool,
+}
+
+const SUPERBLUE: BundleUses = BundleUses {
+    superblue_runs: true,
+    superblue18: false,
+    iscas_runs: false,
+    security_rows: false,
+};
+const SECURITY: BundleUses = BundleUses {
+    superblue_runs: false,
+    superblue18: false,
+    iscas_runs: false,
+    security_rows: true,
+};
+
+/// Every artifact `smctl run` accepts, in canonical order:
+/// `(name, runner, bundle uses)`.
+pub const ARTIFACTS: [(&str, ArtifactFn, BundleUses); 9] = [
+    ("table1", run_table1, SUPERBLUE),
+    ("table2", run_table2, SUPERBLUE),
+    ("table3", run_table3, SUPERBLUE),
+    ("table4", run_table4, SECURITY),
+    ("table5", run_table5, SECURITY),
+    ("table6", run_table6, SUPERBLUE),
+    (
+        "fig4",
+        run_fig4,
+        BundleUses {
+            superblue_runs: false,
+            superblue18: true,
+            iscas_runs: false,
+            security_rows: false,
+        },
+    ),
+    ("fig5", run_fig5, SUPERBLUE),
+    (
+        "fig6",
+        run_fig6,
+        BundleUses {
+            superblue_runs: false,
+            superblue18: false,
+            iscas_runs: true,
+            security_rows: false,
+        },
+    ),
 ];
 
 /// Looks up an artifact runner by name.
 pub fn artifact_by_name(name: &str) -> Option<ArtifactFn> {
-    ARTIFACTS.iter().find(|(n, _)| *n == name).map(|&(_, f)| f)
+    ARTIFACTS
+        .iter()
+        .find(|(n, _, _)| *n == name)
+        .map(|&(_, f, _)| f)
+}
+
+/// Looks up an artifact's declared bundle uses by name.
+pub fn artifact_uses(name: &str) -> Option<BundleUses> {
+    ARTIFACTS
+        .iter()
+        .find(|(n, _, _)| *n == name)
+        .map(|&(_, _, u)| u)
 }

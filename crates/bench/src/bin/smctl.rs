@@ -5,6 +5,7 @@
 //! smctl sweep [axes]          parallel campaign → JSON/CSV report
 //! smctl resume <report.json>  re-run missing jobs of a stored campaign
 //! smctl report --input FILE   re-render a stored report
+//! smctl bench [--quick]       deterministic perf harness → BENCH.json
 //! smctl store stats|gc|clear  inspect/maintain the artifact store
 //! smctl help                  this text
 //! ```
@@ -52,13 +53,15 @@ USAGE:
                 [--store DIR | --no-store] [--store-cap SIZE]
     smctl sweep [--benchmarks LIST] [--seeds SPEC] [--split-layers LIST]
                 [--attacks LIST] [--scale N] [--seed N] [--quick]
-                [--threads N] [--jobs SPEC]
+                [--threads N] [--jobs SPEC | --shard K/N]
                 [--format json|csv|agg-csv|table] [--timings] [--out FILE]
                 [--store DIR | --no-store] [--store-cap SIZE]
     smctl resume <report.json> [--threads N] [--out FILE]
                 [--format json|csv|agg-csv|table]
                 [--store DIR | --no-store] [--store-cap SIZE]
     smctl report --input FILE [--format json|csv|agg-csv|table]
+    smctl bench [--quick] [--seed N] [--scale N] [--threads N] [--out FILE]
+                [--baseline FILE] [--max-regression FACTOR]
     smctl store stats|gc|clear [--store DIR] [--store-cap SIZE]
     smctl help
 
@@ -76,8 +79,20 @@ SWEEP AXES:
     --seed         campaign master seed folded into every derived seed
     --jobs         run only these job indices of the expansion, e.g.
                    `0,2,5..9` (the report stays mergeable via resume)
+    --shard K/N    run shard K of N (1-based): job indices K-1, K-1+N, …
+                   of the expansion — sugar over --jobs for multi-process
+                   sweeps; merge the partial reports with `smctl resume`
     --timings      include wall-clock + cache diagnostics (report is then
                    no longer byte-identical across runs)
+
+BENCH:
+    `smctl bench` times every pipeline stage (generate/place/route/split/
+    attack) over the quick ISCAS selection plus down-scaled superblue18,
+    plus a quick campaign against a cold and a warm store, and emits a
+    BENCH.json perf-trajectory point (stdout or --out). Wall times are
+    machine-dependent; every other field is deterministic. With
+    --baseline FILE it exits non-zero if any stage runs slower than
+    --max-regression (default 2.0) × the baseline plus a small slack.
 
 STORE:
     run/sweep/resume persist layout bundles and job outcomes under
@@ -115,6 +130,7 @@ fn main() -> ExitCode {
         "sweep" => cmd_sweep(rest),
         "resume" => cmd_resume(rest),
         "report" => cmd_report(rest),
+        "bench" => cmd_bench(rest),
         "store" => cmd_store(rest),
         "help" | "--help" | "-h" => {
             print!("{HELP}");
@@ -161,7 +177,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         return Err("`smctl run` needs at least one artifact (or `all`)".into());
     }
     if names.contains(&"all") {
-        names = ARTIFACTS.iter().map(|(n, _)| *n).collect();
+        names = ARTIFACTS.iter().map(|(n, _, _)| *n).collect();
     }
     let mut runners = Vec::with_capacity(names.len());
     for name in &names {
@@ -172,6 +188,10 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     }
     let opts = default_store(RunOptions::from_slice(&flags)?);
     let session = Session::new(opts);
+    // Declare the artifact list so each bundle is released from memory
+    // after its last consuming artifact instead of pinning the whole
+    // selection for the run.
+    session.reserve_for_artifacts(&names);
     for (i, (_, runner)) in runners.iter().enumerate() {
         if i > 0 {
             println!();
@@ -222,6 +242,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     let mut out_path: Option<String> = None;
     let mut timings = false;
     let mut job_filter: Option<Vec<usize>> = None;
+    let mut shard: Option<(usize, usize)> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -242,6 +263,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
                     flag, inline, args, &mut i,
                 )?)?)
             }
+            "--shard" => shard = Some(parse_shard(&cli::flag_value(flag, inline, args, &mut i)?)?),
             "--format" => format = cli::flag_value(flag, inline, args, &mut i)?,
             "--out" => out_path = Some(cli::flag_value(flag, inline, args, &mut i)?),
             "--timings" => {
@@ -269,6 +291,23 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
             .collect();
     }
     check_format(&format)?;
+    if let Some((k, n)) = shard {
+        // Sugar over --jobs: shard K of N takes every Nth job starting
+        // at K-1. Round-robin keeps each shard's mix of benchmarks and
+        // attacks balanced; the partial reports merge byte-stably via
+        // `smctl resume`.
+        if job_filter.is_some() {
+            return Err("--shard and --jobs are mutually exclusive".into());
+        }
+        let total = spec.jobs()?.len();
+        let indices: Vec<usize> = ((k - 1)..total).step_by(n).collect();
+        if indices.is_empty() {
+            return Err(format!(
+                "shard {k}/{n} selects no jobs (campaign has {total})"
+            ));
+        }
+        job_filter = Some(indices);
+    }
 
     let cache = cache_for(&opts);
     let campaign = run_sweep_with(
@@ -505,6 +544,79 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// `smctl bench`: run the deterministic perf harness, emit the
+/// BENCH.json trajectory point, optionally gate against a baseline.
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    let opts = RunOptions::from_slice(args)?;
+    let mut out_path: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
+    let mut factor = 2.0f64;
+    let mut i = 0;
+    while i < args.len() {
+        let (flag, inline) = cli::split_flag(args[i].as_str());
+        match flag {
+            "--out" => out_path = Some(cli::flag_value(flag, inline, args, &mut i)?),
+            "--baseline" => baseline_path = Some(cli::flag_value(flag, inline, args, &mut i)?),
+            "--max-regression" => {
+                let v = cli::flag_value(flag, inline, args, &mut i)?;
+                factor = v
+                    .parse()
+                    .map_err(|e| format!("invalid --max-regression `{v}`: {e}"))?;
+                if factor < 1.0 || factor.is_nan() {
+                    return Err(format!("--max-regression must be ≥ 1.0, got {factor}"));
+                }
+            }
+            "--seed" | "--scale" | "--threads" => {
+                let _ = cli::flag_value(flag, inline, args, &mut i)?;
+            }
+            "--quick" => cli::no_value(flag, inline)?,
+            other => return Err(format!("unknown bench flag `{other}`; see `smctl help`")),
+        }
+        i += 1;
+    }
+    let cfg = sm_bench::perf::BenchConfig {
+        quick: opts.quick,
+        seed: opts.seed,
+        scale: opts.scale,
+        threads: opts.threads,
+    };
+    let report = sm_bench::perf::run_bench(&cfg);
+    eprint!("{}", report.to_table());
+    emit(&report.to_json().render(), out_path.as_deref())?;
+    if let Some(path) = baseline_path {
+        let text = std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
+        let baseline = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+        // 500 ms absolute slack on top of the factor: the committed
+        // baseline may come from a different machine class than the
+        // runner, and this gate exists to catch pathological
+        // regressions, not scheduler noise. If the gate proves noisy
+        // in CI, regenerate BENCH.json from the bench job's uploaded
+        // artifact rather than widening the factor.
+        report.check_against(&baseline, factor, 500.0)?;
+        eprintln!("bench: no stage regressed more than {factor}× vs {path}");
+    }
+    Ok(())
+}
+
+/// Parses `--shard K/N` (1-based shard index).
+fn parse_shard(s: &str) -> Result<(usize, usize), String> {
+    let (k, n) = s
+        .split_once('/')
+        .ok_or(format!("invalid --shard `{s}` (expected K/N, e.g. 2/4)"))?;
+    let k: usize = k
+        .trim()
+        .parse()
+        .map_err(|e| format!("invalid shard index `{k}`: {e}"))?;
+    let n: usize = n
+        .trim()
+        .parse()
+        .map_err(|e| format!("invalid shard count `{n}`: {e}"))?;
+    if n == 0 || k == 0 || k > n {
+        return Err(format!("--shard {s} out of range (need 1 ≤ K ≤ N, N ≥ 1)"));
+    }
+    Ok((k, n))
 }
 
 /// Upper bound on explicit `--jobs` indices, matching the seed limit.

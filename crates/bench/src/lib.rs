@@ -30,6 +30,7 @@
 pub mod artifacts;
 pub mod cli;
 pub mod experiments;
+pub mod perf;
 pub mod quotes;
 pub mod session;
 pub mod suite;

@@ -1,0 +1,519 @@
+//! `smctl bench` — the deterministic perf harness behind the repo's
+//! performance trajectory (`BENCH.json`).
+//!
+//! The workload matrix is a pure function of `(quick, seed, scale)`:
+//! the quick ISCAS selection plus down-scaled superblue18, each pushed
+//! through the pipeline stages the campaigns spend their wall-clock in
+//! — netlist generation, placement, routing, FEOL/BEOL split, the
+//! network-flow attack — plus a quick campaign run twice against a
+//! fresh disk store (cold, then warm). Every stage records
+//!
+//! * `wall_ms` — the measurement (machine-dependent, **excluded** from
+//!   any determinism comparison, mirroring the `--timings` split of
+//!   campaign reports), and
+//! * `detail` — deterministic fingerprints of the work done (cell
+//!   counts, total HPWL, via counts, CCR…), so two `BENCH.json` files
+//!   are directly comparable: identical `detail` proves both machines
+//!   timed *the same work*.
+//!
+//! [`BenchReport::check_against`] gates regressions: CI fails when a
+//! stage exceeds `factor ×` its committed-baseline time (plus a small
+//! absolute slack so micro-stages don't trip on scheduler noise).
+
+use std::time::Instant;
+
+use sm_attacks::crouting::{crouting_attack, CroutingConfig};
+use sm_attacks::proximity::{network_flow_attack, ProximityConfig};
+use sm_engine::campaign::{run_sweep_with, SweepSpec};
+use sm_engine::exec::ExecutorConfig;
+use sm_engine::job::AttackKind;
+use sm_engine::report::Json;
+use sm_engine::store::ArtifactStore;
+use sm_engine::ArtifactCache;
+use sm_layout::{split_layout, Floorplan, PlacementEngine, RouteOptions, Router, Technology};
+use sm_netlist::Netlist;
+
+use crate::suite::{iscas_selection, superblue_selection};
+
+/// The workload knobs (all folded into the deterministic fingerprints).
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Smaller benchmark selection (the CI smoke configuration).
+    pub quick: bool,
+    /// Master seed for netlist generation and placement.
+    pub seed: u64,
+    /// Superblue down-scaling factor.
+    pub scale: usize,
+    /// Worker threads for the campaign stages.
+    pub threads: Option<usize>,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            quick: false,
+            seed: 1,
+            scale: 100,
+            threads: None,
+        }
+    }
+}
+
+/// One timed stage: what ran, on which benchmark, how long it took, and
+/// the deterministic fingerprint of its output.
+#[derive(Debug, Clone)]
+pub struct StageSample {
+    /// Stage name (`place`, `route`, …).
+    pub stage: &'static str,
+    /// Benchmark the stage ran on (`-` for whole-campaign stages).
+    pub benchmark: String,
+    /// Wall-clock milliseconds (excluded from determinism comparisons).
+    pub wall_ms: f64,
+    /// Deterministic `(name, value)` fingerprints of the work done.
+    pub detail: Vec<(&'static str, u64)>,
+}
+
+/// A finished bench run.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// The workload configuration.
+    pub config: BenchConfig,
+    /// All samples, in workload order.
+    pub stages: Vec<StageSample>,
+}
+
+/// Utilization the standalone layout stages use (fixed, so the workload
+/// does not drift when flow defaults change).
+const BENCH_UTILIZATION: f64 = 0.5;
+
+/// Split layer the split/attack stages use.
+const BENCH_SPLIT_LAYER: u8 = 4;
+
+fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let value = f();
+    (value, start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// The attack an individual layout is benchmarked under: the flow
+/// attack for ISCAS-class designs (what Tables 4/5 sweep), crouting for
+/// superblue-class ones (Table 3's attack — the flow attack's
+/// successive-shortest-path core is quadratic in cut pins and would
+/// turn a smoke harness into a minutes-long soak on superblue).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AttackStage {
+    Flow,
+    Crouting,
+}
+
+/// Pushes one netlist through generate→place→route→split→attack,
+/// appending a sample per stage.
+fn layout_stages(
+    stages: &mut Vec<StageSample>,
+    name: &str,
+    attack: AttackStage,
+    generate: impl FnOnce() -> Netlist,
+) {
+    let push = |stages: &mut Vec<StageSample>,
+                stage: &'static str,
+                wall_ms: f64,
+                detail: Vec<(&'static str, u64)>| {
+        stages.push(StageSample {
+            stage,
+            benchmark: name.to_string(),
+            wall_ms,
+            detail,
+        });
+    };
+    let (netlist, wall) = timed(generate);
+    push(
+        stages,
+        "generate",
+        wall,
+        vec![
+            ("cells", netlist.num_cells() as u64),
+            ("nets", netlist.num_nets() as u64),
+        ],
+    );
+
+    let tech = Technology::nangate45_10lm();
+    let fp = Floorplan::for_netlist(&netlist, &tech, BENCH_UTILIZATION);
+    let seed = 1; // the per-design placement seed; the netlist already encodes cfg.seed
+    let (placement, wall) = timed(|| PlacementEngine::new(seed).place(&netlist, &fp));
+    push(
+        stages,
+        "place",
+        wall,
+        vec![("hpwl_dbu", placement.total_hpwl(&netlist) as u64)],
+    );
+
+    let (routing, wall) =
+        timed(|| Router::new(&tech).route(&netlist, &placement, &fp, &RouteOptions::default()));
+    push(
+        stages,
+        "route",
+        wall,
+        vec![
+            ("wirelength_dbu", routing.total_wirelength_dbu() as u64),
+            ("vias", routing.via_counts().total()),
+            ("overflow_edges", routing.overflow_edges() as u64),
+        ],
+    );
+
+    let (split, wall) = timed(|| split_layout(&netlist, &placement, &routing, BENCH_SPLIT_LAYER));
+    push(
+        stages,
+        "split",
+        wall,
+        vec![
+            ("cut_nets", split.cut_nets as u64),
+            ("vpins", split.feol.vpins.len() as u64),
+        ],
+    );
+
+    match attack {
+        AttackStage::Flow => {
+            let (outcome, wall) = timed(|| {
+                network_flow_attack(
+                    &netlist,
+                    &netlist,
+                    &placement,
+                    &split,
+                    &ProximityConfig::default(),
+                )
+            });
+            push(
+                stages,
+                "attack-flow",
+                wall,
+                vec![
+                    ("pairs", outcome.pairs.len() as u64),
+                    ("ccr_bp", (outcome.ccr * 10_000.0).round() as u64),
+                ],
+            );
+        }
+        AttackStage::Crouting => {
+            let (report, wall) =
+                timed(|| crouting_attack(&netlist, &split, &CroutingConfig::default()));
+            let match_bp = report
+                .boxes
+                .last()
+                .map(|b| (b.match_in_list * 10_000.0).round() as u64)
+                .unwrap_or(0);
+            push(
+                stages,
+                "attack-crouting",
+                wall,
+                vec![("vpins", report.num_vpins as u64), ("match_bp", match_bp)],
+            );
+        }
+    }
+}
+
+/// Runs the full workload matrix.
+pub fn run_bench(cfg: &BenchConfig) -> BenchReport {
+    let mut stages = Vec::new();
+    for profile in iscas_selection(cfg.quick) {
+        layout_stages(&mut stages, profile.name, AttackStage::Flow, || {
+            sm_benchgen::iscas::generate(&profile, cfg.seed)
+        });
+    }
+    for profile in superblue_selection(true) {
+        layout_stages(&mut stages, profile.name, AttackStage::Crouting, || {
+            sm_benchgen::superblue::generate(&profile, cfg.scale, cfg.seed)
+        });
+    }
+
+    // Quick campaign, cold then warm, against a private throwaway store:
+    // cold measures bundle builds + attacks, warm measures the
+    // store-decode path (and proves it rebuilt nothing).
+    let spec = SweepSpec {
+        benchmarks: iscas_selection(true)
+            .iter()
+            .map(|p| p.name.to_string())
+            .collect(),
+        seeds: vec![1, 2],
+        split_layers: vec![BENCH_SPLIT_LAYER],
+        attacks: vec![AttackKind::NetworkFlow, AttackKind::Crouting],
+        scale: cfg.scale,
+        master_seed: cfg.seed,
+    };
+    let exec = ExecutorConfig {
+        threads: cfg.threads,
+    };
+    let store_dir = std::env::temp_dir().join(format!("sm-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    for pass in ["campaign-cold", "campaign-warm"] {
+        let cache = ArtifactCache::with_store(std::sync::Arc::new(ArtifactStore::open(
+            store_dir.to_string_lossy().as_ref(),
+            None,
+        )));
+        let (campaign, wall) =
+            timed(|| run_sweep_with(&spec, exec, &cache, None).expect("bench spec is valid"));
+        stages.push(StageSample {
+            stage: pass,
+            benchmark: "-".to_string(),
+            wall_ms: wall,
+            detail: vec![
+                ("jobs", campaign.outcomes.len() as u64),
+                ("builds", campaign.cache.builds),
+            ],
+        });
+    }
+    let _ = std::fs::remove_dir_all(&store_dir);
+
+    BenchReport {
+        config: cfg.clone(),
+        stages,
+    }
+}
+
+impl BenchReport {
+    /// The canonical `BENCH.json` shape. Everything except `wall_ms`
+    /// (and `threads`) is a pure function of the config.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("bench_schema".to_string(), Json::UInt(1)),
+            ("quick".to_string(), Json::Bool(self.config.quick)),
+            ("seed".to_string(), Json::UInt(self.config.seed)),
+            ("scale".to_string(), Json::UInt(self.config.scale as u64)),
+            (
+                "threads".to_string(),
+                Json::UInt(self.config.threads.unwrap_or(0) as u64),
+            ),
+            (
+                "stages".to_string(),
+                Json::Arr(
+                    self.stages
+                        .iter()
+                        .map(|s| {
+                            Json::Obj(vec![
+                                ("stage".to_string(), Json::str(s.stage)),
+                                ("benchmark".to_string(), Json::str(&s.benchmark)),
+                                ("wall_ms".to_string(), Json::Num(round_ms(s.wall_ms))),
+                                (
+                                    "detail".to_string(),
+                                    Json::Obj(
+                                        s.detail
+                                            .iter()
+                                            .map(|&(k, v)| (k.to_string(), Json::UInt(v)))
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Human-readable stage table.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<14} {:<13} {:>10}  detail\n",
+            "stage", "benchmark", "wall_ms"
+        ));
+        for s in &self.stages {
+            let detail = s
+                .detail
+                .iter()
+                .map(|&(k, v)| format!("{k}={v}"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            out.push_str(&format!(
+                "{:<14} {:<13} {:>10.3}  {}\n",
+                s.stage, s.benchmark, s.wall_ms, detail
+            ));
+        }
+        let place_route: f64 = self
+            .stages
+            .iter()
+            .filter(|s| s.stage == "place" || s.stage == "route")
+            .map(|s| s.wall_ms)
+            .sum();
+        out.push_str(&format!(
+            "{:<14} {:<13} {:>10.3}\n",
+            "place+route", "(total)", place_route
+        ));
+        out
+    }
+
+    /// Compares this run against a stored baseline `BENCH.json`: any
+    /// stage slower than `factor ×` its baseline time plus `slack_ms`
+    /// is a regression. Stages absent from the baseline are skipped
+    /// (the matrix may grow), as are whole runs with different
+    /// workload configs.
+    ///
+    /// # Errors
+    ///
+    /// Returns one line per regressed stage.
+    pub fn check_against(&self, baseline: &Json, factor: f64, slack_ms: f64) -> Result<(), String> {
+        // Every workload knob must match, or the comparison times
+        // different work. Threads are deliberately exempt: they change
+        // only the campaign stages' wall clock, which the generous
+        // factor absorbs.
+        let base_quick = baseline.get("quick").and_then(Json::as_bool);
+        if base_quick != Some(self.config.quick) {
+            return Err(format!(
+                "baseline workload mismatch: baseline quick={base_quick:?}, run quick={}",
+                self.config.quick
+            ));
+        }
+        for (key, ours) in [
+            ("seed", self.config.seed),
+            ("scale", self.config.scale as u64),
+        ] {
+            let theirs = baseline.get(key).and_then(Json::as_u64);
+            if theirs != Some(ours) {
+                return Err(format!(
+                    "baseline workload mismatch: baseline {key}={theirs:?}, run {key}={ours}"
+                ));
+            }
+        }
+        let stages = baseline
+            .get("stages")
+            .and_then(Json::as_arr)
+            .ok_or("baseline is not a BENCH.json (missing `stages`)")?;
+        let mut base: std::collections::HashMap<(String, String), f64> =
+            std::collections::HashMap::new();
+        for s in stages {
+            let (Some(stage), Some(benchmark), Some(wall)) = (
+                s.get("stage").and_then(Json::as_str),
+                s.get("benchmark").and_then(Json::as_str),
+                s.get("wall_ms").and_then(Json::as_f64),
+            ) else {
+                return Err("baseline stage entry is malformed".to_string());
+            };
+            base.insert((stage.to_string(), benchmark.to_string()), wall);
+        }
+        let mut regressions = Vec::new();
+        for s in &self.stages {
+            let Some(&base_ms) = base.get(&(s.stage.to_string(), s.benchmark.clone())) else {
+                continue;
+            };
+            let limit = base_ms * factor + slack_ms;
+            if s.wall_ms > limit {
+                regressions.push(format!(
+                    "{} [{}]: {:.3} ms vs baseline {:.3} ms (limit {:.3} ms)",
+                    s.stage, s.benchmark, s.wall_ms, base_ms, limit
+                ));
+            }
+        }
+        if regressions.is_empty() {
+            Ok(())
+        } else {
+            Err(format!(
+                "perf regression vs baseline (> {factor}× + {slack_ms} ms):\n  {}",
+                regressions.join("\n  ")
+            ))
+        }
+    }
+}
+
+/// Milliseconds rounded to µs precision (stable rendering).
+fn round_ms(ms: f64) -> f64 {
+    (ms * 1e3).round() / 1e3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_report(wall: f64) -> BenchReport {
+        BenchReport {
+            config: BenchConfig {
+                quick: true,
+                ..BenchConfig::default()
+            },
+            stages: vec![StageSample {
+                stage: "place",
+                benchmark: "c432".to_string(),
+                wall_ms: wall,
+                detail: vec![("hpwl_dbu", 123)],
+            }],
+        }
+    }
+
+    #[test]
+    fn json_shape_and_table_render() {
+        let r = tiny_report(12.5);
+        let rendered = r.to_json().render();
+        assert!(rendered.contains("\"bench_schema\": 1"));
+        assert!(rendered.contains("\"stage\": \"place\""));
+        assert!(rendered.contains("\"hpwl_dbu\": 123"));
+        let parsed = Json::parse(&rendered).unwrap();
+        assert_eq!(parsed.get("quick").and_then(Json::as_bool), Some(true));
+        assert!(r.to_table().contains("place"));
+        assert!(r.to_table().contains("place+route"));
+    }
+
+    #[test]
+    fn regression_gate_trips_only_past_factor_plus_slack() {
+        let baseline = tiny_report(10.0).to_json();
+        // 2× + 50 ms slack: 70 ms is fine, 71 ms trips.
+        assert!(tiny_report(70.0)
+            .check_against(&baseline, 2.0, 50.0)
+            .is_ok());
+        let err = tiny_report(70.1)
+            .check_against(&baseline, 2.0, 50.0)
+            .unwrap_err();
+        assert!(err.contains("place [c432]"), "{err}");
+        // Stages missing from the baseline are not regressions.
+        let mut grown = tiny_report(1.0);
+        grown.stages.push(StageSample {
+            stage: "route",
+            benchmark: "c432".to_string(),
+            wall_ms: 999.0,
+            detail: Vec::new(),
+        });
+        assert!(grown.check_against(&baseline, 2.0, 50.0).is_ok());
+    }
+
+    #[test]
+    fn mismatched_workloads_are_rejected() {
+        let baseline = tiny_report(1.0).to_json();
+        let mut full = tiny_report(1.0);
+        full.config.quick = false;
+        assert!(full.check_against(&baseline, 2.0, 50.0).is_err());
+        let mut scaled = tiny_report(1.0);
+        scaled.config.scale = 10;
+        assert!(scaled.check_against(&baseline, 2.0, 50.0).is_err());
+        let mut reseeded = tiny_report(1.0);
+        reseeded.config.seed = 7;
+        assert!(reseeded.check_against(&baseline, 2.0, 50.0).is_err());
+    }
+
+    /// The per-benchmark stage pipeline produces the expected stages
+    /// with deterministic fingerprints. (The full matrix — including
+    /// the cold/warm campaign passes — runs in CI's bench job via
+    /// `smctl bench --quick`; exercising it here would double-run the
+    /// campaign inside the tier-1 suite.)
+    #[test]
+    fn layout_stages_are_deterministic() {
+        let profile = sm_benchgen::iscas::IscasProfile::c432();
+        let mut stages = Vec::new();
+        layout_stages(&mut stages, profile.name, AttackStage::Flow, || {
+            sm_benchgen::iscas::generate(&profile, 1)
+        });
+        let names: Vec<&str> = stages.iter().map(|s| s.stage).collect();
+        assert_eq!(
+            names,
+            vec!["generate", "place", "route", "split", "attack-flow"]
+        );
+        // Fingerprints are deterministic across runs (timings aside).
+        let mut again = Vec::new();
+        layout_stages(&mut again, profile.name, AttackStage::Flow, || {
+            sm_benchgen::iscas::generate(&profile, 1)
+        });
+        for (a, b) in stages.iter().zip(&again) {
+            assert_eq!(a.stage, b.stage);
+            assert_eq!(a.detail, b.detail, "{} [{}]", a.stage, a.benchmark);
+        }
+        // Every stage carries a non-empty fingerprint.
+        for s in &stages {
+            assert!(!s.detail.is_empty(), "{} has no fingerprint", s.stage);
+        }
+    }
+}

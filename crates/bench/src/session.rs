@@ -10,7 +10,7 @@ use std::sync::{Arc, OnceLock};
 
 use sm_benchgen::superblue::SuperblueProfile;
 use sm_engine::bundle::{iscas_selection, superblue_selection, IscasRun, SuperblueRun};
-use sm_engine::cache::{ArtifactCache, CacheStats};
+use sm_engine::cache::{ArtifactCache, BundleKey, CacheStats};
 use sm_engine::exec::{Executor, ExecutorConfig};
 use sm_engine::store::{ArtifactStore, StoreStats};
 
@@ -78,21 +78,85 @@ impl Session {
         self.cache.stats()
     }
 
+    /// Declares the artifacts this session is about to run, reserving
+    /// each bundle's expected consumer count with the cache. Every
+    /// bundle is then **released right after its last consuming
+    /// artifact fetches it** instead of staying pinned for the whole
+    /// session (the consumer keeps its own `Arc`; a store-backed
+    /// session can always re-decode). Sessions that never call this —
+    /// the single-artifact binaries, tests — keep the historical
+    /// pin-for-the-session behavior, because releasing an unreserved
+    /// key is a no-op.
+    pub fn reserve_for_artifacts(&self, names: &[&str]) {
+        // Consumer counts come from the declarations next to each
+        // runner registration (`artifacts::ARTIFACTS`), so they cannot
+        // drift from what the runners actually fetch.
+        let uses: Vec<crate::artifacts::BundleUses> = names
+            .iter()
+            .filter_map(|n| crate::artifacts::artifact_uses(n))
+            .collect();
+        let superblue_all = uses.iter().filter(|u| u.superblue_runs).count();
+        let superblue18_only = uses.iter().filter(|u| u.superblue18).count();
+        // security_rows consumers share one iscas_runs fetch per
+        // session (OnceLock); direct consumers fetch once each.
+        let iscas_uses = usize::from(uses.iter().any(|u| u.security_rows))
+            + uses.iter().filter(|u| u.iscas_runs).count();
+        for p in superblue_selection(self.opts.quick) {
+            let uses = superblue_all
+                + if p.name == "superblue18" {
+                    superblue18_only
+                } else {
+                    0
+                };
+            self.cache.reserve(self.superblue_key(&p), uses);
+        }
+        for p in iscas_selection(self.opts.quick) {
+            self.cache.reserve(
+                BundleKey::Iscas {
+                    name: p.name,
+                    seed: self.opts.seed,
+                },
+                iscas_uses,
+            );
+        }
+    }
+
+    fn superblue_key(&self, p: &SuperblueProfile) -> BundleKey {
+        BundleKey::Superblue {
+            name: p.name,
+            scale: self.opts.scale,
+            seed: self.opts.seed,
+        }
+    }
+
     /// All selected superblue bundles, built in parallel through the
-    /// cache (selection honors `--quick`).
+    /// cache (selection honors `--quick`). Counts as one consumer of
+    /// each selected bundle (see [`Session::reserve_for_artifacts`]).
     pub fn superblue_runs(&self) -> Vec<Arc<SuperblueRun>> {
         let profiles = superblue_selection(self.opts.quick);
-        self.exec.map(&profiles, |_, p| {
+        let runs = self.exec.map(&profiles, |_, p| {
             self.cache.superblue(p, self.opts.scale, self.opts.seed)
-        })
+        });
+        for p in &profiles {
+            self.cache.release(&self.superblue_key(p));
+        }
+        runs
     }
 
     /// All selected ISCAS-85 bundles, built in parallel through the
-    /// cache.
+    /// cache. Counts as one consumer of each selected bundle.
     pub fn iscas_runs(&self) -> Vec<Arc<IscasRun>> {
         let profiles = iscas_selection(self.opts.quick);
-        self.exec
-            .map(&profiles, |_, p| self.cache.iscas(p, self.opts.seed))
+        let runs = self
+            .exec
+            .map(&profiles, |_, p| self.cache.iscas(p, self.opts.seed));
+        for p in &profiles {
+            self.cache.release(&BundleKey::Iscas {
+                name: p.name,
+                seed: self.opts.seed,
+            });
+        }
+        runs
     }
 
     /// The Table 4/5 attack measurements for the selected ISCAS runs,
@@ -107,13 +171,15 @@ impl Session {
         })
     }
 
-    /// The superblue18 bundle (Fig. 4 uses only this one).
+    /// The superblue18 bundle (Fig. 4 uses only this one). Counts as
+    /// one consumer of superblue18.
     pub fn superblue18(&self) -> Arc<SuperblueRun> {
-        self.cache.superblue(
-            &SuperblueProfile::superblue18(),
-            self.opts.scale,
-            self.opts.seed,
-        )
+        let profile = SuperblueProfile::superblue18();
+        let run = self
+            .cache
+            .superblue(&profile, self.opts.scale, self.opts.seed);
+        self.cache.release(&self.superblue_key(&profile));
+        run
     }
 }
 
@@ -136,6 +202,76 @@ mod tests {
         assert_eq!(stats.builds, 2);
         assert_eq!(stats.hits, 2);
         assert!(session.store_stats().is_none(), "no store by default");
+    }
+
+    /// With declared artifacts, each bundle is dropped from the cache
+    /// right after its last consumer — `run all` no longer pins every
+    /// selected bundle for the whole session.
+    #[test]
+    fn declared_artifacts_release_bundles_after_last_consumer() {
+        let session = Session::new(RunOptions {
+            quick: true,
+            threads: Some(2),
+            ..RunOptions::default()
+        });
+        // fig6 is the only ISCAS consumer; table4+table5 share one
+        // security_rows pass (not exercised here to keep the test fast).
+        session.reserve_for_artifacts(&["fig6"]);
+        let runs = session.iscas_runs();
+        assert_eq!(runs.len(), 2);
+        assert_eq!(
+            session.cache().resident(),
+            0,
+            "bundles must drop after their last consumer"
+        );
+        assert_eq!(session.cache_stats().released, 2);
+        // The caller's Arcs are unaffected.
+        assert!(runs[0].netlist.num_cells() > 0);
+    }
+
+    /// Drift guard for the `BundleUses` declarations in
+    /// `artifacts::ARTIFACTS`: running **every** artifact against a
+    /// fully-declared session must (a) never rebuild a bundle — an
+    /// under-declared fetch would release someone else's reservation
+    /// and evict early — and (b) leave nothing resident. This is the
+    /// check that catches a runner gaining a fetch without its
+    /// registration being updated.
+    #[test]
+    fn full_artifact_run_releases_everything_without_rebuilds() {
+        let session = Session::new(RunOptions {
+            quick: true,
+            threads: Some(2),
+            ..RunOptions::default()
+        });
+        let names: Vec<&str> = crate::artifacts::ARTIFACTS
+            .iter()
+            .map(|&(n, _, _)| n)
+            .collect();
+        session.reserve_for_artifacts(&names);
+        for &(_, runner, _) in crate::artifacts::ARTIFACTS.iter() {
+            runner(&session);
+        }
+        let stats = session.cache_stats();
+        assert_eq!(
+            stats.builds, 3,
+            "each quick bundle (c432, c880, superblue18) builds exactly once"
+        );
+        assert_eq!(session.cache().resident(), 0, "all bundles released");
+        assert_eq!(stats.released, 3);
+    }
+
+    /// Without a declaration the historical behavior is preserved:
+    /// bundles stay resident and later requests hit the cache.
+    #[test]
+    fn undeclared_sessions_keep_bundles_resident() {
+        let session = Session::new(RunOptions {
+            quick: true,
+            threads: Some(2),
+            ..RunOptions::default()
+        });
+        let _ = session.iscas_runs();
+        assert_eq!(session.cache().resident(), 2);
+        assert_eq!(session.cache_stats().released, 0);
     }
 
     /// The `smctl run` warm-path guarantee at the session level: a

@@ -37,6 +37,12 @@ pub struct SuperblueRun {
 
 impl SuperblueRun {
     /// Builds the three layouts for `profile` at the given scale.
+    ///
+    /// The protected flow and the unprotected baseline share no state
+    /// (each seeds its own RNG), so they build concurrently via
+    /// [`sm_exec::join`] — a deterministic parallel bundle build: the
+    /// schedule varies, the layouts are bit-identical to a sequential
+    /// build. Naive lifting needs the protected-net set and runs after.
     pub fn build(profile: &SuperblueProfile, scale: usize, seed: u64) -> SuperblueRun {
         let netlist = superblue::generate(profile, scale, seed);
         let util = profile.utilization();
@@ -44,9 +50,11 @@ impl SuperblueRun {
             utilization: util,
             ..FlowConfig::superblue_default(seed)
         };
-        let protected = protect(&netlist, &config);
+        let (protected, original) = sm_exec::join(
+            || protect(&netlist, &config),
+            || original_layout(&netlist, util, seed),
+        );
         let protected_nets = protected.protected_nets();
-        let original = original_layout(&netlist, util, seed);
         let lifted = naive_lifting(&netlist, &protected_nets, config.lift_layer, util, seed);
         SuperblueRun {
             name: profile.name,
@@ -73,12 +81,17 @@ pub struct IscasRun {
 }
 
 impl IscasRun {
-    /// Builds the layouts for `profile`.
+    /// Builds the layouts for `profile`. As with
+    /// [`SuperblueRun::build`], the protected flow and the unprotected
+    /// baseline are independent and build concurrently with
+    /// bit-identical results.
     pub fn build(profile: &IscasProfile, seed: u64) -> IscasRun {
         let netlist = iscas::generate(profile, seed);
         let config = FlowConfig::iscas_default(seed);
-        let protected = protect(&netlist, &config);
-        let original = original_layout(&netlist, config.utilization, seed);
+        let (protected, original) = sm_exec::join(
+            || protect(&netlist, &config),
+            || original_layout(&netlist, config.utilization, seed),
+        );
         IscasRun {
             name: profile.name,
             netlist,

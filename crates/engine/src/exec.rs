@@ -1,150 +1,17 @@
 //! Work-stealing job executor on a configurable thread pool.
 //!
+//! The implementation lives in [`sm_exec`] (the bottom of the dependency
+//! stack) so the layout engine can parallelize deterministic inner work
+//! — bisection anchor sweeps, independent per-bundle layout builds —
+//! on the same pool primitives the campaign engine schedules jobs with.
+//! This module re-exports it under the historical `sm_engine::exec`
+//! path.
+//!
 //! Jobs are independent, so scheduling is dynamic self-stealing from one
 //! shared index: each worker atomically claims the next unclaimed job,
 //! which balances wildly uneven job costs (a superblue bundle build vs. a
 //! cached ISCAS attack) without any queue shuffling. Results land in
 //! per-job slots, so output order equals submission order and reports are
 //! **deterministic regardless of scheduling**.
-//!
-//! `rayon` is the natural substrate for this and is what the API is
-//! shaped after (`map` ≈ `par_iter().map().collect()`), but the build
-//! environment has no registry access, so the pool is scoped
-//! `std::thread` workers. Swapping rayon in later only touches this file.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-
-/// Executor configuration.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct ExecutorConfig {
-    /// Worker count; `None` uses the machine's available parallelism.
-    pub threads: Option<usize>,
-}
-
-/// The engine's thread-pool executor.
-#[derive(Debug, Clone, Copy)]
-pub struct Executor {
-    threads: usize,
-}
-
-impl Executor {
-    /// Builds an executor with the configured worker count.
-    pub fn new(config: ExecutorConfig) -> Self {
-        let threads = config.threads.filter(|&t| t > 0).unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        });
-        Executor { threads }
-    }
-
-    /// The worker count this executor runs with.
-    pub fn threads(&self) -> usize {
-        self.threads
-    }
-
-    /// Applies `f` to every item on the pool and returns results in
-    /// **input order** (independent of which worker ran what).
-    ///
-    /// Panics in `f` are confined to the job that raised them; the
-    /// offending job's slot stays empty and this method re-raises after
-    /// all other jobs finish.
-    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
-    where
-        T: Sync,
-        R: Send,
-        F: Fn(usize, &T) -> R + Sync,
-    {
-        let workers = self.threads.min(items.len()).max(1);
-        let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
-        if workers == 1 {
-            for (i, item) in items.iter().enumerate() {
-                *slots[i].lock().expect("slot") = Some(f(i, item));
-            }
-        } else {
-            let next = AtomicUsize::new(0);
-            std::thread::scope(|scope| {
-                for _ in 0..workers {
-                    scope.spawn(|| loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= items.len() {
-                            break;
-                        }
-                        let r = f(i, &items[i]);
-                        *slots[i].lock().expect("slot") = Some(r);
-                    });
-                }
-            });
-        }
-        slots
-            .into_iter()
-            .enumerate()
-            .map(|(i, slot)| {
-                slot.into_inner()
-                    .unwrap_or_else(|p| p.into_inner())
-                    .unwrap_or_else(|| panic!("job {i} panicked on a worker thread"))
-            })
-            .collect()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use std::collections::HashSet;
-
-    #[test]
-    fn results_keep_input_order() {
-        let exec = Executor::new(ExecutorConfig { threads: Some(8) });
-        let items: Vec<u64> = (0..200).collect();
-        let out = exec.map(&items, |i, &x| {
-            // Uneven job costs to force out-of-order completion.
-            let spin = (x % 7) * 1000;
-            let mut acc = 0u64;
-            for k in 0..spin {
-                acc = acc.wrapping_add(k);
-            }
-            std::hint::black_box(acc);
-            (i, x * 2)
-        });
-        for (i, (idx, doubled)) in out.iter().enumerate() {
-            assert_eq!(*idx, i);
-            assert_eq!(*doubled, items[i] * 2);
-        }
-    }
-
-    #[test]
-    fn every_job_runs_exactly_once() {
-        let exec = Executor::new(ExecutorConfig { threads: Some(4) });
-        let items: Vec<usize> = (0..100).collect();
-        let out = exec.map(&items, |_, &x| x);
-        let unique: HashSet<usize> = out.iter().copied().collect();
-        assert_eq!(unique.len(), items.len());
-    }
-
-    #[test]
-    fn zero_and_none_threads_fall_back_to_auto() {
-        let a = Executor::new(ExecutorConfig { threads: Some(0) });
-        let b = Executor::new(ExecutorConfig { threads: None });
-        assert_eq!(a.threads(), b.threads());
-        assert!(a.threads() >= 1);
-    }
-
-    #[test]
-    fn empty_input_yields_empty_output() {
-        let exec = Executor::new(ExecutorConfig { threads: Some(4) });
-        let out: Vec<u32> = exec.map(&[] as &[u32], |_, &x| x);
-        assert!(out.is_empty());
-    }
-
-    #[test]
-    fn single_thread_matches_parallel() {
-        let items: Vec<u64> = (0..50).collect();
-        let serial = Executor::new(ExecutorConfig { threads: Some(1) });
-        let parallel = Executor::new(ExecutorConfig { threads: Some(6) });
-        let a = serial.map(&items, |_, &x| x * x);
-        let b = parallel.map(&items, |_, &x| x * x);
-        assert_eq!(a, b);
-    }
-}
+pub use sm_exec::{join, Executor, ExecutorConfig};

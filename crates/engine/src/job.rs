@@ -11,23 +11,10 @@ use sm_benchgen::superblue::SuperblueProfile;
 use crate::bundle::{iscas_profile_by_name, superblue_profile_by_name};
 use crate::cache::BundleKey;
 
-/// SplitMix64 finalizer: the mixing primitive behind all seed derivation.
-pub fn mix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9e3779b97f4a7c15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
-    x ^ (x >> 31)
-}
-
-/// FNV-1a hash of a string, for folding names into seeds.
-pub fn fnv1a(s: &str) -> u64 {
-    let mut h: u64 = 0xcbf29ce484222325;
-    for b in s.bytes() {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100000001b3);
-    }
-    h
-}
+// The mixing primitives moved to `sm_exec::seed` so the layout engine
+// can derive independent per-branch streams with the same scheme;
+// re-exported here under their historical `sm_engine::job` paths.
+pub use sm_exec::seed::{fnv1a, mix64};
 
 /// The benchmark axis of a job.
 #[derive(Debug, Clone)]

@@ -170,6 +170,14 @@ impl Json {
         }
     }
 
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// Parses JSON text (strict subset: no comments, no trailing commas).
     ///
     /// Integral numbers without exponent/fraction parse as

@@ -1,0 +1,235 @@
+//! `sm-exec` — deterministic parallelism primitives.
+//!
+//! This crate sits at the bottom of the dependency stack (it depends on
+//! nothing) so that both the layout engine (`sm-layout`, for parallel
+//! bisection work) and the campaign engine (`sm-engine`, for parallel
+//! jobs and bundle builds) share one executor and one seed-derivation
+//! scheme. It hosts:
+//!
+//! * [`Executor`] — a work-stealing thread-pool map whose output order
+//!   is independent of scheduling (moved here from `sm_engine::exec`,
+//!   which now re-exports it);
+//! * [`join`] — rayon-style two-way fork/join for heterogeneous tasks
+//!   (used to build a bundle's independent layouts concurrently);
+//! * [`seed`] — the SplitMix64/FNV-1a mixing primitives behind all
+//!   deterministic seed derivation (`Job::derived_seed`, per-branch
+//!   bisection streams).
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Deterministic seed derivation: the mixing primitives every derived
+/// random stream in the workspace is built from.
+pub mod seed {
+    /// SplitMix64 finalizer: the mixing primitive behind all seed
+    /// derivation.
+    pub fn mix64(mut x: u64) -> u64 {
+        x = x.wrapping_add(0x9e3779b97f4a7c15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+        x ^ (x >> 31)
+    }
+
+    /// FNV-1a hash of a string, for folding names into seeds.
+    pub fn fnv1a(s: &str) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in s.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+
+    /// Derives an independent child stream from a parent seed and a
+    /// branch index — the same scheme `Job::derived_seed` uses to fold
+    /// job axes into bundle seeds. Two sibling branches get unrelated
+    /// streams, so recursive work can run in any order (or in parallel)
+    /// without sharing mutable RNG state.
+    pub fn derive(parent: u64, branch: u64) -> u64 {
+        mix64(parent ^ branch.rotate_left(17))
+    }
+}
+
+/// Executor configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecutorConfig {
+    /// Worker count; `None` uses the machine's available parallelism.
+    pub threads: Option<usize>,
+}
+
+/// The workspace's thread-pool executor.
+#[derive(Debug, Clone, Copy)]
+pub struct Executor {
+    threads: usize,
+}
+
+impl Executor {
+    /// Builds an executor with the configured worker count.
+    pub fn new(config: ExecutorConfig) -> Self {
+        let threads = config.threads.filter(|&t| t > 0).unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+        Executor { threads }
+    }
+
+    /// The worker count this executor runs with.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Applies `f` to every item on the pool and returns results in
+    /// **input order** (independent of which worker ran what).
+    ///
+    /// Panics in `f` are confined to the job that raised them; the
+    /// offending job's slot stays empty and this method re-raises after
+    /// all other jobs finish.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let workers = self.threads.min(items.len()).max(1);
+        let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+        if workers == 1 {
+            for (i, item) in items.iter().enumerate() {
+                *slots[i].lock().expect("slot") = Some(f(i, item));
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        let r = f(i, &items[i]);
+                        *slots[i].lock().expect("slot") = Some(r);
+                    });
+                }
+            });
+        }
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| {
+                slot.into_inner()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .unwrap_or_else(|| panic!("job {i} panicked on a worker thread"))
+            })
+            .collect()
+    }
+}
+
+/// Runs two independent closures, `b` on a scoped worker thread while
+/// `a` runs on the caller's thread, and returns both results. The tasks
+/// must not share mutable state, so the result — unlike the schedule —
+/// is deterministic. This is what lets a bundle build its independent
+/// layouts (protected flow and unprotected baseline) concurrently with
+/// bit-identical output.
+///
+/// # Panics
+///
+/// Re-raises a panic from either task.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        let rb = match hb.join() {
+            Ok(rb) => rb,
+            Err(p) => std::panic::resume_unwind(p),
+        };
+        (ra, rb)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn results_keep_input_order() {
+        let exec = Executor::new(ExecutorConfig { threads: Some(8) });
+        let items: Vec<u64> = (0..200).collect();
+        let out = exec.map(&items, |i, &x| {
+            // Uneven job costs to force out-of-order completion.
+            let spin = (x % 7) * 1000;
+            let mut acc = 0u64;
+            for k in 0..spin {
+                acc = acc.wrapping_add(k);
+            }
+            std::hint::black_box(acc);
+            (i, x * 2)
+        });
+        for (i, (idx, doubled)) in out.iter().enumerate() {
+            assert_eq!(*idx, i);
+            assert_eq!(*doubled, items[i] * 2);
+        }
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let exec = Executor::new(ExecutorConfig { threads: Some(4) });
+        let items: Vec<usize> = (0..100).collect();
+        let out = exec.map(&items, |_, &x| x);
+        let unique: HashSet<usize> = out.iter().copied().collect();
+        assert_eq!(unique.len(), items.len());
+    }
+
+    #[test]
+    fn zero_and_none_threads_fall_back_to_auto() {
+        let a = Executor::new(ExecutorConfig { threads: Some(0) });
+        let b = Executor::new(ExecutorConfig { threads: None });
+        assert_eq!(a.threads(), b.threads());
+        assert!(a.threads() >= 1);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let exec = Executor::new(ExecutorConfig { threads: Some(4) });
+        let out: Vec<u32> = exec.map(&[] as &[u32], |_, &x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_thread_matches_parallel() {
+        let items: Vec<u64> = (0..50).collect();
+        let serial = Executor::new(ExecutorConfig { threads: Some(1) });
+        let parallel = Executor::new(ExecutorConfig { threads: Some(6) });
+        let a = serial.map(&items, |_, &x| x * x);
+        let b = parallel.map(&items, |_, &x| x * x);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 6 * 7, || "forty-two".len());
+        assert_eq!(a, 42);
+        assert_eq!(b, 9);
+    }
+
+    #[test]
+    fn seed_derivation_separates_branches() {
+        let parent = seed::mix64(1);
+        let low = seed::derive(parent, 0);
+        let high = seed::derive(parent, 1);
+        assert_ne!(low, high);
+        assert_ne!(low, parent);
+        // Deterministic: same inputs, same stream.
+        assert_eq!(seed::derive(parent, 0), low);
+        assert_eq!(seed::fnv1a("c432"), seed::fnv1a("c432"));
+        assert_ne!(seed::fnv1a("c432"), seed::fnv1a("c880"));
+    }
+}

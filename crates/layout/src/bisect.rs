@@ -6,39 +6,55 @@
 //! propagation), and recurse. Connected cells end up in the same small
 //! region — the tight driver/sink proximity that proximity attacks
 //! exploit and that Table 1 of the paper quantifies.
+//!
+//! Hot-path notes:
+//!
+//! * connectivity comes from the caller's CSR [`ConnectivityIndex`]
+//!   (one build serves both bisection cycles and the detailed passes)
+//!   instead of per-call `Vec<Vec<_>>` rebuilds;
+//! * the per-region cell/net lookup tables are flat scratch arrays
+//!   reset on exit, not `HashMap`s rebuilt at every recursion level;
+//! * each branch carries an independent derived seed
+//!   ([`sm_exec::seed::derive`], the `Job::derived_seed` scheme), so no
+//!   mutable RNG state is threaded through the recursion;
+//! * the anchor (terminal-propagation) sweep of large regions runs on
+//!   the work-stealing [`Executor`] — its output order is input order,
+//!   so the result is bit-identical to the sequential sweep.
+//!
+//! The two *halves* of one region are **not** recursed concurrently:
+//! terminal propagation makes the second half read the first half's
+//! fully-refined positions, so sibling-level parallelism would change
+//! (not just reorder) the placement. The deterministic parallelism here
+//! is confined to the data-parallel anchor sweep and, one level up, to
+//! building a bundle's independent layouts concurrently.
 
 use crate::geom::{Point, Rect};
-use rand::rngs::StdRng;
-use sm_netlist::{CellId, Driver, NetId, Netlist, Sink};
-use std::collections::HashMap;
+use sm_exec::{Executor, ExecutorConfig};
+use sm_netlist::{CellId, ConnectivityIndex, Driver, NetId, Netlist, Sink};
+
+/// Regions with at least this many cells compute their anchor sweep on
+/// the executor; smaller regions stay sequential (thread spawn would
+/// dominate). Quick ISCAS designs never reach it; scaled superblue
+/// top-level regions do.
+const PAR_ANCHOR_CELLS: usize = 4096;
 
 /// Per-cell estimated positions produced by recursive bisection.
+///
+/// `seed` labels the root branch stream (derived per branch with the
+/// `Job::derived_seed` mixing scheme); the current refinement draws no
+/// random numbers, so the seed only fixes the stream identities.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn bisection_positions(
     netlist: &Netlist,
+    conn: &ConnectivityIndex,
     core: Rect,
     widths: &[i64],
     port_pos: impl Fn(Driver) -> Point + Copy,
     out_pos: impl Fn(usize) -> Point + Copy,
     seed_positions: &[Point],
-    rng: &mut StdRng,
+    seed: u64,
 ) -> Vec<Point> {
     let mut positions = seed_positions.to_vec();
-    // Nets per cell (deduped), and pins per net, computed once.
-    let mut nets_of: Vec<Vec<NetId>> = Vec::with_capacity(netlist.num_cells());
-    for (_, cell) in netlist.cells() {
-        let mut v: Vec<NetId> = cell.inputs().to_vec();
-        v.push(cell.output());
-        v.sort_unstable();
-        v.dedup();
-        nets_of.push(v);
-    }
-    let mut cells_of: Vec<Vec<CellId>> = vec![Vec::new(); netlist.num_nets()];
-    for (id, cell) in netlist.cells() {
-        for &n in &nets_of[id.index()] {
-            cells_of[n.index()].push(id);
-        }
-        let _ = cell;
-    }
     // Fixed (port) pin positions per net.
     let mut fixed_pins: Vec<Vec<Point>> = vec![Vec::new(); netlist.num_nets()];
     for (id, net) in netlist.nets() {
@@ -55,19 +71,65 @@ pub(crate) fn bisection_positions(
     let all: Vec<CellId> = netlist.cells().map(|(id, _)| id).collect();
     let ctx = Ctx {
         widths,
-        nets_of: &nets_of,
-        cells_of: &cells_of,
+        conn,
         fixed_pins: &fixed_pins,
     };
-    recurse(&ctx, all, core, &mut positions, rng, 0);
+    let mut scratch = Scratch {
+        cell_mark: vec![u32::MAX; netlist.num_cells()],
+        net_slot: vec![u32::MAX; netlist.num_nets()],
+        bufs: Buffers::default(),
+    };
+    recurse(&ctx, all, core, &mut positions, &mut scratch, seed, 0);
     positions
 }
 
 struct Ctx<'a> {
     widths: &'a [i64],
-    nets_of: &'a [Vec<NetId>],
-    cells_of: &'a [Vec<CellId>],
+    conn: &'a ConnectivityIndex,
     fixed_pins: &'a [Vec<Point>],
+}
+
+/// Packed per-cell FM state (one cache line per selection-scan probe).
+#[derive(Clone, Copy)]
+struct FmCell {
+    width: i64,
+    gain: i32,
+    side: bool,
+    locked: bool,
+}
+
+/// Flat lookup tables shared down the (sequential) recursion: an
+/// in-region membership mark per cell (`u32::MAX` = outside the current
+/// region, anything else = inside; the value carries no meaning) and
+/// the slot of a net within the current region's net list. Every level
+/// sets its own entries on entry and resets them before recursing, so
+/// no `HashMap` is ever (re)built.
+struct Scratch {
+    cell_mark: Vec<u32>,
+    net_slot: Vec<u32>,
+    bufs: Buffers,
+}
+
+/// Pooled per-region working buffers. A region's buffers are dead by
+/// the time it recurses (everything is consumed before the child
+/// calls), so one pool serves the whole recursion: regions clear
+/// lengths but never reallocate, which removes roughly a dozen heap
+/// allocations per region from the hot path.
+#[derive(Default)]
+struct Buffers {
+    region_nets: Vec<NetId>,
+    member_counts: Vec<u32>,
+    net_sum: Vec<i64>,
+    net_pins: Vec<i64>,
+    fixed: Vec<[u32; 2]>,
+    member_off: Vec<u32>,
+    cursor: Vec<u32>,
+    member_flat: Vec<u32>,
+    keyed: Vec<(i64, CellId)>,
+    state: Vec<FmCell>,
+    count: Vec<[u32; 2]>,
+    moves: Vec<u32>,
+    buckets: Vec<Vec<u32>>,
 }
 
 fn recurse(
@@ -75,7 +137,8 @@ fn recurse(
     cells: Vec<CellId>,
     region: Rect,
     positions: &mut [Point],
-    rng: &mut StdRng,
+    scratch: &mut Scratch,
+    branch_seed: u64,
     depth: u32,
 ) {
     if cells.is_empty() {
@@ -88,145 +151,218 @@ fn recurse(
         return;
     }
     let horizontal_axis = region.width() >= region.height();
-    // Anchor coordinate per cell: average of connected pin positions
-    // (current estimates + fixed ports), which implements terminal
-    // propagation down the recursion.
-    let coord = |p: Point| if horizontal_axis { p.x } else { p.y };
-    let mut keyed: Vec<(i64, CellId)> = cells
-        .iter()
-        .map(|&c| {
-            let mut sum = 0i64;
-            let mut k = 0i64;
-            for &n in &ctx.nets_of[c.index()] {
-                for q in &ctx.fixed_pins[n.index()] {
-                    sum += coord(*q);
-                    k += 1;
-                }
-                for &other in &ctx.cells_of[n.index()] {
-                    if other != c {
-                        sum += coord(positions[other.index()]);
-                        k += 1;
-                    }
-                }
-            }
-            let anchor = if k == 0 {
-                coord(positions[c.index()])
-            } else {
-                sum / k
-            };
-            (anchor, c)
-        })
-        .collect();
-    keyed.sort_unstable_by_key(|&(a, c)| (a, c));
-
-    // Balanced split by cell width.
-    let total: i64 = cells.iter().map(|&c| ctx.widths[c.index()]).sum();
-    let mut acc = 0i64;
-    let mut side = vec![false; keyed.len()]; // false = low side
-    let mut low_width = 0i64;
-    for (i, &(_, c)) in keyed.iter().enumerate() {
-        if acc * 2 < total {
-            side[i] = false;
-            low_width += ctx.widths[c.index()];
-        } else {
-            side[i] = true;
-        }
-        acc += ctx.widths[c.index()];
-    }
-
-    // Fiduccia–Mattheyses refinement with gain buckets and best-prefix
-    // rollback, within a ±10% balance corridor. External pins (ports and
-    // cells outside this region) are fixed on their geometric side
-    // (terminal propagation).
-    let index_of: HashMap<CellId, usize> = keyed
-        .iter()
-        .enumerate()
-        .map(|(i, &(_, c))| (c, i))
-        .collect();
+    let coord = move |p: Point| if horizontal_axis { p.x } else { p.y };
     let cut_coord = if horizontal_axis {
         region.lo.x + region.width() / 2
     } else {
         region.lo.y + region.height() / 2
     };
+    let Scratch {
+        cell_mark,
+        net_slot,
+        bufs,
+    } = &mut *scratch;
+
+    // The distinct nets touching the region, each mapped to a dense
+    // slot, and the in-region membership marks — both via the flat
+    // scratch tables (no HashMap, no sort: nothing downstream depends
+    // on slot numbering, only on per-net values). `member_counts`
+    // doubles as the CSR offset seed for the member lists built later.
+    let region_nets = &mut bufs.region_nets;
+    region_nets.clear();
+    let member_counts = &mut bufs.member_counts;
+    member_counts.clear();
+    for &c in &cells {
+        cell_mark[c.index()] = 0; // in-region membership mark
+        for &n in ctx.conn.cell_nets(c) {
+            let slot = &mut net_slot[n.index()];
+            if *slot == u32::MAX {
+                *slot = region_nets.len() as u32;
+                region_nets.push(n);
+                member_counts.push(1);
+            } else {
+                member_counts[*slot as usize] += 1;
+            }
+        }
+    }
+
+    // One pass per region net computes both the anchor ingredients
+    // (coordinate sum + pin count) and the fixed-side counts of
+    // external pins (ports and out-of-region cells — terminal
+    // propagation). Summing each net once and subtracting the cell's
+    // own contribution is linear in total pins — the naive per-cell
+    // walk is quadratic in net fanout — and integer addition is
+    // order-independent, so the anchors (and everything downstream)
+    // are bit-identical.
+    let net_sum = &mut bufs.net_sum;
+    net_sum.clear();
+    let net_pins = &mut bufs.net_pins;
+    net_pins.clear();
+    let fixed = &mut bufs.fixed;
+    fixed.clear();
+    fixed.resize(region_nets.len(), [0u32; 2]);
+    for (slot, &n) in region_nets.iter().enumerate() {
+        let mut sum = 0i64;
+        let mut pins = 0i64;
+        for q in &ctx.fixed_pins[n.index()] {
+            sum += coord(*q);
+            pins += 1;
+            fixed[slot][usize::from(coord(*q) >= cut_coord)] += 1;
+        }
+        for &other in ctx.conn.net_cells(n) {
+            let oc = coord(positions[other.index()]);
+            sum += oc;
+            pins += 1;
+            if cell_mark[other.index()] == u32::MAX {
+                fixed[slot][usize::from(oc >= cut_coord)] += 1;
+            }
+        }
+        net_sum.push(sum);
+        net_pins.push(pins);
+    }
+    let anchor_of = |c: CellId, positions: &[Point]| -> (i64, CellId) {
+        let own = coord(positions[c.index()]);
+        let mut sum = 0i64;
+        let mut k = 0i64;
+        for &n in ctx.conn.cell_nets(c) {
+            let slot = net_slot[n.index()] as usize;
+            sum += net_sum[slot] - own;
+            k += net_pins[slot] - 1;
+        }
+        let anchor = if k == 0 { own } else { sum / k };
+        (anchor, c)
+    };
+    // Pure reads over the entry snapshot, so large regions fan the
+    // sweep out on the executor with bit-identical (input-ordered)
+    // results.
+    let keyed = &mut bufs.keyed;
+    keyed.clear();
+    if cells.len() >= PAR_ANCHOR_CELLS {
+        let exec = Executor::new(ExecutorConfig::default());
+        let snapshot: &[Point] = positions;
+        keyed.extend(exec.map(&cells, |_, &c| anchor_of(c, snapshot)));
+    } else {
+        keyed.extend(cells.iter().map(|&c| anchor_of(c, positions)));
+    }
+    keyed.sort_unstable_by_key(|&(a, c)| (a, c));
+
+    // Balanced split by cell width. Width, gain, side and lock state
+    // live in one packed per-cell record: the FM selection scan then
+    // touches a single cache line per candidate instead of four
+    // scattered arrays (the scan revisits balance-blocked candidates
+    // many times, so its memory traffic dominates refinement cost).
+    let total: i64 = cells.iter().map(|&c| ctx.widths[c.index()]).sum();
+    let state = &mut bufs.state;
+    state.clear();
+    state.extend(keyed.iter().map(|&(_, c)| FmCell {
+        width: ctx.widths[c.index()],
+        gain: 0,
+        side: false, // false = low side
+        locked: false,
+    }));
+    let mut acc = 0i64;
+    let mut low_width = 0i64;
+    for s in state.iter_mut() {
+        if acc * 2 < total {
+            low_width += s.width;
+        } else {
+            s.side = true;
+        }
+        acc += s.width;
+    }
+
+    // Fiduccia–Mattheyses refinement with gain buckets and best-prefix
+    // rollback, within a ±10% balance corridor. External pins (ports and
+    // cells outside this region) are fixed on their geometric side
+    // (terminal propagation; folded into `fixed` above).
     let balance_slack = total / 10 + 1;
     let target_low = total / 2;
 
-    // Per-net pin bookkeeping restricted to this region, plus fixed pins.
-    // Collect the distinct nets touching the region once.
-    let mut region_nets: Vec<NetId> = keyed
-        .iter()
-        .flat_map(|&(_, c)| ctx.nets_of[c.index()].iter().copied())
-        .collect();
-    region_nets.sort_unstable();
-    region_nets.dedup();
-    let net_slot: HashMap<NetId, usize> = region_nets
-        .iter()
-        .enumerate()
-        .map(|(i, &n)| (n, i))
-        .collect();
-    let mut members: Vec<Vec<usize>> = vec![Vec::new(); region_nets.len()];
-    let mut fixed = vec![[0u32; 2]; region_nets.len()];
+    // Per-net member lists restricted to this region (CSR from the
+    // counts gathered during net discovery: one offsets array + one
+    // flat array, filled in keyed order).
+    let member_off = &mut bufs.member_off;
+    member_off.clear();
+    member_off.push(0);
+    for (slot, &cnt) in member_counts.iter().enumerate() {
+        member_off.push(member_off[slot] + cnt);
+    }
+    let cursor = &mut bufs.cursor;
+    cursor.clear();
+    cursor.extend_from_slice(member_off);
+    let member_flat = &mut bufs.member_flat;
+    member_flat.clear();
+    member_flat.resize(member_off[region_nets.len()] as usize, 0);
     for (i, &(_, c)) in keyed.iter().enumerate() {
-        for &n in &ctx.nets_of[c.index()] {
-            members[net_slot[&n]].push(i);
+        for &n in ctx.conn.cell_nets(c) {
+            let slot = net_slot[n.index()] as usize;
+            member_flat[cursor[slot] as usize] = i as u32;
+            cursor[slot] += 1;
         }
     }
-    for (slot, &n) in region_nets.iter().enumerate() {
-        for q in &ctx.fixed_pins[n.index()] {
-            let side = usize::from(coord(*q) >= cut_coord);
-            fixed[slot][side] += 1;
-        }
-        for &other in &ctx.cells_of[n.index()] {
-            if !index_of.contains_key(&other) {
-                let side = usize::from(coord(positions[other.index()]) >= cut_coord);
-                fixed[slot][side] += 1;
-            }
-        }
-    }
+    let members = |slot: usize| -> &[u32] {
+        &member_flat[member_off[slot] as usize..member_off[slot + 1] as usize]
+    };
 
-    let m = keyed.len();
     let max_deg = keyed
         .iter()
-        .map(|&(_, c)| ctx.nets_of[c.index()].len())
+        .map(|&(_, c)| ctx.conn.cell_nets(c).len())
         .max()
         .unwrap_or(1) as i32;
 
-    for _pass in 0..3 {
-        // Pin counts per net per side for the current partition.
-        let mut count = vec![[0u32; 2]; region_nets.len()];
-        for (slot, mem) in members.iter().enumerate() {
-            count[slot] = fixed[slot];
-            for &i in mem {
-                count[slot][usize::from(side[i])] += 1;
+    // Per-pass buffers hoisted out of the pass loop (cleared, never
+    // reallocated). The move sequence — and therefore the partition —
+    // is exactly the original algorithm's.
+    let offset = max_deg;
+    let nbuckets = (2 * max_deg + 1) as usize;
+    let buckets = &mut bufs.buckets;
+    if buckets.len() < nbuckets {
+        buckets.resize_with(nbuckets, Vec::new);
+    }
+    let count = &mut bufs.count;
+    let moves = &mut bufs.moves;
+    for pass in 0..3 {
+        // Pin counts per net per side for the current partition. The
+        // move loop keeps them current and the rollback below adjusts
+        // them, so only the first pass scans the member lists.
+        if pass == 0 {
+            count.clear();
+            count.extend_from_slice(fixed);
+            for (slot, cnt) in count.iter_mut().enumerate() {
+                for &i in members(slot) {
+                    cnt[usize::from(state[i as usize].side)] += 1;
+                }
             }
         }
-        // Initial gains.
-        let mut gain = vec![0i32; m];
+        // Initial gains (locks cleared with them).
+        for s in state.iter_mut() {
+            s.gain = 0;
+            s.locked = false;
+        }
         for (i, &(_, c)) in keyed.iter().enumerate() {
-            let from = usize::from(side[i]);
+            let from = usize::from(state[i].side);
             let to = 1 - from;
-            for &n in &ctx.nets_of[c.index()] {
-                let slot = net_slot[&n];
+            for &n in ctx.conn.cell_nets(c) {
+                let slot = net_slot[n.index()] as usize;
                 if count[slot][from] == 1 {
-                    gain[i] += 1;
+                    state[i].gain += 1;
                 }
                 if count[slot][to] == 0 {
-                    gain[i] -= 1;
+                    state[i].gain -= 1;
                 }
             }
         }
-        // Gain buckets.
-        let offset = max_deg;
-        let nbuckets = (2 * max_deg + 1) as usize;
-        let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); nbuckets];
-        for i in 0..m {
-            buckets[(gain[i] + offset) as usize].push(i);
+        // Gain buckets (only the first `nbuckets` are this region's).
+        for b in buckets[..nbuckets].iter_mut() {
+            b.clear();
         }
-        let mut locked = vec![false; m];
+        for (i, s) in state.iter().enumerate() {
+            buckets[(s.gain + offset) as usize].push(i as u32);
+        }
         let mut cur_low = low_width;
         let mut best_delta = 0i32;
         let mut cum_delta = 0i32;
-        let mut moves: Vec<usize> = Vec::with_capacity(m);
+        moves.clear();
         let mut best_prefix = 0usize;
         loop {
             // Highest-gain movable cell honoring balance.
@@ -235,16 +371,20 @@ fn recurse(
                 let mut k = buckets[b].len();
                 while k > 0 {
                     k -= 1;
-                    let i = buckets[b][k];
-                    if locked[i] || (gain[i] + offset) as usize != b {
+                    let i = buckets[b][k] as usize;
+                    let s = state[i];
+                    if s.locked || (s.gain + offset) as usize != b {
                         buckets[b].swap_remove(k);
-                        if !locked[i] {
-                            buckets[(gain[i] + offset) as usize].push(i);
+                        if !s.locked {
+                            buckets[(s.gain + offset) as usize].push(i as u32);
                         }
                         continue;
                     }
-                    let w = ctx.widths[keyed[i].1.index()];
-                    let new_low = if side[i] { cur_low + w } else { cur_low - w };
+                    let new_low = if s.side {
+                        cur_low + s.width
+                    } else {
+                        cur_low - s.width
+                    };
                     if (new_low - target_low).abs() <= balance_slack {
                         chosen = Some((b, k, i));
                         break 'find;
@@ -253,71 +393,83 @@ fn recurse(
             }
             let Some((b, k, i)) = chosen else { break };
             buckets[b].swap_remove(k);
-            locked[i] = true;
-            let w = ctx.widths[keyed[i].1.index()];
-            let from = usize::from(side[i]);
+            state[i].locked = true;
+            let w = state[i].width;
+            let from = usize::from(state[i].side);
             let to = 1 - from;
-            cum_delta += gain[i];
+            cum_delta += state[i].gain;
             // FM delta updates on all nets of the moving cell.
-            for &n in &ctx.nets_of[keyed[i].1.index()] {
-                let slot = net_slot[&n];
+            for &n in ctx.conn.cell_nets(keyed[i].1) {
+                let slot = net_slot[n.index()] as usize;
                 if count[slot][to] == 0 {
-                    for &d in &members[slot] {
-                        if !locked[d] {
-                            gain[d] += 1;
-                            buckets[(gain[d] + offset) as usize].push(d);
+                    for &d in members(slot) {
+                        let d = d as usize;
+                        if !state[d].locked {
+                            state[d].gain += 1;
+                            buckets[(state[d].gain + offset) as usize].push(d as u32);
                         }
                     }
                 } else if count[slot][to] == 1 {
-                    for &d in &members[slot] {
-                        if !locked[d] && usize::from(side[d]) == to {
-                            gain[d] -= 1;
-                            buckets[(gain[d] + offset) as usize].push(d);
+                    for &d in members(slot) {
+                        let d = d as usize;
+                        if !state[d].locked && usize::from(state[d].side) == to {
+                            state[d].gain -= 1;
+                            buckets[(state[d].gain + offset) as usize].push(d as u32);
                         }
                     }
                 }
                 count[slot][from] -= 1;
                 count[slot][to] += 1;
                 if count[slot][from] == 0 {
-                    for &d in &members[slot] {
-                        if !locked[d] {
-                            gain[d] -= 1;
-                            buckets[(gain[d] + offset) as usize].push(d);
+                    for &d in members(slot) {
+                        let d = d as usize;
+                        if !state[d].locked {
+                            state[d].gain -= 1;
+                            buckets[(state[d].gain + offset) as usize].push(d as u32);
                         }
                     }
                 } else if count[slot][from] == 1 {
-                    for &d in &members[slot] {
-                        if !locked[d] && usize::from(side[d]) == from {
-                            gain[d] += 1;
-                            buckets[(gain[d] + offset) as usize].push(d);
+                    for &d in members(slot) {
+                        let d = d as usize;
+                        if !state[d].locked && usize::from(state[d].side) == from {
+                            state[d].gain += 1;
+                            buckets[(state[d].gain + offset) as usize].push(d as u32);
                         }
                     }
                 }
             }
-            side[i] = !side[i];
+            state[i].side = !state[i].side;
             cur_low = if to == 0 { cur_low + w } else { cur_low - w };
-            moves.push(i);
+            moves.push(i as u32);
             if cum_delta > best_delta {
                 best_delta = cum_delta;
                 best_prefix = moves.len();
             }
         }
-        // Roll back everything after the best prefix.
+        // Roll back everything after the best prefix, keeping the
+        // per-net side counts in sync (the next pass reuses them).
         for &i in &moves[best_prefix..] {
-            let w = ctx.widths[keyed[i].1.index()];
-            if side[i] {
-                cur_low += w;
+            let i = i as usize;
+            let s = &mut state[i];
+            if s.side {
+                cur_low += s.width;
             } else {
-                cur_low -= w;
+                cur_low -= s.width;
             }
-            side[i] = !side[i];
+            s.side = !s.side;
+            let undone = usize::from(!state[i].side);
+            let redone = usize::from(state[i].side);
+            for &n in ctx.conn.cell_nets(keyed[i].1) {
+                let slot = net_slot[n.index()] as usize;
+                count[slot][undone] -= 1;
+                count[slot][redone] += 1;
+            }
         }
         low_width = cur_low;
         if best_delta == 0 {
             break;
         }
     }
-    let _ = rng;
 
     // Sub-regions proportional to the area each side needs.
     let frac = low_width.max(1) as f64 / total.max(1) as f64;
@@ -339,25 +491,48 @@ fn recurse(
     let mut low_cells = Vec::new();
     let mut high_cells = Vec::new();
     for (i, &(_, c)) in keyed.iter().enumerate() {
-        if side[i] {
+        if state[i].side {
             high_cells.push(c);
+            positions[c.index()] = high_region.center();
         } else {
             low_cells.push(c);
+            positions[c.index()] = low_region.center();
         }
-        positions[c.index()] = if side[i] {
-            high_region.center()
-        } else {
-            low_region.center()
-        };
     }
-    recurse(ctx, low_cells, low_region, positions, rng, depth + 1);
-    recurse(ctx, high_cells, high_region, positions, rng, depth + 1);
+    // Reset this region's scratch entries before descending: the tables
+    // are region-scoped, and a child must not mistake its sibling's
+    // cells for in-region ones.
+    for &(_, c) in keyed.iter() {
+        cell_mark[c.index()] = u32::MAX;
+    }
+    for &n in region_nets.iter() {
+        net_slot[n.index()] = u32::MAX;
+    }
+    let low_seed = sm_exec::seed::derive(branch_seed, 0);
+    let high_seed = sm_exec::seed::derive(branch_seed, 1);
+    recurse(
+        ctx,
+        low_cells,
+        low_region,
+        positions,
+        scratch,
+        low_seed,
+        depth + 1,
+    );
+    recurse(
+        ctx,
+        high_cells,
+        high_region,
+        positions,
+        scratch,
+        high_seed,
+        depth + 1,
+    );
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use sm_netlist::{GateFn, Library, NetlistBuilder};
 
     /// Two 8-cell clusters joined by one net: bisection must keep each
@@ -399,15 +574,16 @@ mod tests {
         let core = Rect::new(Point::new(0, 0), Point::new(100_000, 100_000));
         let widths = vec![600i64; n.num_cells()];
         let seeds = vec![core.center(); n.num_cells()];
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let conn = ConnectivityIndex::build(&n);
         let positions = bisection_positions(
             &n,
+            &conn,
             core,
             &widths,
             |_| core.center(),
             |_| core.center(),
             &seeds,
-            &mut rng,
+            3,
         );
         // Cells of the same cluster must be near each other; the two
         // clusters must be separated by more than the intra-cluster spread.
@@ -452,16 +628,17 @@ mod tests {
         let core = Rect::new(Point::new(0, 0), Point::new(50_000, 50_000));
         let widths = vec![400i64; n.num_cells()];
         let seeds = vec![core.center(); n.num_cells()];
+        let conn = ConnectivityIndex::build(&n);
         let run = |seed: u64| {
-            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
             bisection_positions(
                 &n,
+                &conn,
                 core,
                 &widths,
                 |_| Point::new(0, 25_000),
                 |_| Point::new(50_000, 25_000),
                 &seeds,
-                &mut rng,
+                seed,
             )
         };
         let a = run(5);

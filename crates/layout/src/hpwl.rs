@@ -1,0 +1,264 @@
+//! Flat net-geometry index with cached per-net bounding boxes.
+//!
+//! [`Placement::net_hpwl`] is exact but allocates a `Vec<Point>` of pin
+//! positions on every call, and it sits in three hot loops: the
+//! detailed-placement swap evaluator, the router's net-ordering sort and
+//! per-net layer selection. [`HpwlIndex`] computes the same integer HPWL
+//! from a one-time pass: the immobile port pins of each net collapse
+//! into a precomputed bounding box, the movable cell pins come from the
+//! CSR [`ConnectivityIndex`], and the current box of every net is
+//! cached. Incremental updates after a cell swap touch only the nets of
+//! the two cells, in O(pins-touched), with no heap allocation.
+//!
+//! **Exactness.** A net's pin set is its driver position plus all sink
+//! positions. Ports contribute fixed pad points; cells contribute their
+//! centers, and [`ConnectivityIndex::net_cells`] is precisely the set of
+//! cells appearing as the net's driver or sinks (duplicates collapse,
+//! which cannot change a min/max bounding box). The cached HPWL is
+//! therefore bit-identical to [`Placement::net_hpwl`] for the same
+//! placement snapshot — the equivalence-guard proptests pin this down.
+
+use crate::geom::Point;
+use crate::place::Placement;
+use sm_netlist::{ConnectivityIndex, Driver, NetId, Netlist, Sink};
+
+/// An axis-aligned bounding box over pin positions. The empty box is the
+/// identity for [`BBox::add`] and has zero HPWL (matching `hpwl_of` on
+/// an empty point list).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BBox {
+    xmin: i64,
+    xmax: i64,
+    ymin: i64,
+    ymax: i64,
+}
+
+impl BBox {
+    /// The empty box (identity element).
+    pub const EMPTY: BBox = BBox {
+        xmin: i64::MAX,
+        xmax: i64::MIN,
+        ymin: i64::MAX,
+        ymax: i64::MIN,
+    };
+
+    /// Expands the box to cover `p`.
+    #[inline]
+    pub fn add(&mut self, p: Point) {
+        self.xmin = self.xmin.min(p.x);
+        self.xmax = self.xmax.max(p.x);
+        self.ymin = self.ymin.min(p.y);
+        self.ymax = self.ymax.max(p.y);
+    }
+
+    /// Expands the box to cover `other`.
+    #[inline]
+    pub fn merge(&mut self, other: BBox) {
+        self.xmin = self.xmin.min(other.xmin);
+        self.xmax = self.xmax.max(other.xmax);
+        self.ymin = self.ymin.min(other.ymin);
+        self.ymax = self.ymax.max(other.ymax);
+    }
+
+    /// Half-perimeter of the box; 0 for the empty box.
+    #[inline]
+    pub fn hpwl(&self) -> i64 {
+        if self.xmin > self.xmax {
+            0
+        } else {
+            (self.xmax - self.xmin) + (self.ymax - self.ymin)
+        }
+    }
+}
+
+/// Cached per-net geometry for one placement snapshot.
+///
+/// Borrowing rather than owning the [`ConnectivityIndex`] lets one CSR
+/// build serve global placement, both detailed passes and the router.
+/// Rebuild (or [`HpwlIndex::refresh`]) after any cell or pad moves that
+/// bypass [`HpwlIndex::commit_boxes`].
+#[derive(Debug)]
+pub struct HpwlIndex<'a> {
+    conn: &'a ConnectivityIndex,
+    /// Fixed bounding box of each net's port pins (pads never move
+    /// during placement optimization).
+    port_bbox: Vec<BBox>,
+    /// Current bounding box of each net (ports + cell centers).
+    bbox: Vec<BBox>,
+}
+
+impl<'a> HpwlIndex<'a> {
+    /// Builds the index for the current state of `placement`.
+    pub fn build(
+        netlist: &Netlist,
+        placement: &Placement,
+        conn: &'a ConnectivityIndex,
+    ) -> HpwlIndex<'a> {
+        let mut port_bbox = vec![BBox::EMPTY; netlist.num_nets()];
+        for (id, net) in netlist.nets() {
+            let slot = &mut port_bbox[id.index()];
+            if let Driver::Port(p) = net.driver() {
+                slot.add(placement.input_position(p.index()));
+            }
+            for s in net.sinks() {
+                if let Sink::Port(p) = s {
+                    slot.add(placement.output_position(p.index()));
+                }
+            }
+        }
+        let mut index = HpwlIndex {
+            conn,
+            port_bbox,
+            bbox: Vec::new(),
+        };
+        index.refresh(placement);
+        index
+    }
+
+    /// Recomputes every net's cached box from `placement` (used after
+    /// bulk cell moves such as legalization).
+    pub fn refresh(&mut self, placement: &Placement) {
+        let mut boxes = std::mem::take(&mut self.bbox);
+        boxes.clear();
+        boxes.extend((0..self.conn.num_nets()).map(|n| self.net_bbox(placement, NetId::new(n))));
+        self.bbox = boxes;
+    }
+
+    /// The current box of `net` recomputed from scratch in
+    /// O(pins of net) — ports from the precomputed box, cells from
+    /// their current centers.
+    #[inline]
+    pub fn net_bbox(&self, placement: &Placement, net: NetId) -> BBox {
+        let mut bb = self.port_bbox[net.index()];
+        for &cell in self.conn.net_cells(net) {
+            bb.add(placement.cell_center(cell));
+        }
+        bb
+    }
+
+    /// Cached HPWL of `net` (valid for the placement snapshot the cache
+    /// was last synchronized with).
+    #[inline]
+    pub fn net_hpwl(&self, net: NetId) -> i64 {
+        self.bbox[net.index()].hpwl()
+    }
+
+    /// Sum of all cached net HPWLs.
+    pub fn total_hpwl(&self) -> i64 {
+        self.bbox.iter().map(BBox::hpwl).sum()
+    }
+
+    /// Installs recomputed boxes for `nets` (parallel array `boxes`)
+    /// after an accepted move.
+    pub fn commit_boxes(&mut self, nets: &[NetId], boxes: &[BBox]) {
+        for (&net, &bb) in nets.iter().zip(boxes) {
+            self.bbox[net.index()] = bb;
+        }
+    }
+
+    /// The CSR connectivity behind the index.
+    pub fn connectivity(&self) -> &'a ConnectivityIndex {
+        self.conn
+    }
+}
+
+/// Reusable buffers for allocation-free net-set union and box
+/// recomputation in swap evaluation: an epoch-stamped membership mark
+/// per net plus the union list and its recomputed boxes. One instance
+/// serves an entire detailed-placement run; per candidate swap it only
+/// clears lengths (capacity is retained), so the steady-state inner
+/// loop performs **zero heap allocations**.
+#[derive(Debug)]
+pub struct NetUnionScratch {
+    mark: Vec<u32>,
+    epoch: u32,
+    /// The current union, in first-touch order.
+    pub nets: Vec<NetId>,
+    /// Recomputed boxes, parallel to `nets`.
+    pub boxes: Vec<BBox>,
+}
+
+impl NetUnionScratch {
+    /// Scratch for a netlist with `num_nets` nets.
+    pub fn new(num_nets: usize) -> NetUnionScratch {
+        NetUnionScratch {
+            mark: vec![0; num_nets],
+            epoch: 0,
+            nets: Vec::new(),
+            boxes: Vec::new(),
+        }
+    }
+
+    /// Starts a new union (invalidates previous membership in O(1)).
+    pub fn begin(&mut self) {
+        if self.epoch == u32::MAX {
+            self.mark.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.nets.clear();
+        self.boxes.clear();
+    }
+
+    /// Adds `net` to the union unless already present this epoch.
+    #[inline]
+    pub fn push_unique(&mut self, net: NetId) {
+        let m = &mut self.mark[net.index()];
+        if *m != self.epoch {
+            *m = self.epoch;
+            self.nets.push(net);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::floorplan::Floorplan;
+    use crate::place::PlacementEngine;
+    use crate::tech::Technology;
+    use sm_netlist::parse::bench::{parse_bench, C17_BENCH};
+    use sm_netlist::Library;
+
+    #[test]
+    fn cached_hpwl_matches_reference_on_c17() {
+        let lib = Library::nangate45();
+        let n = parse_bench("c17", C17_BENCH, &lib).unwrap();
+        let tech = Technology::nangate45_10lm();
+        let fp = Floorplan::for_netlist(&n, &tech, 0.5);
+        let pl = PlacementEngine::new(3).place(&n, &fp);
+        let conn = ConnectivityIndex::build(&n);
+        let index = HpwlIndex::build(&n, &pl, &conn);
+        for (id, _) in n.nets() {
+            assert_eq!(index.net_hpwl(id), pl.net_hpwl(&n, id), "net {id}");
+        }
+        assert_eq!(index.total_hpwl(), pl.total_hpwl(&n));
+    }
+
+    #[test]
+    fn union_scratch_dedupes_per_epoch() {
+        let mut s = NetUnionScratch::new(4);
+        s.begin();
+        s.push_unique(NetId::new(1));
+        s.push_unique(NetId::new(3));
+        s.push_unique(NetId::new(1));
+        assert_eq!(s.nets, vec![NetId::new(1), NetId::new(3)]);
+        s.begin();
+        assert!(s.nets.is_empty());
+        s.push_unique(NetId::new(1));
+        assert_eq!(s.nets, vec![NetId::new(1)]);
+    }
+
+    #[test]
+    fn empty_bbox_has_zero_hpwl() {
+        assert_eq!(BBox::EMPTY.hpwl(), 0);
+        let mut bb = BBox::EMPTY;
+        bb.add(Point::new(5, 7));
+        assert_eq!(bb.hpwl(), 0, "single point spans nothing");
+        bb.add(Point::new(2, 11));
+        assert_eq!(bb.hpwl(), 3 + 4);
+        let mut merged = BBox::EMPTY;
+        merged.merge(bb);
+        assert_eq!(merged, bb);
+    }
+}

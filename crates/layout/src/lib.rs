@@ -42,6 +42,7 @@ mod tech;
 
 pub mod analysis;
 pub mod def;
+pub mod hpwl;
 pub mod place;
 pub mod power;
 pub mod route;
@@ -50,6 +51,7 @@ pub mod timing;
 
 pub use floorplan::Floorplan;
 pub use geom::{Point, Rect, DBU_PER_UM};
+pub use hpwl::{BBox, HpwlIndex};
 pub use place::{Placement, PlacementEngine};
 pub use route::{RouteOptions, Router, RoutingResult, ViaCounts};
 pub use split::{split_layout, split_layout_with, SplitOptions, VpinSide};

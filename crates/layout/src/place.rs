@@ -8,10 +8,11 @@
 
 use crate::floorplan::Floorplan;
 use crate::geom::{Point, Rect};
+use crate::hpwl::{HpwlIndex, NetUnionScratch};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
-use sm_netlist::{CellId, Driver, NetId, Netlist, Sink};
+use sm_netlist::{CellId, ConnectivityIndex, Driver, NetId, Netlist, Sink};
 
 /// Cell and port locations for one netlist on one floorplan.
 #[derive(Debug, Clone, PartialEq)]
@@ -205,6 +206,49 @@ impl PlacementEngine {
             inputs,
             outputs,
         };
+        // Centroid sources per cell, flattened once: the driver of each
+        // input net and the sinks of the output net. The Gauss-Seidel
+        // sweeps below then walk one contiguous slice per cell instead
+        // of pointer-chasing the netlist; visit order — and therefore
+        // every update — is unchanged. Pads never move during
+        // placement, so their points inline as constants.
+        let mut src_off: Vec<u32> = Vec::with_capacity(netlist.num_cells() + 1);
+        let mut srcs: Vec<CentroidSrc> = Vec::new();
+        src_off.push(0);
+        for (_, c) in netlist.cells() {
+            for &net in c.inputs() {
+                srcs.push(match netlist.net(net).driver() {
+                    Driver::Cell(dc) => CentroidSrc::Cell(dc.index() as u32),
+                    Driver::Port(p) => CentroidSrc::Fixed(pl.inputs[p.index()]),
+                });
+            }
+            for s in netlist.net(c.output()).sinks() {
+                srcs.push(match *s {
+                    Sink::Cell { cell: sc, .. } => CentroidSrc::Cell(sc.index() as u32),
+                    Sink::Port(p) => CentroidSrc::Fixed(pl.outputs[p.index()]),
+                });
+            }
+            src_off.push(srcs.len() as u32);
+        }
+        let centroid = |pl: &Placement, cell: CellId| -> Point {
+            let lo = src_off[cell.index()] as usize;
+            let hi = src_off[cell.index() + 1] as usize;
+            if lo == hi {
+                return pl.cell_center(cell);
+            }
+            let (mut sx, mut sy) = (0i64, 0i64);
+            for &s in &srcs[lo..hi] {
+                let p = match s {
+                    CentroidSrc::Cell(i) => pl.cell_center(CellId::new(i as usize)),
+                    CentroidSrc::Fixed(p) => p,
+                };
+                sx += p.x;
+                sy += p.y;
+            }
+            let k = (hi - lo) as i64;
+            Point::new(sx / k, sy / k)
+        };
+
         // Stage 1: free-floating centroid iterations give every cell a
         // geometric "home" near its logical neighborhood (ports anchor the
         // solution; overlaps are allowed here).
@@ -212,20 +256,23 @@ impl PlacementEngine {
         for _ in 0..self.global_iterations.max(8) {
             order.shuffle(&mut rng);
             for &c in &order {
-                let target = self.centroid(netlist, &pl, c);
+                let target = centroid(&pl, c);
                 pl.origins[c.index()] = core.clamp(target);
             }
         }
 
         // Stage 2: recursive min-cut bisection, seeded by stage 1 (the
         // estimates feed terminal propagation), spreads the clusters over
-        // the die without tearing connected cells apart.
-        for _cycle in 0..2 {
+        // the die without tearing connected cells apart. The CSR
+        // connectivity built here also serves both detailed passes.
+        let conn = ConnectivityIndex::build(netlist);
+        for cycle in 0..2u64 {
             let in_ref = &pl.inputs;
             let out_ref = &pl.outputs;
             let seeded = pl.origins.clone();
             let origins = crate::bisect::bisection_positions(
                 netlist,
+                &conn,
                 core,
                 &pl.widths,
                 move |d| match d {
@@ -234,13 +281,13 @@ impl PlacementEngine {
                 },
                 move |i| out_ref[i],
                 &seeded,
-                &mut rng,
+                sm_exec::seed::derive(self.seed, cycle),
             );
             pl.origins = origins;
             for _ in 0..4 {
                 order.shuffle(&mut rng);
                 for &c in &order {
-                    let target = self.centroid(netlist, &pl, c);
+                    let target = centroid(&pl, c);
                     let cur = pl.origins[c.index()];
                     let blended = Point::new((cur.x + target.x) / 2, (cur.y + target.y) / 2);
                     pl.origins[c.index()] = core.clamp(blended);
@@ -250,8 +297,12 @@ impl PlacementEngine {
         // A single legalization at the end; repeated harsh legalization
         // would destroy the clustering the bisection built.
         self.legalize(&mut pl, fp);
-        for _ in 0..self.detailed_passes {
-            self.detailed_pass(netlist, &mut pl, fp);
+        if self.detailed_passes > 0 {
+            let mut index = HpwlIndex::build(netlist, &pl, &conn);
+            let mut scratch = NetUnionScratch::new(netlist.num_nets());
+            for _ in 0..self.detailed_passes {
+                self.detailed_pass(&mut pl, fp, &mut index, &mut scratch);
+            }
         }
         debug_assert!(pl.is_legal(fp));
         pl
@@ -336,49 +387,29 @@ impl PlacementEngine {
         }
     }
 
-    fn centroid(&self, netlist: &Netlist, pl: &Placement, cell: CellId) -> Point {
-        let mut sx = 0i64;
-        let mut sy = 0i64;
-        let mut k = 0i64;
-        let mut add = |p: Point| {
-            sx += p.x;
-            sy += p.y;
-            k += 1;
-        };
-        let c = netlist.cell(cell);
-        for &net in c.inputs() {
-            add(pl.driver_position(netlist, net));
-        }
-        for s in netlist.net(c.output()).sinks() {
-            match *s {
-                Sink::Cell { cell: sc, .. } => add(pl.cell_center(sc)),
-                Sink::Port(p) => add(pl.outputs[p.index()]),
-            }
-        }
-        if k == 0 {
-            return pl.cell_center(cell);
-        }
-        Point::new(sx / k, sy / k)
-    }
-
-    fn detailed_pass(&self, netlist: &Netlist, pl: &mut Placement, fp: &Floorplan) {
-        // Swap same-width neighbors in each row when HPWL improves.
+    /// Swaps same-width neighbors in each row when HPWL improves.
+    ///
+    /// The swap evaluator is incremental and allocation-free: the nets
+    /// touching the two cells come from the CSR connectivity (deduped
+    /// through the epoch-stamped scratch), "before" reads the cached
+    /// per-net boxes, "after" recomputes only the touched nets in
+    /// O(pins-touched). HPWL is integer-exact, so accept/reject
+    /// decisions are bit-identical to summing
+    /// [`Placement::net_hpwl`] over the same net set — the guard
+    /// proptests in this module enforce that equivalence.
+    fn detailed_pass(
+        &self,
+        pl: &mut Placement,
+        fp: &Floorplan,
+        index: &mut HpwlIndex<'_>,
+        scratch: &mut NetUnionScratch,
+    ) {
         let n = pl.origins.len();
+        let conn = index.connectivity();
         let mut by_row: Vec<Vec<usize>> = vec![Vec::new(); fp.num_rows()];
         for i in 0..n {
             by_row[fp.row_of(pl.origins[i].y)].push(i);
         }
-        // Nets touching a cell (for incremental HPWL evaluation).
-        let touching: Vec<Vec<NetId>> = netlist
-            .cells()
-            .map(|(_, c)| {
-                let mut v: Vec<NetId> = c.inputs().to_vec();
-                v.push(c.output());
-                v.sort_unstable();
-                v.dedup();
-                v
-            })
-            .collect();
         for row in &mut by_row {
             row.sort_by_key(|&i| pl.origins[i].x);
             for w in 0..row.len().saturating_sub(1) {
@@ -386,21 +417,37 @@ impl PlacementEngine {
                 if pl.widths[a] != pl.widths[b] {
                     continue;
                 }
-                let mut nets: Vec<NetId> = touching[a].clone();
-                nets.extend(&touching[b]);
-                nets.sort_unstable();
-                nets.dedup();
-                let before: i64 = nets.iter().map(|&x| pl.net_hpwl(netlist, x)).sum();
+                scratch.begin();
+                for &net in conn.cell_nets(CellId::new(a)) {
+                    scratch.push_unique(net);
+                }
+                for &net in conn.cell_nets(CellId::new(b)) {
+                    scratch.push_unique(net);
+                }
+                let before: i64 = scratch.nets.iter().map(|&x| index.net_hpwl(x)).sum();
                 pl.origins.swap(a, b);
-                let after: i64 = nets.iter().map(|&x| pl.net_hpwl(netlist, x)).sum();
+                let mut after = 0i64;
+                for &x in &scratch.nets {
+                    let bb = index.net_bbox(pl, x);
+                    after += bb.hpwl();
+                    scratch.boxes.push(bb);
+                }
                 if after >= before {
                     pl.origins.swap(a, b);
                 } else {
+                    index.commit_boxes(&scratch.nets, &scratch.boxes);
                     row.swap(w, w + 1);
                 }
             }
         }
     }
+}
+
+/// One centroid source: a movable cell (by index) or a fixed pad point.
+#[derive(Debug, Clone, Copy)]
+enum CentroidSrc {
+    Cell(u32),
+    Fixed(Point),
 }
 
 fn random_point(rng: &mut StdRng, core: Rect) -> Point {
@@ -495,6 +542,150 @@ mod tests {
         }
         PlacementEngine::new(0).legalize(&mut pl, &fp);
         assert!(pl.is_legal(&fp));
+    }
+
+    /// Straightforward reference swap evaluator: the pre-index
+    /// detailed-pass inner loop (clone + sort + dedup the touched nets,
+    /// full [`Placement::net_hpwl`] recomputation on both sides).
+    fn reference_swap_eval(
+        netlist: &Netlist,
+        pl: &mut Placement,
+        a: usize,
+        b: usize,
+    ) -> (i64, i64) {
+        let touching = |i: usize| {
+            let c = netlist.cell(CellId::new(i));
+            let mut v: Vec<NetId> = c.inputs().to_vec();
+            v.push(c.output());
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        let mut nets = touching(a);
+        nets.extend(touching(b));
+        nets.sort_unstable();
+        nets.dedup();
+        let before: i64 = nets.iter().map(|&x| pl.net_hpwl(netlist, x)).sum();
+        pl.origins.swap(a, b);
+        let after: i64 = nets.iter().map(|&x| pl.net_hpwl(netlist, x)).sum();
+        pl.origins.swap(a, b);
+        (before, after)
+    }
+
+    /// A random layered netlist: `widths[k]` gates in layer `k`, each
+    /// wired to `fanin[..]`-selected earlier signals.
+    fn random_netlist(shape: &[(u8, u8)]) -> Netlist {
+        let lib = Library::nangate45();
+        let mut b = sm_netlist::NetlistBuilder::new("rand", &lib);
+        let mut sigs = vec![b.input("i0"), b.input("i1"), b.input("i2")];
+        for (k, &(width, fan)) in shape.iter().enumerate() {
+            for g in 0..width.max(1) {
+                let x = sigs[(k * 7 + g as usize * 3) % sigs.len()];
+                let y = sigs[(k * 5 + g as usize * 11 + fan as usize) % sigs.len()];
+                let out = b
+                    .gate(
+                        if (g + fan) % 2 == 0 {
+                            sm_netlist::GateFn::Nand
+                        } else {
+                            sm_netlist::GateFn::Nor
+                        },
+                        &[x, y],
+                    )
+                    .unwrap();
+                sigs.push(out);
+            }
+        }
+        b.output("y", *sigs.last().unwrap());
+        b.finish().unwrap()
+    }
+
+    mod equivalence_guard {
+        use super::*;
+        use crate::hpwl::NetUnionScratch;
+        use proptest::prelude::*;
+        use sm_netlist::ConnectivityIndex;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            /// The cached index reproduces `Placement::net_hpwl`
+            /// bit-exactly on random placements of random netlists.
+            #[test]
+            fn index_matches_reference_hpwl(
+                shape in proptest::collection::vec((1u8..6, 0u8..8), 1..6),
+                seed in 0u64..1_000_000,
+            ) {
+                let n = random_netlist(&shape);
+                let tech = Technology::nangate45_10lm();
+                let fp = Floorplan::for_netlist(&n, &tech, 0.5);
+                let pl = PlacementEngine::new(seed)
+                    .with_global_iterations(0)
+                    .with_detailed_passes(0)
+                    .place(&n, &fp);
+                let conn = ConnectivityIndex::build(&n);
+                let index = crate::hpwl::HpwlIndex::build(&n, &pl, &conn);
+                for (id, _) in n.nets() {
+                    prop_assert_eq!(index.net_hpwl(id), pl.net_hpwl(&n, id));
+                }
+                prop_assert_eq!(index.total_hpwl(), pl.total_hpwl(&n));
+            }
+
+            /// Random swap sequences: the incremental evaluator sees the
+            /// same before/after sums as the reference evaluator (hence
+            /// identical accept/reject decisions), and the committed
+            /// cache stays exact across the whole sequence.
+            #[test]
+            fn incremental_swaps_match_reference(
+                shape in proptest::collection::vec((1u8..6, 0u8..8), 1..5),
+                seed in 0u64..1_000_000,
+                swaps in proptest::collection::vec((0u16..64, 0u16..64), 1..24),
+            ) {
+                let n = random_netlist(&shape);
+                let tech = Technology::nangate45_10lm();
+                let fp = Floorplan::for_netlist(&n, &tech, 0.5);
+                let mut pl = PlacementEngine::new(seed)
+                    .with_global_iterations(0)
+                    .with_detailed_passes(0)
+                    .place(&n, &fp);
+                let conn = ConnectivityIndex::build(&n);
+                let mut index = crate::hpwl::HpwlIndex::build(&n, &pl, &conn);
+                let mut scratch = NetUnionScratch::new(n.num_nets());
+                for &(ra, rb) in &swaps {
+                    let a = ra as usize % n.num_cells();
+                    let b = rb as usize % n.num_cells();
+                    let (ref_before, ref_after) = reference_swap_eval(&n, &mut pl, a, b);
+
+                    // Incremental evaluation, mirroring detailed_pass.
+                    scratch.begin();
+                    for &net in conn.cell_nets(CellId::new(a)) {
+                        scratch.push_unique(net);
+                    }
+                    for &net in conn.cell_nets(CellId::new(b)) {
+                        scratch.push_unique(net);
+                    }
+                    let before: i64 =
+                        scratch.nets.iter().map(|&x| index.net_hpwl(x)).sum();
+                    pl.origins.swap(a, b);
+                    let mut after = 0i64;
+                    for &x in &scratch.nets {
+                        let bb = index.net_bbox(&pl, x);
+                        after += bb.hpwl();
+                        scratch.boxes.push(bb);
+                    }
+                    prop_assert_eq!(before, ref_before);
+                    prop_assert_eq!(after, ref_after);
+                    if after >= before {
+                        pl.origins.swap(a, b); // reject, as detailed_pass would
+                    } else {
+                        index.commit_boxes(&scratch.nets, &scratch.boxes);
+                    }
+                    // Cache still exact for every net after the decision.
+                    for (id, _) in n.nets() {
+                        prop_assert_eq!(index.net_hpwl(id), pl.net_hpwl(&n, id));
+                    }
+                }
+            }
+        }
     }
 
     #[test]

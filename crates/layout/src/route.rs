@@ -16,9 +16,10 @@
 
 use crate::floorplan::Floorplan;
 use crate::geom::Point;
+use crate::hpwl::HpwlIndex;
 use crate::place::Placement;
 use crate::tech::{Direction, Technology};
-use sm_netlist::{NetId, Netlist};
+use sm_netlist::{ConnectivityIndex, NetId, Netlist, Sink};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -249,20 +250,51 @@ pub struct Router<'t> {
 struct Grid {
     nx: u16,
     ny: u16,
-    /// usage[layer-1][edge]
-    usage: Vec<Vec<u32>>,
+    /// Edge usage for every layer in one flat arena; layer `l`'s edges
+    /// live at `offsets[l-1]..offsets[l]`. One allocation instead of a
+    /// `Vec<Vec<u32>>`, and `edge_index` resolves straight into it.
+    usage: Vec<u32>,
+    /// Arena offset of each layer's edge block (`num_layers + 1`).
+    offsets: Vec<usize>,
     /// capacity per edge for each layer
     cap: Vec<u32>,
 }
 
 impl Grid {
+    #[inline]
     fn edge_index(&self, layer: u8, from: (u16, u16), horizontal: bool) -> usize {
-        let _ = layer;
-        if horizontal {
+        let base = self.offsets[(layer - 1) as usize];
+        base + if horizontal {
             from.1 as usize * (self.nx as usize - 1) + from.0 as usize
         } else {
             from.0 as usize * (self.ny as usize - 1) + from.1 as usize
         }
+    }
+
+    /// Layer `l`'s edge block (1-based layer).
+    fn layer_usage(&self, layer: u8) -> &[u32] {
+        let li = (layer - 1) as usize;
+        &self.usage[self.offsets[li]..self.offsets[li + 1]]
+    }
+}
+
+/// Reusable Prim-MST buffers; one instance serves the whole net loop,
+/// so the router performs no per-net scratch allocation.
+#[derive(Default)]
+struct MstScratch {
+    in_tree: Vec<bool>,
+    dist: Vec<i64>,
+    parent: Vec<usize>,
+}
+
+impl MstScratch {
+    fn reset(&mut self, n: usize) {
+        self.in_tree.clear();
+        self.in_tree.resize(n, false);
+        self.dist.clear();
+        self.dist.resize(n, i64::MAX);
+        self.parent.clear();
+        self.parent.resize(n, 0);
     }
 }
 
@@ -297,20 +329,22 @@ impl<'t> Router<'t> {
         let nx = ((core.width() + tile - 1) / tile).max(2) as u16;
         let ny = ((core.height() + tile - 1) / tile).max(2) as u16;
         let num_layers = self.tech.num_layers() as usize;
+        let mut offsets = Vec::with_capacity(num_layers + 1);
+        offsets.push(0usize);
+        for l in 0..num_layers {
+            let horizontal = self.tech.layers[l].direction == Direction::Horizontal;
+            let edges = if horizontal {
+                (nx as usize - 1) * ny as usize
+            } else {
+                nx as usize * (ny as usize - 1)
+            };
+            offsets.push(offsets[l] + edges);
+        }
         let mut grid = Grid {
             nx,
             ny,
-            usage: (0..num_layers)
-                .map(|l| {
-                    let horizontal = self.tech.layers[l].direction == Direction::Horizontal;
-                    let edges = if horizontal {
-                        (nx as usize - 1) * ny as usize
-                    } else {
-                        nx as usize * (ny as usize - 1)
-                    };
-                    vec![0u32; edges]
-                })
-                .collect(),
+            usage: vec![0u32; offsets[num_layers]],
+            offsets,
             // One routing track per pitch crossing the tile; a small
             // reserve is withheld for pin access on M2/M3.
             cap: (0..num_layers)
@@ -330,50 +364,67 @@ impl<'t> Router<'t> {
         let mut wpl = [0i64; 10];
 
         // Route long nets first so they claim the upper layers they need.
+        // HPWL is computed once per net through the flat geometry index
+        // (bit-identical to `Placement::net_hpwl`) instead of re-deriving
+        // it inside the sort comparator and again for layer selection.
+        let conn = ConnectivityIndex::build(netlist);
+        let geom = HpwlIndex::build(netlist, placement, &conn);
         let mut order: Vec<NetId> = netlist.nets().map(|(id, _)| id).collect();
-        order.sort_by_key(|&id| std::cmp::Reverse(placement.net_hpwl(netlist, id)));
+        order.sort_by_key(|&id| std::cmp::Reverse(geom.net_hpwl(id)));
+
+        // Per-net scratch, reused across the loop: the net loop performs
+        // no heap allocation beyond growing each net's own result route.
+        let mut pins: Vec<Point> = Vec::new();
+        let mut gpins: Vec<(u16, u16)> = Vec::new();
+        let mut mst = MstScratch::default();
 
         for net in order {
             if netlist.net(net).degree() < 2 {
                 continue;
             }
-            let mut pins = vec![placement.driver_position(netlist, net)];
-            pins.extend(placement.sink_positions(netlist, net));
-            let gpins: Vec<(u16, u16)> = pins
-                .iter()
-                .map(|p| {
-                    (
-                        ((p.x - core.lo.x) / tile).clamp(0, nx as i64 - 1) as u16,
-                        ((p.y - core.lo.y) / tile).clamp(0, ny as i64 - 1) as u16,
-                    )
-                })
-                .collect();
+            pins.clear();
+            pins.push(placement.driver_position(netlist, net));
+            for s in netlist.net(net).sinks() {
+                pins.push(match *s {
+                    Sink::Cell { cell, .. } => placement.cell_center(cell),
+                    Sink::Port(p) => placement.output_position(p.index()),
+                });
+            }
+            gpins.clear();
+            gpins.extend(pins.iter().map(|p| {
+                (
+                    ((p.x - core.lo.x) / tile).clamp(0, nx as i64 - 1) as u16,
+                    ((p.y - core.lo.y) / tile).clamp(0, ny as i64 - 1) as u16,
+                )
+            }));
             let lift = options.lift.get(&net).copied();
             let pair = match lift {
                 Some(l) => self.lift_pair(l),
                 None => {
-                    let len_um = placement.net_hpwl(netlist, net) as f64 / 1000.0;
+                    let len_um = geom.net_hpwl(net) as f64 / 1000.0;
                     self.length_pair(len_um)
                 }
             };
-            let route = self.route_net(&mut grid, &gpins, pair);
+            let route = &mut routes[net.index()];
+            self.route_net(&mut grid, &gpins, pair, route, &mut mst);
             // Pin via stacks: from the pin layer up to the lower routing
-            // layer of the pair. Cell pins live at M1; correction-cell pins
-            // (elevated) already sit at the lift layer.
+            // layer of the pair, appended after the corner vias (the
+            // order the per-net clone used to produce). Cell pins live
+            // at M1; correction-cell pins (elevated) already sit at the
+            // lift layer.
             let elevated = options.elevated_pins.get(&net).copied().unwrap_or(0);
             let low = pair.0.min(pair.1);
-            let mut vias = route.vias.clone();
             for (i, &g) in gpins.iter().enumerate() {
                 let pin_layer = if i < elevated { low } else { 1 };
                 if pin_layer < low {
-                    vias.push(ViaStack {
+                    route.vias.push(ViaStack {
                         at: g,
                         from_layer: pin_layer,
                         to_layer: low,
                     });
                 }
             }
-            for v in &vias {
+            for v in &route.vias {
                 for k in v.from_layer..v.to_layer {
                     via_counts.counts[(k - 1) as usize] += 1;
                 }
@@ -381,18 +432,15 @@ impl<'t> Router<'t> {
             for s in &route.segments {
                 wpl[(s.layer - 1) as usize] += seg_len(s) * tile;
             }
-            routes[net.index()] = NetRoute {
-                segments: route.segments,
-                vias,
-                twopins: route.twopins,
-            };
         }
 
-        let overflow_edges = grid
-            .usage
-            .iter()
-            .enumerate()
-            .map(|(l, edges)| edges.iter().filter(|&&u| u > grid.cap[l]).count())
+        let overflow_edges = (1..=num_layers as u8)
+            .map(|l| {
+                grid.layer_usage(l)
+                    .iter()
+                    .filter(|&&u| u > grid.cap[(l - 1) as usize])
+                    .count()
+            })
             .sum();
 
         RoutingResult {
@@ -442,17 +490,28 @@ impl<'t> Router<'t> {
 
     /// Routes one multi-pin net on the given layer pair: Prim MST over the
     /// pins, each MST edge realized as the cheaper of the two L-shapes,
-    /// bumping the pair upward when both elbows are congested.
-    fn route_net(&self, grid: &mut Grid, pins: &[(u16, u16)], pair: (u8, u8)) -> NetRoute {
-        let mut route = NetRoute::default();
+    /// bumping the pair upward when both elbows are congested. Writes
+    /// into `route` (the net's result slot) using the shared MST
+    /// scratch, so nothing transient is allocated per net.
+    fn route_net(
+        &self,
+        grid: &mut Grid,
+        pins: &[(u16, u16)],
+        pair: (u8, u8),
+        route: &mut NetRoute,
+        mst: &mut MstScratch,
+    ) {
         if pins.len() < 2 {
-            return route;
+            return;
         }
         // Prim MST on Manhattan distance.
         let n = pins.len();
-        let mut in_tree = vec![false; n];
-        let mut dist = vec![i64::MAX; n];
-        let mut parent = vec![0usize; n];
+        mst.reset(n);
+        let MstScratch {
+            in_tree,
+            dist,
+            parent,
+        } = mst;
         in_tree[0] = true;
         for i in 1..n {
             dist[i] = manhattan(pins[0], pins[i]);
@@ -479,10 +538,9 @@ impl<'t> Router<'t> {
                 (parent[best] as u32, pins[parent[best]]),
                 (best as u32, pins[best]),
                 pair,
-                &mut route,
+                route,
             );
         }
-        route
     }
 
     fn route_two_pin(
@@ -555,7 +613,8 @@ impl<'t> Router<'t> {
     }
 
     /// Cost of a straight run on `layer`; `i64::MAX` when any edge is at
-    /// capacity (signals the caller to bump layers).
+    /// capacity (signals the caller to bump layers). Walks the arena
+    /// directly — no intermediate edge-index buffer.
     fn l_cost(&self, grid: &Grid, a: (u16, u16), b: (u16, u16), layer: u8) -> i64 {
         if a == b {
             return 0;
@@ -563,23 +622,16 @@ impl<'t> Router<'t> {
         let horizontal = a.1 == b.1;
         // Wrong-direction run on this layer: route on the partner instead;
         // caller guarantees direction matches, so treat as plain length.
-        let li = (layer - 1) as usize;
+        // A straight run's edges are contiguous in the arena, so the
+        // walk is one slice scan.
+        let cap = grid.cap[(layer - 1) as usize];
+        let (start, len) = span(grid, a, b, layer, horizontal);
         let mut cost = 0i64;
-        let steps = if horizontal {
-            (a.0.min(b.0)..a.0.max(b.0))
-                .map(|x| grid.edge_index(layer, (x, a.1), true))
-                .collect::<Vec<_>>()
-        } else {
-            (a.1.min(b.1)..a.1.max(b.1))
-                .map(|y| grid.edge_index(layer, (a.0, y), false))
-                .collect::<Vec<_>>()
-        };
-        for e in steps {
-            let u = grid.usage[li][e];
-            if u >= grid.cap[li] * 2 {
+        for &u in &grid.usage[start..start + len] {
+            if u >= cap * 2 {
                 return i64::MAX;
             }
-            cost += 1 + if u >= grid.cap[li] { 8 } else { 0 };
+            cost += 1 + if u >= cap { 8 } else { 0 };
         }
         cost
     }
@@ -596,17 +648,9 @@ impl<'t> Router<'t> {
             return;
         }
         let horizontal = a.1 == b.1;
-        let li = (layer - 1) as usize;
-        if horizontal {
-            for x in a.0.min(b.0)..a.0.max(b.0) {
-                let e = grid.edge_index(layer, (x, a.1), true);
-                grid.usage[li][e] += 1;
-            }
-        } else {
-            for y in a.1.min(b.1)..a.1.max(b.1) {
-                let e = grid.edge_index(layer, (a.0, y), false);
-                grid.usage[li][e] += 1;
-            }
+        let (start, len) = span(grid, a, b, layer, horizontal);
+        for u in &mut grid.usage[start..start + len] {
+            *u += 1;
         }
         route.segments.push(RouteSegment { layer, a, b });
     }
@@ -614,6 +658,19 @@ impl<'t> Router<'t> {
 
 fn manhattan(a: (u16, u16), b: (u16, u16)) -> i64 {
     (a.0 as i64 - b.0 as i64).abs() + (a.1 as i64 - b.1 as i64).abs()
+}
+
+/// Arena span of the straight run `a → b` on `layer`: the run's edges
+/// are consecutive, starting at the lower endpoint.
+#[inline]
+fn span(grid: &Grid, a: (u16, u16), b: (u16, u16), layer: u8, horizontal: bool) -> (usize, usize) {
+    if horizontal {
+        let start = grid.edge_index(layer, (a.0.min(b.0), a.1), true);
+        (start, (a.0.max(b.0) - a.0.min(b.0)) as usize)
+    } else {
+        let start = grid.edge_index(layer, (a.0, a.1.min(b.1)), false);
+        (start, (a.1.max(b.1) - a.1.min(b.1)) as usize)
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,180 @@
+//! Flat CSR connectivity index: cell → nets and net → cells.
+//!
+//! Several hot paths — detailed-placement swap evaluation, router net
+//! ordering, recursive bisection — need "which nets touch this cell" and
+//! "which cells touch this net" queries. Building those as
+//! `Vec<Vec<_>>` per call heap-allocates per cell/net and was rebuilt at
+//! every use site; this index builds both directions **once** as
+//! compressed sparse rows (two flat arrays each) and hands out slices.
+//!
+//! The contents match what the call sites previously computed inline:
+//!
+//! * [`cell_nets`](ConnectivityIndex::cell_nets) is the cell's input
+//!   nets plus its output net, **sorted and deduplicated** (a cell
+//!   feeding itself through multiple pins appears once per distinct
+//!   net);
+//! * [`net_cells`](ConnectivityIndex::net_cells) is the transpose: every
+//!   cell touching the net (as driver or sink), in ascending cell order,
+//!   each cell once.
+//!
+//! The index is a snapshot of the netlist's connectivity; rebuild it
+//! after `move_sink` edits.
+
+use crate::id::{CellId, NetId};
+use crate::netlist::Netlist;
+
+/// CSR connectivity snapshot of one netlist. Build with
+/// [`ConnectivityIndex::build`], query by slice.
+#[derive(Debug, Clone)]
+pub struct ConnectivityIndex {
+    cell_net_offsets: Vec<u32>,
+    cell_nets: Vec<NetId>,
+    net_cell_offsets: Vec<u32>,
+    net_cells: Vec<CellId>,
+}
+
+impl ConnectivityIndex {
+    /// Builds both CSR directions in two passes over the netlist.
+    pub fn build(netlist: &Netlist) -> ConnectivityIndex {
+        let num_cells = netlist.num_cells();
+        let num_nets = netlist.num_nets();
+
+        // Forward direction: deduped sorted nets per cell.
+        let mut cell_net_offsets = Vec::with_capacity(num_cells + 1);
+        let mut cell_nets: Vec<NetId> = Vec::new();
+        let mut scratch: Vec<NetId> = Vec::new();
+        cell_net_offsets.push(0u32);
+        for (_, cell) in netlist.cells() {
+            scratch.clear();
+            scratch.extend_from_slice(cell.inputs());
+            scratch.push(cell.output());
+            scratch.sort_unstable();
+            scratch.dedup();
+            cell_nets.extend_from_slice(&scratch);
+            cell_net_offsets.push(cell_nets.len() as u32);
+        }
+
+        // Transpose: counting sort keeps per-net cell lists in ascending
+        // cell order without any per-net allocation.
+        let mut counts = vec![0u32; num_nets + 1];
+        for &net in &cell_nets {
+            counts[net.index() + 1] += 1;
+        }
+        for i in 0..num_nets {
+            counts[i + 1] += counts[i];
+        }
+        let net_cell_offsets = counts.clone();
+        let mut net_cells = vec![CellId::new(0); cell_nets.len()];
+        let mut cursor = counts;
+        for c in 0..num_cells {
+            let cell = CellId::new(c);
+            let (lo, hi) = (
+                cell_net_offsets[c] as usize,
+                cell_net_offsets[c + 1] as usize,
+            );
+            for &net in &cell_nets[lo..hi] {
+                let slot = &mut cursor[net.index()];
+                net_cells[*slot as usize] = cell;
+                *slot += 1;
+            }
+        }
+
+        ConnectivityIndex {
+            cell_net_offsets,
+            cell_nets,
+            net_cell_offsets,
+            net_cells,
+        }
+    }
+
+    /// The distinct nets touching `cell` (inputs + output), ascending.
+    #[inline]
+    pub fn cell_nets(&self, cell: CellId) -> &[NetId] {
+        let lo = self.cell_net_offsets[cell.index()] as usize;
+        let hi = self.cell_net_offsets[cell.index() + 1] as usize;
+        &self.cell_nets[lo..hi]
+    }
+
+    /// The distinct cells touching `net` (driver and sinks), ascending.
+    #[inline]
+    pub fn net_cells(&self, net: NetId) -> &[CellId] {
+        let lo = self.net_cell_offsets[net.index()] as usize;
+        let hi = self.net_cell_offsets[net.index() + 1] as usize;
+        &self.net_cells[lo..hi]
+    }
+
+    /// Number of cells the index covers.
+    pub fn num_cells(&self) -> usize {
+        self.cell_net_offsets.len() - 1
+    }
+
+    /// Number of nets the index covers.
+    pub fn num_nets(&self) -> usize {
+        self.net_cell_offsets.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::bench::{parse_bench, C17_BENCH};
+    use crate::{GateFn, Library, NetlistBuilder};
+
+    fn reference_cell_nets(n: &Netlist, cell: CellId) -> Vec<NetId> {
+        let c = n.cell(cell);
+        let mut v: Vec<NetId> = c.inputs().to_vec();
+        v.push(c.output());
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    #[test]
+    fn matches_reference_construction_on_c17() {
+        let lib = Library::nangate45();
+        let n = parse_bench("c17", C17_BENCH, &lib).unwrap();
+        let idx = ConnectivityIndex::build(&n);
+        assert_eq!(idx.num_cells(), n.num_cells());
+        assert_eq!(idx.num_nets(), n.num_nets());
+
+        // Forward rows match the inline sort+dedup construction.
+        let mut cells_of: Vec<Vec<CellId>> = vec![Vec::new(); n.num_nets()];
+        for (id, _) in n.cells() {
+            let reference = reference_cell_nets(&n, id);
+            assert_eq!(idx.cell_nets(id), reference.as_slice());
+            for &net in &reference {
+                cells_of[net.index()].push(id);
+            }
+        }
+        // Transpose rows match the inline push-in-cell-order construction.
+        for (id, _) in n.nets() {
+            assert_eq!(idx.net_cells(id), cells_of[id.index()].as_slice());
+        }
+    }
+
+    #[test]
+    fn multi_pin_self_edges_dedupe() {
+        let lib = Library::nangate45();
+        let mut b = NetlistBuilder::new("dup", &lib);
+        let a = b.input("a");
+        // Both NAND pins on the same net: the net appears once in the row.
+        let g = b.gate(GateFn::Nand, &[a, a]).unwrap();
+        b.output("y", g);
+        let n = b.finish().unwrap();
+        let idx = ConnectivityIndex::build(&n);
+        let cell = n.cells().next().unwrap().0;
+        assert_eq!(idx.cell_nets(cell).len(), 2, "input net + output net");
+        assert_eq!(idx.net_cells(n.cell(cell).inputs()[0]), &[cell]);
+    }
+
+    #[test]
+    fn no_net_row_is_empty_on_c17() {
+        let lib = Library::nangate45();
+        let n = parse_bench("c17", C17_BENCH, &lib).unwrap();
+        let idx = ConnectivityIndex::build(&n);
+        // Every net of c17 touches at least one cell.
+        for (id, _) in n.nets() {
+            assert!(!idx.net_cells(id).is_empty());
+        }
+    }
+}

@@ -46,11 +46,13 @@ mod library;
 mod netlist;
 
 pub mod graph;
+pub mod index;
 pub mod parse;
 pub mod stats;
 
 pub use builder::NetlistBuilder;
 pub use error::NetlistError;
 pub use id::{CellId, LibCellId, NetId, PortId};
+pub use index::ConnectivityIndex;
 pub use library::{GateFn, LibCell, Library};
 pub use netlist::{Cell, Driver, Net, Netlist, Port, Sink};
