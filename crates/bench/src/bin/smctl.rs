@@ -3,7 +3,8 @@
 //! ```text
 //! smctl run <artifact...>     regenerate printed tables/figures
 //! smctl sweep [axes]          parallel campaign → JSON/CSV report
-//! smctl resume <report.json>  re-run missing jobs of a stored campaign
+//! smctl resume <report.json>  re-run missing/timed-out jobs of a campaign
+//! smctl merge a.json b.json   merge sharded reports of one campaign
 //! smctl report --input FILE   re-render a stored report
 //! smctl bench [--quick]       deterministic perf harness → BENCH.json
 //! smctl store stats|gc|clear  inspect/maintain the artifact store
@@ -22,6 +23,15 @@
 //! `--no-store`), so a second invocation decodes warm artifacts instead
 //! of rebuilding them — the canonical reports stay byte-identical
 //! either way, which CI enforces.
+//!
+//! Resources are one [`sm_exec::Budget`] per invocation: `--threads`
+//! bounds the worker pool (campaign jobs, bundle builds and nested
+//! bisection sweeps all share it — the count is a hard ceiling, not a
+//! per-layer multiplier) and `--timeout-secs` attaches a deadline. Jobs
+//! picked up past the deadline are recorded timed-out in the report,
+//! the command exits with status 3, and `smctl resume` re-runs exactly
+//! those jobs — completing to a report byte-identical to an
+//! uninterrupted run.
 
 use std::io::Write;
 use std::process::ExitCode;
@@ -33,9 +43,9 @@ use sm_bench::session::Session;
 use sm_bench::suite::{iscas_selection, superblue_selection};
 use sm_bench::{RunOptions, StoreMode};
 use sm_engine::campaign::{
-    json_to_csv, merge_outcomes, missing_jobs, run_jobs, run_sweep_with, Campaign, SweepSpec,
+    json_to_csv, merge_outcomes, merge_reports, missing_jobs, run_jobs_budgeted,
+    run_sweep_budgeted, Campaign, SweepSpec,
 };
-use sm_engine::exec::{Executor, ExecutorConfig};
 use sm_engine::job::AttackKind;
 use sm_engine::report::{Json, ReportOptions};
 use sm_engine::store::ArtifactStore;
@@ -53,12 +63,13 @@ USAGE:
                 [--store DIR | --no-store] [--store-cap SIZE]
     smctl sweep [--benchmarks LIST] [--seeds SPEC] [--split-layers LIST]
                 [--attacks LIST] [--scale N] [--seed N] [--quick]
-                [--threads N] [--jobs SPEC | --shard K/N]
+                [--threads N] [--timeout-secs N] [--jobs SPEC | --shard K/N]
                 [--format json|csv|agg-csv|table] [--timings] [--out FILE]
                 [--store DIR | --no-store] [--store-cap SIZE]
-    smctl resume <report.json> [--threads N] [--out FILE]
+    smctl resume <report.json> [--threads N] [--timeout-secs N] [--out FILE]
                 [--format json|csv|agg-csv|table]
                 [--store DIR | --no-store] [--store-cap SIZE]
+    smctl merge <report.json...> [-o|--out FILE]
     smctl report --input FILE [--format json|csv|agg-csv|table]
     smctl bench [--quick] [--seed N] [--scale N] [--threads N] [--out FILE]
                 [--baseline FILE] [--max-regression FACTOR]
@@ -85,6 +96,18 @@ SWEEP AXES:
     --timings      include wall-clock + cache diagnostics (report is then
                    no longer byte-identical across runs)
 
+RESOURCES:
+    --threads N       one thread budget for the whole invocation: campaign
+                      jobs, bundle builds and nested bisection sweeps share
+                      a single worker pool of N threads (never more live
+                      workers than N). Default: machine parallelism.
+    --timeout-secs N  campaign deadline. Jobs picked up after it are
+                      recorded `timed_out` in the JSON report (excluded
+                      from CSV/aggregates), the command exits with status
+                      3, and `smctl resume` re-runs exactly those jobs;
+                      the resumed report is byte-identical to an
+                      uninterrupted run.
+
 BENCH:
     `smctl bench` times every pipeline stage (generate/place/route/split/
     attack) over the quick ISCAS selection plus down-scaled superblue18,
@@ -105,11 +128,17 @@ FORMATS:
     agg-csv   mean/std_dev/min/max over seeds per sweep point
     table     human-readable aggregate table
 
-`smctl resume` re-runs only the jobs missing from a stored report (e.g.
-after an interrupted or --jobs-filtered run) and merges the results into
-the canonical JSON report (to --out for `--format json`, in place
-otherwise; non-JSON formats are additional views and never replace the
-stored report).
+`smctl resume` re-runs only the jobs missing from (or timed-out in) a
+stored report — e.g. after an interrupted, timed-out or --jobs-filtered
+run — and merges the results into the canonical JSON report (to --out
+for `--format json`, in place otherwise; non-JSON formats are additional
+views and never replace the stored report).
+
+`smctl merge` combines several partial reports of the SAME sweep spec
+(e.g. the shards of a --shard K/N run) into one canonical report,
+without re-running anything. Later files win on duplicate jobs, except
+that a finished job never loses to a timed-out one; exits with status 3
+if the merged report is still incomplete (finish it with resume).
 
 All value flags accept both `--flag N` and `--flag=N`. Reports print to
 stdout (or --out FILE); the run summary, including bundle-cache and
@@ -129,17 +158,18 @@ fn main() -> ExitCode {
         "run" => cmd_run(rest),
         "sweep" => cmd_sweep(rest),
         "resume" => cmd_resume(rest),
+        "merge" => cmd_merge(rest),
         "report" => cmd_report(rest),
         "bench" => cmd_bench(rest),
         "store" => cmd_store(rest),
         "help" | "--help" | "-h" => {
             print!("{HELP}");
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         other => Err(format!("unknown command `{other}`; see `smctl help`")),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(msg) => {
             eprintln!("error: {msg}");
             ExitCode::from(2)
@@ -147,8 +177,23 @@ fn main() -> ExitCode {
     }
 }
 
+/// Exit status for a campaign that finished with timed-out jobs (the
+/// report is written; `smctl resume` completes it).
+const EXIT_TIMED_OUT: u8 = 3;
+
+/// The exit code a finished campaign maps to: success when complete,
+/// [`EXIT_TIMED_OUT`] when overdue jobs were recorded.
+fn campaign_exit(campaign: &Campaign, context: &str) -> ExitCode {
+    let timed_out = campaign.timed_out();
+    if timed_out == 0 {
+        return ExitCode::SUCCESS;
+    }
+    eprintln!("{timed_out} job(s) timed out; run `smctl resume {context}` to complete them");
+    ExitCode::from(EXIT_TIMED_OUT)
+}
+
 /// `smctl run <artifact...>`: shared session, shared bundle cache.
-fn cmd_run(args: &[String]) -> Result<(), String> {
+fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
     // Artifact names and flags may interleave (`run table1 --quick fig4`):
     // a non-flag token is an artifact name unless it is the value of the
     // preceding value-taking flag.
@@ -207,7 +252,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         runners.len()
     );
     print_store_stats(session.cache());
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
 /// `smctl run`/`sweep`/`resume` persist by default: an unset store mode
@@ -228,7 +273,7 @@ fn cache_for(opts: &RunOptions) -> ArtifactCache {
 }
 
 /// `smctl sweep`: expand axes, run on the pool, emit the report.
-fn cmd_sweep(args: &[String]) -> Result<(), String> {
+fn cmd_sweep(args: &[String]) -> Result<ExitCode, String> {
     let opts = default_store(RunOptions::from_slice(args)?);
     let mut spec = SweepSpec {
         benchmarks: Vec::new(),
@@ -270,11 +315,11 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
                 cli::no_value(flag, inline)?;
                 timings = true;
             }
-            // RunOptions flags (--seed/--scale/--quick/--threads/store
-            // selection) were parsed above; skip their value tokens
-            // here. Anything else is a mistake worth rejecting in a
-            // report-producing command.
-            "--seed" | "--scale" | "--threads" | "--store" | "--store-cap" => {
+            // RunOptions flags (--seed/--scale/--quick/--threads/
+            // --timeout-secs/store selection) were parsed above; skip
+            // their value tokens here. Anything else is a mistake worth
+            // rejecting in a report-producing command.
+            "--seed" | "--scale" | "--threads" | "--timeout-secs" | "--store" | "--store-cap" => {
                 let _ = cli::flag_value(flag, inline, args, &mut i)?;
             }
             "--quick" | "--no-store" => cli::no_value(flag, inline)?,
@@ -310,19 +355,34 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     }
 
     let cache = cache_for(&opts);
-    let campaign = run_sweep_with(
-        &spec,
-        ExecutorConfig {
-            threads: opts.threads,
-        },
-        &cache,
-        job_filter.as_deref(),
-    )?;
+    // One budget for the whole sweep: `--threads` worth of workers
+    // shared by jobs, bundle builds and nested bisection sweeps, with
+    // the `--timeout-secs` deadline attached.
+    let budget = opts.budget();
+    let campaign = run_sweep_budgeted(&spec, &budget, &cache, job_filter.as_deref())?;
     let rendered = render_campaign(&campaign, &format, timings);
     emit(&rendered, out_path.as_deref())?;
+    // A timed-out sweep must always leave a *resumable* canonical
+    // report behind. Non-JSON formats drop timed-out jobs from their
+    // rows (and cannot be parsed back), and JSON-to-stdout leaves no
+    // file at all, so in either case the canonical JSON also goes to a
+    // sidecar — otherwise the finished jobs would be unrecoverable and
+    // the `resume` hint would name nothing.
+    let resume_path = if campaign.timed_out() == 0 {
+        None
+    } else if format == "json" && out_path.is_some() {
+        out_path.clone()
+    } else {
+        let side = format!("{}.resume.json", out_path.as_deref().unwrap_or("sweep"));
+        emit(&render_campaign(&campaign, "json", false), Some(&side))?;
+        Some(side)
+    };
     eprintln!("{}", campaign.summary());
     print_store_stats(&cache);
-    Ok(())
+    Ok(campaign_exit(
+        &campaign,
+        resume_path.as_deref().unwrap_or("<report.json>"),
+    ))
 }
 
 /// One stderr line of store counters, when a store is attached.
@@ -336,9 +396,9 @@ fn print_store_stats(cache: &ArtifactCache) {
     }
 }
 
-/// `smctl resume <report.json>`: re-run only the jobs missing from a
-/// stored campaign report and merge the results back in.
-fn cmd_resume(args: &[String]) -> Result<(), String> {
+/// `smctl resume <report.json>`: re-run only the jobs missing from (or
+/// timed-out in) a stored campaign report and merge the results back in.
+fn cmd_resume(args: &[String]) -> Result<ExitCode, String> {
     let opts = default_store(RunOptions::from_slice(args)?);
     let mut input: Option<String> = None;
     let mut out_path: Option<String> = None;
@@ -349,7 +409,7 @@ fn cmd_resume(args: &[String]) -> Result<(), String> {
         match flag {
             "--out" => out_path = Some(cli::flag_value(flag, inline, args, &mut i)?),
             "--format" => format = cli::flag_value(flag, inline, args, &mut i)?,
-            "--threads" | "--store" | "--store-cap" => {
+            "--threads" | "--timeout-secs" | "--store" | "--store-cap" => {
                 let _ = cli::flag_value(flag, inline, args, &mut i)?;
             }
             "--no-store" => cli::no_value(flag, inline)?,
@@ -370,24 +430,26 @@ fn cmd_resume(args: &[String]) -> Result<(), String> {
     let expansion = stored.spec.jobs()?;
     let missing = missing_jobs(&expansion, &stored.outcomes);
     eprintln!(
-        "{}: {} of {} jobs present, {} to run",
+        "{}: {} of {} jobs present ({} timed out), {} to run",
         path,
         stored.outcomes.len(),
         expansion.len(),
+        stored.timed_out(),
         missing.len()
     );
 
     let cache = cache_for(&opts);
-    let executor = Executor::new(ExecutorConfig {
-        threads: opts.threads,
-    });
-    let fresh = run_jobs(&missing, &executor, &cache);
+    // A resume gets its own budget — and may itself carry a
+    // `--timeout-secs` deadline, in which case still-unfinished jobs
+    // stay timed-out and another resume continues from there.
+    let budget = opts.budget();
+    let fresh = run_jobs_budgeted(&missing, &budget, &cache);
     let outcomes = merge_outcomes(&expansion, stored.outcomes, fresh);
     let campaign = Campaign {
         spec: stored.spec,
         outcomes,
         cache: cache.stats(),
-        threads: executor.threads(),
+        threads: budget.threads(),
         total_wall: std::time::Duration::ZERO,
     };
     // The canonical JSON report is always preserved: it goes to --out
@@ -395,13 +457,12 @@ fn cmd_resume(args: &[String]) -> Result<(), String> {
     // place. Non-JSON renderings are *views* — they go to --out or
     // stdout and never replace the stored campaign.
     let canonical = render_campaign(&campaign, "json", false);
-    if format == "json" {
-        emit(
-            &canonical,
-            Some(out_path.as_deref().unwrap_or(path.as_str())),
-        )?;
-    } else {
-        emit(&canonical, Some(path.as_str()))?;
+    let canonical_path = match format.as_str() {
+        "json" => out_path.as_deref().unwrap_or(path.as_str()),
+        _ => path.as_str(),
+    };
+    emit(&canonical, Some(canonical_path))?;
+    if format != "json" {
         emit(
             &render_campaign(&campaign, &format, false),
             out_path.as_deref(),
@@ -409,12 +470,66 @@ fn cmd_resume(args: &[String]) -> Result<(), String> {
     }
     eprintln!("{}", campaign.summary());
     print_store_stats(&cache);
-    Ok(())
+    Ok(campaign_exit(&campaign, canonical_path))
+}
+
+/// `smctl merge <report.json...>`: combine partial reports of one sweep
+/// (e.g. `--shard K/N` outputs) into a single canonical report, without
+/// re-running any job.
+fn cmd_merge(args: &[String]) -> Result<ExitCode, String> {
+    let mut inputs: Vec<String> = Vec::new();
+    let mut out_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let (flag, inline) = cli::split_flag(args[i].as_str());
+        match flag {
+            "--out" | "-o" => out_path = Some(cli::flag_value(flag, inline, args, &mut i)?),
+            // A single leading dash still marks a flag: `-out` must be
+            // an unknown-flag error, not a report path named "-out".
+            _ if !flag.starts_with('-') => inputs.push(args[i].clone()),
+            other => return Err(format!("unknown merge flag `{other}`; see `smctl help`")),
+        }
+        i += 1;
+    }
+    if inputs.len() < 2 {
+        return Err("`smctl merge` needs at least two report files".into());
+    }
+    let mut reports = Vec::with_capacity(inputs.len());
+    for path in &inputs {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let parsed = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+        reports.push(Campaign::from_json(&parsed).map_err(|e| format!("{path}: {e}"))?);
+    }
+    let merged = merge_reports(reports)?;
+    let total = merged.spec.jobs()?.len();
+    let complete = merged
+        .outcomes
+        .iter()
+        .filter(|o| !o.metrics.is_timed_out())
+        .count();
+    emit(
+        &render_campaign(&merged, "json", false),
+        out_path.as_deref(),
+    )?;
+    eprintln!(
+        "merged {} report(s): {complete} of {total} jobs finished{}",
+        inputs.len(),
+        if merged.timed_out() > 0 {
+            format!(", {} timed out", merged.timed_out())
+        } else {
+            String::new()
+        }
+    );
+    if complete < total {
+        eprintln!("merged report is incomplete; finish it with `smctl resume`");
+        return Ok(ExitCode::from(EXIT_TIMED_OUT));
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 /// `smctl store stats|gc|clear`: inspect and maintain the artifact
 /// store without running anything.
-fn cmd_store(args: &[String]) -> Result<(), String> {
+fn cmd_store(args: &[String]) -> Result<ExitCode, String> {
     let (action, rest) = match args.split_first() {
         Some((a, rest)) if !a.starts_with("--") => (a.as_str(), rest),
         _ => return Err("`smctl store` needs an action: stats|gc|clear".into()),
@@ -468,7 +583,7 @@ fn cmd_store(args: &[String]) -> Result<(), String> {
         }
         other => return Err(format!("unknown store action `{other}` (stats|gc|clear)")),
     }
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
 fn check_format(format: &str) -> Result<(), String> {
@@ -516,7 +631,7 @@ fn emit(rendered: &str, out_path: Option<&str>) -> Result<(), String> {
 }
 
 /// `smctl report`: re-render a stored JSON report.
-fn cmd_report(args: &[String]) -> Result<(), String> {
+fn cmd_report(args: &[String]) -> Result<ExitCode, String> {
     let mut input: Option<String> = None;
     let mut format = "json".to_string();
     let mut i = 0;
@@ -543,12 +658,12 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
             print!("{}", render_campaign(&campaign, &format, false));
         }
     }
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
 /// `smctl bench`: run the deterministic perf harness, emit the
 /// BENCH.json trajectory point, optionally gate against a baseline.
-fn cmd_bench(args: &[String]) -> Result<(), String> {
+fn cmd_bench(args: &[String]) -> Result<ExitCode, String> {
     let opts = RunOptions::from_slice(args)?;
     let mut out_path: Option<String> = None;
     let mut baseline_path: Option<String> = None;
@@ -597,7 +712,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         report.check_against(&baseline, factor, 500.0)?;
         eprintln!("bench: no stage regressed more than {factor}× vs {path}");
     }
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
 /// Parses `--shard K/N` (1-based shard index).

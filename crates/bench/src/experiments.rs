@@ -3,7 +3,9 @@
 use crate::suite::{IscasRun, SuperblueRun};
 use sm_attacks::crouting::{crouting_attack, CroutingConfig, CroutingReport};
 use sm_attacks::proximity::{ccr_over_connections, network_flow_attack, ProximityConfig};
-use sm_core::baselines::{pin_swapping, placement_perturbation, routing_perturbation};
+use sm_core::baselines::{
+    pin_swapping_with, placement_perturbation_with, routing_perturbation_with,
+};
 use sm_layout::analysis::{distance_stats, DistanceStats};
 use sm_layout::{split_layout, ViaCounts};
 
@@ -181,8 +183,11 @@ pub struct SecurityRow {
 }
 
 /// Attacks every defense on one ISCAS run, averaging over splits M3/M4/M5
-/// exactly as the paper does.
-pub fn security_row(run: &IscasRun, seed: u64) -> SecurityRow {
+/// exactly as the paper does. The comparison-defense layouts it builds
+/// (placement perturbation, pin swapping, routing perturbation) place
+/// inside `exec`, so a session's `--threads` budget bounds this row's
+/// work like everything else.
+pub fn security_row(run: &IscasRun, seed: u64, exec: &sm_exec::Budget) -> SecurityRow {
     let cfg = ProximityConfig::default();
     let splits: [u8; 3] = [3, 4, 5];
     let avg3 = |f: &mut dyn FnMut(u8) -> Security| -> Security {
@@ -215,15 +220,15 @@ pub fn security_row(run: &IscasRun, seed: u64) -> SecurityRow {
     let mut f_orig = |s: u8| attack_baseline(&run.original, s);
     let original = avg3(&mut f_orig);
 
-    let pp = placement_perturbation(&run.netlist, 0.3, 3, util, seed);
+    let pp = placement_perturbation_with(&run.netlist, 0.3, 3, util, seed, exec);
     let mut f_pp = |s: u8| attack_baseline(&pp, s);
     let placement_perturbation = avg3(&mut f_pp);
 
-    let ps = pin_swapping(&run.netlist, 0.5, util, seed);
+    let ps = pin_swapping_with(&run.netlist, 0.5, util, seed, exec);
     let mut f_ps = |s: u8| attack_baseline(&ps, s);
     let pin_swapping = avg3(&mut f_ps);
 
-    let rp = routing_perturbation(&run.netlist, 0.3, util, seed);
+    let rp = routing_perturbation_with(&run.netlist, 0.3, util, seed, exec);
     let mut f_rp = |s: u8| attack_baseline(&rp, s);
     let routing_perturbation = avg3(&mut f_rp);
 

@@ -59,6 +59,9 @@ pub struct RunOptions {
     pub quick: bool,
     /// Worker threads (`None` = machine parallelism).
     pub threads: Option<usize>,
+    /// Campaign deadline in seconds (`--timeout-secs`): jobs picked up
+    /// after it are recorded timed-out and left for `smctl resume`.
+    pub timeout_secs: Option<u64>,
     /// Disk-backed artifact store selection.
     pub store: StoreMode,
     /// Store size budget in bytes (`--store-cap`, e.g. `512M`).
@@ -72,6 +75,7 @@ impl Default for RunOptions {
             scale: 100,
             quick: false,
             threads: None,
+            timeout_secs: None,
             store: StoreMode::Auto,
             store_cap: None,
         }
@@ -128,6 +132,16 @@ impl RunOptions {
                         .map_err(|e| format!("invalid --threads `{v}`: {e}"))?;
                     opts.threads = (t > 0).then_some(t);
                 }
+                "--timeout-secs" => {
+                    let v = cli::flag_value("--timeout-secs", inline, args, &mut i)?;
+                    let secs: u64 = v
+                        .parse()
+                        .map_err(|e| format!("invalid --timeout-secs `{v}`: {e}"))?;
+                    if secs == 0 {
+                        return Err("invalid --timeout-secs `0`: must be ≥ 1".into());
+                    }
+                    opts.timeout_secs = Some(secs);
+                }
                 "--quick" => {
                     cli::no_value("--quick", inline)?;
                     opts.quick = true;
@@ -159,6 +173,19 @@ impl RunOptions {
             StoreMode::At(path) => Some(path.clone()),
             StoreMode::Off => None,
             StoreMode::Auto => auto_default.map(str::to_string),
+        }
+    }
+
+    /// The resource budget these options describe: `--threads` becomes
+    /// the thread allotment (a dedicated pool when explicit, the
+    /// process-global pool otherwise) and `--timeout-secs` attaches the
+    /// deadline. This is the single [`sm_exec::Budget`] every `smctl`
+    /// command hands down to the engine.
+    pub fn budget(&self) -> sm_exec::Budget {
+        let budget = sm_exec::Budget::with_threads(self.threads);
+        match self.timeout_secs {
+            Some(secs) => budget.with_deadline_in(std::time::Duration::from_secs(secs)),
+            None => budget,
         }
     }
 }
@@ -224,6 +251,24 @@ mod tests {
     fn zero_threads_means_auto() {
         let o = RunOptions::from_slice(&args(&["--threads", "0"])).expect("valid");
         assert_eq!(o.threads, None);
+    }
+
+    #[test]
+    fn timeout_parses_into_a_deadline_budget() {
+        let o = RunOptions::from_slice(&args(&["--threads", "2", "--timeout-secs", "3600"]))
+            .expect("valid");
+        assert_eq!(o.timeout_secs, Some(3600));
+        let budget = o.budget();
+        assert_eq!(budget.threads(), 2);
+        assert!(budget.cancel_token().deadline().is_some());
+        assert!(!budget.is_cancelled(), "an hour away is not expired");
+
+        let plain = RunOptions::default().budget();
+        assert!(plain.cancel_token().deadline().is_none());
+
+        assert!(RunOptions::from_slice(&args(&["--timeout-secs", "0"])).is_err());
+        assert!(RunOptions::from_slice(&args(&["--timeout-secs", "soon"])).is_err());
+        assert!(RunOptions::from_slice(&args(&["--timeout-secs"])).is_err());
     }
 
     #[test]

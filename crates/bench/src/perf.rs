@@ -24,8 +24,8 @@ use std::time::Instant;
 
 use sm_attacks::crouting::{crouting_attack, CroutingConfig};
 use sm_attacks::proximity::{network_flow_attack, ProximityConfig};
-use sm_engine::campaign::{run_sweep_with, SweepSpec};
-use sm_engine::exec::ExecutorConfig;
+use sm_engine::campaign::{run_sweep_budgeted, SweepSpec};
+use sm_engine::exec::Budget;
 use sm_engine::job::AttackKind;
 use sm_engine::report::Json;
 use sm_engine::store::ArtifactStore;
@@ -238,9 +238,12 @@ pub fn run_bench(cfg: &BenchConfig) -> BenchReport {
         scale: cfg.scale,
         master_seed: cfg.seed,
     };
-    let exec = ExecutorConfig {
-        threads: cfg.threads,
-    };
+    // One budget for both campaign passes: the thread allotment the
+    // harness ran with is part of the recorded workload (`threads` in
+    // each campaign stage's detail — deliberately in `detail`, not just
+    // the top-level config echo, so per-stage comparisons can check the
+    // budget that actually applied).
+    let budget = Budget::with_threads(cfg.threads);
     let store_dir = std::env::temp_dir().join(format!("sm-bench-store-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&store_dir);
     for pass in ["campaign-cold", "campaign-warm"] {
@@ -248,8 +251,9 @@ pub fn run_bench(cfg: &BenchConfig) -> BenchReport {
             store_dir.to_string_lossy().as_ref(),
             None,
         )));
-        let (campaign, wall) =
-            timed(|| run_sweep_with(&spec, exec, &cache, None).expect("bench spec is valid"));
+        let (campaign, wall) = timed(|| {
+            run_sweep_budgeted(&spec, &budget, &cache, None).expect("bench spec is valid")
+        });
         stages.push(StageSample {
             stage: pass,
             benchmark: "-".to_string(),
@@ -257,6 +261,7 @@ pub fn run_bench(cfg: &BenchConfig) -> BenchReport {
             detail: vec![
                 ("jobs", campaign.outcomes.len() as u64),
                 ("builds", campaign.cache.builds),
+                ("threads", budget.threads() as u64),
             ],
         });
     }

@@ -11,7 +11,7 @@ use std::sync::{Arc, OnceLock};
 use sm_benchgen::superblue::SuperblueProfile;
 use sm_engine::bundle::{iscas_selection, superblue_selection, IscasRun, SuperblueRun};
 use sm_engine::cache::{ArtifactCache, BundleKey, CacheStats};
-use sm_engine::exec::{Executor, ExecutorConfig};
+use sm_engine::exec::{Budget, Executor};
 use sm_engine::store::{ArtifactStore, StoreStats};
 
 use crate::experiments::{security_row, SecurityRow};
@@ -32,13 +32,16 @@ impl Session {
     /// Builds a session for `opts`. A store directory resolved from
     /// `opts.store` (explicit `--store` only; [`StoreMode::Auto`] means
     /// no store here — `smctl` resolves its own default before calling
-    /// this) layers the bundle cache over disk.
+    /// this) layers the bundle cache over disk. The session's executor
+    /// wraps the single [`Budget`] `opts` describes (`--threads`), so
+    /// every artifact in the batch shares one worker pool. Artifact
+    /// runs honor the thread allotment only — deadlines are a campaign
+    /// concept (artifact runners never check the cancel token, which is
+    /// why `smctl run` rejects `--timeout-secs`).
     ///
     /// [`StoreMode::Auto`]: crate::StoreMode::Auto
     pub fn new(opts: RunOptions) -> Session {
-        let exec = Executor::new(ExecutorConfig {
-            threads: opts.threads,
-        });
+        let exec = Executor::from_budget(opts.budget());
         let cache = match opts.store_dir(None) {
             Some(dir) => {
                 ArtifactCache::with_store(Arc::new(ArtifactStore::open(dir, opts.store_cap)))
@@ -129,13 +132,22 @@ impl Session {
         }
     }
 
+    /// The per-bundle share of the session budget when `n` bundles
+    /// build concurrently.
+    fn per_bundle(&self, n: usize) -> Budget {
+        let budget = self.exec.budget();
+        budget.split(n.min(budget.threads()))
+    }
+
     /// All selected superblue bundles, built in parallel through the
     /// cache (selection honors `--quick`). Counts as one consumer of
     /// each selected bundle (see [`Session::reserve_for_artifacts`]).
     pub fn superblue_runs(&self) -> Vec<Arc<SuperblueRun>> {
         let profiles = superblue_selection(self.opts.quick);
+        let share = self.per_bundle(profiles.len());
         let runs = self.exec.map(&profiles, |_, p| {
-            self.cache.superblue(p, self.opts.scale, self.opts.seed)
+            self.cache
+                .superblue(p, self.opts.scale, self.opts.seed, &share)
         });
         for p in &profiles {
             self.cache.release(&self.superblue_key(p));
@@ -147,9 +159,10 @@ impl Session {
     /// cache. Counts as one consumer of each selected bundle.
     pub fn iscas_runs(&self) -> Vec<Arc<IscasRun>> {
         let profiles = iscas_selection(self.opts.quick);
-        let runs = self
-            .exec
-            .map(&profiles, |_, p| self.cache.iscas(p, self.opts.seed));
+        let share = self.per_bundle(profiles.len());
+        let runs = self.exec.map(&profiles, |_, p| {
+            self.cache.iscas(p, self.opts.seed, &share)
+        });
         for p in &profiles {
             self.cache.release(&BundleKey::Iscas {
                 name: p.name,
@@ -166,8 +179,9 @@ impl Session {
     pub fn security_rows(&self) -> &[SecurityRow] {
         self.security_rows.get_or_init(|| {
             let runs = self.iscas_runs();
+            let share = self.per_bundle(runs.len());
             self.exec
-                .map(&runs, |_, run| security_row(run, self.opts.seed))
+                .map(&runs, |_, run| security_row(run, self.opts.seed, &share))
         })
     }
 
@@ -175,9 +189,12 @@ impl Session {
     /// one consumer of superblue18.
     pub fn superblue18(&self) -> Arc<SuperblueRun> {
         let profile = SuperblueProfile::superblue18();
-        let run = self
-            .cache
-            .superblue(&profile, self.opts.scale, self.opts.seed);
+        let run = self.cache.superblue(
+            &profile,
+            self.opts.scale,
+            self.opts.seed,
+            self.exec.budget(),
+        );
         self.cache.release(&self.superblue_key(&profile));
         run
     }

@@ -23,9 +23,20 @@ use sm_layout::{Floorplan, PlacementEngine, Point, RouteOptions, Router, Technol
 use sm_netlist::{NetId, Netlist};
 
 /// Places and routes the plain, unprotected netlist (the "Original" rows
-/// of the paper's tables).
+/// of the paper's tables) with the process-global thread budget.
 pub fn original_layout(netlist: &Netlist, utilization: f64, seed: u64) -> BaselineLayout {
-    layout_with_options(netlist, utilization, seed, &RouteOptions::default())
+    original_layout_with(netlist, utilization, seed, &sm_exec::Budget::default())
+}
+
+/// [`original_layout`], with placement's parallel inner work confined to
+/// `exec` (bit-identical output; the budget bounds worker threads only).
+pub fn original_layout_with(
+    netlist: &Netlist,
+    utilization: f64,
+    seed: u64,
+    exec: &sm_exec::Budget,
+) -> BaselineLayout {
+    layout_with_options(netlist, utilization, seed, &RouteOptions::default(), exec)
 }
 
 /// Naive lifting: route the original netlist but lift `nets` to
@@ -38,11 +49,30 @@ pub fn naive_lifting(
     utilization: f64,
     seed: u64,
 ) -> BaselineLayout {
+    naive_lifting_with(
+        netlist,
+        nets,
+        lift_layer,
+        utilization,
+        seed,
+        &sm_exec::Budget::default(),
+    )
+}
+
+/// [`naive_lifting`], confined to the `exec` thread budget.
+pub fn naive_lifting_with(
+    netlist: &Netlist,
+    nets: &[NetId],
+    lift_layer: u8,
+    utilization: f64,
+    seed: u64,
+    exec: &sm_exec::Budget,
+) -> BaselineLayout {
     let mut opts = RouteOptions::default();
     for &n in nets {
         opts.lift.insert(n, lift_layer);
     }
-    layout_with_options(netlist, utilization, seed, &opts)
+    layout_with_options(netlist, utilization, seed, &opts, exec)
 }
 
 /// Placement perturbation \[5\]/\[8\]: displace `fraction` of the cells by a
@@ -55,9 +85,28 @@ pub fn placement_perturbation(
     utilization: f64,
     seed: u64,
 ) -> BaselineLayout {
+    placement_perturbation_with(
+        netlist,
+        fraction,
+        radius_rows,
+        utilization,
+        seed,
+        &sm_exec::Budget::default(),
+    )
+}
+
+/// [`placement_perturbation`], confined to the `exec` thread budget.
+pub fn placement_perturbation_with(
+    netlist: &Netlist,
+    fraction: f64,
+    radius_rows: i64,
+    utilization: f64,
+    seed: u64,
+    exec: &sm_exec::Budget,
+) -> BaselineLayout {
     let tech = Technology::nangate45_10lm();
     let fp = Floorplan::for_netlist(netlist, &tech, utilization);
-    let engine = PlacementEngine::new(seed);
+    let engine = PlacementEngine::new(seed).with_budget(exec.clone());
     let mut placement = engine.place(netlist, &fp);
     let mut rng = StdRng::seed_from_u64(seed ^ 0x9e3779b97f4a7c15);
     let mut cells: Vec<_> = netlist.cells().map(|(id, _)| id).collect();
@@ -94,9 +143,26 @@ pub fn pin_swapping(
     utilization: f64,
     seed: u64,
 ) -> BaselineLayout {
+    pin_swapping_with(
+        netlist,
+        swap_fraction,
+        utilization,
+        seed,
+        &sm_exec::Budget::default(),
+    )
+}
+
+/// [`pin_swapping`], confined to the `exec` thread budget.
+pub fn pin_swapping_with(
+    netlist: &Netlist,
+    swap_fraction: f64,
+    utilization: f64,
+    seed: u64,
+    exec: &sm_exec::Budget,
+) -> BaselineLayout {
     let tech = Technology::nangate45_10lm();
     let fp = Floorplan::for_netlist(netlist, &tech, utilization);
-    let engine = PlacementEngine::new(seed);
+    let engine = PlacementEngine::new(seed).with_budget(exec.clone());
     let mut placement = engine.place(netlist, &fp);
     let mut rng = StdRng::seed_from_u64(seed ^ 0x517cc1b727220a95);
     let num_out = netlist.output_ports().len();
@@ -126,6 +192,23 @@ pub fn routing_perturbation(
     utilization: f64,
     seed: u64,
 ) -> BaselineLayout {
+    routing_perturbation_with(
+        netlist,
+        fraction,
+        utilization,
+        seed,
+        &sm_exec::Budget::default(),
+    )
+}
+
+/// [`routing_perturbation`], confined to the `exec` thread budget.
+pub fn routing_perturbation_with(
+    netlist: &Netlist,
+    fraction: f64,
+    utilization: f64,
+    seed: u64,
+    exec: &sm_exec::Budget,
+) -> BaselineLayout {
     let mut rng = StdRng::seed_from_u64(seed ^ 0x2545f4914f6cdd1d);
     let mut nets: Vec<NetId> = netlist
         .nets()
@@ -139,7 +222,7 @@ pub fn routing_perturbation(
         // Elevate to the mid stack (M4/M5): detours, not full lifting.
         opts.lift.insert(n, 4);
     }
-    layout_with_options(netlist, utilization, seed, &opts)
+    layout_with_options(netlist, utilization, seed, &opts, exec)
 }
 
 fn layout_with_options(
@@ -147,10 +230,13 @@ fn layout_with_options(
     utilization: f64,
     seed: u64,
     opts: &RouteOptions,
+    exec: &sm_exec::Budget,
 ) -> BaselineLayout {
     let tech = Technology::nangate45_10lm();
     let fp = Floorplan::for_netlist(netlist, &tech, utilization);
-    let placement = PlacementEngine::new(seed).place(netlist, &fp);
+    let placement = PlacementEngine::new(seed)
+        .with_budget(exec.clone())
+        .place(netlist, &fp);
     let routing = Router::new(&tech).route(netlist, &placement, &fp, opts);
     let ppa = evaluate(netlist, &routing, &fp, &tech, seed);
     BaselineLayout {

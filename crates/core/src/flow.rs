@@ -125,7 +125,9 @@ impl ProtectedDesign {
     }
 }
 
-/// Runs the full protection flow on `netlist`.
+/// Runs the full protection flow on `netlist` with the process-global
+/// thread budget. See [`protect_with`] to run inside an explicit
+/// [`sm_exec::Budget`] (e.g. a campaign job's sub-budget).
 ///
 /// Deterministic per [`FlowConfig::seed`]. The budget loop drops half of
 /// the committed swaps per round while the power/delay overhead exceeds
@@ -136,8 +138,20 @@ impl ProtectedDesign {
 ///
 /// Panics if the netlist is empty.
 pub fn protect(netlist: &Netlist, config: &FlowConfig) -> ProtectedDesign {
+    protect_with(netlist, config, &sm_exec::Budget::default())
+}
+
+/// [`protect`], with the flow's parallel inner work (bisection anchor
+/// sweeps during placement) confined to `exec`. The budget changes
+/// wall-clock only: the produced design is bit-identical across thread
+/// counts.
+pub fn protect_with(
+    netlist: &Netlist,
+    config: &FlowConfig,
+    exec: &sm_exec::Budget,
+) -> ProtectedDesign {
     let tech = Technology::nangate45_10lm();
-    let engine = PlacementEngine::new(config.seed);
+    let engine = PlacementEngine::new(config.seed).with_budget(exec.clone());
     let router = Router::new(&tech);
 
     // Unprotected baseline (also fixes the shared die outline).

@@ -12,8 +12,9 @@
 
 use sm_benchgen::iscas::{self, IscasProfile};
 use sm_benchgen::superblue::{self, SuperblueProfile};
-use sm_core::baselines::{naive_lifting, original_layout};
-use sm_core::flow::{protect, BaselineLayout, FlowConfig, ProtectedDesign};
+use sm_core::baselines::{naive_lifting_with, original_layout_with};
+use sm_core::flow::{protect_with, BaselineLayout, FlowConfig, ProtectedDesign};
+use sm_exec::Budget;
 use sm_netlist::{NetId, Netlist};
 
 /// One fully-processed superblue-class benchmark: original, naively lifted
@@ -36,26 +37,49 @@ pub struct SuperblueRun {
 }
 
 impl SuperblueRun {
-    /// Builds the three layouts for `profile` at the given scale.
+    /// Builds the three layouts for `profile` at the given scale, with
+    /// the process-global thread budget. See
+    /// [`SuperblueRun::build_with`].
+    pub fn build(profile: &SuperblueProfile, scale: usize, seed: u64) -> SuperblueRun {
+        Self::build_with(profile, scale, seed, &Budget::default())
+    }
+
+    /// Builds the three layouts for `profile` at the given scale, inside
+    /// `exec` (the requesting job's budget — the build never occupies
+    /// more worker threads than that allotment).
     ///
     /// The protected flow and the unprotected baseline share no state
     /// (each seeds its own RNG), so they build concurrently via
-    /// [`sm_exec::join`] — a deterministic parallel bundle build: the
+    /// [`Budget::join`] — a deterministic parallel bundle build: the
     /// schedule varies, the layouts are bit-identical to a sequential
     /// build. Naive lifting needs the protected-net set and runs after.
-    pub fn build(profile: &SuperblueProfile, scale: usize, seed: u64) -> SuperblueRun {
+    pub fn build_with(
+        profile: &SuperblueProfile,
+        scale: usize,
+        seed: u64,
+        exec: &Budget,
+    ) -> SuperblueRun {
         let netlist = superblue::generate(profile, scale, seed);
         let util = profile.utilization();
         let config = FlowConfig {
             utilization: util,
             ..FlowConfig::superblue_default(seed)
         };
-        let (protected, original) = sm_exec::join(
-            || protect(&netlist, &config),
-            || original_layout(&netlist, util, seed),
+        // Each arm runs placement inside its half of the job's budget.
+        let arm = exec.split(2);
+        let (protected, original) = exec.join(
+            || protect_with(&netlist, &config, &arm),
+            || original_layout_with(&netlist, util, seed, &arm),
         );
         let protected_nets = protected.protected_nets();
-        let lifted = naive_lifting(&netlist, &protected_nets, config.lift_layer, util, seed);
+        let lifted = naive_lifting_with(
+            &netlist,
+            &protected_nets,
+            config.lift_layer,
+            util,
+            seed,
+            exec,
+        );
         SuperblueRun {
             name: profile.name,
             netlist,
@@ -81,16 +105,23 @@ pub struct IscasRun {
 }
 
 impl IscasRun {
-    /// Builds the layouts for `profile`. As with
-    /// [`SuperblueRun::build`], the protected flow and the unprotected
-    /// baseline are independent and build concurrently with
-    /// bit-identical results.
+    /// Builds the layouts for `profile` with the process-global thread
+    /// budget. See [`IscasRun::build_with`].
     pub fn build(profile: &IscasProfile, seed: u64) -> IscasRun {
+        Self::build_with(profile, seed, &Budget::default())
+    }
+
+    /// Builds the layouts for `profile` inside `exec`. As with
+    /// [`SuperblueRun::build_with`], the protected flow and the
+    /// unprotected baseline are independent and build concurrently with
+    /// bit-identical results.
+    pub fn build_with(profile: &IscasProfile, seed: u64, exec: &Budget) -> IscasRun {
         let netlist = iscas::generate(profile, seed);
         let config = FlowConfig::iscas_default(seed);
-        let (protected, original) = sm_exec::join(
-            || protect(&netlist, &config),
-            || original_layout(&netlist, config.utilization, seed),
+        let arm = exec.split(2);
+        let (protected, original) = exec.join(
+            || protect_with(&netlist, &config, &arm),
+            || original_layout_with(&netlist, config.utilization, seed, &arm),
         );
         IscasRun {
             name: profile.name,

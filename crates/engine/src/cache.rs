@@ -134,8 +134,16 @@ impl ArtifactCache {
         Arc::clone(value)
     }
 
-    /// The bundle for `profile` at `seed`, building it on first request.
-    pub fn iscas(&self, profile: &IscasProfile, seed: u64) -> Arc<IscasRun> {
+    /// The bundle for `profile` at `seed`, building it on first request
+    /// inside `exec` — the requesting consumer's thread budget, so a
+    /// cache miss never occupies more workers than its owner was
+    /// allotted (late arrivals block on the first builder either way).
+    pub fn iscas(
+        &self,
+        profile: &IscasProfile,
+        seed: u64,
+        exec: &sm_exec::Budget,
+    ) -> Arc<IscasRun> {
         let slot = {
             let mut map = self.iscas.lock().expect("iscas cache poisoned");
             Arc::clone(map.entry((profile.name, seed)).or_default())
@@ -150,7 +158,7 @@ impl ArtifactCache {
                     return (run, Origin::Disk);
                 }
             }
-            let run = IscasRun::build(profile, seed);
+            let run = IscasRun::build_with(profile, seed, exec);
             if let Some(store) = &self.store {
                 store.save_iscas(&key, &run);
             }
@@ -159,12 +167,13 @@ impl ArtifactCache {
     }
 
     /// The bundle for `profile` at `scale`/`seed`, building on first
-    /// request.
+    /// request inside `exec` (see [`ArtifactCache::iscas`]).
     pub fn superblue(
         &self,
         profile: &SuperblueProfile,
         scale: usize,
         seed: u64,
+        exec: &sm_exec::Budget,
     ) -> Arc<SuperblueRun> {
         let slot = {
             let mut map = self.superblue.lock().expect("superblue cache poisoned");
@@ -181,7 +190,7 @@ impl ArtifactCache {
                     return (run, Origin::Disk);
                 }
             }
-            let run = SuperblueRun::build(profile, scale, seed);
+            let run = SuperblueRun::build_with(profile, scale, seed, exec);
             if let Some(store) = &self.store {
                 store.save_superblue(&key, &run);
             }
@@ -281,7 +290,9 @@ mod tests {
                 .map(|_| {
                     let cache = Arc::clone(&cache);
                     let profile = profile.clone();
-                    s.spawn(move || Arc::as_ptr(&cache.iscas(&profile, 7)) as usize)
+                    s.spawn(move || {
+                        Arc::as_ptr(&cache.iscas(&profile, 7, &sm_exec::Budget::default())) as usize
+                    })
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().unwrap()).collect()
@@ -297,9 +308,9 @@ mod tests {
     fn distinct_seeds_are_distinct_entries() {
         let cache = ArtifactCache::new();
         let profile = IscasProfile::c432();
-        let a = cache.iscas(&profile, 1);
-        let b = cache.iscas(&profile, 2);
-        let a2 = cache.iscas(&profile, 1);
+        let a = cache.iscas(&profile, 1, &sm_exec::Budget::default());
+        let b = cache.iscas(&profile, 2, &sm_exec::Budget::default());
+        let a2 = cache.iscas(&profile, 1, &sm_exec::Budget::default());
         assert!(!Arc::ptr_eq(&a, &b));
         assert!(Arc::ptr_eq(&a, &a2));
         let stats = cache.stats();
@@ -330,7 +341,7 @@ mod tests {
             seed: 4,
         };
         cache.reserve(key, 2);
-        let run = cache.iscas(&profile, 4);
+        let run = cache.iscas(&profile, 4, &sm_exec::Budget::default());
         assert_eq!(cache.resident(), 1);
 
         cache.release(&key);
@@ -342,7 +353,7 @@ mod tests {
         assert_eq!(Arc::strong_count(&run), 1);
 
         // A fresh request rebuilds.
-        let _again = cache.iscas(&profile, 4);
+        let _again = cache.iscas(&profile, 4, &sm_exec::Budget::default());
         assert_eq!(cache.stats().builds, 2);
     }
 
@@ -354,7 +365,7 @@ mod tests {
             name: profile.name,
             seed: 9,
         };
-        let _run = cache.iscas(&profile, 9);
+        let _run = cache.iscas(&profile, 9, &sm_exec::Budget::default());
         cache.release(&key);
         assert_eq!(cache.resident(), 1);
         assert_eq!(cache.stats().released, 0);

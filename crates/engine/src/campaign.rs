@@ -9,6 +9,16 @@
 //! diagnostics, not results: they appear only under
 //! [`ReportOptions::include_timings`], so canonical reports are
 //! byte-identical across cold runs, warm-store runs and thread counts.
+//!
+//! Campaigns run inside a [`Budget`]: the engine splits the campaign's
+//! thread allotment among its jobs (so nested parallel work — bundle
+//! builds, bisection anchor sweeps — shares one pool), and the budget's
+//! [`CancelToken`](sm_exec::CancelToken) is checked **between** jobs:
+//! once cancelled or past its deadline, the remaining jobs finish as
+//! [`JobMetrics::TimedOut`] — a distinct, storable outcome that
+//! `smctl resume` re-runs. The finished jobs keep their canonical
+//! bytes, so a cancelled-then-resumed sweep ends byte-identical to an
+//! uninterrupted one.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -22,13 +32,13 @@ use sm_netlist::{NetId, Netlist, Sink};
 
 use crate::bundle::{IscasRun, SuperblueRun};
 use crate::cache::{ArtifactCache, CacheStats};
-use crate::exec::{Executor, ExecutorConfig};
+use crate::exec::{Budget, Executor, ExecutorConfig};
 use crate::job::{AttackKind, Benchmark, Job};
 use crate::report::{csv, Json, ReportOptions};
 
 /// A sweep specification: the cartesian product
 /// benchmarks × seeds × split layers × attacks.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SweepSpec {
     /// Benchmark names (ISCAS-85 or superblue).
     pub benchmarks: Vec<String>,
@@ -113,12 +123,15 @@ pub enum Bundle {
 }
 
 impl Bundle {
-    /// Fetches (or builds) the bundle for `job` from the cache.
-    pub fn fetch(cache: &ArtifactCache, job: &Job) -> Bundle {
+    /// Fetches (or builds) the bundle for `job` from the cache; a miss
+    /// builds inside `exec`, the job's thread budget.
+    pub fn fetch(cache: &ArtifactCache, job: &Job, exec: &Budget) -> Bundle {
         let seed = job.bundle_seed();
         match &job.benchmark {
-            Benchmark::Iscas(p) => Bundle::Iscas(cache.iscas(p, seed)),
-            Benchmark::Superblue(p, scale) => Bundle::Superblue(cache.superblue(p, *scale, seed)),
+            Benchmark::Iscas(p) => Bundle::Iscas(cache.iscas(p, seed, exec)),
+            Benchmark::Superblue(p, scale) => {
+                Bundle::Superblue(cache.superblue(p, *scale, seed, exec))
+            }
         }
     }
 
@@ -176,6 +189,19 @@ pub enum JobMetrics {
         /// els_original, match_original)`.
         boxes: Vec<(i64, f64, f64, f64, f64)>,
     },
+    /// The job did not run: its budget was cancelled or past its
+    /// deadline when the job was picked up. A distinct outcome — never
+    /// persisted to the store, excluded from CSV rows and aggregates —
+    /// that [`missing_jobs`] treats as absent, so `smctl resume`
+    /// re-runs exactly these jobs.
+    TimedOut,
+}
+
+impl JobMetrics {
+    /// `true` for the timed-out placeholder outcome.
+    pub fn is_timed_out(&self) -> bool {
+        matches!(self, JobMetrics::TimedOut)
+    }
 }
 
 /// One finished job: spec echo plus metrics plus timing.
@@ -208,13 +234,33 @@ pub struct Campaign {
 /// Runs one job against the cache (consulting the disk store for a
 /// finished outcome first, when one is attached), then releases the
 /// job's claim on its bundle.
-pub fn run_job(cache: &ArtifactCache, job: &Job) -> JobOutcome {
+///
+/// The job runs inside `exec`: bundle builds fan out on that budget's
+/// pool, and a budget that is already cancelled (or past its deadline)
+/// when the job is picked up yields [`JobMetrics::TimedOut`] instead of
+/// running — the cancellation point that makes long sweeps
+/// interruptible without ever cutting a measurement in half.
+pub fn run_job(cache: &ArtifactCache, job: &Job, exec: &Budget) -> JobOutcome {
     let start = Instant::now();
+    // The store lookup (a ~ms pure read) runs even past the deadline: a
+    // job whose finished outcome is already persisted "completes" for
+    // free, so a timed-out sweep over a warm store never reports work
+    // it did not actually have to do.
     let stored = cache.store().and_then(|s| s.load_outcome(job));
     let metrics = match stored {
         Some(metrics) => metrics,
+        None if exec.is_cancelled() => {
+            // Still release the reservation: the bundle's consumer
+            // count was registered at expansion time and must not leak.
+            cache.release(&job.bundle_key());
+            return JobOutcome {
+                job: job.clone(),
+                metrics: JobMetrics::TimedOut,
+                wall: Duration::ZERO,
+            };
+        }
         None => {
-            let bundle = Bundle::fetch(cache, job);
+            let bundle = Bundle::fetch(cache, job, exec);
             let metrics = match job.attack {
                 AttackKind::NetworkFlow => flow_metrics(&bundle, job),
                 AttackKind::Crouting => crouting_metrics(&bundle, job.split_layer),
@@ -321,10 +367,8 @@ pub fn run_sweep(spec: &SweepSpec, exec: ExecutorConfig) -> Result<Campaign, Str
 
 /// Runs a sweep (optionally restricted to the job indices in `filter`)
 /// against a caller-provided cache — which may be layered over a disk
-/// store, and may be shared across campaigns.
-///
-/// Per-key consumer counts are reserved up front, so each bundle is
-/// dropped from memory as soon as its last selected job finishes.
+/// store, and may be shared across campaigns. Convenience wrapper over
+/// [`run_sweep_budgeted`] for callers configured by thread count alone.
 ///
 /// # Errors
 ///
@@ -332,6 +376,28 @@ pub fn run_sweep(spec: &SweepSpec, exec: ExecutorConfig) -> Result<Campaign, Str
 pub fn run_sweep_with(
     spec: &SweepSpec,
     exec: ExecutorConfig,
+    cache: &ArtifactCache,
+    filter: Option<&[usize]>,
+) -> Result<Campaign, String> {
+    run_sweep_budgeted(spec, &Budget::with_threads(exec.threads), cache, filter)
+}
+
+/// Runs a sweep inside `budget` — the campaign's full resource
+/// allotment, as parsed from `--threads`/`--timeout-secs`. Each job gets
+/// an equal [`Budget::split`] share, so nested parallel work (bundle
+/// builds, bisection anchor sweeps) shares the campaign's pool; jobs
+/// picked up after the budget's token is cancelled or its deadline
+/// passed come back as [`JobMetrics::TimedOut`].
+///
+/// Per-key consumer counts are reserved up front, so each bundle is
+/// dropped from memory as soon as its last selected job finishes.
+///
+/// # Errors
+///
+/// Returns an error for an invalid spec or an out-of-range job filter.
+pub fn run_sweep_budgeted(
+    spec: &SweepSpec,
+    budget: &Budget,
     cache: &ArtifactCache,
     filter: Option<&[usize]>,
 ) -> Result<Campaign, String> {
@@ -354,22 +420,29 @@ pub fn run_sweep_with(
         }
         jobs = selected.into_iter().map(|i| jobs[i].clone()).collect();
     }
-    let executor = Executor::new(exec);
     let start = Instant::now();
-    let outcomes = run_jobs(&jobs, &executor, cache);
+    let outcomes = run_jobs_budgeted(&jobs, budget, cache);
     Ok(Campaign {
         spec: spec.clone(),
         outcomes,
         cache: cache.stats(),
-        threads: executor.threads(),
+        threads: budget.threads(),
         total_wall: start.elapsed(),
     })
 }
 
-/// Executes an explicit job list on the pool, reserving and releasing
-/// bundle claims so memory tracks the working set. Outcomes come back
-/// in `jobs` order.
+/// Executes an explicit job list on the executor's budget. See
+/// [`run_jobs_budgeted`].
 pub fn run_jobs(jobs: &[Job], executor: &Executor, cache: &ArtifactCache) -> Vec<JobOutcome> {
+    run_jobs_budgeted(jobs, executor.budget(), cache)
+}
+
+/// Executes an explicit job list inside `budget`, reserving and
+/// releasing bundle claims so memory tracks the working set. Each job
+/// runs in an equal split of the campaign budget — the sub-budget that
+/// bounds its bundle build and nested layout parallelism. Outcomes come
+/// back in `jobs` order.
+pub fn run_jobs_budgeted(jobs: &[Job], budget: &Budget, cache: &ArtifactCache) -> Vec<JobOutcome> {
     let mut uses: HashMap<_, usize> = HashMap::new();
     for job in jobs {
         *uses.entry(job.bundle_key()).or_insert(0) += 1;
@@ -377,7 +450,10 @@ pub fn run_jobs(jobs: &[Job], executor: &Executor, cache: &ArtifactCache) -> Vec
     for (key, count) in uses {
         cache.reserve(key, count);
     }
-    executor.map(jobs, |_, job| run_job(cache, job))
+    // At most `threads` jobs run concurrently, so the per-job share
+    // divides by that, not by the sweep length.
+    let per_job = budget.split(jobs.len().min(budget.threads()));
+    budget.map(jobs, |_, job| run_job(cache, job, &per_job))
 }
 
 // ----- aggregation --------------------------------------------------------
@@ -426,9 +502,11 @@ pub struct AggregateRow {
     pub metrics: Vec<(&'static str, MetricStats)>,
 }
 
-/// The scalar metrics an outcome contributes to aggregation.
+/// The scalar metrics an outcome contributes to aggregation (none for
+/// timed-out placeholders — they carry no measurement).
 fn scalar_metrics(metrics: &JobMetrics) -> Vec<(&'static str, f64)> {
     match metrics {
+        JobMetrics::TimedOut => Vec::new(),
         JobMetrics::Flow {
             ccr_protected_pct,
             oer_pct,
@@ -468,6 +546,10 @@ impl Campaign {
         let mut order: Vec<PointKey> = Vec::new();
         let mut samples: HashMap<PointKey, Vec<Vec<(&'static str, f64)>>> = HashMap::new();
         for o in &self.outcomes {
+            let metrics = scalar_metrics(&o.metrics);
+            if metrics.is_empty() {
+                continue; // timed-out: no measurement to aggregate
+            }
             let key = (
                 o.job.benchmark.name().to_string(),
                 o.job.split_layer,
@@ -477,7 +559,7 @@ impl Campaign {
             if entry.is_empty() {
                 order.push(key);
             }
-            entry.push(scalar_metrics(&o.metrics));
+            entry.push(metrics);
         }
         order
             .into_iter()
@@ -703,6 +785,9 @@ impl Campaign {
                         ));
                     }
                 }
+                // Timed-out jobs have no measurement row; the JSON
+                // report is where their status lives.
+                JobMetrics::TimedOut => {}
             }
         }
         csv(&csv_header(opts.include_timings), &rows)
@@ -767,10 +852,21 @@ impl Campaign {
         out
     }
 
+    /// Number of outcomes that are timed-out placeholders rather than
+    /// measurements (what `smctl sweep --timeout-secs` reports and
+    /// exits non-zero on; `smctl resume` re-runs exactly these).
+    pub fn timed_out(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| o.metrics.is_timed_out())
+            .count()
+    }
+
     /// One-line human summary (thread count, cache effectiveness, time).
     pub fn summary(&self) -> String {
+        let timed_out = self.timed_out();
         format!(
-            "{} jobs on {} threads in {:.2}s — cache: {} builds, {} hits, {} disk hits, {} released",
+            "{} jobs on {} threads in {:.2}s — cache: {} builds, {} hits, {} disk hits, {} released{}",
             self.outcomes.len(),
             self.threads,
             self.total_wall.as_secs_f64(),
@@ -778,6 +874,11 @@ impl Campaign {
             self.cache.hits,
             self.cache.disk_hits,
             self.cache.released,
+            if timed_out > 0 {
+                format!(" — {timed_out} timed out")
+            } else {
+                String::new()
+            },
         )
     }
 }
@@ -898,6 +999,9 @@ pub fn json_to_csv(report: &Json) -> Result<String, String> {
                     wall,
                 ));
             }
+        } else if metrics.get("timed_out").is_some() {
+            // Timed-out placeholder: no measurement row (matches
+            // `Campaign::to_csv`).
         } else {
             return Err(format!("job {i}: unrecognized metrics shape"));
         }
@@ -961,6 +1065,12 @@ fn outcome_json(o: &JobOutcome, opts: ReportOptions) -> Json {
                         ),
                     ),
                 ]),
+            ));
+        }
+        JobMetrics::TimedOut => {
+            pairs.push((
+                "metrics".to_string(),
+                Json::obj([("timed_out", Json::Bool(true))]),
             ));
         }
     }
@@ -1113,6 +1223,8 @@ fn outcome_from_json(job: &Json, spec: &SweepSpec) -> Result<JobOutcome, String>
             vpins_original: u("vpins_original")?,
             boxes,
         }
+    } else if metrics.get("timed_out").is_some() {
+        JobMetrics::TimedOut
     } else {
         return Err("unrecognized metrics shape".into());
     };
@@ -1141,10 +1253,15 @@ fn job_key(job: &Job) -> (String, u64, u8, AttackKind) {
     )
 }
 
-/// The jobs of `expansion` that have no outcome in `have` — what
-/// `smctl resume` must still run.
+/// The jobs of `expansion` that have no **finished** outcome in `have`
+/// — what `smctl resume` must still run. Timed-out placeholders count
+/// as missing: they are exactly the jobs a resume re-runs.
 pub fn missing_jobs(expansion: &[Job], have: &[JobOutcome]) -> Vec<Job> {
-    let done: std::collections::HashSet<_> = have.iter().map(|o| job_key(&o.job)).collect();
+    let done: std::collections::HashSet<_> = have
+        .iter()
+        .filter(|o| !o.metrics.is_timed_out())
+        .map(|o| job_key(&o.job))
+        .collect();
     expansion
         .iter()
         .filter(|job| !done.contains(&job_key(job)))
@@ -1153,9 +1270,10 @@ pub fn missing_jobs(expansion: &[Job], have: &[JobOutcome]) -> Vec<Job> {
 }
 
 /// Merges stored and freshly-run outcomes into canonical campaign order
-/// (`expansion` order; fresh outcomes win on duplicate keys). Jobs with
-/// no outcome in either set are simply absent — a resume restricted by
-/// `--jobs` stays partial.
+/// (`expansion` order). On duplicate keys, a finished outcome always
+/// beats a timed-out placeholder; among finished outcomes, fresh wins.
+/// Jobs with no outcome in either set are simply absent — a resume
+/// restricted by `--jobs` stays partial.
 pub fn merge_outcomes(
     expansion: &[Job],
     stored: Vec<JobOutcome>,
@@ -1163,7 +1281,19 @@ pub fn merge_outcomes(
 ) -> Vec<JobOutcome> {
     let mut by_key: HashMap<(String, u64, u8, AttackKind), JobOutcome> = HashMap::new();
     for outcome in stored.into_iter().chain(fresh) {
-        by_key.insert(job_key(&outcome.job), outcome);
+        match by_key.entry(job_key(&outcome.job)) {
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(outcome);
+            }
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                // Never let a timed-out placeholder displace a real
+                // measurement (e.g. merging a timed-out shard over an
+                // already-complete report).
+                if !outcome.metrics.is_timed_out() || e.get().metrics.is_timed_out() {
+                    e.insert(outcome);
+                }
+            }
+        }
     }
     let mut merged = Vec::new();
     for job in expansion {
@@ -1173,6 +1303,40 @@ pub fn merge_outcomes(
         }
     }
     merged
+}
+
+/// Merges several stored reports of the **same spec** into one campaign
+/// in canonical job order — the engine behind `smctl merge`, which
+/// combines sharded sweeps (`--shard K/N`) without round-tripping every
+/// shard through `resume`. Later reports win on duplicate keys, except
+/// that a finished outcome never loses to a timed-out placeholder.
+///
+/// # Errors
+///
+/// Returns an error when no report is given or the specs differ (a
+/// merge across different sweeps would silently drop jobs).
+pub fn merge_reports(reports: Vec<Campaign>) -> Result<Campaign, String> {
+    let mut iter = reports.into_iter();
+    let first = iter.next().ok_or("merge needs at least one report")?;
+    let spec = first.spec.clone();
+    let expansion = spec.jobs()?;
+    let mut outcomes = merge_outcomes(&expansion, Vec::new(), first.outcomes);
+    for (i, report) in iter.enumerate() {
+        if report.spec != spec {
+            return Err(format!(
+                "report {} has a different sweep spec (all merged reports must share one campaign)",
+                i + 2
+            ));
+        }
+        outcomes = merge_outcomes(&expansion, outcomes, report.outcomes);
+    }
+    Ok(Campaign {
+        spec,
+        outcomes,
+        cache: CacheStats::default(),
+        threads: 0,
+        total_wall: Duration::ZERO,
+    })
 }
 
 #[cfg(test)]

@@ -1,4 +1,4 @@
-//! Work-stealing job executor on a configurable thread pool.
+//! Work-stealing job executor on a persistent, budgeted thread pool.
 //!
 //! The implementation lives in [`sm_exec`] (the bottom of the dependency
 //! stack) so the layout engine can parallelize deterministic inner work
@@ -13,5 +13,12 @@
 //! cached ISCAS attack) without any queue shuffling. Results land in
 //! per-job slots, so output order equals submission order and reports are
 //! **deterministic regardless of scheduling**.
+//!
+//! Resource ownership is a [`Budget`]: a splittable thread allotment
+//! over a persistent [`Pool`] plus a [`CancelToken`]. The campaign
+//! engine hands each job a [`Budget::split`] share, so nested parallel
+//! work (bundle builds, bisection sweeps) shares the campaign's workers
+//! instead of spawning its own — total live worker threads never exceed
+//! the configured `--threads`.
 
-pub use sm_exec::{join, Executor, ExecutorConfig};
+pub use sm_exec::{join, Budget, CancelToken, Executor, ExecutorConfig, Pool};

@@ -16,11 +16,17 @@
 //! * [`store`] — the disk-backed tier under the cache: bundles and
 //!   finished job results persist across processes under `.sm-store/`,
 //!   so repeated runs decode instead of rebuilding;
-//! * [`exec`] — a work-stealing thread-pool executor whose output order
-//!   is independent of scheduling;
-//! * [`campaign`] — sweep expansion, job execution, seed-sweep
-//!   aggregation (mean/σ/min/max) and report assembly, including
-//!   re-running subsets of a stored campaign (`smctl resume`);
+//! * [`exec`] — re-exports of `sm_exec`'s persistent work-stealing
+//!   [`Pool`](exec::Pool), splittable [`Budget`](exec::Budget) and
+//!   [`CancelToken`](exec::CancelToken): the campaign's thread allotment
+//!   is divided among jobs, so nested parallel work shares one pool and
+//!   output order stays independent of scheduling;
+//! * [`campaign`] — sweep expansion, budgeted job execution with
+//!   deadline/cancellation (timed-out jobs are a distinct outcome that
+//!   `smctl resume` re-runs), seed-sweep aggregation (mean/σ/min/max)
+//!   and report assembly, including re-running subsets of a stored
+//!   campaign (`smctl resume`) and merging sharded reports
+//!   (`smctl merge`);
 //! * [`report`] — deterministic JSON/CSV emission (timings opt-in, so
 //!   canonical reports are byte-identical across runs).
 //!
@@ -58,9 +64,10 @@ pub mod store;
 pub use bundle::{iscas_selection, superblue_selection, IscasRun, SuperblueRun};
 pub use cache::{ArtifactCache, BundleKey, CacheStats};
 pub use campaign::{
-    run_job, run_sweep, run_sweep_with, Campaign, JobMetrics, JobOutcome, SweepSpec,
+    merge_reports, run_job, run_jobs_budgeted, run_sweep, run_sweep_budgeted, run_sweep_with,
+    Campaign, JobMetrics, JobOutcome, SweepSpec,
 };
-pub use exec::{Executor, ExecutorConfig};
+pub use exec::{Budget, CancelToken, Executor, ExecutorConfig, Pool};
 pub use job::{AttackKind, Benchmark, Job};
 pub use report::{Json, ReportOptions};
 pub use store::{ArtifactStore, StoreStats, StoreUsage};

@@ -189,8 +189,13 @@ impl ArtifactStore {
         self.load_payload(&self.outcome_path(job), PayloadKind::Outcome)
     }
 
-    /// Persists the finished metrics of `job`.
+    /// Persists the finished metrics of `job`. Timed-out placeholders
+    /// are **not** results and are never persisted: a later resume must
+    /// re-run the job, not replay its absence.
     pub fn save_outcome(&self, job: &Job, metrics: &JobMetrics) {
+        if metrics.is_timed_out() {
+            return;
+        }
         self.save_payload(&self.outcome_path(job), PayloadKind::Outcome, metrics);
     }
 
@@ -467,6 +472,11 @@ impl Encode for JobMetrics {
                 vpins_original.encode(w);
                 boxes.encode(w);
             }
+            JobMetrics::TimedOut => {
+                // Unreachable through the store (`save_outcome` filters
+                // placeholders), kept total for codec round-trip use.
+                w.put_u8(2);
+            }
         }
     }
 }
@@ -485,6 +495,13 @@ impl Decode for JobMetrics {
                 vpins_original: usize::decode(r)?,
                 boxes: Vec::decode(r)?,
             },
+            // Tag 2 (TimedOut) is deliberately rejected: placeholders
+            // are never legitimately persisted, and accepting one here
+            // would let a stray store file satisfy `run_job`'s store
+            // lookup forever — every resume would "complete" the job
+            // back into the timed-out state it is trying to clear.
+            // Treating it like any other invalid tag makes the file a
+            // miss, so the job simply re-runs.
             other => return Err(CodecError::Invalid(format!("JobMetrics tag {other}"))),
         })
     }

@@ -1,0 +1,216 @@
+//! Budgeted-campaign integration tests: the engine-level guarantees
+//! behind `--threads` and `--timeout-secs`.
+//!
+//! * canonical reports are **byte-identical** across thread budgets
+//!   (1/2/8) — scheduling decides wall-clock, never bytes;
+//! * total live worker threads never exceed the campaign budget, even
+//!   while jobs run nested parallel work (bundle builds);
+//! * a cancelled/expired campaign records timed-out placeholders that
+//!   round-trip through the JSON report, and resuming them produces a
+//!   report byte-identical to an uninterrupted run;
+//! * sharded partial reports merge back into the full campaign.
+
+use std::time::Duration;
+
+use sm_engine::campaign::{
+    merge_outcomes, merge_reports, missing_jobs, run_jobs_budgeted, run_sweep_budgeted, Campaign,
+    SweepSpec,
+};
+use sm_engine::exec::{Budget, CancelToken};
+use sm_engine::job::AttackKind;
+use sm_engine::report::{Json, ReportOptions};
+use sm_engine::{ArtifactCache, CacheStats};
+
+fn tiny_spec() -> SweepSpec {
+    SweepSpec {
+        benchmarks: vec!["c432".into()],
+        seeds: vec![1, 2],
+        split_layers: vec![4],
+        attacks: vec![AttackKind::NetworkFlow, AttackKind::Crouting],
+        scale: 100,
+        master_seed: 1,
+    }
+}
+
+fn canonical(campaign: &Campaign) -> String {
+    campaign.to_json(ReportOptions::default()).render()
+}
+
+#[test]
+fn reports_byte_identical_across_thread_budgets() {
+    let mut renders = Vec::new();
+    let mut csvs = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let budget = Budget::with_threads(Some(threads));
+        let campaign =
+            run_sweep_budgeted(&tiny_spec(), &budget, &ArtifactCache::new(), None).unwrap();
+        assert_eq!(campaign.threads, threads);
+        assert_eq!(campaign.timed_out(), 0);
+        // The pool-instrumentation ceiling: jobs plus their nested
+        // bundle builds never occupy more threads than the budget.
+        assert!(
+            budget.pool().peak_live() <= threads,
+            "peak {} exceeds budget {threads}",
+            budget.pool().peak_live()
+        );
+        renders.push(canonical(&campaign));
+        csvs.push(campaign.to_csv(ReportOptions::default()));
+    }
+    assert_eq!(renders[0], renders[1]);
+    assert_eq!(renders[1], renders[2]);
+    assert_eq!(csvs[0], csvs[1]);
+    assert_eq!(csvs[1], csvs[2]);
+}
+
+#[test]
+fn expired_budget_times_out_every_job_without_building_anything() {
+    let cache = ArtifactCache::new();
+    let budget = Budget::with_threads(Some(2)).with_deadline_in(Duration::ZERO);
+    let campaign = run_sweep_budgeted(&tiny_spec(), &budget, &cache, None).unwrap();
+    assert_eq!(campaign.timed_out(), campaign.outcomes.len());
+    // No bundle was built, nothing aggregated, no CSV rows.
+    assert_eq!(cache.stats().builds, 0);
+    assert!(campaign.aggregates().is_empty());
+    let csv = campaign.to_csv(ReportOptions::default());
+    assert_eq!(csv.lines().count(), 1, "header only: {csv}");
+    // The summary names the damage.
+    assert!(campaign.summary().contains("timed out"));
+}
+
+#[test]
+fn cancelled_sweep_resumes_to_byte_identical_report() {
+    let spec = tiny_spec();
+    // The reference: an uninterrupted run.
+    let full = run_sweep_budgeted(
+        &spec,
+        &Budget::with_threads(Some(2)),
+        &ArtifactCache::new(),
+        None,
+    )
+    .unwrap();
+
+    // A run whose token was cancelled before the pool picked anything
+    // up: every job must come back as a clean timed-out placeholder.
+    let cancel = CancelToken::new();
+    let budget = Budget::with_threads(Some(2)).with_cancel(cancel.clone());
+    cancel.cancel();
+    let mut interrupted = run_sweep_budgeted(&spec, &budget, &ArtifactCache::new(), None).unwrap();
+    assert_eq!(interrupted.timed_out(), interrupted.outcomes.len());
+    // Make it a *mixed* report — the realistic mid-sweep shape — by
+    // grafting in half of the finished outcomes (cancellation lands
+    // between jobs, so partial reports are exactly this: finished jobs
+    // keep their bytes, the rest are placeholders).
+    for (i, done) in full.outcomes.iter().enumerate() {
+        if i % 2 == 0 {
+            interrupted.outcomes[i] = done.clone();
+        }
+    }
+    assert!(interrupted.timed_out() > 0);
+    assert!(interrupted.timed_out() < interrupted.outcomes.len());
+
+    // Round-trip the damaged report through its canonical JSON, exactly
+    // as `smctl resume` would.
+    let parsed = Campaign::from_json(&Json::parse(&canonical(&interrupted)).unwrap()).unwrap();
+    assert_eq!(parsed.timed_out(), interrupted.timed_out());
+
+    // Timed-out jobs are the resume set; re-run and merge.
+    let expansion = spec.jobs().unwrap();
+    let missing = missing_jobs(&expansion, &parsed.outcomes);
+    assert_eq!(missing.len(), parsed.timed_out());
+    let fresh = run_jobs_budgeted(
+        &missing,
+        &Budget::with_threads(Some(2)),
+        &ArtifactCache::new(),
+    );
+    let resumed = Campaign {
+        spec: spec.clone(),
+        outcomes: merge_outcomes(&expansion, parsed.outcomes, fresh),
+        cache: CacheStats::default(),
+        threads: 0,
+        total_wall: Duration::ZERO,
+    };
+    assert_eq!(resumed.timed_out(), 0);
+    assert_eq!(canonical(&resumed), canonical(&full));
+    assert_eq!(
+        resumed.to_csv(ReportOptions::default()),
+        full.to_csv(ReportOptions::default())
+    );
+}
+
+#[test]
+fn finished_outcomes_survive_merges_with_timed_out_duplicates() {
+    let spec = tiny_spec();
+    let expansion = spec.jobs().unwrap();
+    let full = run_sweep_budgeted(
+        &spec,
+        &Budget::with_threads(Some(2)),
+        &ArtifactCache::new(),
+        None,
+    )
+    .unwrap();
+    // A shard that timed out entirely.
+    let timed_out = run_sweep_budgeted(
+        &spec,
+        &Budget::with_threads(Some(2)).with_deadline_in(Duration::ZERO),
+        &ArtifactCache::new(),
+        None,
+    )
+    .unwrap();
+    // Merging the dead shard *over* the finished run must not lose a
+    // single measurement — in either merge order.
+    let merged = merge_outcomes(
+        &expansion,
+        full.outcomes.clone(),
+        timed_out.outcomes.clone(),
+    );
+    assert!(merged.iter().all(|o| !o.metrics.is_timed_out()));
+    let merged = merge_outcomes(
+        &expansion,
+        timed_out.outcomes.clone(),
+        full.outcomes.clone(),
+    );
+    assert!(merged.iter().all(|o| !o.metrics.is_timed_out()));
+}
+
+#[test]
+fn merge_reports_reassembles_sharded_sweeps() {
+    let spec = tiny_spec();
+    let full = run_sweep_budgeted(
+        &spec,
+        &Budget::with_threads(Some(2)),
+        &ArtifactCache::new(),
+        None,
+    )
+    .unwrap();
+    let total = spec.jobs().unwrap().len();
+    // Round-robin shards, as `smctl sweep --shard K/N` expands them.
+    let run_shard = |k: usize| {
+        let indices: Vec<usize> = (k..total).step_by(2).collect();
+        let campaign = run_sweep_budgeted(
+            &spec,
+            &Budget::with_threads(Some(2)),
+            &ArtifactCache::new(),
+            Some(&indices),
+        )
+        .unwrap();
+        // Shards round-trip through their stored form before merging.
+        Campaign::from_json(&Json::parse(&canonical(&campaign)).unwrap()).unwrap()
+    };
+    let merged = merge_reports(vec![run_shard(0), run_shard(1)]).unwrap();
+    assert_eq!(canonical(&merged), canonical(&full));
+
+    // Mismatched specs are rejected, not silently dropped.
+    let other = run_sweep_budgeted(
+        &SweepSpec {
+            seeds: vec![1],
+            ..tiny_spec()
+        },
+        &Budget::with_threads(Some(1)),
+        &ArtifactCache::new(),
+        None,
+    )
+    .unwrap();
+    let err = merge_reports(vec![run_shard(0), other]).unwrap_err();
+    assert!(err.contains("different sweep spec"), "{err}");
+    assert!(merge_reports(Vec::new()).is_err());
+}

@@ -177,7 +177,7 @@ fn version_header_mismatch_triggers_rebuild() {
 
     // The cache transparently rebuilds and re-persists.
     let cache = ArtifactCache::with_store(Arc::clone(&fresh));
-    let _ = cache.iscas(&profile, 7);
+    let _ = cache.iscas(&profile, 7, &sm_engine::Budget::default());
     assert_eq!(cache.stats().builds, 1);
     assert!(fresh.load_iscas(&key).is_some(), "rebuilt artifact stored");
 }

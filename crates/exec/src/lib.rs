@@ -3,22 +3,42 @@
 //! This crate sits at the bottom of the dependency stack (it depends on
 //! nothing) so that both the layout engine (`sm-layout`, for parallel
 //! bisection work) and the campaign engine (`sm-engine`, for parallel
-//! jobs and bundle builds) share one executor and one seed-derivation
+//! jobs and bundle builds) share one worker pool and one seed-derivation
 //! scheme. It hosts:
 //!
-//! * [`Executor`] — a work-stealing thread-pool map whose output order
-//!   is independent of scheduling (moved here from `sm_engine::exec`,
-//!   which now re-exports it);
-//! * [`join`] — rayon-style two-way fork/join for heterogeneous tasks
-//!   (used to build a bundle's independent layouts concurrently);
+//! * [`Pool`] — a **persistent** work-stealing worker pool: workers are
+//!   spawned once and serve every `map`/`join` submitted for the pool's
+//!   lifetime, so nested parallel work *shares* the pool instead of
+//!   spawning fresh threads per call;
+//! * [`Budget`] — a splittable thread allotment over a pool, plus a
+//!   [`CancelToken`]: the unit of resource ownership that the CLI parses
+//!   (`--threads`/`--timeout-secs`), the campaign engine divides among
+//!   jobs, and the layout engine threads into recursive work. Total live
+//!   worker threads never exceed the pool's size, no matter how deeply
+//!   budgeted work nests;
+//! * [`CancelToken`] — cooperative cancellation with an optional
+//!   deadline, checked at job boundaries (never inside deterministic
+//!   kernels, so results stay bit-identical);
+//! * [`Executor`] — the historical map-facade, now a thin wrapper over a
+//!   [`Budget`];
 //! * [`seed`] — the SplitMix64/FNV-1a mixing primitives behind all
 //!   deterministic seed derivation (`Job::derived_seed`, per-branch
 //!   bisection streams).
+//!
+//! Determinism contract: [`Budget::map`] returns results in **input
+//! order** and [`Budget::join`] runs two independent closures, so every
+//! result is a pure function of the inputs — scheduling decides only
+//! wall-clock, never bytes.
 
 #![warn(missing_docs)]
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, RwLock};
+use std::time::{Duration, Instant};
 
 /// Deterministic seed derivation: the mixing primitives every derived
 /// random stream in the workspace is built from.
@@ -52,67 +72,666 @@ pub mod seed {
     }
 }
 
-/// Executor configuration.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct ExecutorConfig {
-    /// Worker count; `None` uses the machine's available parallelism.
-    pub threads: Option<usize>,
+// ----- cancellation ---------------------------------------------------------
+
+#[derive(Debug)]
+struct CancelInner {
+    flag: AtomicBool,
+    deadline: Option<Instant>,
 }
 
-/// The workspace's thread-pool executor.
-#[derive(Debug, Clone, Copy)]
-pub struct Executor {
-    threads: usize,
+/// Cooperative cancellation: a shared flag plus an optional deadline.
+///
+/// Cloning shares the token, so cancelling any clone cancels all of
+/// them. Deterministic kernels never consult the token mid-computation;
+/// the campaign engine checks it **between** jobs, which is what makes a
+/// cancelled-then-resumed sweep byte-identical to an uninterrupted one.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<CancelInner>,
 }
 
-impl Executor {
-    /// Builds an executor with the configured worker count.
-    pub fn new(config: ExecutorConfig) -> Self {
-        let threads = config.threads.filter(|&t| t > 0).unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        });
-        Executor { threads }
+impl CancelToken {
+    /// A token that never expires on its own.
+    pub fn new() -> CancelToken {
+        CancelToken {
+            inner: Arc::new(CancelInner {
+                flag: AtomicBool::new(false),
+                deadline: None,
+            }),
+        }
     }
 
-    /// The worker count this executor runs with.
+    /// A token that reports cancelled once `deadline` passes.
+    pub fn with_deadline(deadline: Instant) -> CancelToken {
+        CancelToken {
+            inner: Arc::new(CancelInner {
+                flag: AtomicBool::new(false),
+                deadline: Some(deadline),
+            }),
+        }
+    }
+
+    /// A token that expires `timeout` from now.
+    pub fn deadline_in(timeout: Duration) -> CancelToken {
+        Self::with_deadline(Instant::now() + timeout)
+    }
+
+    /// Requests cancellation (idempotent, visible to all clones).
+    pub fn cancel(&self) {
+        self.inner.flag.store(true, Ordering::Release);
+    }
+
+    /// `true` once [`CancelToken::cancel`] was called or the deadline
+    /// passed.
+    pub fn is_cancelled(&self) -> bool {
+        if self.inner.flag.load(Ordering::Acquire) {
+            return true;
+        }
+        match self.inner.deadline {
+            Some(d) => Instant::now() >= d,
+            None => false,
+        }
+    }
+
+    /// The deadline, if this token carries one.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.inner.deadline
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// ----- the persistent pool --------------------------------------------------
+
+/// One claimable unit of queued work, type-erased.
+///
+/// `ctx` points at a `MapCtx`/`JoinCtx` on the **submitting caller's
+/// stack**; `run_one` claims and runs one item, returning `false` once
+/// the batch is exhausted.
+///
+/// # Safety
+///
+/// The pointer is only dereferenced while the owning [`BatchHandle`]'s
+/// `RwLock` holds `Some` — and the submitting call retires the batch
+/// (write-locks and replaces it with `None`, which waits out every
+/// reader) before returning or unwinding. The pointee is `Sync` by
+/// construction (`T: Sync`, `R: Send`, `F: Sync`).
+#[derive(Clone, Copy)]
+struct ErasedBatch {
+    ctx: *const (),
+    run_one: unsafe fn(*const ()) -> bool,
+}
+
+unsafe impl Send for ErasedBatch {}
+unsafe impl Sync for ErasedBatch {}
+
+/// A queued batch: the erased work plus its claimant accounting.
+struct BatchHandle {
+    /// `Some` while the submitting call is alive; retired to `None`
+    /// (under the write lock) before that call returns.
+    batch: RwLock<Option<ErasedBatch>>,
+    /// Maximum concurrent claimants — the submitting [`Budget`]'s thread
+    /// allotment, which is how a sub-budget occupies only its share of a
+    /// larger pool.
+    limit: usize,
+    /// Claimants currently inside the batch.
+    active: AtomicUsize,
+    /// Set once a claimant observed the batch exhausted; stops further
+    /// picks while the last items finish.
+    drained: AtomicBool,
+}
+
+impl BatchHandle {
+    fn try_enter(&self) -> bool {
+        let mut cur = self.active.load(Ordering::Relaxed);
+        loop {
+            if cur >= self.limit {
+                return false;
+            }
+            match self.active.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    fn pickable(&self) -> bool {
+        !self.drained.load(Ordering::Relaxed) && self.active.load(Ordering::Relaxed) < self.limit
+    }
+}
+
+struct QueueState {
+    queue: VecDeque<Arc<BatchHandle>>,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<QueueState>,
+    work_cv: Condvar,
+    /// Distinct OS threads currently executing batch items (workers and
+    /// participating callers; nested participation on one thread counts
+    /// once).
+    live: AtomicUsize,
+    /// High-water mark of `live` — the pool-instrumentation counter the
+    /// thread-ceiling tests assert on.
+    peak: AtomicUsize,
+}
+
+thread_local! {
+    /// `(pool id, nesting depth)` per pool this thread is currently
+    /// executing batch items for. Distinguishes "one thread nesting
+    /// deeper" (counts once) from "another thread joining in".
+    static POOL_DEPTH: RefCell<Vec<(usize, usize)>> = const { RefCell::new(Vec::new()) };
+}
+
+fn enter_pool(id: usize) -> bool {
+    POOL_DEPTH.with(|d| {
+        let mut d = d.borrow_mut();
+        if let Some(e) = d.iter_mut().find(|e| e.0 == id) {
+            e.1 += 1;
+            false
+        } else {
+            d.push((id, 1));
+            true
+        }
+    })
+}
+
+fn exit_pool(id: usize) -> bool {
+    POOL_DEPTH.with(|d| {
+        let mut d = d.borrow_mut();
+        if let Some(pos) = d.iter().position(|e| e.0 == id) {
+            d[pos].1 -= 1;
+            if d[pos].1 == 0 {
+                d.remove(pos);
+                return true;
+            }
+        }
+        false
+    })
+}
+
+impl Shared {
+    /// RAII live-thread accounting for this thread on `pool_id`: counts
+    /// the thread live on first (outermost) entry and un-counts it when
+    /// the outermost scope drops — including on unwind, so a panicking
+    /// workload cannot leak the live count or the thread-local depth.
+    fn live_scope(&self, pool_id: usize) -> LiveScope<'_> {
+        if enter_pool(pool_id) {
+            let live = self.live.fetch_add(1, Ordering::Relaxed) + 1;
+            self.peak.fetch_max(live, Ordering::Relaxed);
+        }
+        LiveScope {
+            shared: self,
+            pool_id,
+        }
+    }
+
+    /// Claims and runs items of `handle` until the batch is exhausted or
+    /// its claimant limit was reached, maintaining the live-thread
+    /// instrumentation. Called by workers and by participating callers.
+    fn run_batch(&self, handle: &BatchHandle, pool_id: usize) {
+        if !handle.try_enter() {
+            return;
+        }
+        let guard = handle.batch.read().unwrap_or_else(|p| p.into_inner());
+        if let Some(batch) = guard.as_ref() {
+            let _live = self.live_scope(pool_id);
+            // SAFETY: the read guard keeps the batch un-retired, so
+            // `ctx` is alive for every `run_one` call (see
+            // [`ErasedBatch`]).
+            while unsafe { (batch.run_one)(batch.ctx) } {}
+            handle.drained.store(true, Ordering::Relaxed);
+        }
+        drop(guard);
+        handle.active.fetch_sub(1, Ordering::Release);
+        // Capacity freed (or the batch drained): peers re-evaluate.
+        self.work_cv.notify_all();
+    }
+}
+
+struct LiveScope<'a> {
+    shared: &'a Shared,
+    pool_id: usize,
+}
+
+impl Drop for LiveScope<'_> {
+    fn drop(&mut self) {
+        if exit_pool(self.pool_id) {
+            self.shared.live.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, pool_id: usize) {
+    loop {
+        let handle = {
+            let mut st = shared.state.lock().unwrap_or_else(|p| p.into_inner());
+            loop {
+                if let Some(h) = st.queue.iter().find(|h| h.pickable()) {
+                    break Arc::clone(h);
+                }
+                if st.shutdown {
+                    return;
+                }
+                st = shared.work_cv.wait(st).unwrap_or_else(|p| p.into_inner());
+            }
+        };
+        shared.run_batch(&handle, pool_id);
+    }
+}
+
+/// Removes the batch from the queue and retires it on drop, so the
+/// type-erased context pointer can never outlive the submitting call —
+/// even if that call unwinds.
+struct BatchGuard<'a> {
+    shared: &'a Shared,
+    handle: Arc<BatchHandle>,
+}
+
+impl Drop for BatchGuard<'_> {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap_or_else(|p| p.into_inner());
+            if let Some(pos) = st.queue.iter().position(|h| Arc::ptr_eq(h, &self.handle)) {
+                st.queue.remove(pos);
+            }
+        }
+        // Blocks until every reader (i.e. every claimant still holding
+        // the context pointer) has left the batch.
+        *self.handle.batch.write().unwrap_or_else(|p| p.into_inner()) = None;
+    }
+}
+
+static POOL_IDS: AtomicUsize = AtomicUsize::new(0);
+
+/// A persistent work-stealing worker pool.
+///
+/// `threads` is the pool's total allotment **including the submitting
+/// caller**: a pool of `threads` spawns `threads - 1` workers, and every
+/// `map`/`join` caller participates in its own batch, so at most
+/// `threads` OS threads ever execute pool work concurrently — nested
+/// batches share the same workers instead of multiplying them.
+///
+/// Workers live until the last [`Pool`] handle drops.
+pub struct Pool {
+    shared: Arc<Shared>,
+    threads: usize,
+    id: usize,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("threads", &self.threads)
+            .field("live", &self.live())
+            .finish()
+    }
+}
+
+impl Pool {
+    /// Spawns a pool with `threads` total slots (`threads - 1` workers;
+    /// `0` is treated as `1`).
+    pub fn new(threads: usize) -> Arc<Pool> {
+        let threads = threads.max(1);
+        let id = POOL_IDS.fetch_add(1, Ordering::Relaxed);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(QueueState {
+                queue: VecDeque::new(),
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            live: AtomicUsize::new(0),
+            peak: AtomicUsize::new(0),
+        });
+        let handles = (0..threads - 1)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name("sm-exec-worker".into())
+                    .spawn(move || worker_loop(shared, id))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Arc::new(Pool {
+            shared,
+            threads,
+            id,
+            handles: Mutex::new(handles),
+        })
+    }
+
+    /// The process-wide default pool, sized to the machine's available
+    /// parallelism. Everything that does not carry an explicit [`Budget`]
+    /// runs here, so even un-plumbed callers share one set of workers.
+    pub fn global() -> &'static Arc<Pool> {
+        static GLOBAL: OnceLock<Arc<Pool>> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            Pool::new(
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1),
+            )
+        })
+    }
+
+    /// Total thread slots (workers + one participating caller).
     pub fn threads(&self) -> usize {
         self.threads
     }
 
+    /// Distinct OS threads currently executing pool work.
+    pub fn live(&self) -> usize {
+        self.shared.live.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of [`Pool::live`] over the pool's lifetime — the
+    /// instrumentation the thread-ceiling tests assert never exceeds the
+    /// configured budget.
+    pub fn peak_live(&self) -> usize {
+        self.shared.peak.load(Ordering::Relaxed)
+    }
+
+    fn push(&self, handle: Arc<BatchHandle>) {
+        let mut st = self.shared.state.lock().unwrap_or_else(|p| p.into_inner());
+        st.queue.push_back(handle);
+        drop(st);
+        self.shared.work_cv.notify_all();
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap_or_else(|p| p.into_inner());
+            st.shutdown = true;
+        }
+        self.shared.work_cv.notify_all();
+        for h in self
+            .handles
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .drain(..)
+        {
+            let _ = h.join();
+        }
+    }
+}
+
+// ----- map / join contexts --------------------------------------------------
+
+struct MapCtx<'a, T, R, F> {
+    items: &'a [T],
+    slots: &'a [Mutex<Option<R>>],
+    f: &'a F,
+    next: AtomicUsize,
+    /// Lock-free completion count; the mutex/condvar pair below is
+    /// touched only by the final item (and the waiting caller), so the
+    /// per-item cost on hot many-item batches stays one atomic.
+    done: AtomicUsize,
+    finished: Mutex<bool>,
+    done_cv: Condvar,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+/// Claims and runs one map item. `false` once all items are claimed.
+///
+/// # Safety
+///
+/// `ctx` must point to a live `MapCtx<'_, T, R, F>` of exactly these
+/// type parameters (guaranteed by the monomorphized function pointer
+/// paired with the context in one [`ErasedBatch`]).
+unsafe fn run_one_map<T, R, F>(ctx: *const ()) -> bool
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let ctx = unsafe { &*(ctx as *const MapCtx<'_, T, R, F>) };
+    let i = ctx.next.fetch_add(1, Ordering::Relaxed);
+    if i >= ctx.items.len() {
+        return false;
+    }
+    match catch_unwind(AssertUnwindSafe(|| (ctx.f)(i, &ctx.items[i]))) {
+        Ok(r) => *ctx.slots[i].lock().unwrap_or_else(|p| p.into_inner()) = Some(r),
+        Err(payload) => {
+            let mut slot = ctx.panic.lock().unwrap_or_else(|p| p.into_inner());
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+        }
+    }
+    if ctx.done.fetch_add(1, Ordering::AcqRel) + 1 == ctx.items.len() {
+        *ctx.finished.lock().unwrap_or_else(|p| p.into_inner()) = true;
+        ctx.done_cv.notify_all();
+    }
+    true
+}
+
+struct JoinCtx<B, RB> {
+    task: Mutex<Option<B>>,
+    out: Mutex<Option<std::thread::Result<RB>>>,
+    done: Mutex<bool>,
+    done_cv: Condvar,
+}
+
+/// Claims and runs the single join task. `false` once claimed.
+///
+/// # Safety
+///
+/// `ctx` must point to a live `JoinCtx<B, RB>` of exactly these type
+/// parameters.
+unsafe fn run_one_join<B, RB>(ctx: *const ()) -> bool
+where
+    B: FnOnce() -> RB + Send,
+    RB: Send,
+{
+    let ctx = unsafe { &*(ctx as *const JoinCtx<B, RB>) };
+    let Some(task) = ctx.task.lock().unwrap_or_else(|p| p.into_inner()).take() else {
+        return false;
+    };
+    let result = catch_unwind(AssertUnwindSafe(task));
+    *ctx.out.lock().unwrap_or_else(|p| p.into_inner()) = Some(result);
+    let mut done = ctx.done.lock().unwrap_or_else(|p| p.into_inner());
+    *done = true;
+    ctx.done_cv.notify_all();
+    true
+}
+
+// ----- budget ---------------------------------------------------------------
+
+/// A splittable thread allotment over a [`Pool`], plus a [`CancelToken`].
+///
+/// The budget is the unit of resource ownership plumbed CLI → engine →
+/// layout: `smctl` parses `--threads`/`--timeout-secs` into one budget,
+/// the campaign engine [`split`](Budget::split)s it among jobs, and the
+/// placement engine threads it into recursive bisection — so nested
+/// parallel work shares one pool and the configured thread count is a
+/// process-wide ceiling, not a per-call-site multiplier.
+///
+/// Cloning shares the pool and the token; `threads` is plain data.
+#[derive(Clone)]
+pub struct Budget {
+    pool: Arc<Pool>,
+    threads: usize,
+    cancel: CancelToken,
+}
+
+impl std::fmt::Debug for Budget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Budget")
+            .field("threads", &self.threads)
+            .field("pool_threads", &self.pool.threads())
+            .field("cancelled", &self.cancel.is_cancelled())
+            .finish()
+    }
+}
+
+impl Default for Budget {
+    /// The full allotment of the process-wide [`Pool::global`] pool.
+    fn default() -> Self {
+        let pool = Arc::clone(Pool::global());
+        let threads = pool.threads();
+        Budget {
+            pool,
+            threads,
+            cancel: CancelToken::new(),
+        }
+    }
+}
+
+impl Budget {
+    /// A budget over a dedicated pool of `threads` workers (`None` uses
+    /// the machine's available parallelism on the **global** pool, so
+    /// unconfigured runs still share one set of workers).
+    pub fn with_threads(threads: Option<usize>) -> Budget {
+        match threads.filter(|&t| t > 0) {
+            Some(t) => Budget {
+                pool: Pool::new(t),
+                threads: t,
+                cancel: CancelToken::new(),
+            },
+            None => Budget::default(),
+        }
+    }
+
+    /// A budget of `threads` slots over an existing pool.
+    pub fn on_pool(pool: Arc<Pool>, threads: usize) -> Budget {
+        Budget {
+            threads: threads.clamp(1, pool.threads().max(1)).max(1),
+            pool,
+            cancel: CancelToken::new(),
+        }
+    }
+
+    /// This budget's thread allotment.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The pool this budget schedules on.
+    pub fn pool(&self) -> &Arc<Pool> {
+        &self.pool
+    }
+
+    /// The budget's cancellation token.
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.cancel
+    }
+
+    /// Replaces the cancellation token (shared by all later clones and
+    /// splits).
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Budget {
+        self.cancel = cancel;
+        self
+    }
+
+    /// Attaches a deadline `timeout` from now (see
+    /// [`CancelToken::deadline_in`]).
+    pub fn with_deadline_in(self, timeout: Duration) -> Budget {
+        let cancel = CancelToken::deadline_in(timeout);
+        self.with_cancel(cancel)
+    }
+
+    /// `true` once the budget's token was cancelled or its deadline
+    /// passed.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.is_cancelled()
+    }
+
+    /// The per-child allotment when this budget is divided among
+    /// `children` concurrent subtasks: each child gets an equal share
+    /// (at least one thread), on the same pool, with the same token. A
+    /// parent running `k` children concurrently therefore stays within
+    /// its own allotment instead of letting every child assume it owns
+    /// the whole pool.
+    pub fn split(&self, children: usize) -> Budget {
+        Budget {
+            pool: Arc::clone(&self.pool),
+            threads: (self.threads / children.max(1)).max(1),
+            cancel: self.cancel.clone(),
+        }
+    }
+
     /// Applies `f` to every item on the pool and returns results in
-    /// **input order** (independent of which worker ran what).
+    /// **input order** (independent of which worker ran what). At most
+    /// `threads` pool threads (counting this caller, which participates)
+    /// work on the batch concurrently.
     ///
-    /// Panics in `f` are confined to the job that raised them; the
-    /// offending job's slot stays empty and this method re-raises after
-    /// all other jobs finish.
+    /// Panics in `f` are confined to the item that raised them; the
+    /// first panic is re-raised on the caller after all items finish.
     pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
     where
         T: Sync,
         R: Send,
         F: Fn(usize, &T) -> R + Sync,
     {
-        let workers = self.threads.min(items.len()).max(1);
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let limit = self.threads.min(n);
         let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
-        if workers == 1 {
+        if limit <= 1 || self.pool.threads() <= 1 {
+            // Serial fast path on the caller's thread — still counted
+            // by the live-thread instrumentation, via the RAII scope so
+            // a panic in `f` (which propagates directly here) cannot
+            // leak the count.
+            let _live = self.pool.shared.live_scope(self.pool.id);
             for (i, item) in items.iter().enumerate() {
                 *slots[i].lock().expect("slot") = Some(f(i, item));
             }
         } else {
-            let next = AtomicUsize::new(0);
-            std::thread::scope(|scope| {
-                for _ in 0..workers {
-                    scope.spawn(|| loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= items.len() {
-                            break;
-                        }
-                        let r = f(i, &items[i]);
-                        *slots[i].lock().expect("slot") = Some(r);
-                    });
-                }
+            let ctx = MapCtx {
+                items,
+                slots: &slots,
+                f: &f,
+                next: AtomicUsize::new(0),
+                done: AtomicUsize::new(0),
+                finished: Mutex::new(false),
+                done_cv: Condvar::new(),
+                panic: Mutex::new(None),
+            };
+            let handle = Arc::new(BatchHandle {
+                batch: RwLock::new(Some(ErasedBatch {
+                    ctx: &ctx as *const MapCtx<'_, T, R, F> as *const (),
+                    run_one: run_one_map::<T, R, F>,
+                })),
+                limit,
+                active: AtomicUsize::new(0),
+                drained: AtomicBool::new(false),
             });
+            let guard = BatchGuard {
+                shared: &self.pool.shared,
+                handle: Arc::clone(&handle),
+            };
+            self.pool.push(Arc::clone(&handle));
+            // Participate: the caller is one of the batch's claimants.
+            self.pool.shared.run_batch(&handle, self.pool.id);
+            let mut finished = ctx.finished.lock().unwrap_or_else(|p| p.into_inner());
+            while !*finished {
+                finished = ctx
+                    .done_cv
+                    .wait(finished)
+                    .unwrap_or_else(|p| p.into_inner());
+            }
+            drop(finished);
+            drop(guard); // retire before `ctx` leaves scope
+            let payload = ctx.panic.lock().unwrap_or_else(|p| p.into_inner()).take();
+            if let Some(payload) = payload {
+                std::panic::resume_unwind(payload);
+            }
         }
         slots
             .into_iter()
@@ -124,14 +743,131 @@ impl Executor {
             })
             .collect()
     }
+
+    /// Runs two independent closures — `a` on the caller's thread, `b`
+    /// on an idle pool worker (or inline, if the budget is serial or no
+    /// worker picks it up in time) — and returns both results. The tasks
+    /// must not share mutable state, so the result — unlike the schedule
+    /// — is deterministic. This is what lets a bundle build its
+    /// independent layouts (protected flow and unprotected baseline)
+    /// concurrently with bit-identical output, **inside** the owning
+    /// job's budget.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a panic from either task.
+    pub fn join<A, B, RA, RB>(&self, a: A, b: B) -> (RA, RB)
+    where
+        A: FnOnce() -> RA,
+        B: FnOnce() -> RB + Send,
+        RA: Send,
+        RB: Send,
+    {
+        if self.threads <= 1 || self.pool.threads() <= 1 {
+            let ra = a();
+            let rb = b();
+            return (ra, rb);
+        }
+        let ctx = JoinCtx {
+            task: Mutex::new(Some(b)),
+            out: Mutex::new(None),
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+        };
+        let handle = Arc::new(BatchHandle {
+            batch: RwLock::new(Some(ErasedBatch {
+                ctx: &ctx as *const JoinCtx<B, RB> as *const (),
+                run_one: run_one_join::<B, RB>,
+            })),
+            limit: 1,
+            active: AtomicUsize::new(0),
+            drained: AtomicBool::new(false),
+        });
+        let guard = BatchGuard {
+            shared: &self.pool.shared,
+            handle: Arc::clone(&handle),
+        };
+        self.pool.push(Arc::clone(&handle));
+        let ra = a();
+        // If no worker claimed `b` while `a` ran, run it here.
+        self.pool.shared.run_batch(&handle, self.pool.id);
+        let mut done = ctx.done.lock().unwrap_or_else(|p| p.into_inner());
+        while !*done {
+            done = ctx.done_cv.wait(done).unwrap_or_else(|p| p.into_inner());
+        }
+        drop(done);
+        drop(guard);
+        let rb = ctx
+            .out
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .take()
+            .expect("join task completed");
+        match rb {
+            Ok(rb) => (ra, rb),
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
 }
 
-/// Runs two independent closures, `b` on a scoped worker thread while
-/// `a` runs on the caller's thread, and returns both results. The tasks
-/// must not share mutable state, so the result — unlike the schedule —
-/// is deterministic. This is what lets a bundle build its independent
-/// layouts (protected flow and unprotected baseline) concurrently with
-/// bit-identical output.
+// ----- executor facade ------------------------------------------------------
+
+/// Executor configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecutorConfig {
+    /// Worker count; `None` uses the machine's available parallelism.
+    pub threads: Option<usize>,
+}
+
+/// The workspace's thread-pool executor: the historical map-facade over
+/// a [`Budget`]. `Executor::new` with an explicit thread count builds a
+/// dedicated pool of that size; `None` shares [`Pool::global`].
+#[derive(Debug, Clone)]
+pub struct Executor {
+    budget: Budget,
+}
+
+impl Executor {
+    /// Builds an executor with the configured worker count.
+    pub fn new(config: ExecutorConfig) -> Self {
+        Executor {
+            budget: Budget::with_threads(config.threads),
+        }
+    }
+
+    /// Wraps an existing budget.
+    pub fn from_budget(budget: Budget) -> Self {
+        Executor { budget }
+    }
+
+    /// The worker count this executor runs with.
+    pub fn threads(&self) -> usize {
+        self.budget.threads()
+    }
+
+    /// The underlying budget (for splitting among subtasks).
+    pub fn budget(&self) -> &Budget {
+        &self.budget
+    }
+
+    /// Applies `f` to every item on the pool and returns results in
+    /// **input order** (independent of which worker ran what). See
+    /// [`Budget::map`].
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        self.budget.map(items, f)
+    }
+}
+
+/// Runs two independent closures concurrently on the process-global
+/// pool's default budget and returns both results. Prefer
+/// [`Budget::join`] where a budget is plumbed through; this free
+/// function serves un-plumbed callers and shares (never multiplies) the
+/// global worker pool.
 ///
 /// # Panics
 ///
@@ -143,15 +879,7 @@ where
     RA: Send,
     RB: Send,
 {
-    std::thread::scope(|scope| {
-        let hb = scope.spawn(b);
-        let ra = a();
-        let rb = match hb.join() {
-            Ok(rb) => rb,
-            Err(p) => std::panic::resume_unwind(p),
-        };
-        (ra, rb)
-    })
+    Budget::default().join(a, b)
 }
 
 #[cfg(test)]
@@ -214,10 +942,123 @@ mod tests {
     }
 
     #[test]
+    fn pool_is_reused_across_maps() {
+        let budget = Budget::with_threads(Some(4));
+        let items: Vec<u64> = (0..64).collect();
+        for _ in 0..5 {
+            let out = budget.map(&items, |_, &x| x + 1);
+            assert_eq!(out.len(), items.len());
+        }
+        // Workers persist: the pool never grew beyond its allotment.
+        assert!(budget.pool().peak_live() <= 4);
+    }
+
+    #[test]
     fn join_returns_both_results() {
         let (a, b) = join(|| 6 * 7, || "forty-two".len());
         assert_eq!(a, 42);
         assert_eq!(b, 9);
+        let budget = Budget::with_threads(Some(2));
+        let (a, b) = budget.join(|| 1 + 1, || vec![0u8; 3].len());
+        assert_eq!((a, b), (2, 3));
+    }
+
+    #[test]
+    fn nested_maps_stay_within_the_budget() {
+        // An outer sweep of jobs, each fanning out an inner sweep — the
+        // shape of campaign jobs running nested bisection anchor sweeps.
+        // All of it must share one pool: at no point may more than
+        // `threads` OS threads be executing.
+        let threads = 3;
+        let budget = Budget::with_threads(Some(threads));
+        let jobs: Vec<u64> = (0..8).collect();
+        let per_job = budget.split(jobs.len().min(threads));
+        let out = budget.map(&jobs, |_, &j| {
+            let inner: Vec<u64> = (0..16).collect();
+            let partial = per_job.map(&inner, |_, &x| {
+                let mut acc = j;
+                for k in 0..2_000u64 {
+                    acc = acc.wrapping_mul(31).wrapping_add(k);
+                }
+                std::hint::black_box(acc);
+                x + j
+            });
+            partial.iter().sum::<u64>()
+        });
+        assert_eq!(out.len(), jobs.len());
+        for (j, &sum) in out.iter().enumerate() {
+            assert_eq!(sum, (0..16).map(|x| x + j as u64).sum::<u64>());
+        }
+        assert!(
+            budget.pool().peak_live() <= threads,
+            "peak {} > budget {threads}",
+            budget.pool().peak_live()
+        );
+    }
+
+    #[test]
+    fn nested_joins_stay_within_the_budget() {
+        let threads = 2;
+        let budget = Budget::with_threads(Some(threads));
+        let jobs: Vec<u64> = (0..6).collect();
+        let per_job = budget.split(jobs.len().min(threads));
+        let out = budget.map(&jobs, |_, &j| {
+            let (a, b) = per_job.join(|| j * 2, || j * 3);
+            a + b
+        });
+        assert_eq!(out, vec![0, 5, 10, 15, 20, 25]);
+        assert!(budget.pool().peak_live() <= threads);
+    }
+
+    #[test]
+    fn split_divides_the_allotment() {
+        let budget = Budget::with_threads(Some(8));
+        assert_eq!(budget.split(2).threads(), 4);
+        assert_eq!(budget.split(3).threads(), 2);
+        assert_eq!(budget.split(8).threads(), 1);
+        assert_eq!(budget.split(100).threads(), 1);
+        assert_eq!(budget.split(0).threads(), 8);
+        // Splits share the pool and the token.
+        let child = budget.split(2);
+        assert!(Arc::ptr_eq(budget.pool(), child.pool()));
+        budget.cancel_token().cancel();
+        assert!(child.is_cancelled());
+    }
+
+    #[test]
+    fn cancel_token_flags_and_deadlines() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        let clone = t.clone();
+        t.cancel();
+        assert!(clone.is_cancelled());
+
+        let expired = CancelToken::with_deadline(Instant::now() - Duration::from_secs(1));
+        assert!(expired.is_cancelled());
+        let future = CancelToken::deadline_in(Duration::from_secs(3600));
+        assert!(!future.is_cancelled());
+        assert!(future.deadline().is_some());
+
+        let budget = Budget::with_threads(Some(1)).with_deadline_in(Duration::ZERO);
+        assert!(budget.is_cancelled());
+    }
+
+    #[test]
+    fn map_panic_is_reraised_after_all_jobs_finish() {
+        let budget = Budget::with_threads(Some(4));
+        let items: Vec<u64> = (0..32).collect();
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            budget.map(&items, |_, &x| {
+                if x == 7 {
+                    panic!("job 7 exploded");
+                }
+                x
+            })
+        }));
+        assert!(result.is_err());
+        // The pool survives a panicked batch and serves the next one.
+        let out = budget.map(&items, |_, &x| x * 2);
+        assert_eq!(out[31], 62);
     }
 
     #[test]

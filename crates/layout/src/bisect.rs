@@ -17,9 +17,12 @@
 //! * each branch carries an independent derived seed
 //!   ([`sm_exec::seed::derive`], the `Job::derived_seed` scheme), so no
 //!   mutable RNG state is threaded through the recursion;
-//! * the anchor (terminal-propagation) sweep of large regions runs on
-//!   the work-stealing [`Executor`] — its output order is input order,
-//!   so the result is bit-identical to the sequential sweep.
+//! * the anchor (terminal-propagation) sweep of large regions fans out
+//!   on the caller's [`Budget`] — the persistent pool shared by the
+//!   whole campaign, **not** a fresh machine-parallelism executor per
+//!   region — and its output order is input order, so the result is
+//!   bit-identical to the sequential sweep while total live worker
+//!   threads stay within the configured thread budget.
 //!
 //! The two *halves* of one region are **not** recursed concurrently:
 //! terminal propagation makes the second half read the first half's
@@ -29,13 +32,13 @@
 //! building a bundle's independent layouts concurrently.
 
 use crate::geom::{Point, Rect};
-use sm_exec::{Executor, ExecutorConfig};
+use sm_exec::Budget;
 use sm_netlist::{CellId, ConnectivityIndex, Driver, NetId, Netlist, Sink};
 
 /// Regions with at least this many cells compute their anchor sweep on
-/// the executor; smaller regions stay sequential (thread spawn would
-/// dominate). Quick ISCAS designs never reach it; scaled superblue
-/// top-level regions do.
+/// the budget's pool; smaller regions stay sequential (scheduling
+/// overhead would dominate). Quick ISCAS designs never reach it; scaled
+/// superblue top-level regions do.
 const PAR_ANCHOR_CELLS: usize = 4096;
 
 /// Per-cell estimated positions produced by recursive bisection.
@@ -53,6 +56,7 @@ pub(crate) fn bisection_positions(
     out_pos: impl Fn(usize) -> Point + Copy,
     seed_positions: &[Point],
     seed: u64,
+    budget: &Budget,
 ) -> Vec<Point> {
     let mut positions = seed_positions.to_vec();
     // Fixed (port) pin positions per net.
@@ -73,6 +77,7 @@ pub(crate) fn bisection_positions(
         widths,
         conn,
         fixed_pins: &fixed_pins,
+        budget,
     };
     let mut scratch = Scratch {
         cell_mark: vec![u32::MAX; netlist.num_cells()],
@@ -87,6 +92,7 @@ struct Ctx<'a> {
     widths: &'a [i64],
     conn: &'a ConnectivityIndex,
     fixed_pins: &'a [Vec<Point>],
+    budget: &'a Budget,
 }
 
 /// Packed per-cell FM state (one cache line per selection-scan probe).
@@ -233,14 +239,14 @@ fn recurse(
         (anchor, c)
     };
     // Pure reads over the entry snapshot, so large regions fan the
-    // sweep out on the executor with bit-identical (input-ordered)
-    // results.
+    // sweep out on the caller's budget (the pool shared with the rest
+    // of the campaign — never a private machine-parallelism executor)
+    // with bit-identical (input-ordered) results.
     let keyed = &mut bufs.keyed;
     keyed.clear();
-    if cells.len() >= PAR_ANCHOR_CELLS {
-        let exec = Executor::new(ExecutorConfig::default());
+    if cells.len() >= PAR_ANCHOR_CELLS && ctx.budget.threads() > 1 {
         let snapshot: &[Point] = positions;
-        keyed.extend(exec.map(&cells, |_, &c| anchor_of(c, snapshot)));
+        keyed.extend(ctx.budget.map(&cells, |_, &c| anchor_of(c, snapshot)));
     } else {
         keyed.extend(cells.iter().map(|&c| anchor_of(c, positions)));
     }
@@ -584,6 +590,7 @@ mod tests {
             |_| core.center(),
             &seeds,
             3,
+            &Budget::default(),
         );
         // Cells of the same cluster must be near each other; the two
         // clusters must be separated by more than the intra-cluster spread.
@@ -639,6 +646,7 @@ mod tests {
                 |_| Point::new(50_000, 25_000),
                 &seeds,
                 seed,
+                &Budget::default(),
             )
         };
         let a = run(5);
@@ -648,5 +656,73 @@ mod tests {
             assert!(core.contains(*p) || (p.x == core.hi.x / 2 || p.y == core.hi.y / 2));
             assert!(p.x >= 0 && p.y >= 0 && p.x <= 50_000 && p.y <= 50_000);
         }
+    }
+
+    /// The oversubscription fix, asserted at the bisection level: a
+    /// design large enough to trigger the parallel anchor sweep
+    /// (≥ `PAR_ANCHOR_CELLS` cells in the top regions) must keep every
+    /// live worker thread within the caller's budget — the sweep runs on
+    /// the budget's shared pool, never on a fresh machine-parallelism
+    /// executor — and still produce the bit-identical sequential result.
+    #[test]
+    fn large_anchor_sweep_respects_the_thread_budget() {
+        let lib = Library::nangate45();
+        let mut b = NetlistBuilder::new("wide", &lib);
+        // A wide layered mesh comfortably past the parallel threshold.
+        let mut sigs: Vec<sm_netlist::NetId> = (0..64).map(|i| b.input(format!("i{i}"))).collect();
+        let mut total = 0usize;
+        'grow: loop {
+            let mut next = Vec::with_capacity(sigs.len());
+            for w in sigs.windows(2) {
+                let g = b
+                    .gate(
+                        if total.is_multiple_of(2) {
+                            GateFn::Nand
+                        } else {
+                            GateFn::Nor
+                        },
+                        &[w[0], w[1]],
+                    )
+                    .unwrap();
+                next.push(g);
+                total += 1;
+                if total >= PAR_ANCHOR_CELLS + 256 {
+                    break 'grow;
+                }
+            }
+            next.push(sigs[0]);
+            sigs = next;
+        }
+        b.output("y", sigs[0]);
+        let n = b.finish().unwrap();
+        assert!(n.num_cells() >= PAR_ANCHOR_CELLS);
+
+        let core = Rect::new(Point::new(0, 0), Point::new(400_000, 400_000));
+        let widths = vec![400i64; n.num_cells()];
+        let seeds = vec![core.center(); n.num_cells()];
+        let conn = ConnectivityIndex::build(&n);
+        let run = |budget: &Budget| {
+            bisection_positions(
+                &n,
+                &conn,
+                core,
+                &widths,
+                |_| core.center(),
+                |_| core.center(),
+                &seeds,
+                7,
+                budget,
+            )
+        };
+        let budget = Budget::with_threads(Some(2));
+        let parallel = run(&budget);
+        assert!(
+            budget.pool().peak_live() <= 2,
+            "anchor sweep exceeded its 2-thread budget: peak {}",
+            budget.pool().peak_live()
+        );
+        // Bit-identical to the serial sweep.
+        let serial = run(&Budget::with_threads(Some(1)));
+        assert_eq!(parallel, serial);
     }
 }

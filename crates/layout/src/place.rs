@@ -144,21 +144,32 @@ fn hpwl_of(pts: &[Point]) -> i64 {
 ///
 /// Deterministic for a given seed; the paper's flow re-places the erroneous
 /// netlist with exactly this engine so the FEOL hints describe the wrong
-/// design.
+/// design. The engine carries a [`sm_exec::Budget`]: recursive bisection's
+/// large-region anchor sweeps fan out on that budget's shared pool (and
+/// stay within its thread allotment) instead of spawning a private
+/// machine-parallelism executor per region. The budget changes wall-clock
+/// only — placements are bit-identical across any thread count.
 #[derive(Debug, Clone)]
 pub struct PlacementEngine {
     seed: u64,
     global_iterations: usize,
     detailed_passes: usize,
+    /// `None` resolves to the process-global pool lazily at
+    /// [`PlacementEngine::place`] time, so constructing an engine that
+    /// is immediately re-budgeted never instantiates the global pool's
+    /// workers.
+    budget: Option<sm_exec::Budget>,
 }
 
 impl PlacementEngine {
-    /// Creates an engine with the default iteration counts.
+    /// Creates an engine with the default iteration counts, budgeted on
+    /// the process-global pool.
     pub fn new(seed: u64) -> Self {
         PlacementEngine {
             seed,
             global_iterations: 24,
             detailed_passes: 2,
+            budget: None,
         }
     }
 
@@ -171,6 +182,15 @@ impl PlacementEngine {
     /// Overrides the number of detailed-placement passes.
     pub fn with_detailed_passes(mut self, passes: usize) -> Self {
         self.detailed_passes = passes;
+        self
+    }
+
+    /// Runs this engine's parallel inner work (bisection anchor sweeps)
+    /// on `budget` instead of the process-global pool. Results are
+    /// identical either way; the budget bounds the worker threads the
+    /// placement may occupy.
+    pub fn with_budget(mut self, budget: sm_exec::Budget) -> Self {
+        self.budget = Some(budget);
         self
     }
 
@@ -266,6 +286,8 @@ impl PlacementEngine {
         // the die without tearing connected cells apart. The CSR
         // connectivity built here also serves both detailed passes.
         let conn = ConnectivityIndex::build(netlist);
+        // Resolve the budget once, only when placement actually runs.
+        let budget = self.budget.clone().unwrap_or_default();
         for cycle in 0..2u64 {
             let in_ref = &pl.inputs;
             let out_ref = &pl.outputs;
@@ -282,6 +304,7 @@ impl PlacementEngine {
                 move |i| out_ref[i],
                 &seeded,
                 sm_exec::seed::derive(self.seed, cycle),
+                &budget,
             );
             pl.origins = origins;
             for _ in 0..4 {
