@@ -16,6 +16,7 @@
 //! the min-cost-flow rounds in the original attack), re-checking loops
 //! against connections committed so far.
 
+use sm_exec::CancelToken;
 use sm_layout::{Placement, Point, SplitLayout, VpinSide};
 use sm_netlist::graph::would_create_cycle;
 use sm_netlist::{Netlist, Sink};
@@ -74,6 +75,121 @@ pub struct AttackOutcome {
     pub metrics: SecurityMetrics,
 }
 
+/// The min-cost-flow instance the attack builds for a split layout:
+/// `source → drivers (load-hint capacities) → sinks (unit demand) →
+/// target`, with the K cheapest candidate drivers per sink. One
+/// construction serves both [`network_flow_attack`] and the
+/// differential harness, so the tested network is always exactly the
+/// attacked one.
+#[derive(Debug, Clone)]
+pub(crate) struct AssignmentInstance {
+    /// Node count (`2 + drivers + sinks`).
+    pub nodes: usize,
+    /// Source node id.
+    pub source: usize,
+    /// Target node id.
+    pub target: usize,
+    /// Units to route: one per sink vpin.
+    pub demand: i64,
+    /// Directed edges `(from, to, cap, cost)` in insertion order; feed
+    /// them to an engine's `add_edge` in this order and keep the
+    /// returned handles to read flows back per [`Self::sink_edges`].
+    pub edges: Vec<(usize, usize, i64, i64)>,
+    /// Per sink: `(edge index into `edges`, driver vpin)` of its
+    /// candidate edges, cheapest first.
+    pub sink_edges: Vec<Vec<(usize, usize)>>,
+    /// Sink vpin indices, in flow-node order.
+    pub sinks: Vec<usize>,
+    /// Per sink: the scored `(cost, driver vpin)` top-K candidates.
+    pub candidates: Vec<Vec<(i64, usize)>>,
+}
+
+impl AssignmentInstance {
+    /// Scores candidates and wires the flow network (see the type docs).
+    pub(crate) fn build(
+        placed: &Netlist,
+        split: &SplitLayout,
+        config: &ProximityConfig,
+    ) -> AssignmentInstance {
+        let drivers = split.feol.driver_vpins();
+        let sinks = split.feol.sink_vpins();
+
+        // Candidate edges: the K cheapest drivers per sink (standard
+        // pruning; distant drivers never win the global optimum anyway).
+        // Driver geometry is flattened into one contiguous array up
+        // front and the scored row reuses a single scratch buffer, so
+        // the sink × driver scoring loop only allocates each sink's
+        // final top-K list.
+        let k = config.candidates_per_sink.max(1);
+        let driver_geom: Vec<(Point, Option<(i8, i8)>)> = drivers
+            .iter()
+            .map(|&d| {
+                let v = &split.feol.vpins[d];
+                (v.position, v.stub_direction)
+            })
+            .collect();
+        let mut row: Vec<(i64, usize)> = Vec::with_capacity(drivers.len());
+        let mut candidates: Vec<Vec<(i64, usize)>> = Vec::with_capacity(sinks.len());
+        for &s in &sinks {
+            let sink_pos = split.feol.vpins[s].position;
+            row.clear();
+            row.extend(drivers.iter().zip(&driver_geom).map(|(&d, &(pos, stub))| {
+                (
+                    (pair_cost(pos, stub, sink_pos, config, 0.0) * 1000.0) as i64,
+                    d,
+                )
+            }));
+            row.sort_unstable();
+            candidates.push(row[..row.len().min(k)].to_vec());
+        }
+
+        // Driver capacities from the load hint; if the hint
+        // underestimates, scale so a full assignment exists (the cost
+        // structure still favors light loads).
+        let d_index: std::collections::HashMap<usize, usize> =
+            drivers.iter().enumerate().map(|(i, &d)| (d, i)).collect();
+        let nodes = 2 + drivers.len() + sinks.len();
+        let (source, target) = (0usize, nodes - 1);
+        let d_node = |i: usize| 1 + i;
+        let s_node = |i: usize| 1 + drivers.len() + i;
+        let mut caps: Vec<i64> = drivers
+            .iter()
+            .map(|&d| driver_capacity(placed, split, d, config))
+            .collect();
+        let total_cap: i64 = caps.iter().sum();
+        if total_cap < sinks.len() as i64 && !caps.is_empty() {
+            let scale = (sinks.len() as i64 + total_cap - 1) / total_cap.max(1) + 1;
+            for c in &mut caps {
+                *c *= scale;
+            }
+        }
+        let mut edges: Vec<(usize, usize, i64, i64)> = Vec::new();
+        for (i, &cap) in caps.iter().enumerate() {
+            edges.push((source, d_node(i), cap, 0));
+        }
+        let mut sink_edges: Vec<Vec<(usize, usize)>> = Vec::with_capacity(sinks.len());
+        for (si, row) in candidates.iter().enumerate() {
+            let mut handles = Vec::with_capacity(row.len());
+            for &(cost, d) in row {
+                handles.push((edges.len(), d));
+                edges.push((d_node(d_index[&d]), s_node(si), 1, cost.max(0)));
+            }
+            edges.push((s_node(si), target, 1, 0));
+            sink_edges.push(handles);
+        }
+        AssignmentInstance {
+            nodes,
+            source,
+            target,
+            demand: sinks.len() as i64,
+            edges,
+            sink_edges,
+            sinks,
+            candidates,
+        }
+    }
+}
+
 /// Runs the network-flow attack.
 ///
 /// * `golden` — the true design (scoring reference for OER/HD).
@@ -93,81 +209,63 @@ pub fn network_flow_attack(
     split: &SplitLayout,
     config: &ProximityConfig,
 ) -> AttackOutcome {
-    let drivers = split.feol.driver_vpins();
-    let sinks = split.feol.sink_vpins();
+    network_flow_attack_cancellable(
+        golden,
+        placed,
+        placement,
+        split,
+        config,
+        &CancelToken::new(),
+    )
+    .expect("a fresh token never cancels")
+}
 
-    // Candidate edges: the K cheapest drivers per sink (standard pruning;
-    // distant drivers never win the global optimum anyway). Driver
-    // geometry is flattened into one contiguous array up front and the
-    // scored row reuses a single scratch buffer, so the sink × driver
-    // scoring loop only allocates each sink's final top-K list.
-    let k = config.candidates_per_sink.max(1);
-    let driver_geom: Vec<(Point, Option<(i8, i8)>)> = drivers
-        .iter()
-        .map(|&d| {
-            let v = &split.feol.vpins[d];
-            (v.position, v.stub_direction)
-        })
-        .collect();
-    let mut row: Vec<(i64, usize)> = Vec::with_capacity(drivers.len());
-    let mut candidates: Vec<Vec<(i64, usize)>> = Vec::with_capacity(sinks.len());
-    for &s in &sinks {
-        let sink_pos = split.feol.vpins[s].position;
-        row.clear();
-        row.extend(drivers.iter().zip(&driver_geom).map(|(&d, &(pos, stub))| {
-            (
-                (pair_cost(pos, stub, sink_pos, config, 0.0) * 1000.0) as i64,
-                d,
-            )
-        }));
-        row.sort_unstable();
-        candidates.push(row[..row.len().min(k)].to_vec());
+/// [`network_flow_attack`] with a cooperative [`CancelToken`], consulted
+/// at the attack's deterministic phase boundaries — before the candidate
+/// scoring pass, between the min-cost-flow engine's scaling phases (see
+/// [`MinCostFlow::run_interruptible`](crate::mcmf::MinCostFlow::run_interruptible)),
+/// and before the OER/HD evaluation. A deadlined superblue-scale job
+/// therefore stops within one phase of its deadline instead of
+/// overshooting by the whole attack; an attack that *completes* is
+/// bit-identical whether or not the token was armed. Returns `None`
+/// once cancelled.
+pub fn network_flow_attack_cancellable(
+    golden: &Netlist,
+    placed: &Netlist,
+    placement: &Placement,
+    split: &SplitLayout,
+    config: &ProximityConfig,
+    cancel: &CancelToken,
+) -> Option<AttackOutcome> {
+    if cancel.is_cancelled() {
+        return None;
     }
+    let instance = AssignmentInstance::build(placed, split, config);
+    let AssignmentInstance {
+        ref sinks,
+        ref candidates,
+        ..
+    } = instance;
 
-    // Min-cost flow: source → drivers (capacity from the load hint) →
-    // sinks (capacity 1) → target. The optimal flow is the globally
-    // cheapest assignment under all hints simultaneously.
-    let d_index: std::collections::HashMap<usize, usize> =
-        drivers.iter().enumerate().map(|(i, &d)| (d, i)).collect();
-    let n_nodes = 2 + drivers.len() + sinks.len();
-    let (source, target) = (0usize, n_nodes - 1);
-    let d_node = |i: usize| 1 + i;
-    let s_node = |i: usize| 1 + drivers.len() + i;
-    let mut caps: Vec<i64> = drivers
+    let mut flow = crate::mcmf::MinCostFlow::new(instance.nodes);
+    let handles: Vec<usize> = instance
+        .edges
         .iter()
-        .map(|&d| driver_capacity(placed, split, d, config))
+        .map(|&(from, to, cap, cost)| flow.add_edge(from, to, cap, cost))
         .collect();
-    let total_cap: i64 = caps.iter().sum();
-    if total_cap < sinks.len() as i64 && !caps.is_empty() {
-        // The load hint underestimates; scale capacities so a full
-        // assignment exists (the cost structure still favors light loads).
-        let scale = (sinks.len() as i64 + total_cap - 1) / total_cap.max(1) + 1;
-        for c in &mut caps {
-            *c *= scale;
-        }
-    }
-    let mut flow = crate::mcmf::MinCostFlow::new(n_nodes);
-    for (i, &cap) in caps.iter().enumerate() {
-        flow.add_edge(source, d_node(i), cap, 0);
-    }
-    let mut edge_handles: Vec<Vec<(usize, usize)>> = Vec::with_capacity(sinks.len());
-    for (si, row) in candidates.iter().enumerate() {
-        let mut handles = Vec::with_capacity(row.len());
-        for &(cost, d) in row {
-            let h = flow.add_edge(d_node(d_index[&d]), s_node(si), 1, cost.max(0));
-            handles.push((h, d));
-        }
-        flow.add_edge(s_node(si), target, 1, 0);
-        edge_handles.push(handles);
-    }
-    flow.run(source, target, sinks.len() as i64);
+    flow.run_interruptible(
+        instance.source,
+        instance.target,
+        instance.demand,
+        &mut || cancel.is_cancelled(),
+    )?;
 
     // Read the assignment off the flow; sinks the flow could not reach
     // fall back to their cheapest candidate.
     let mut chosen: Vec<Option<usize>> = vec![None; sinks.len()];
-    for (si, handles) in edge_handles.iter().enumerate() {
-        for &(h, d) in handles {
-            if flow.flow_on(h) > 0 {
+    for (si, sink_edges) in instance.sink_edges.iter().enumerate() {
+        for &(ei, d) in sink_edges {
+            if flow.flow_on(handles[ei]) > 0 {
                 chosen[si] = Some(d);
                 break;
             }
@@ -222,16 +320,21 @@ pub fn network_flow_attack(
 
     let _ = placement; // positions are already baked into the vpins
 
+    // Last phase boundary before the OER/HD simulation (on superblue it
+    // is a multi-second stage of its own).
+    if cancel.is_cancelled() {
+        return None;
+    }
     let ccr = ccr_vs_golden(golden, split, &pairs);
     let mut rng = seeded(golden, config.eval_seed);
     let patterns = PatternSource::random(golden, config.eval_patterns, &mut rng);
     let metrics = security_metrics(golden, &recovered, &patterns).expect("same port interface");
-    AttackOutcome {
+    Some(AttackOutcome {
         pairs,
         ccr,
         recovered,
         metrics,
-    }
+    })
 }
 
 /// CCR of an assignment against the *true* design.
@@ -457,6 +560,37 @@ mod tests {
     }
 
     #[test]
+    fn cancelled_attack_returns_none_and_armed_token_changes_nothing() {
+        let n = c17();
+        let base = original_layout(&n, 0.6, 1);
+        let split = split_layout(&n, &base.placement, &base.routing, 3);
+        let cfg = ProximityConfig::default();
+        // A pre-cancelled token stops the attack at its first phase
+        // boundary with no partial result.
+        let cancelled = CancelToken::new();
+        cancelled.cancel();
+        assert!(
+            network_flow_attack_cancellable(&n, &n, &base.placement, &split, &cfg, &cancelled)
+                .is_none()
+        );
+        // An armed-but-never-fired token must not perturb the result:
+        // the cancellable path and the plain path agree exactly.
+        let armed = CancelToken::new();
+        let via_token =
+            network_flow_attack_cancellable(&n, &n, &base.placement, &split, &cfg, &armed);
+        let plain = network_flow_attack(&n, &n, &base.placement, &split, &cfg);
+        match via_token {
+            None => panic!("token never fired"),
+            Some(out) => {
+                assert_eq!(out.pairs, plain.pairs);
+                assert_eq!(out.ccr, plain.ccr);
+                assert_eq!(out.metrics.oer, plain.metrics.oer);
+                assert_eq!(out.metrics.hd, plain.metrics.hd);
+            }
+        }
+    }
+
+    #[test]
     fn every_sink_gets_assigned_exactly_once() {
         let n = c17();
         let base = original_layout(&n, 0.6, 3);
@@ -466,5 +600,60 @@ mod tests {
         for &(_, s) in &out.pairs {
             assert!(seen.insert(s), "sink {s} assigned twice");
         }
+    }
+}
+
+#[cfg(test)]
+mod differential_tests {
+    //! The differential harness on *real* attack instances: the exact
+    //! flow network `network_flow_attack` builds for generated ISCAS
+    //! layouts (via the shared [`AssignmentInstance`] constructor, so
+    //! the tested network can never drift from the attacked one),
+    //! solved by both MCMF engines. Real instances carry exact cost
+    //! ties (unlike the tie-free random instances in `mcmf::tests`), so
+    //! the pin here is flow value + total cost + both certificates —
+    //! which optimal matching gets picked is the engines' documented
+    //! freedom, and the report-byte guarantee comes from the demand
+    //! dispatch in `MinCostFlow::run`.
+
+    use super::*;
+    use crate::mcmf::certificate::{verify, verify_edges};
+    use crate::mcmf::{reference::SspFlow, MinCostFlow};
+    use sm_core::baselines::original_layout;
+    use sm_layout::split_layout;
+
+    #[test]
+    fn real_iscas_instances_agree_on_value_and_cost() {
+        let profile = sm_benchgen::iscas::IscasProfile::c432();
+        let n = sm_benchgen::iscas::generate(&profile, 1);
+        let base = original_layout(&n, 0.6, 1);
+        let mut attacked = 0usize;
+        for layer in [3u8, 4, 5] {
+            let split = split_layout(&n, &base.placement, &base.routing, layer);
+            if split.cut_nets == 0 {
+                continue;
+            }
+            attacked += 1;
+            let inst = AssignmentInstance::build(&n, &split, &ProximityConfig::default());
+            let mut fast = MinCostFlow::new(inst.nodes);
+            let mut ssp = SspFlow::new(inst.nodes);
+            for &(from, to, cap, cost) in &inst.edges {
+                fast.add_edge(from, to, cap, cost);
+                ssp.add_edge(from, to, cap, cost);
+            }
+            let a = fast.run_cost_scaling(inst.source, inst.target, inst.demand);
+            let b = ssp.run(inst.source, inst.target, inst.demand);
+            assert_eq!(a, b, "engines disagree on layer {layer}");
+            verify(&fast, inst.source, inst.target, inst.demand).expect("scaling certificate");
+            verify_edges(
+                ssp.num_nodes(),
+                &ssp.edge_views(),
+                inst.source,
+                inst.target,
+                inst.demand,
+            )
+            .expect("oracle certificate");
+        }
+        assert!(attacked >= 2, "expected cut nets on most layers");
     }
 }

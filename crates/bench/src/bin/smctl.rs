@@ -110,7 +110,8 @@ RESOURCES:
 
 BENCH:
     `smctl bench` times every pipeline stage (generate/place/route/split/
-    attack) over the quick ISCAS selection plus down-scaled superblue18,
+    attacks — flow everywhere, plus crouting on superblue, both gated
+    vs the baseline) over the quick ISCAS selection plus superblue18,
     plus a quick campaign against a cold and a warm store, and emits a
     BENCH.json perf-trajectory point (stdout or --out). Wall times are
     machine-dependent; every other field is deterministic. With

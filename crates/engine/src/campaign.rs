@@ -13,19 +13,25 @@
 //! Campaigns run inside a [`Budget`]: the engine splits the campaign's
 //! thread allotment among its jobs (so nested parallel work — bundle
 //! builds, bisection anchor sweeps — shares one pool), and the budget's
-//! [`CancelToken`](sm_exec::CancelToken) is checked **between** jobs:
-//! once cancelled or past its deadline, the remaining jobs finish as
-//! [`JobMetrics::TimedOut`] — a distinct, storable outcome that
-//! `smctl resume` re-runs. The finished jobs keep their canonical
-//! bytes, so a cancelled-then-resumed sweep ends byte-identical to an
-//! uninterrupted one.
+//! [`CancelToken`](sm_exec::CancelToken) is checked **between** jobs —
+//! and, for network-flow attacks, additionally at the attack's own
+//! deterministic phase boundaries, so a deadlined superblue-scale flow
+//! job stops within one phase instead of overshooting by its whole
+//! runtime. Once cancelled or past its deadline, affected jobs finish
+//! as [`JobMetrics::TimedOut`] — a distinct, storable outcome that
+//! `smctl resume` re-runs. Measurements are never cut in half: a job
+//! either completes bit-identically or records no result at all, so a
+//! cancelled-then-resumed sweep ends byte-identical to an uninterrupted
+//! one.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use sm_attacks::crouting::{crouting_attack, CroutingConfig};
-use sm_attacks::proximity::{ccr_over_connections, network_flow_attack, ProximityConfig};
+use sm_attacks::proximity::{
+    ccr_over_connections, network_flow_attack_cancellable, ProximityConfig,
+};
 use sm_core::flow::BaselineLayout;
 use sm_layout::split_layout;
 use sm_netlist::{NetId, Netlist, Sink};
@@ -262,7 +268,14 @@ pub fn run_job(cache: &ArtifactCache, job: &Job, exec: &Budget) -> JobOutcome {
         None => {
             let bundle = Bundle::fetch(cache, job, exec);
             let metrics = match job.attack {
-                AttackKind::NetworkFlow => flow_metrics(&bundle, job),
+                // Flow attacks additionally honor the budget *inside*
+                // the job, at the attack's deterministic phase
+                // boundaries: a deadlined superblue-scale job stops
+                // within one scaling phase and comes back timed-out
+                // instead of overshooting by its whole runtime.
+                AttackKind::NetworkFlow => {
+                    flow_metrics(&bundle, job, exec.cancel_token()).unwrap_or(JobMetrics::TimedOut)
+                }
                 AttackKind::Crouting => crouting_metrics(&bundle, job.split_layer),
             };
             if let Some(store) = cache.store() {
@@ -279,7 +292,11 @@ pub fn run_job(cache: &ArtifactCache, job: &Job, exec: &Budget) -> JobOutcome {
     }
 }
 
-fn flow_metrics(bundle: &Bundle, job: &Job) -> JobMetrics {
+/// Measures one flow job, honoring `cancel` at the attack's phase
+/// boundaries: `None` means the deadline fired mid-job and the job must
+/// be recorded timed-out (a completed measurement is bit-identical
+/// whether or not a deadline was armed).
+fn flow_metrics(bundle: &Bundle, job: &Job, cancel: &sm_exec::CancelToken) -> Option<JobMetrics> {
     let cfg = ProximityConfig {
         // Tie the attack's evaluation RNG to the job, so seed sweeps
         // explore attack variance instead of replaying one stream per
@@ -297,26 +314,34 @@ fn flow_metrics(bundle: &Bundle, job: &Job) -> JobMetrics {
         &protected.feol_routing,
         split_layer,
     );
-    let out = network_flow_attack(
+    let out = network_flow_attack_cancellable(
         netlist,
         &protected.randomization.erroneous,
         &protected.placement,
         &split_prot,
         &cfg,
-    );
+        cancel,
+    )?;
     let swapped = bundle.swapped();
     let ccr_protected = ccr_over_connections(&split_prot, &out.pairs, &swapped);
 
     let original = bundle.original();
     let split_orig = split_layout(netlist, &original.placement, &original.routing, split_layer);
-    let out_orig = network_flow_attack(netlist, netlist, &original.placement, &split_orig, &cfg);
+    let out_orig = network_flow_attack_cancellable(
+        netlist,
+        netlist,
+        &original.placement,
+        &split_orig,
+        &cfg,
+        cancel,
+    )?;
 
-    JobMetrics::Flow {
+    Some(JobMetrics::Flow {
         ccr_protected_pct: ccr_protected * 100.0,
         oer_pct: out.metrics.oer * 100.0,
         hd_pct: out.metrics.hd * 100.0,
         ccr_original_pct: out_orig.ccr * 100.0,
-    }
+    })
 }
 
 fn crouting_metrics(bundle: &Bundle, split_layer: u8) -> JobMetrics {

@@ -78,6 +78,80 @@ fn expired_budget_times_out_every_job_without_building_anything() {
 }
 
 #[test]
+fn already_expired_deadline_times_out_a_job_at_pickup() {
+    // The sharpest boundary: a single job handed to `run_job` whose
+    // budget expired before pickup must come back as a placeholder
+    // without building a bundle — and without leaking its bundle
+    // reservation.
+    let spec = tiny_spec();
+    let job = &spec.jobs().unwrap()[0];
+    let cache = ArtifactCache::new();
+    cache.reserve(job.bundle_key(), 1);
+    let budget = Budget::with_threads(Some(1)).with_deadline_in(Duration::ZERO);
+    assert!(budget.is_cancelled(), "zero deadline is already expired");
+    let outcome = sm_engine::campaign::run_job(&cache, job, &budget);
+    assert!(outcome.metrics.is_timed_out());
+    assert_eq!(cache.stats().builds, 0, "no bundle may be built");
+    // The pickup path must have consumed the reservation: a fresh
+    // one-use reservation plus a live run drops the bundle exactly at
+    // its release — which could not happen if the timed-out pickup had
+    // leaked its claim (the count would still be pinned above zero).
+    cache.reserve(job.bundle_key(), 1);
+    let live = sm_engine::campaign::run_job(&cache, job, &Budget::with_threads(Some(1)));
+    assert!(!live.metrics.is_timed_out());
+    assert_eq!(cache.stats().builds, 1);
+    assert_eq!(
+        cache.stats().released,
+        1,
+        "reservation table must be clean after the timed-out pickup"
+    );
+}
+
+#[test]
+fn cancelled_flow_jobs_resume_to_byte_identical_reports() {
+    // Flow jobs observe a cancelled token at the earliest boundary —
+    // job pickup here; the in-attack phase boundaries (candidate
+    // scoring, MCMF scaling phases, OER/HD evaluation) are pinned by
+    // the sm-attacks unit tests. Whichever boundary fires, the job
+    // records a clean placeholder and a resume completes the campaign
+    // to bytes identical to an uninterrupted run — measurements are
+    // never cut in half.
+    let spec = SweepSpec {
+        attacks: vec![AttackKind::NetworkFlow],
+        ..tiny_spec()
+    };
+    let cancel = CancelToken::new();
+    let budget = Budget::with_threads(Some(1)).with_cancel(cancel.clone());
+    cancel.cancel();
+    let campaign = run_sweep_budgeted(&spec, &budget, &ArtifactCache::new(), None).unwrap();
+    assert_eq!(campaign.timed_out(), campaign.outcomes.len());
+    // Every placeholder is resumable: a fresh budget completes the
+    // campaign to the same bytes as an uninterrupted run.
+    let full = run_sweep_budgeted(
+        &spec,
+        &Budget::with_threads(Some(2)),
+        &ArtifactCache::new(),
+        None,
+    )
+    .unwrap();
+    let expansion = spec.jobs().unwrap();
+    let missing = missing_jobs(&expansion, &campaign.outcomes);
+    let fresh = run_jobs_budgeted(
+        &missing,
+        &Budget::with_threads(Some(2)),
+        &ArtifactCache::new(),
+    );
+    let resumed = Campaign {
+        spec: spec.clone(),
+        outcomes: merge_outcomes(&expansion, campaign.outcomes, fresh),
+        cache: CacheStats::default(),
+        threads: 0,
+        total_wall: Duration::ZERO,
+    };
+    assert_eq!(canonical(&resumed), canonical(&full));
+}
+
+#[test]
 fn cancelled_sweep_resumes_to_byte_identical_report() {
     let spec = tiny_spec();
     // The reference: an uninterrupted run.

@@ -1026,6 +1026,54 @@ mod tests {
     }
 
     #[test]
+    fn split_of_a_one_thread_budget_stays_serial() {
+        // The boundary case behind `--threads 1` campaigns: splitting an
+        // already-minimal allotment must not round up to extra workers,
+        // must share the pool, and must keep the token wiring.
+        let budget = Budget::with_threads(Some(1));
+        for children in [0usize, 1, 2, 7] {
+            let child = budget.split(children);
+            assert_eq!(child.threads(), 1, "split({children})");
+            assert!(Arc::ptr_eq(budget.pool(), child.pool()));
+        }
+        let child = budget.split(3);
+        let items: Vec<u64> = (0..32).collect();
+        let out = child.map(&items, |_, &x| x + 1);
+        assert_eq!(out.len(), 32);
+        assert!(
+            budget.pool().peak_live() <= 1,
+            "serial budget oversubscribed"
+        );
+        budget.cancel_token().cancel();
+        assert!(child.is_cancelled(), "splits share the parent's token");
+    }
+
+    #[test]
+    fn nested_joins_under_an_exhausted_allotment_never_oversubscribe() {
+        // A campaign whose jobs each split an exhausted (1-thread) share
+        // and then join nested work: everything must degrade to serial
+        // execution on the claiming thread, with `peak_live` proving the
+        // ceiling held.
+        let threads = 2;
+        let budget = Budget::with_threads(Some(threads));
+        let jobs: Vec<u64> = (0..6).collect();
+        // Over-splitting (more children than threads) exhausts the
+        // allotment: every child gets the 1-thread floor.
+        let per_job = budget.split(jobs.len());
+        assert_eq!(per_job.threads(), 1);
+        let out = budget.map(&jobs, |_, &j| {
+            let (a, (b, c)) = per_job.join(|| j + 1, || per_job.join(|| j + 2, || j + 3));
+            a + b + c
+        });
+        assert_eq!(out, vec![6, 9, 12, 15, 18, 21]);
+        assert!(
+            budget.pool().peak_live() <= threads,
+            "peak {} > budget {threads}",
+            budget.pool().peak_live()
+        );
+    }
+
+    #[test]
     fn cancel_token_flags_and_deadlines() {
         let t = CancelToken::new();
         assert!(!t.is_cancelled());

@@ -249,6 +249,116 @@ mod tests {
         assert_eq!(s.nets, vec![NetId::new(1)]);
     }
 
+    /// A netlist deliberately full of degenerate nets: `dangle_in` is a
+    /// single-pin net (input pad, no sinks), every gate-output net that
+    /// feeds nothing is a single-pin net (one cell center), and the two
+    /// buffers form a swappable same-width pair.
+    fn degenerate_netlist() -> Netlist {
+        let lib = Library::nangate45();
+        let mut b = sm_netlist::NetlistBuilder::new("degen", &lib);
+        let a = b.input("a");
+        let _dangle_in = b.input("dangle_in"); // port-only net: one pin
+        let u = b.gate(sm_netlist::GateFn::Buf, &[a]).unwrap();
+        let v = b.gate(sm_netlist::GateFn::Buf, &[u]).unwrap();
+        let w = b.gate(sm_netlist::GateFn::Buf, &[v]).unwrap();
+        let _spur = b.gate(sm_netlist::GateFn::Buf, &[v]).unwrap(); // cell-only output net
+        b.output("y", w);
+        b.finish().unwrap()
+    }
+
+    fn placed_degenerate() -> (Netlist, Floorplan, crate::place::Placement) {
+        let n = degenerate_netlist();
+        let tech = Technology::nangate45_10lm();
+        let fp = Floorplan::for_netlist(&n, &tech, 0.5);
+        let pl = PlacementEngine::new(9).place(&n, &fp);
+        (n, fp, pl)
+    }
+
+    #[test]
+    fn single_pin_nets_match_the_reference_recompute() {
+        let (n, _, pl) = placed_degenerate();
+        let conn = ConnectivityIndex::build(&n);
+        let index = HpwlIndex::build(&n, &pl, &conn);
+        let mut single_pin = 0usize;
+        for (id, net) in n.nets() {
+            let pins = 1 + net.sinks().len();
+            if pins == 1 {
+                single_pin += 1;
+                assert_eq!(index.net_hpwl(id), 0, "a lone pin spans nothing");
+            }
+            assert_eq!(index.net_hpwl(id), pl.net_hpwl(&n, id), "net {id}");
+        }
+        assert!(single_pin >= 2, "fixture must contain single-pin nets");
+        assert_eq!(index.total_hpwl(), pl.total_hpwl(&n));
+    }
+
+    #[test]
+    fn all_coincident_pins_yield_zero_boxes_matching_reference() {
+        let (n, fp, mut pl) = placed_degenerate();
+        // Pile every cell onto one spot (an illegal but representable
+        // intermediate state, exactly what legalization starts from).
+        let spot = Point::new(fp.core().lo.x + 3, fp.core().lo.y + 5);
+        for o in &mut pl.origins {
+            *o = spot;
+        }
+        let conn = ConnectivityIndex::build(&n);
+        let index = HpwlIndex::build(&n, &pl, &conn);
+        for (id, net) in n.nets() {
+            assert_eq!(index.net_hpwl(id), pl.net_hpwl(&n, id), "net {id}");
+            // Nets with no port pins collapse to a zero-span box.
+            let all_cells = matches!(net.driver(), sm_netlist::Driver::Cell(_))
+                && net
+                    .sinks()
+                    .iter()
+                    .all(|s| matches!(s, sm_netlist::Sink::Cell { .. }));
+            if all_cells {
+                assert_eq!(index.net_hpwl(id), 0, "coincident cells span nothing");
+            }
+        }
+        assert_eq!(index.total_hpwl(), pl.total_hpwl(&n));
+    }
+
+    #[test]
+    fn swap_eval_over_only_degenerate_nets_matches_reference() {
+        let (n, _, mut pl) = placed_degenerate();
+        let conn = ConnectivityIndex::build(&n);
+        let mut index = HpwlIndex::build(&n, &pl, &conn);
+        let mut scratch = NetUnionScratch::new(n.num_nets());
+        // Swap every cell pair, mirroring the detailed-pass evaluator;
+        // pairs involving the spur cell exercise evaluations whose net
+        // union contains single-pin nets only reachable through it.
+        let cells = n.num_cells();
+        for a in 0..cells {
+            for b in (a + 1)..cells {
+                scratch.begin();
+                for &net in conn.cell_nets(sm_netlist::CellId::new(a)) {
+                    scratch.push_unique(net);
+                }
+                for &net in conn.cell_nets(sm_netlist::CellId::new(b)) {
+                    scratch.push_unique(net);
+                }
+                let before: i64 = scratch.nets.iter().map(|&x| index.net_hpwl(x)).sum();
+                let ref_before: i64 = scratch.nets.iter().map(|&x| pl.net_hpwl(&n, x)).sum();
+                assert_eq!(before, ref_before, "swap ({a},{b}) before");
+                pl.origins.swap(a, b);
+                let mut after = 0i64;
+                for &x in &scratch.nets {
+                    let bb = index.net_bbox(&pl, x);
+                    after += bb.hpwl();
+                    scratch.boxes.push(bb);
+                }
+                let ref_after: i64 = scratch.nets.iter().map(|&x| pl.net_hpwl(&n, x)).sum();
+                assert_eq!(after, ref_after, "swap ({a},{b}) after");
+                // Commit (keep the swap), as an accepting detailed pass
+                // would, so the cache is exercised across moves too.
+                index.commit_boxes(&scratch.nets, &scratch.boxes);
+                for (id, _) in n.nets() {
+                    assert_eq!(index.net_hpwl(id), pl.net_hpwl(&n, id), "cache after swap");
+                }
+            }
+        }
+    }
+
     #[test]
     fn empty_bbox_has_zero_hpwl() {
         assert_eq!(BBox::EMPTY.hpwl(), 0);
