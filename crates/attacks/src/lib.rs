@@ -26,6 +26,7 @@
 
 pub mod crouting;
 pub mod mcmf;
+pub mod phase;
 pub mod proximity;
 pub mod solution_space;
 

@@ -237,10 +237,39 @@ pub fn network_flow_attack_cancellable(
     config: &ProximityConfig,
     cancel: &CancelToken,
 ) -> Option<AttackOutcome> {
+    network_flow_attack_traced(
+        golden,
+        placed,
+        placement,
+        split,
+        config,
+        cancel,
+        &mut crate::phase::Recorder::new(),
+    )
+}
+
+/// [`network_flow_attack_cancellable`] that additionally records
+/// per-phase wall-clock spans into `rec` — `attack-candidates`
+/// (instance build + candidate scoring), `attack-mcmf` (the min-cost-flow
+/// solve), `attack-assign` (assignment read-off + netlist
+/// reconstruction) and `attack-eval` (OER/HD simulation). Recording is
+/// observability only: results are bit-identical with or without it.
+#[allow(clippy::too_many_arguments)]
+pub fn network_flow_attack_traced(
+    golden: &Netlist,
+    placed: &Netlist,
+    placement: &Placement,
+    split: &SplitLayout,
+    config: &ProximityConfig,
+    cancel: &CancelToken,
+    rec: &mut crate::phase::Recorder,
+) -> Option<AttackOutcome> {
     if cancel.is_cancelled() {
         return None;
     }
-    let instance = AssignmentInstance::build(placed, split, config);
+    let instance = rec.time("attack-candidates", || {
+        AssignmentInstance::build(placed, split, config)
+    });
     let AssignmentInstance {
         ref sinks,
         ref candidates,
@@ -253,70 +282,75 @@ pub fn network_flow_attack_cancellable(
         .iter()
         .map(|&(from, to, cap, cost)| flow.add_edge(from, to, cap, cost))
         .collect();
-    flow.run_interruptible(
-        instance.source,
-        instance.target,
-        instance.demand,
-        &mut || cancel.is_cancelled(),
-    )?;
+    rec.time("attack-mcmf", || {
+        flow.run_interruptible(
+            instance.source,
+            instance.target,
+            instance.demand,
+            &mut || cancel.is_cancelled(),
+        )
+    })?;
 
-    // Read the assignment off the flow; sinks the flow could not reach
-    // fall back to their cheapest candidate.
-    let mut chosen: Vec<Option<usize>> = vec![None; sinks.len()];
-    for (si, sink_edges) in instance.sink_edges.iter().enumerate() {
-        for &(ei, d) in sink_edges {
-            if flow.flow_on(handles[ei]) > 0 {
-                chosen[si] = Some(d);
-                break;
-            }
-        }
-        if chosen[si].is_none() {
-            chosen[si] = candidates[si].first().map(|&(_, d)| d);
-        }
-    }
-
-    // Reconstruct the netlist, honoring the loop-avoidance hint: apply
-    // assignments cheapest-first; a connection that would close a loop is
-    // retargeted to the cheapest loop-free candidate.
-    let mut recovered = placed.clone();
-    let mut order: Vec<usize> = (0..sinks.len()).collect();
-    order.sort_by_key(|&si| {
-        chosen[si]
-            .and_then(|d| candidates[si].iter().find(|&&(_, dd)| dd == d))
-            .map(|&(c, _)| c)
-            .unwrap_or(i64::MAX)
-    });
-    let mut pairs = Vec::with_capacity(sinks.len());
-    for si in order {
-        let s = sinks[si];
-        let sink = match split.feol.vpins[s].side {
-            VpinSide::Sink(sk) => sk,
-            VpinSide::Driver(_) => unreachable!("s indexes sink vpins"),
-        };
-        let mut attempt: Vec<usize> = chosen[si].into_iter().collect();
-        attempt.extend(candidates[si].iter().map(|&(_, d)| d));
-        let mut connected = None;
-        for d in attempt {
-            let driver_net = split.feol.vpins[d].net; // FEOL-visible
-            let ok = match sink {
-                Sink::Cell { cell, .. } => !would_create_cycle(&recovered, driver_net, cell),
-                Sink::Port(_) => true,
-            };
-            if ok {
-                let current_net = current_net_of(&recovered, sink);
-                if current_net != driver_net {
-                    recovered
-                        .move_sink(current_net, sink, driver_net)
-                        .expect("split derived from placed netlist");
+    let (pairs, recovered) = rec.time("attack-assign", || {
+        // Read the assignment off the flow; sinks the flow could not reach
+        // fall back to their cheapest candidate.
+        let mut chosen: Vec<Option<usize>> = vec![None; sinks.len()];
+        for (si, sink_edges) in instance.sink_edges.iter().enumerate() {
+            for &(ei, d) in sink_edges {
+                if flow.flow_on(handles[ei]) > 0 {
+                    chosen[si] = Some(d);
+                    break;
                 }
-                connected = Some(d);
-                break;
+            }
+            if chosen[si].is_none() {
+                chosen[si] = candidates[si].first().map(|&(_, d)| d);
             }
         }
-        if let Some(d) = connected {
-            pairs.push((d, s));
+
+        // Reconstruct the netlist, honoring the loop-avoidance hint: apply
+        // assignments cheapest-first; a connection that would close a loop is
+        // retargeted to the cheapest loop-free candidate.
+        let mut recovered = placed.clone();
+        let mut order: Vec<usize> = (0..sinks.len()).collect();
+        order.sort_by_key(|&si| {
+            chosen[si]
+                .and_then(|d| candidates[si].iter().find(|&&(_, dd)| dd == d))
+                .map(|&(c, _)| c)
+                .unwrap_or(i64::MAX)
+        });
+        let mut pairs = Vec::with_capacity(sinks.len());
+        for si in order {
+            let s = sinks[si];
+            let sink = match split.feol.vpins[s].side {
+                VpinSide::Sink(sk) => sk,
+                VpinSide::Driver(_) => unreachable!("s indexes sink vpins"),
+            };
+            let mut attempt: Vec<usize> = chosen[si].into_iter().collect();
+            attempt.extend(candidates[si].iter().map(|&(_, d)| d));
+            let mut connected = None;
+            for d in attempt {
+                let driver_net = split.feol.vpins[d].net; // FEOL-visible
+                let ok = match sink {
+                    Sink::Cell { cell, .. } => !would_create_cycle(&recovered, driver_net, cell),
+                    Sink::Port(_) => true,
+                };
+                if ok {
+                    let current_net = current_net_of(&recovered, sink);
+                    if current_net != driver_net {
+                        recovered
+                            .move_sink(current_net, sink, driver_net)
+                            .expect("split derived from placed netlist");
+                    }
+                    connected = Some(d);
+                    break;
+                }
+            }
+            if let Some(d) = connected {
+                pairs.push((d, s));
+            }
         }
-    }
+        (pairs, recovered)
+    });
 
     let _ = placement; // positions are already baked into the vpins
 
@@ -325,10 +359,13 @@ pub fn network_flow_attack_cancellable(
     if cancel.is_cancelled() {
         return None;
     }
-    let ccr = ccr_vs_golden(golden, split, &pairs);
-    let mut rng = seeded(golden, config.eval_seed);
-    let patterns = PatternSource::random(golden, config.eval_patterns, &mut rng);
-    let metrics = security_metrics(golden, &recovered, &patterns).expect("same port interface");
+    let (ccr, metrics) = rec.time("attack-eval", || {
+        let ccr = ccr_vs_golden(golden, split, &pairs);
+        let mut rng = seeded(golden, config.eval_seed);
+        let patterns = PatternSource::random(golden, config.eval_patterns, &mut rng);
+        let metrics = security_metrics(golden, &recovered, &patterns).expect("same port interface");
+        (ccr, metrics)
+    });
     Some(AttackOutcome {
         pairs,
         ccr,

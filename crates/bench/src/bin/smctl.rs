@@ -3,9 +3,11 @@
 //! ```text
 //! smctl run <artifact...>     regenerate printed tables/figures
 //! smctl sweep [axes]          parallel campaign → JSON/CSV report
-//! smctl resume <report.json>  re-run missing/timed-out jobs of a campaign
+//! smctl resume <report|journal>  re-run missing/timed-out jobs of a campaign
 //! smctl merge a.json b.json   merge sharded reports of one campaign
-//! smctl report --input FILE   re-render a stored report
+//! smctl report --input FILE   re-render a stored report (or a journal)
+//! smctl events <dir|file>     print/stream the campaign journal
+//! smctl tail <dir|file>       live per-job progress (events --follow)
 //! smctl bench [--quick]       deterministic perf harness → BENCH.json
 //! smctl store stats|gc|clear  inspect/maintain the artifact store
 //! smctl help                  this text
@@ -23,6 +25,13 @@
 //! `--no-store`), so a second invocation decodes warm artifacts instead
 //! of rebuilding them — the canonical reports stay byte-identical
 //! either way, which CI enforces.
+//!
+//! Store-backed campaigns additionally journal every lifecycle event
+//! (campaign/job started/finished, bundles built) into an append-only,
+//! checksummed log under `.sm-store/journal/`, flushed per record — so
+//! a killed sweep loses nothing: `smctl resume <store-or-journal>`
+//! replays the log and re-runs only the jobs without a `job-finished`
+//! record, and `smctl tail`/`smctl events` stream progress live.
 //!
 //! Resources are one [`sm_exec::Budget`] per invocation: `--threads`
 //! bounds the worker pool (campaign jobs, bundle builds and nested
@@ -47,6 +56,7 @@ use sm_engine::campaign::{
     run_sweep_budgeted, Campaign, SweepSpec,
 };
 use sm_engine::job::AttackKind;
+use sm_engine::journal::{find_journal, materialize, read_events, Event, Journal, JournalFollower};
 use sm_engine::report::{Json, ReportOptions};
 use sm_engine::store::ArtifactStore;
 use sm_engine::ArtifactCache;
@@ -66,11 +76,15 @@ USAGE:
                 [--threads N] [--timeout-secs N] [--jobs SPEC | --shard K/N]
                 [--format json|csv|agg-csv|table] [--timings] [--out FILE]
                 [--store DIR | --no-store] [--store-cap SIZE]
-    smctl resume <report.json> [--threads N] [--timeout-secs N] [--out FILE]
+    smctl resume <report.json|journal|store-dir> [--threads N]
+                [--timeout-secs N] [--out FILE]
                 [--format json|csv|agg-csv|table]
                 [--store DIR | --no-store] [--store-cap SIZE]
     smctl merge <report.json...> [-o|--out FILE]
-    smctl report --input FILE [--format json|csv|agg-csv|table]
+    smctl report (--input FILE | --journal PATH)
+                [--format json|csv|agg-csv|table]
+    smctl events <journal|store-dir> [--follow] [--format table|json]
+    smctl tail <journal|store-dir>
     smctl bench [--quick] [--seed N] [--scale N] [--threads N] [--out FILE]
                 [--baseline FILE] [--max-regression FACTOR]
     smctl store stats|gc|clear [--store DIR] [--store-cap SIZE]
@@ -123,6 +137,19 @@ STORE:
     .sm-store/ by default; --store DIR relocates it, --no-store disables
     it, --store-cap SIZE (bytes, or K/M/G) bounds it with LRU eviction.
 
+JOURNAL:
+    Store-backed sweeps append every lifecycle event (campaign/job
+    started/finished/timed-out, bundles built) to a checksummed log at
+    .sm-store/journal/c-<spec>.journal, flushed per record — an OS kill
+    loses at most the half-written tail record, which readers truncate
+    away. `smctl events DIR` prints the log (`--follow` streams until
+    campaign-finished; `--format json` emits one compact object per
+    line); `smctl tail DIR` is sugar for `events --follow`. The
+    canonical report is a deterministic materialization of the journal:
+    `smctl report --journal DIR` renders it byte-identically to the
+    sweep's own output, and `smctl resume DIR` re-runs exactly the jobs
+    without a job-finished record, appending to the same log.
+
 FORMATS:
     json      canonical campaign report (storable, resumable)
     csv       one row per flow job / crouting box
@@ -161,6 +188,8 @@ fn main() -> ExitCode {
         "resume" => cmd_resume(rest),
         "merge" => cmd_merge(rest),
         "report" => cmd_report(rest),
+        "events" => cmd_events(rest, false),
+        "tail" => cmd_events(rest, true),
         "bench" => cmd_bench(rest),
         "store" => cmd_store(rest),
         "help" | "--help" | "-h" => {
@@ -355,12 +384,24 @@ fn cmd_sweep(args: &[String]) -> Result<ExitCode, String> {
         job_filter = Some(indices);
     }
 
-    let cache = cache_for(&opts);
+    let mut cache = cache_for(&opts);
+    // Store-backed sweeps journal their lifecycle next to the store:
+    // the file is named by the spec's fingerprint, so shards and
+    // resumes of the same campaign append to the same log.
+    let journal = cache
+        .store()
+        .map(|store| Arc::new(Journal::for_spec(store.root(), &spec)));
+    if let Some(journal) = &journal {
+        cache = cache.with_journal(Arc::clone(journal));
+    }
     // One budget for the whole sweep: `--threads` worth of workers
     // shared by jobs, bundle builds and nested bisection sweeps, with
     // the `--timeout-secs` deadline attached.
     let budget = opts.budget();
     let campaign = run_sweep_budgeted(&spec, &budget, &cache, job_filter.as_deref())?;
+    if let Some(journal) = &journal {
+        eprintln!("journal: {}", journal.path().display());
+    }
     let rendered = render_campaign(&campaign, &format, timings);
     emit(&rendered, out_path.as_deref())?;
     // A timed-out sweep must always leave a *resumable* canonical
@@ -422,28 +463,76 @@ fn cmd_resume(args: &[String]) -> Result<ExitCode, String> {
         }
         i += 1;
     }
-    let path = input.ok_or("`smctl resume` needs a stored report file")?;
+    let path = input.ok_or("`smctl resume` needs a stored report, journal or store dir")?;
     check_format(&format)?;
-    let text = std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
-    let stored = Campaign::from_json(&Json::parse(&text).map_err(|e| format!("{path}: {e}"))?)
-        .map_err(|e| format!("{path}: {e}"))?;
+    // The input may be a canonical JSON report, a journal file, or a
+    // directory holding one (a store dir like `.sm-store`): directories
+    // and SMJL-magic files replay the event log, anything else parses
+    // as a JSON report.
+    let input_path = std::path::Path::new(&path);
+    let journal_input = if input_path.is_dir() {
+        Some(find_journal(input_path)?)
+    } else {
+        let mut magic = [0u8; 4];
+        std::fs::File::open(input_path)
+            .and_then(|mut f| std::io::Read::read_exact(&mut f, &mut magic))
+            .is_ok_and(|()| magic == sm_engine::journal::JOURNAL_MAGIC)
+            .then(|| input_path.to_path_buf())
+    };
+    let (stored, journal) = match &journal_input {
+        Some(journal_path) => {
+            let campaign = materialize(&read_events(journal_path)?)
+                .map_err(|e| format!("{}: {e}", journal_path.display()))?;
+            (campaign, Some(Arc::new(Journal::at(journal_path.clone()))))
+        }
+        None => {
+            let text =
+                std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
+            let stored =
+                Campaign::from_json(&Json::parse(&text).map_err(|e| format!("{path}: {e}"))?)
+                    .map_err(|e| format!("{path}: {e}"))?;
+            (stored, None)
+        }
+    };
 
     let expansion = stored.spec.jobs()?;
     let missing = missing_jobs(&expansion, &stored.outcomes);
     eprintln!(
         "{}: {} of {} jobs present ({} timed out), {} to run",
-        path,
+        journal_input
+            .as_deref()
+            .map(|p| p.display().to_string())
+            .unwrap_or_else(|| path.clone()),
         stored.outcomes.len(),
         expansion.len(),
         stored.timed_out(),
         missing.len()
     );
 
-    let cache = cache_for(&opts);
+    let mut cache = cache_for(&opts);
+    // The resumed jobs journal into the input log (journal input), or
+    // into the store's spec-fingerprinted journal (report input over a
+    // store) — either way, resume is log concatenation.
+    let journal = journal.or_else(|| {
+        cache
+            .store()
+            .map(|store| Arc::new(Journal::for_spec(store.root(), &stored.spec)))
+    });
+    if let Some(journal) = &journal {
+        cache = cache.with_journal(Arc::clone(journal));
+    }
     // A resume gets its own budget — and may itself carry a
     // `--timeout-secs` deadline, in which case still-unfinished jobs
     // stay timed-out and another resume continues from there.
     let budget = opts.budget();
+    if let Some(journal) = &journal {
+        // Tolerated as a duplicate by materialize (same spec); needed
+        // when the resume starts a fresh journal from a report input.
+        journal.record(&Event::CampaignStarted {
+            spec: stored.spec.clone(),
+            threads: budget.threads() as u64,
+        });
+    }
     let fresh = run_jobs_budgeted(&missing, &budget, &cache);
     let outcomes = merge_outcomes(&expansion, stored.outcomes, fresh);
     let campaign = Campaign {
@@ -452,17 +541,29 @@ fn cmd_resume(args: &[String]) -> Result<ExitCode, String> {
         cache: cache.stats(),
         threads: budget.threads(),
         total_wall: std::time::Duration::ZERO,
+        pool: budget.pool().stats(),
     };
-    // The canonical JSON report is always preserved: it goes to --out
-    // for `--format json`, otherwise the input file is updated in
-    // place. Non-JSON renderings are *views* — they go to --out or
-    // stdout and never replace the stored campaign.
+    if let Some(journal) = &journal {
+        journal.record(&Event::campaign_finished(&campaign));
+    }
+    // The canonical JSON report is always preserved. Report input: it
+    // goes to --out for `--format json`, otherwise the input file is
+    // updated in place. Journal input: the journal itself holds the
+    // campaign state, so the canonical JSON goes to --out/stdout and
+    // the input is never overwritten. Non-JSON renderings are *views*
+    // — they go to --out or stdout and never replace stored state.
     let canonical = render_campaign(&campaign, "json", false);
-    let canonical_path = match format.as_str() {
-        "json" => out_path.as_deref().unwrap_or(path.as_str()),
-        _ => path.as_str(),
+    let canonical_path = match (journal_input.is_some(), format.as_str()) {
+        (false, "json") => Some(out_path.clone().unwrap_or_else(|| path.clone())),
+        (false, _) => Some(path.clone()),
+        (true, "json") => out_path.clone(),
+        (true, _) => None,
     };
-    emit(&canonical, Some(canonical_path))?;
+    match &canonical_path {
+        Some(p) => emit(&canonical, Some(p.as_str()))?,
+        None if format == "json" => emit(&canonical, None)?,
+        None => {}
+    }
     if format != "json" {
         emit(
             &render_campaign(&campaign, &format, false),
@@ -471,7 +572,10 @@ fn cmd_resume(args: &[String]) -> Result<ExitCode, String> {
     }
     eprintln!("{}", campaign.summary());
     print_store_stats(&cache);
-    Ok(campaign_exit(&campaign, canonical_path))
+    Ok(campaign_exit(
+        &campaign,
+        canonical_path.as_deref().unwrap_or(path.as_str()),
+    ))
 }
 
 /// `smctl merge <report.json...>`: combine partial reports of one sweep
@@ -631,22 +735,38 @@ fn emit(rendered: &str, out_path: Option<&str>) -> Result<(), String> {
     Ok(())
 }
 
-/// `smctl report`: re-render a stored JSON report.
+/// `smctl report`: re-render a stored JSON report, or materialize one
+/// from a campaign journal.
 fn cmd_report(args: &[String]) -> Result<ExitCode, String> {
     let mut input: Option<String> = None;
+    let mut journal: Option<String> = None;
     let mut format = "json".to_string();
     let mut i = 0;
     while i < args.len() {
         let (flag, inline) = cli::split_flag(args[i].as_str());
         match flag {
             "--input" => input = Some(cli::flag_value(flag, inline, args, &mut i)?),
+            "--journal" => journal = Some(cli::flag_value(flag, inline, args, &mut i)?),
             "--format" => format = cli::flag_value(flag, inline, args, &mut i)?,
             other => return Err(format!("unknown report flag `{other}`")),
         }
         i += 1;
     }
-    let path = input.ok_or("`smctl report` needs --input FILE")?;
     check_format(&format)?;
+    if let Some(path) = journal {
+        if input.is_some() {
+            return Err("--input and --journal are mutually exclusive".into());
+        }
+        // The canonical report is a deterministic materialization of
+        // the journal: this renders byte-identically to the report the
+        // sweep itself wrote (CI diffs the two).
+        let journal_path = find_journal(std::path::Path::new(&path))?;
+        let campaign = materialize(&read_events(&journal_path)?)
+            .map_err(|e| format!("{}: {e}", journal_path.display()))?;
+        print!("{}", render_campaign(&campaign, &format, false));
+        return Ok(ExitCode::SUCCESS);
+    }
+    let path = input.ok_or("`smctl report` needs --input FILE or --journal PATH")?;
     let text = std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
     let parsed = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
     match format.as_str() {
@@ -660,6 +780,141 @@ fn cmd_report(args: &[String]) -> Result<ExitCode, String> {
         }
     }
     Ok(ExitCode::SUCCESS)
+}
+
+/// `smctl events` / `smctl tail`: print or live-stream the campaign
+/// journal. `tail` is sugar for `events --follow --format table`.
+fn cmd_events(args: &[String], tail: bool) -> Result<ExitCode, String> {
+    let mut input: Option<String> = None;
+    let mut follow = tail;
+    let mut format = "table".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        let (flag, inline) = cli::split_flag(args[i].as_str());
+        match flag {
+            "--follow" if !tail => {
+                cli::no_value(flag, inline)?;
+                follow = true;
+            }
+            "--format" if !tail => format = cli::flag_value(flag, inline, args, &mut i)?,
+            _ if !flag.starts_with("--") => match input {
+                None => input = Some(args[i].clone()),
+                Some(_) => return Err(format!("unexpected argument `{flag}`")),
+            },
+            other => {
+                let cmd = if tail { "tail" } else { "events" };
+                return Err(format!("unknown {cmd} flag `{other}`; see `smctl help`"));
+            }
+        }
+        i += 1;
+    }
+    if !matches!(format.as_str(), "table" | "json") {
+        return Err(format!("unknown --format `{format}` (expected table|json)"));
+    }
+    let path = input.ok_or(if tail {
+        "`smctl tail` needs a journal file or store directory"
+    } else {
+        "`smctl events` needs a journal file or store directory"
+    })?;
+    let arg = std::path::Path::new(&path);
+    // In follow mode the journal may not exist yet: follow the path a
+    // store-backed sweep will create. A directory still must resolve.
+    let journal_path = match find_journal(arg) {
+        Ok(p) => p,
+        Err(_) if follow && !arg.is_dir() => arg.to_path_buf(),
+        Err(e) => return Err(e),
+    };
+    let mut follower = JournalFollower::new(&journal_path);
+    let mut progress = EventProgress::default();
+    let mut out = std::io::stdout().lock();
+    loop {
+        let batch = follower.poll()?;
+        let mut ended = false;
+        for event in &batch {
+            let line = match format.as_str() {
+                "json" => event.to_json().render_compact(),
+                _ => progress.render_line(event),
+            };
+            writeln!(out, "{line}").map_err(|e| e.to_string())?;
+            ended = matches!(event, Event::CampaignFinished { .. });
+        }
+        if !follow || ended {
+            break;
+        }
+        out.flush().map_err(|e| e.to_string())?;
+        std::thread::sleep(std::time::Duration::from_millis(120));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Running job counters for the human-readable event stream.
+#[derive(Default)]
+struct EventProgress {
+    total: Option<usize>,
+    done: usize,
+}
+
+impl EventProgress {
+    /// One aligned table line per event, with a `done/total` progress
+    /// column on job completions.
+    fn render_line(&mut self, event: &Event) -> String {
+        let kind = event.kind();
+        match event {
+            Event::CampaignStarted { spec, threads } => {
+                self.total = spec.jobs().map(|jobs| jobs.len()).ok();
+                format!(
+                    "{kind:<18} {} job(s): {} benchmark(s) x {} seed(s) x {} layer(s) x {} attack(s), threads={threads}",
+                    self.total
+                        .map(|t| t.to_string())
+                        .unwrap_or_else(|| "?".into()),
+                    spec.benchmarks.len(),
+                    spec.seeds.len(),
+                    spec.split_layers.len(),
+                    spec.attacks.len(),
+                )
+            }
+            Event::JobStarted { job, .. } => format!("{kind:<18} {}", job.label()),
+            Event::JobFinished { job, provenance, .. } => {
+                self.done += 1;
+                format!(
+                    "{kind:<18} {} [{}] {} {:.1}ms",
+                    self.progress(),
+                    job.label(),
+                    provenance.source.id(),
+                    provenance.wall_ms,
+                )
+            }
+            Event::JobTimedOut { job, phase } => {
+                self.done += 1;
+                format!(
+                    "{kind:<18} {} [{}] phase={phase}",
+                    self.progress(),
+                    job.label(),
+                )
+            }
+            Event::BundleBuilt {
+                key,
+                stage,
+                wall_ms,
+            } => format!("{kind:<18} {key} {stage} {wall_ms:.1}ms"),
+            Event::CampaignFinished {
+                jobs,
+                timed_out,
+                pool_peak_live,
+                total_wall_ms,
+                ..
+            } => format!(
+                "{kind:<18} {jobs} job(s), {timed_out} timed out, peak_live={pool_peak_live}, {total_wall_ms:.1}ms"
+            ),
+        }
+    }
+
+    fn progress(&self) -> String {
+        match self.total {
+            Some(total) => format!("{}/{total}", self.done),
+            None => format!("{}/?", self.done),
+        }
+    }
 }
 
 /// `smctl bench`: run the deterministic perf harness, emit the

@@ -5,8 +5,9 @@
 //! the quick ISCAS selection plus down-scaled superblue18, each pushed
 //! through the pipeline stages the campaigns spend their wall-clock in
 //! — netlist generation, placement, routing, FEOL/BEOL split, the
-//! network-flow attack — plus a quick campaign run twice against a
-//! fresh disk store (cold, then warm). Every stage records
+//! network-flow attack — plus a quick campaign run three times against
+//! a fresh disk store (cold; warm; warm with the campaign journal
+//! attached, gating the event log's overhead). Every stage records
 //!
 //! * `wall_ms` — the measurement (machine-dependent, **excluded** from
 //!   any determinism comparison, mirroring the `--timings` split of
@@ -27,6 +28,7 @@ use sm_attacks::proximity::{network_flow_attack, ProximityConfig};
 use sm_engine::campaign::{run_sweep_budgeted, SweepSpec};
 use sm_engine::exec::Budget;
 use sm_engine::job::AttackKind;
+use sm_engine::journal::{read_events, Journal};
 use sm_engine::report::Json;
 use sm_engine::store::ArtifactStore;
 use sm_engine::ArtifactCache;
@@ -271,6 +273,36 @@ pub fn run_bench(cfg: &BenchConfig) -> BenchReport {
             detail: vec![
                 ("jobs", campaign.outcomes.len() as u64),
                 ("builds", campaign.cache.builds),
+                ("threads", budget.threads() as u64),
+            ],
+        });
+    }
+    // Journal-overhead probe: the warm campaign once more, now
+    // recording every lifecycle event into a checksummed journal. The
+    // store is already hot, so the delta vs `campaign-warm` is the
+    // journal's cost — CI gates it like every other stage. The event
+    // count is deterministic (campaign started/finished plus a
+    // started/finished pair per job; warm jobs replay outcomes, so no
+    // bundle events) and proves the full lifecycle was recorded.
+    {
+        let journal = std::sync::Arc::new(Journal::at(store_dir.join("bench.journal")));
+        let cache = ArtifactCache::with_store(std::sync::Arc::new(ArtifactStore::open(
+            store_dir.to_string_lossy().as_ref(),
+            None,
+        )))
+        .with_journal(std::sync::Arc::clone(&journal));
+        let (campaign, wall) = timed(|| {
+            run_sweep_budgeted(&spec, &budget, &cache, None).expect("bench spec is valid")
+        });
+        let events = read_events(journal.path()).map(|e| e.len()).unwrap_or(0);
+        stages.push(StageSample {
+            stage: "campaign-journal",
+            benchmark: "-".to_string(),
+            wall_ms: wall,
+            detail: vec![
+                ("jobs", campaign.outcomes.len() as u64),
+                ("builds", campaign.cache.builds),
+                ("events", events as u64),
                 ("threads", budget.threads() as u64),
             ],
         });

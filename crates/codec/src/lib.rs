@@ -415,6 +415,63 @@ impl<T: Decode + Copy + Default, const N: usize> Decode for [T; N] {
     }
 }
 
+pub mod frame {
+    //! Checksummed record framing for append-only logs.
+    //!
+    //! A frame is `[u32 payload_len LE][u64 fnv1a(payload) LE][payload]`.
+    //! The reader validates length plausibility and checksum before
+    //! handing the payload out, so an append-only file whose tail was
+    //! torn by a crash — or corrupted in place — yields its longest
+    //! valid prefix instead of misparsing: [`read_frame`] simply returns
+    //! `None` at the first incomplete or damaged frame.
+
+    /// Bytes of framing overhead per record (length + checksum).
+    pub const FRAME_HEADER_LEN: usize = 12;
+
+    /// Upper bound on a single frame's payload (16 MiB). Journal records
+    /// are tiny; anything claiming more is corruption, rejected before
+    /// any allocation or checksum work.
+    pub const MAX_FRAME_PAYLOAD: usize = 16 << 20;
+
+    /// FNV-1a over `bytes` — the workspace's standard content checksum
+    /// (same function the artifact store uses for payload integrity).
+    pub fn fnv1a(bytes: &[u8]) -> u64 {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for &b in bytes {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+        hash
+    }
+
+    /// Appends one framed record to `out`.
+    pub fn write_frame(out: &mut Vec<u8>, payload: &[u8]) {
+        debug_assert!(payload.len() <= MAX_FRAME_PAYLOAD, "oversized frame");
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&fnv1a(payload).to_le_bytes());
+        out.extend_from_slice(payload);
+    }
+
+    /// Reads the frame starting at byte offset `pos`, returning its
+    /// payload and the offset of the next frame — or `None` if no
+    /// complete, checksum-valid frame starts there (truncated tail,
+    /// implausible length, or corrupted bytes).
+    pub fn read_frame(bytes: &[u8], pos: usize) -> Option<(&[u8], usize)> {
+        let header = bytes.get(pos..pos.checked_add(FRAME_HEADER_LEN)?)?;
+        let len = u32::from_le_bytes(header[..4].try_into().expect("exact slice")) as usize;
+        if len > MAX_FRAME_PAYLOAD {
+            return None;
+        }
+        let checksum = u64::from_le_bytes(header[4..].try_into().expect("exact slice"));
+        let start = pos + FRAME_HEADER_LEN;
+        let payload = bytes.get(start..start.checked_add(len)?)?;
+        if fnv1a(payload) != checksum {
+            return None;
+        }
+        Some((payload, start + len))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -499,5 +556,47 @@ mod tests {
             w.into_bytes()
         };
         assert!(decode_from_slice::<String>(&not_utf8).is_err());
+    }
+
+    #[test]
+    fn frames_roundtrip_in_sequence() {
+        let payloads: [&[u8]; 3] = [b"first", b"", b"third record"];
+        let mut buf = Vec::new();
+        for p in payloads {
+            frame::write_frame(&mut buf, p);
+        }
+        let mut pos = 0;
+        for expected in payloads {
+            let (payload, next) = frame::read_frame(&buf, pos).expect("intact frame");
+            assert_eq!(payload, expected);
+            pos = next;
+        }
+        assert_eq!(pos, buf.len());
+        assert!(frame::read_frame(&buf, pos).is_none(), "clean end of log");
+    }
+
+    #[test]
+    fn torn_and_corrupted_frames_read_as_none() {
+        let mut buf = Vec::new();
+        frame::write_frame(&mut buf, b"payload");
+        // Every truncation of a single frame is rejected.
+        for cut in 0..buf.len() {
+            assert!(frame::read_frame(&buf[..cut], 0).is_none(), "cut at {cut}");
+        }
+        // Any flipped byte — header, checksum or payload — is rejected.
+        for i in 0..buf.len() {
+            let mut bad = buf.clone();
+            bad[i] ^= 0x40;
+            assert!(frame::read_frame(&bad, 0).is_none(), "flip at {i}");
+        }
+        // An absurd declared length is rejected before any payload work.
+        let mut absurd = ((frame::MAX_FRAME_PAYLOAD + 1) as u32)
+            .to_le_bytes()
+            .to_vec();
+        absurd.extend_from_slice(&[0u8; 8]);
+        assert!(frame::read_frame(&absurd, 0).is_none());
+        // Out-of-range positions are a clean end, not a panic.
+        assert!(frame::read_frame(&buf, buf.len() + 1).is_none());
+        assert!(frame::read_frame(&buf, usize::MAX).is_none());
     }
 }

@@ -30,6 +30,7 @@ use sm_benchgen::iscas::IscasProfile;
 use sm_benchgen::superblue::SuperblueProfile;
 
 use crate::bundle::{IscasRun, SuperblueRun};
+use crate::journal::{Event, Journal};
 use crate::store::ArtifactStore;
 
 /// The content key a bundle is cached (and persisted) under: exactly
@@ -52,6 +53,20 @@ pub enum BundleKey {
         /// Bundle build seed.
         seed: u64,
     },
+}
+
+impl BundleKey {
+    /// The key's stable string identity — the store's file stem for the
+    /// persisted bundle, and the `key` journal `bundle-built` /
+    /// `job-started` events carry.
+    pub fn id(&self) -> String {
+        match self {
+            BundleKey::Iscas { name, seed } => format!("iscas-{name}-s{seed:016x}"),
+            BundleKey::Superblue { name, scale, seed } => {
+                format!("superblue-{name}-x{scale}-s{seed:016x}")
+            }
+        }
+    }
 }
 
 /// Hit/build counters, reported by campaigns ("cache hit count").
@@ -92,6 +107,7 @@ pub struct ArtifactCache {
     iscas: BundleMap<(&'static str, u64), IscasRun>,
     superblue: BundleMap<(&'static str, usize, u64), SuperblueRun>,
     store: Option<Arc<ArtifactStore>>,
+    journal: Option<Arc<Journal>>,
     expected: Mutex<HashMap<BundleKey, usize>>,
     hits: AtomicU64,
     disk_hits: AtomicU64,
@@ -117,6 +133,31 @@ impl ArtifactCache {
     /// The disk store underneath, if any.
     pub fn store(&self) -> Option<&Arc<ArtifactStore>> {
         self.store.as_ref()
+    }
+
+    /// Attaches a campaign journal: the cache emits `bundle-built`
+    /// events (and campaigns running over it emit the job/campaign
+    /// lifecycle) into `journal`.
+    pub fn with_journal(mut self, journal: Arc<Journal>) -> Self {
+        self.journal = Some(journal);
+        self
+    }
+
+    /// The attached campaign journal, if any.
+    pub fn journal(&self) -> Option<&Arc<Journal>> {
+        self.journal.as_ref()
+    }
+
+    /// Records a `bundle-built` journal event for a cache miss satisfied
+    /// since `start` (stage `"build"` or `"decode"`).
+    fn note_bundle(&self, key: &BundleKey, stage: &str, start: std::time::Instant) {
+        if let Some(journal) = &self.journal {
+            journal.record(&Event::BundleBuilt {
+                key: key.id(),
+                stage: stage.to_string(),
+                wall_ms: start.elapsed().as_secs_f64() * 1e3,
+            });
+        }
     }
 
     fn fetch<T>(&self, slot: Slot<T>, obtain: impl FnOnce() -> (T, Origin)) -> Arc<T> {
@@ -153,8 +194,10 @@ impl ArtifactCache {
             seed,
         };
         self.fetch(slot, || {
+            let start = std::time::Instant::now();
             if let Some(store) = &self.store {
                 if let Some(run) = store.load_iscas(&key) {
+                    self.note_bundle(&key, "decode", start);
                     return (run, Origin::Disk);
                 }
             }
@@ -162,6 +205,7 @@ impl ArtifactCache {
             if let Some(store) = &self.store {
                 store.save_iscas(&key, &run);
             }
+            self.note_bundle(&key, "build", start);
             (run, Origin::Built)
         })
     }
@@ -185,8 +229,10 @@ impl ArtifactCache {
             seed,
         };
         self.fetch(slot, || {
+            let start = std::time::Instant::now();
             if let Some(store) = &self.store {
                 if let Some(run) = store.load_superblue(&key) {
+                    self.note_bundle(&key, "decode", start);
                     return (run, Origin::Disk);
                 }
             }
@@ -194,6 +240,7 @@ impl ArtifactCache {
             if let Some(store) = &self.store {
                 store.save_superblue(&key, &run);
             }
+            self.note_bundle(&key, "build", start);
             (run, Origin::Built)
         })
     }

@@ -30,7 +30,8 @@ use std::time::{Duration, Instant};
 
 use sm_attacks::crouting::{crouting_attack, CroutingConfig};
 use sm_attacks::proximity::{
-    ccr_over_connections, network_flow_attack_cancellable, ProximityConfig,
+    ccr_over_connections, network_flow_attack_cancellable, network_flow_attack_traced,
+    ProximityConfig,
 };
 use sm_core::flow::BaselineLayout;
 use sm_layout::split_layout;
@@ -38,8 +39,9 @@ use sm_netlist::{NetId, Netlist, Sink};
 
 use crate::bundle::{IscasRun, SuperblueRun};
 use crate::cache::{ArtifactCache, CacheStats};
-use crate::exec::{Budget, Executor, ExecutorConfig};
+use crate::exec::{Budget, Executor, ExecutorConfig, PoolStats};
 use crate::job::{AttackKind, Benchmark, Job};
+use crate::journal::{Event, EventJob, MetricsSource, Provenance};
 use crate::report::{csv, Json, ReportOptions};
 
 /// A sweep specification: the cartesian product
@@ -172,7 +174,7 @@ impl Bundle {
 }
 
 /// Metrics measured by one job.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum JobMetrics {
     /// Network-flow attack outcome (percentages, as the paper reports).
     Flow {
@@ -220,6 +222,12 @@ pub struct JobOutcome {
     /// Wall-clock time this job took (includes any bundle build/wait;
     /// zero for outcomes replayed from a stored report or the store).
     pub wall: Duration,
+    /// Per-phase wall-clock spans in milliseconds, in execution order
+    /// (`store`/`bundle`/`split`/`attack-*`/…). Diagnostics only — they
+    /// surface under [`ReportOptions::include_timings`] and in journal
+    /// provenance, never in canonical reports; empty for outcomes
+    /// replayed from a stored report.
+    pub phases: Vec<(&'static str, f64)>,
 }
 
 /// A finished campaign.
@@ -235,6 +243,9 @@ pub struct Campaign {
     pub threads: usize,
     /// End-to-end campaign wall clock.
     pub total_wall: Duration,
+    /// Pool occupancy counters sampled when the campaign finished
+    /// (all-zero for campaigns parsed from a report).
+    pub pool: PoolStats,
 }
 
 /// Runs one job against the cache (consulting the disk store for a
@@ -248,25 +259,47 @@ pub struct Campaign {
 /// interruptible without ever cutting a measurement in half.
 pub fn run_job(cache: &ArtifactCache, job: &Job, exec: &Budget) -> JobOutcome {
     let start = Instant::now();
+    if let Some(journal) = cache.journal() {
+        journal.record(&Event::JobStarted {
+            job: EventJob::of(job),
+            store_keys: vec![job.bundle_key().id(), job.outcome_key()],
+        });
+    }
+    let mut phases: Vec<(&'static str, f64)> = Vec::new();
     // The store lookup (a ~ms pure read) runs even past the deadline: a
     // job whose finished outcome is already persisted "completes" for
     // free, so a timed-out sweep over a warm store never reports work
     // it did not actually have to do.
+    let lookup = Instant::now();
     let stored = cache.store().and_then(|s| s.load_outcome(job));
+    let mut source = MetricsSource::Computed;
     let metrics = match stored {
-        Some(metrics) => metrics,
+        Some(metrics) => {
+            phases.push(("store", ms_since(lookup)));
+            source = MetricsSource::Store;
+            metrics
+        }
         None if exec.is_cancelled() => {
             // Still release the reservation: the bundle's consumer
             // count was registered at expansion time and must not leak.
             cache.release(&job.bundle_key());
+            if let Some(journal) = cache.journal() {
+                journal.record(&Event::JobTimedOut {
+                    job: EventJob::of(job),
+                    phase: "pickup".to_string(),
+                });
+            }
             return JobOutcome {
                 job: job.clone(),
                 metrics: JobMetrics::TimedOut,
                 wall: Duration::ZERO,
+                phases,
             };
         }
         None => {
+            let fetch = Instant::now();
             let bundle = Bundle::fetch(cache, job, exec);
+            phases.push(("bundle", ms_since(fetch)));
             let metrics = match job.attack {
                 // Flow attacks additionally honor the budget *inside*
                 // the job, at the attack's deterministic phase
@@ -274,9 +307,10 @@ pub fn run_job(cache: &ArtifactCache, job: &Job, exec: &Budget) -> JobOutcome {
                 // within one scaling phase and comes back timed-out
                 // instead of overshooting by its whole runtime.
                 AttackKind::NetworkFlow => {
-                    flow_metrics(&bundle, job, exec.cancel_token()).unwrap_or(JobMetrics::TimedOut)
+                    flow_metrics(&bundle, job, exec.cancel_token(), &mut phases)
+                        .unwrap_or(JobMetrics::TimedOut)
                 }
-                AttackKind::Crouting => crouting_metrics(&bundle, job.split_layer),
+                AttackKind::Crouting => crouting_metrics(&bundle, job.split_layer, &mut phases),
             };
             if let Some(store) = cache.store() {
                 store.save_outcome(job, &metrics);
@@ -285,18 +319,51 @@ pub fn run_job(cache: &ArtifactCache, job: &Job, exec: &Budget) -> JobOutcome {
         }
     };
     cache.release(&job.bundle_key());
+    let wall = start.elapsed();
+    if let Some(journal) = cache.journal() {
+        if metrics.is_timed_out() {
+            journal.record(&Event::JobTimedOut {
+                job: EventJob::of(job),
+                phase: "attack".to_string(),
+            });
+        } else {
+            journal.record(&Event::JobFinished {
+                job: EventJob::of(job),
+                metrics: metrics.clone(),
+                provenance: Provenance {
+                    source,
+                    bundle_key: job.bundle_key().id(),
+                    derived_seed: job.derived_seed(),
+                    threads: exec.threads() as u64,
+                    wall_ms: wall_ms(wall),
+                    phases: phases.iter().map(|&(n, v)| (n.to_string(), v)).collect(),
+                },
+            });
+        }
+    }
     JobOutcome {
         job: job.clone(),
         metrics,
-        wall: start.elapsed(),
+        wall,
+        phases,
     }
+}
+
+/// Milliseconds elapsed since `start`.
+fn ms_since(start: Instant) -> f64 {
+    start.elapsed().as_secs_f64() * 1e3
 }
 
 /// Measures one flow job, honoring `cancel` at the attack's phase
 /// boundaries: `None` means the deadline fired mid-job and the job must
 /// be recorded timed-out (a completed measurement is bit-identical
 /// whether or not a deadline was armed).
-fn flow_metrics(bundle: &Bundle, job: &Job, cancel: &sm_exec::CancelToken) -> Option<JobMetrics> {
+fn flow_metrics(
+    bundle: &Bundle,
+    job: &Job,
+    cancel: &sm_exec::CancelToken,
+    phases: &mut Vec<(&'static str, f64)>,
+) -> Option<JobMetrics> {
     let cfg = ProximityConfig {
         // Tie the attack's evaluation RNG to the job, so seed sweeps
         // explore attack variance instead of replaying one stream per
@@ -308,25 +375,33 @@ fn flow_metrics(bundle: &Bundle, job: &Job, cancel: &sm_exec::CancelToken) -> Op
     let netlist = bundle.netlist();
     let protected = bundle.protected();
 
+    let t = Instant::now();
     let split_prot = split_layout(
         &protected.randomization.erroneous,
         &protected.placement,
         &protected.feol_routing,
         split_layer,
     );
-    let out = network_flow_attack_cancellable(
+    phases.push(("split", ms_since(t)));
+    let mut rec = sm_attacks::phase::Recorder::new();
+    let out = network_flow_attack_traced(
         netlist,
         &protected.randomization.erroneous,
         &protected.placement,
         &split_prot,
         &cfg,
         cancel,
+        &mut rec,
     )?;
+    phases.extend(rec.into_spans());
     let swapped = bundle.swapped();
     let ccr_protected = ccr_over_connections(&split_prot, &out.pairs, &swapped);
 
     let original = bundle.original();
+    let t = Instant::now();
     let split_orig = split_layout(netlist, &original.placement, &original.routing, split_layer);
+    phases.push(("split-original", ms_since(t)));
+    let t = Instant::now();
     let out_orig = network_flow_attack_cancellable(
         netlist,
         netlist,
@@ -335,6 +410,7 @@ fn flow_metrics(bundle: &Bundle, job: &Job, cancel: &sm_exec::CancelToken) -> Op
         &cfg,
         cancel,
     )?;
+    phases.push(("attack-original", ms_since(t)));
 
     Some(JobMetrics::Flow {
         ccr_protected_pct: ccr_protected * 100.0,
@@ -344,24 +420,36 @@ fn flow_metrics(bundle: &Bundle, job: &Job, cancel: &sm_exec::CancelToken) -> Op
     })
 }
 
-fn crouting_metrics(bundle: &Bundle, split_layer: u8) -> JobMetrics {
+fn crouting_metrics(
+    bundle: &Bundle,
+    split_layer: u8,
+    phases: &mut Vec<(&'static str, f64)>,
+) -> JobMetrics {
     let cfg = CroutingConfig::default();
     let netlist = bundle.netlist();
     let protected = bundle.protected();
 
+    let t = Instant::now();
     let split_prot = split_layout(
         &protected.randomization.erroneous,
         &protected.placement,
         &protected.feol_routing,
         split_layer,
     );
+    phases.push(("split", ms_since(t)));
     // Candidate lists are structural, so the erroneous netlist is the
     // right golden reference for the protected FEOL (cf. Table 3).
+    let t = Instant::now();
     let rep_prot = crouting_attack(&protected.randomization.erroneous, &split_prot, &cfg);
+    phases.push(("attack", ms_since(t)));
 
     let original = bundle.original();
+    let t = Instant::now();
     let split_orig = split_layout(netlist, &original.placement, &original.routing, split_layer);
+    phases.push(("split-original", ms_since(t)));
+    let t = Instant::now();
     let rep_orig = crouting_attack(netlist, &split_orig, &cfg);
+    phases.push(("attack-original", ms_since(t)));
 
     let boxes = rep_prot
         .boxes
@@ -446,14 +534,25 @@ pub fn run_sweep_budgeted(
         jobs = selected.into_iter().map(|i| jobs[i].clone()).collect();
     }
     let start = Instant::now();
+    if let Some(journal) = cache.journal() {
+        journal.record(&Event::CampaignStarted {
+            spec: spec.clone(),
+            threads: budget.threads() as u64,
+        });
+    }
     let outcomes = run_jobs_budgeted(&jobs, budget, cache);
-    Ok(Campaign {
+    let campaign = Campaign {
         spec: spec.clone(),
         outcomes,
         cache: cache.stats(),
         threads: budget.threads(),
         total_wall: start.elapsed(),
-    })
+        pool: budget.pool().stats(),
+    };
+    if let Some(journal) = cache.journal() {
+        journal.record(&Event::campaign_finished(&campaign));
+    }
+    Ok(campaign)
 }
 
 /// Executes an explicit job list on the executor's budget. See
@@ -752,6 +851,13 @@ impl Campaign {
             ));
             top.push(("threads".to_string(), Json::UInt(self.threads as u64)));
             top.push((
+                "pool".to_string(),
+                Json::obj([
+                    ("live", Json::UInt(self.pool.live as u64)),
+                    ("peak_live", Json::UInt(self.pool.peak_live as u64)),
+                ]),
+            ));
+            top.push((
                 "total_wall_ms".to_string(),
                 Json::Num(wall_ms(self.total_wall)),
             ));
@@ -941,8 +1047,13 @@ fn aggregate_json(agg: &AggregateRow) -> Json {
 
 /// Milliseconds rounded to µs precision, so timing fields render as
 /// `121.474` rather than a 17-digit float tail.
-fn wall_ms(d: std::time::Duration) -> f64 {
+pub(crate) fn wall_ms(d: std::time::Duration) -> f64 {
     (d.as_secs_f64() * 1e6).round() / 1e3
+}
+
+/// The same µs-precision rounding for spans already measured in ms.
+pub(crate) fn phase_ms(ms: f64) -> f64 {
+    (ms * 1e3).round() / 1e3
 }
 
 /// Converts a parsed campaign JSON report (as produced by
@@ -1101,6 +1212,17 @@ fn outcome_json(o: &JobOutcome, opts: ReportOptions) -> Json {
     }
     if opts.include_timings {
         pairs.push(("wall_ms".to_string(), Json::Num(wall_ms(o.wall))));
+        if !o.phases.is_empty() {
+            pairs.push((
+                "phases".to_string(),
+                Json::Obj(
+                    o.phases
+                        .iter()
+                        .map(|&(name, ms)| (name.to_string(), Json::Num(phase_ms(ms))))
+                        .collect(),
+                ),
+            ));
+        }
     }
     Json::Obj(pairs)
 }
@@ -1177,6 +1299,7 @@ impl Campaign {
             cache: CacheStats::default(),
             threads: 0,
             total_wall: Duration::ZERO,
+            pool: PoolStats::default(),
         })
     }
 }
@@ -1264,6 +1387,7 @@ fn outcome_from_json(job: &Json, spec: &SweepSpec) -> Result<JobOutcome, String>
         },
         metrics: parsed,
         wall: Duration::ZERO,
+        phases: Vec::new(),
     })
 }
 
@@ -1361,6 +1485,7 @@ pub fn merge_reports(reports: Vec<Campaign>) -> Result<Campaign, String> {
         cache: CacheStats::default(),
         threads: 0,
         total_wall: Duration::ZERO,
+        pool: PoolStats::default(),
     })
 }
 
@@ -1489,6 +1614,7 @@ mod tests {
             cache: CacheStats::default(),
             threads: 0,
             total_wall: Duration::ZERO,
+            pool: PoolStats::default(),
         };
         assert_eq!(
             merged_campaign.to_json(ReportOptions::default()).render(),

@@ -135,6 +135,19 @@ impl Job {
     pub fn derived_seed(&self) -> u64 {
         mix64(self.bundle_seed() ^ (self.split_layer as u64) << 8 ^ fnv1a(self.attack.id()))
     }
+
+    /// The stable string identity of this job's persisted outcome — the
+    /// store's file stem, and one of the `store_keys` journal
+    /// `job-started` events carry.
+    pub fn outcome_key(&self) -> String {
+        format!(
+            "{}-x{}-{}-d{:016x}",
+            self.benchmark.name(),
+            self.benchmark.scale().unwrap_or(0),
+            self.attack.id(),
+            self.derived_seed()
+        )
+    }
 }
 
 #[cfg(test)]

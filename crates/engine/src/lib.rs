@@ -21,6 +21,10 @@
 //!   [`CancelToken`](exec::CancelToken): the campaign's thread allotment
 //!   is divided among jobs, so nested parallel work shares one pool and
 //!   output order stays independent of scheduling;
+//! * [`journal`] — the append-only, checksummed campaign event log
+//!   under `.sm-store/journal/`: per-job provenance, live progress
+//!   (`smctl tail`/`events`) and crash-safe resume, with the canonical
+//!   report as a deterministic materialization of the log;
 //! * [`campaign`] — sweep expansion, budgeted job execution with
 //!   deadline/cancellation (timed-out jobs are a distinct outcome that
 //!   `smctl resume` re-runs), seed-sweep aggregation (mean/σ/min/max)
@@ -58,6 +62,7 @@ pub mod cache;
 pub mod campaign;
 pub mod exec;
 pub mod job;
+pub mod journal;
 pub mod report;
 pub mod store;
 
@@ -67,8 +72,9 @@ pub use campaign::{
     merge_reports, run_job, run_jobs_budgeted, run_sweep, run_sweep_budgeted, run_sweep_with,
     Campaign, JobMetrics, JobOutcome, SweepSpec,
 };
-pub use exec::{Budget, CancelToken, Executor, ExecutorConfig, Pool};
+pub use exec::{Budget, CancelToken, Executor, ExecutorConfig, Pool, PoolStats};
 pub use job::{AttackKind, Benchmark, Job};
+pub use journal::{Event, Journal, JournalFollower};
 pub use report::{Json, ReportOptions};
 pub use store::{ArtifactStore, StoreStats, StoreUsage};
 
@@ -130,7 +136,14 @@ mod tests {
             })
             .render();
         assert!(!plain.contains("wall_ms"));
+        // Canonical output is pinned: the journal/metrics layer must not
+        // leak phase spans or pool counters into it.
+        assert!(!plain.contains("phases"));
+        assert!(!plain.contains("pool"));
         assert!(timed.contains("wall_ms"));
         assert!(timed.contains("threads"));
+        assert!(timed.contains("phases"));
+        assert!(timed.contains("pool"));
+        assert!(timed.contains("peak_live"));
     }
 }

@@ -54,6 +54,44 @@ impl Json {
         out
     }
 
+    /// Renders on a single line with no indentation — the journal
+    /// event-stream shape (`smctl events --format json` emits one
+    /// compact object per line). Parses back via [`Json::parse`].
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+            // Scalars render identically in both modes (depth unused).
+            scalar => scalar.write(out, 0),
+        }
+    }
+
     fn write(&self, out: &mut String, depth: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -459,6 +497,24 @@ mod tests {
         assert!(a.contains("\"ratio\": 2.5"));
         assert!(a.contains("\"empty\": []"));
         assert!(a.ends_with('\n'));
+    }
+
+    #[test]
+    fn compact_rendering_is_one_line_and_parses_back() {
+        let v = Json::obj([
+            ("event", Json::str("job-finished")),
+            ("seeds", Json::Arr(vec![Json::UInt(1), Json::UInt(2)])),
+            ("wall_ms", Json::Num(2.5)),
+            ("nested", Json::obj([("k", Json::Arr(vec![]))])),
+            ("ok", Json::Bool(true)),
+        ]);
+        let line = v.render_compact();
+        assert!(!line.contains('\n'));
+        assert_eq!(
+            line,
+            "{\"event\":\"job-finished\",\"seeds\":[1,2],\"wall_ms\":2.5,\"nested\":{\"k\":[]},\"ok\":true}"
+        );
+        assert_eq!(Json::parse(&line).unwrap(), v);
     }
 
     #[test]

@@ -141,25 +141,15 @@ impl ArtifactStore {
     // ----- keys → paths ---------------------------------------------------
 
     fn bundle_path(&self, key: &BundleKey) -> PathBuf {
-        let name = match key {
-            BundleKey::Iscas { name, seed } => format!("iscas-{name}-s{seed:016x}.bundle"),
-            BundleKey::Superblue { name, scale, seed } => {
-                format!("superblue-{name}-x{scale}-s{seed:016x}.bundle")
-            }
-        };
-        self.root.join("bundles").join(name)
+        self.root
+            .join("bundles")
+            .join(format!("{}.bundle", key.id()))
     }
 
     fn outcome_path(&self, job: &Job) -> PathBuf {
-        let scale = job.benchmark.scale().unwrap_or(0);
-        let name = format!(
-            "{}-x{}-{}-d{:016x}.outcome",
-            job.benchmark.name(),
-            scale,
-            job.attack.id(),
-            job.derived_seed()
-        );
-        self.root.join("jobs").join(name)
+        self.root
+            .join("jobs")
+            .join(format!("{}.outcome", job.outcome_key()))
     }
 
     // ----- bundle I/O -----------------------------------------------------
@@ -385,14 +375,10 @@ fn check_header(bytes: &[u8], kind: PayloadKind) -> Option<&[u8]> {
     Some(payload)
 }
 
-/// FNV-1a over raw bytes: the payload checksum in the store header.
+/// FNV-1a over raw bytes: the payload checksum in the store header —
+/// the same function `sm_codec::frame` uses for journal records.
 fn fnv1a_bytes(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf29ce484222325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100000001b3);
-    }
-    h
+    sm_codec::frame::fnv1a(bytes)
 }
 
 // ----- bundle & metrics encodings ----------------------------------------

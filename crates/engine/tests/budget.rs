@@ -16,7 +16,7 @@ use sm_engine::campaign::{
     merge_outcomes, merge_reports, missing_jobs, run_jobs_budgeted, run_sweep_budgeted, Campaign,
     SweepSpec,
 };
-use sm_engine::exec::{Budget, CancelToken};
+use sm_engine::exec::{Budget, CancelToken, PoolStats};
 use sm_engine::job::AttackKind;
 use sm_engine::report::{Json, ReportOptions};
 use sm_engine::{ArtifactCache, CacheStats};
@@ -147,6 +147,7 @@ fn cancelled_flow_jobs_resume_to_byte_identical_reports() {
         cache: CacheStats::default(),
         threads: 0,
         total_wall: Duration::ZERO,
+        pool: PoolStats::default(),
     };
     assert_eq!(canonical(&resumed), canonical(&full));
 }
@@ -202,6 +203,7 @@ fn cancelled_sweep_resumes_to_byte_identical_report() {
         cache: CacheStats::default(),
         threads: 0,
         total_wall: Duration::ZERO,
+        pool: PoolStats::default(),
     };
     assert_eq!(resumed.timed_out(), 0);
     assert_eq!(canonical(&resumed), canonical(&full));

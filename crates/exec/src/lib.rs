@@ -371,6 +371,19 @@ pub struct Pool {
     handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
+/// A point-in-time snapshot of a pool's occupancy counters, taken with
+/// [`Pool::stats`]. `live` is instantaneous; `peak_live` is the
+/// high-water mark since the pool was spawned.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Total thread slots (workers + one participating caller).
+    pub threads: usize,
+    /// OS threads executing pool work at sample time.
+    pub live: usize,
+    /// High-water mark of `live` over the pool's lifetime.
+    pub peak_live: usize,
+}
+
 impl std::fmt::Debug for Pool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Pool")
@@ -441,6 +454,17 @@ impl Pool {
     /// configured budget.
     pub fn peak_live(&self) -> usize {
         self.shared.peak.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time snapshot of the pool's instrumentation counters —
+    /// what campaign reports and journal `campaign-finished` records
+    /// sample.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            threads: self.threads(),
+            live: self.live(),
+            peak_live: self.peak_live(),
+        }
     }
 
     fn push(&self, handle: Arc<BatchHandle>) {
