@@ -72,8 +72,9 @@ USAGE:
     smctl run <artifact...> [--seed N] [--scale N] [--quick] [--threads N]
                 [--store DIR | --no-store] [--store-cap SIZE]
     smctl sweep [--benchmarks LIST] [--seeds SPEC] [--split-layers LIST]
-                [--attacks LIST] [--scale N] [--seed N] [--quick]
-                [--threads N] [--timeout-secs N] [--jobs SPEC | --shard K/N]
+                [--attacks LIST] [--scale N] [--seed N] [--layout-seed N]
+                [--quick] [--threads N] [--timeout-secs N]
+                [--jobs SPEC | --shard K/N]
                 [--format json|csv|agg-csv|table] [--timings] [--out FILE]
                 [--store DIR | --no-store] [--store-cap SIZE]
     smctl resume <report.json|journal|store-dir> [--threads N]
@@ -102,6 +103,11 @@ SWEEP AXES:
     --split-layers comma list of metal layers, e.g. `3,4,6` (default 3,4,5)
     --attacks      comma list of `flow`, `crouting` (default flow)
     --seed         campaign master seed folded into every derived seed
+    --layout-seed  pin the layout (place+route) seed: every seed of the
+                   sweep shares ONE bundle per benchmark (built or decoded
+                   once), while attack evaluation still varies per seed.
+                   Unset, each seed builds its own bundle (historical
+                   reports stay byte-identical)
     --jobs         run only these job indices of the expansion, e.g.
                    `0,2,5..9` (the report stays mergeable via resume)
     --shard K/N    run shard K of N (1-based): job indices K-1, K-1+N, …
@@ -133,9 +139,14 @@ BENCH:
     --max-regression (default 2.0) × the baseline plus a small slack.
 
 STORE:
-    run/sweep/resume persist layout bundles and job outcomes under
-    .sm-store/ by default; --store DIR relocates it, --no-store disables
-    it, --store-cap SIZE (bytes, or K/M/G) bounds it with LRU eviction.
+    run/sweep/resume persist every pipeline stage (netlists, place+route
+    layouts, protected designs, lifted layouts, FEOL splits) and job
+    outcomes under .sm-store/ by default, LZ-compressed; --store DIR
+    relocates it, --no-store disables it, --store-cap SIZE (bytes, or
+    K/M/G) bounds it with LRU eviction. Concurrent invocations sharing
+    one store coordinate eviction through a lock file, so one cap
+    governs them all; `store stats` breaks usage down per stage and
+    reports the compression ratio, `store gc` honors the same lock.
 
 JOURNAL:
     Store-backed sweeps append every lifecycle event (campaign/job
@@ -312,6 +323,7 @@ fn cmd_sweep(args: &[String]) -> Result<ExitCode, String> {
         attacks: vec![AttackKind::NetworkFlow],
         scale: opts.scale,
         master_seed: opts.seed,
+        layout_seed: None,
     };
     let mut format = "json".to_string();
     let mut out_path: Option<String> = None;
@@ -339,6 +351,9 @@ fn cmd_sweep(args: &[String]) -> Result<ExitCode, String> {
                 )?)?)
             }
             "--shard" => shard = Some(parse_shard(&cli::flag_value(flag, inline, args, &mut i)?)?),
+            "--layout-seed" => {
+                spec.layout_seed = Some(parse_u64(&cli::flag_value(flag, inline, args, &mut i)?)?)
+            }
             "--format" => format = cli::flag_value(flag, inline, args, &mut i)?,
             "--out" => out_path = Some(cli::flag_value(flag, inline, args, &mut i)?),
             "--timings" => {
@@ -539,6 +554,7 @@ fn cmd_resume(args: &[String]) -> Result<ExitCode, String> {
         spec: stored.spec,
         outcomes,
         cache: cache.stats(),
+        stages: cache.stage_stats(),
         threads: budget.threads(),
         total_wall: std::time::Duration::ZERO,
         pool: budget.pool().stats(),
@@ -662,14 +678,34 @@ fn cmd_store(args: &[String]) -> Result<ExitCode, String> {
         "stats" => {
             let usage = store.usage();
             println!(
-                "{dir}: {} file(s), {} bytes{}",
+                "{dir}: {} file(s), {} bytes ({:.2}x compression){}",
                 usage.files,
                 usage.bytes,
+                usage.compression_ratio(),
                 match opts.store_cap {
                     Some(cap) => format!(" (cap {cap})"),
                     None => String::new(),
                 }
             );
+            // Per-stage breakdown: which pipeline stage the bytes hold,
+            // so `--layout-seed` sweeps can verify one place+route
+            // artifact serves many jobs.
+            for (stage, s) in &usage.stages {
+                if s.files == 0 {
+                    continue;
+                }
+                println!(
+                    "  {:<12} {:>6} file(s) {:>12} bytes ({:.2}x)",
+                    stage.label(),
+                    s.files,
+                    s.bytes,
+                    if s.bytes == 0 {
+                        1.0
+                    } else {
+                        s.raw_bytes as f64 / s.bytes as f64
+                    }
+                );
+            }
         }
         "gc" => {
             let cap = opts

@@ -30,7 +30,7 @@ use sm_engine::exec::Budget;
 use sm_engine::job::AttackKind;
 use sm_engine::journal::{read_events, Journal};
 use sm_engine::report::Json;
-use sm_engine::store::ArtifactStore;
+use sm_engine::store::{ArtifactStore, Stage};
 use sm_engine::ArtifactCache;
 use sm_layout::{split_layout, Floorplan, PlacementEngine, RouteOptions, Router, Technology};
 use sm_netlist::Netlist;
@@ -249,6 +249,7 @@ pub fn run_bench(cfg: &BenchConfig) -> BenchReport {
         attacks: vec![AttackKind::NetworkFlow, AttackKind::Crouting],
         scale: cfg.scale,
         master_seed: cfg.seed,
+        layout_seed: None,
     };
     // One budget for both campaign passes: the thread allotment the
     // harness ran with is part of the recorded workload (`threads` in
@@ -308,6 +309,41 @@ pub fn run_bench(cfg: &BenchConfig) -> BenchReport {
         });
     }
     let _ = std::fs::remove_dir_all(&store_dir);
+
+    // Incremental-sweep probe: the same quick campaign widened to four
+    // seeds but pinned to one layout seed, against a fresh store. The
+    // stage-keyed pipeline collapses the whole seed sweep onto ONE
+    // place+route per benchmark (`pr_builds` — the gated invariant),
+    // so the extra seeds cost only attack evaluation, not layout.
+    {
+        let spec = SweepSpec {
+            seeds: vec![1, 2, 3, 4],
+            layout_seed: Some(cfg.seed),
+            ..spec.clone()
+        };
+        let incr_dir = std::env::temp_dir().join(format!("sm-bench-incr-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&incr_dir);
+        let cache = ArtifactCache::with_store(std::sync::Arc::new(ArtifactStore::open(
+            incr_dir.to_string_lossy().as_ref(),
+            None,
+        )));
+        let (campaign, wall) = timed(|| {
+            run_sweep_budgeted(&spec, &budget, &cache, None).expect("bench spec is valid")
+        });
+        stages.push(StageSample {
+            stage: "campaign-incremental",
+            benchmark: "-".to_string(),
+            wall_ms: wall,
+            detail: vec![
+                ("jobs", campaign.outcomes.len() as u64),
+                ("builds", campaign.cache.builds),
+                ("pr_builds", campaign.stages.builds_of(Stage::Layout)),
+                ("split_builds", campaign.stages.builds_of(Stage::Split)),
+                ("threads", budget.threads() as u64),
+            ],
+        });
+        let _ = std::fs::remove_dir_all(&incr_dir);
+    }
 
     BenchReport {
         config: cfg.clone(),

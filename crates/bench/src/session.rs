@@ -308,7 +308,9 @@ mod tests {
         let cold = Session::new(opts.clone());
         let a = cold.iscas_runs();
         assert_eq!(cold.cache_stats().builds, 2);
-        assert_eq!(cold.store_stats().unwrap().writes, 2);
+        // Stage-keyed persistence: each ISCAS bundle writes its
+        // netlist, place+route layout and protected design separately.
+        assert_eq!(cold.store_stats().unwrap().writes, 6);
 
         // A fresh session (new process, in effect) over the same store.
         let warm = Session::new(opts);

@@ -169,6 +169,7 @@ fn merge_exits_3_while_incomplete_and_finished_beats_timed_out() {
             attacks: vec![AttackKind::NetworkFlow],
             scale: 100,
             master_seed: 1,
+            layout_seed: None,
         };
         let cancel = CancelToken::new();
         cancel.cancel();

@@ -21,6 +21,8 @@
 
 #![warn(missing_docs)]
 
+pub mod lz;
+
 use std::fmt;
 
 /// A decoding failure. Encoding is infallible.

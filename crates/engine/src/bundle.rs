@@ -12,10 +12,47 @@
 
 use sm_benchgen::iscas::{self, IscasProfile};
 use sm_benchgen::superblue::{self, SuperblueProfile};
+use sm_codec::{Decode, Encode};
 use sm_core::baselines::{naive_lifting_with, original_layout_with};
 use sm_core::flow::{protect_with, BaselineLayout, FlowConfig, ProtectedDesign};
 use sm_exec::Budget;
 use sm_netlist::{NetId, Netlist};
+
+use crate::cache::BundleKey;
+use crate::store::Stage;
+
+/// Where staged assembly obtains each pipeline stage: the cache's
+/// store-backed fetcher, or [`BuildAll`] for storeless builds.
+///
+/// Stage artifacts round-trip bit-identically through the store codecs,
+/// so any mix of decoded and freshly-built stages assembles into the
+/// same bundle a from-scratch build produces.
+pub trait StageSource: Sync {
+    /// Fetches (or builds, persisting the result) the artifact of
+    /// `stage` stored under `id`, returning it plus whether it had to
+    /// be built.
+    fn fetch_stage<T: Encode + Decode>(
+        &self,
+        stage: Stage,
+        id: &str,
+        build: impl FnOnce() -> T,
+    ) -> (T, bool);
+}
+
+/// A [`StageSource`] with no storage behind it: every stage builds.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BuildAll;
+
+impl StageSource for BuildAll {
+    fn fetch_stage<T: Encode + Decode>(
+        &self,
+        _stage: Stage,
+        _id: &str,
+        build: impl FnOnce() -> T,
+    ) -> (T, bool) {
+        (build(), true)
+    }
+}
 
 /// One fully-processed superblue-class benchmark: original, naively lifted
 /// and proposed (protected) layouts, sharing the protected-net set so the
@@ -59,7 +96,32 @@ impl SuperblueRun {
         seed: u64,
         exec: &Budget,
     ) -> SuperblueRun {
-        let netlist = superblue::generate(profile, scale, seed);
+        Self::assemble_with(profile, scale, seed, exec, &BuildAll).0
+    }
+
+    /// Assembles the bundle stage by stage through `source`: each stage
+    /// is fetched (decoded from the store) or built and persisted
+    /// independently, so a store missing only one stage rebuilds only
+    /// that stage. Returns the run plus whether *any* stage was built.
+    ///
+    /// The protected-net set is recomputed from the protected design
+    /// (it is derived data, not a persisted stage).
+    pub fn assemble_with(
+        profile: &SuperblueProfile,
+        scale: usize,
+        seed: u64,
+        exec: &Budget,
+        source: &impl StageSource,
+    ) -> (SuperblueRun, bool) {
+        let id = BundleKey::Superblue {
+            name: profile.name,
+            scale,
+            seed,
+        }
+        .id();
+        let (netlist, n_built) = source.fetch_stage(Stage::Netlist, &id, || {
+            superblue::generate(profile, scale, seed)
+        });
         let util = profile.utilization();
         let config = FlowConfig {
             utilization: util,
@@ -67,27 +129,40 @@ impl SuperblueRun {
         };
         // Each arm runs placement inside its half of the job's budget.
         let arm = exec.split(2);
-        let (protected, original) = exec.join(
-            || protect_with(&netlist, &config, &arm),
-            || original_layout_with(&netlist, util, seed, &arm),
+        let ((protected, p_built), (original, o_built)) = exec.join(
+            || {
+                source.fetch_stage(Stage::Protect, &id, || {
+                    protect_with(&netlist, &config, &arm)
+                })
+            },
+            || {
+                source.fetch_stage(Stage::Layout, &id, || {
+                    original_layout_with(&netlist, util, seed, &arm)
+                })
+            },
         );
         let protected_nets = protected.protected_nets();
-        let lifted = naive_lifting_with(
-            &netlist,
-            &protected_nets,
-            config.lift_layer,
-            util,
-            seed,
-            exec,
-        );
-        SuperblueRun {
-            name: profile.name,
-            netlist,
-            original,
-            lifted,
-            protected,
-            protected_nets,
-        }
+        let (lifted, l_built) = source.fetch_stage(Stage::Lift, &id, || {
+            naive_lifting_with(
+                &netlist,
+                &protected_nets,
+                config.lift_layer,
+                util,
+                seed,
+                exec,
+            )
+        });
+        (
+            SuperblueRun {
+                name: profile.name,
+                netlist,
+                original,
+                lifted,
+                protected,
+                protected_nets,
+            },
+            n_built || p_built || o_built || l_built,
+        )
     }
 }
 
@@ -116,19 +191,48 @@ impl IscasRun {
     /// unprotected baseline are independent and build concurrently with
     /// bit-identical results.
     pub fn build_with(profile: &IscasProfile, seed: u64, exec: &Budget) -> IscasRun {
-        let netlist = iscas::generate(profile, seed);
+        Self::assemble_with(profile, seed, exec, &BuildAll).0
+    }
+
+    /// Assembles the bundle stage by stage through `source` (see
+    /// [`SuperblueRun::assemble_with`]). Returns the run plus whether
+    /// any stage was built.
+    pub fn assemble_with(
+        profile: &IscasProfile,
+        seed: u64,
+        exec: &Budget,
+        source: &impl StageSource,
+    ) -> (IscasRun, bool) {
+        let id = BundleKey::Iscas {
+            name: profile.name,
+            seed,
+        }
+        .id();
+        let (netlist, n_built) =
+            source.fetch_stage(Stage::Netlist, &id, || iscas::generate(profile, seed));
         let config = FlowConfig::iscas_default(seed);
         let arm = exec.split(2);
-        let (protected, original) = exec.join(
-            || protect_with(&netlist, &config, &arm),
-            || original_layout_with(&netlist, config.utilization, seed, &arm),
+        let ((protected, p_built), (original, o_built)) = exec.join(
+            || {
+                source.fetch_stage(Stage::Protect, &id, || {
+                    protect_with(&netlist, &config, &arm)
+                })
+            },
+            || {
+                source.fetch_stage(Stage::Layout, &id, || {
+                    original_layout_with(&netlist, config.utilization, seed, &arm)
+                })
+            },
         );
-        IscasRun {
-            name: profile.name,
-            netlist,
-            original,
-            protected,
-        }
+        (
+            IscasRun {
+                name: profile.name,
+                netlist,
+                original,
+                protected,
+            },
+            n_built || p_built || o_built,
+        )
     }
 }
 

@@ -28,10 +28,12 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 use sm_benchgen::iscas::IscasProfile;
 use sm_benchgen::superblue::SuperblueProfile;
+use sm_codec::{Decode, Encode};
+use sm_layout::SplitLayout;
 
-use crate::bundle::{IscasRun, SuperblueRun};
+use crate::bundle::{IscasRun, StageSource, SuperblueRun};
 use crate::journal::{Event, Journal};
-use crate::store::ArtifactStore;
+use crate::store::{ArtifactStore, Stage};
 
 /// The content key a bundle is cached (and persisted) under: exactly
 /// the build inputs of [`IscasRun::build`]/[`SuperblueRun::build`].
@@ -66,6 +68,48 @@ impl BundleKey {
                 format!("superblue-{name}-x{scale}-s{seed:016x}")
             }
         }
+    }
+}
+
+/// Which arm of a bundle a split view belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SplitArm {
+    /// The protected layout's FEOL (erroneous netlist + FEOL routing).
+    Protected,
+    /// The unprotected baseline's FEOL.
+    Original,
+}
+
+impl SplitArm {
+    /// Stable identifier used in split-stage store keys.
+    pub fn id(&self) -> &'static str {
+        match self {
+            SplitArm::Protected => "prot",
+            SplitArm::Original => "orig",
+        }
+    }
+}
+
+/// Per-stage build/decode counters, indexed by [`Stage::index`].
+/// Separate from [`CacheStats`], whose bundle-level semantics (and the
+/// reports built on them) stay unchanged by stage-keyed persistence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StageStats {
+    /// Stage artifacts built, per stage.
+    pub builds: [u64; Stage::ALL.len()],
+    /// Stage artifacts decoded from the store, per stage.
+    pub decodes: [u64; Stage::ALL.len()],
+}
+
+impl StageStats {
+    /// Builds of one stage.
+    pub fn builds_of(&self, stage: Stage) -> u64 {
+        self.builds[stage.index()]
+    }
+
+    /// Store decodes of one stage.
+    pub fn decodes_of(&self, stage: Stage) -> u64 {
+        self.decodes[stage.index()]
     }
 }
 
@@ -106,6 +150,7 @@ type BundleMap<K, T> = Mutex<HashMap<K, Slot<T>>>;
 pub struct ArtifactCache {
     iscas: BundleMap<(&'static str, u64), IscasRun>,
     superblue: BundleMap<(&'static str, usize, u64), SuperblueRun>,
+    splits: BundleMap<(BundleKey, SplitArm, u8), SplitLayout>,
     store: Option<Arc<ArtifactStore>>,
     journal: Option<Arc<Journal>>,
     expected: Mutex<HashMap<BundleKey, usize>>,
@@ -113,6 +158,8 @@ pub struct ArtifactCache {
     disk_hits: AtomicU64,
     builds: AtomicU64,
     released: AtomicU64,
+    stage_builds: [AtomicU64; Stage::ALL.len()],
+    stage_decodes: [AtomicU64; Stage::ALL.len()],
 }
 
 impl ArtifactCache {
@@ -160,6 +207,20 @@ impl ArtifactCache {
         }
     }
 
+    /// Records a stage-level `bundle-built` journal event (stage
+    /// `"<label>-build"`/`"<label>-decode"`, e.g. `"place+route-decode"`)
+    /// — distinct from the bundle-level `"build"`/`"decode"` strings so
+    /// existing consumers keep counting whole bundles.
+    fn note_stage(&self, stage: Stage, id: &str, what: &str, start: std::time::Instant) {
+        if let Some(journal) = &self.journal {
+            journal.record(&Event::BundleBuilt {
+                key: id.to_string(),
+                stage: format!("{}-{what}", stage.label()),
+                wall_ms: start.elapsed().as_secs_f64() * 1e3,
+            });
+        }
+    }
+
     fn fetch<T>(&self, slot: Slot<T>, obtain: impl FnOnce() -> (T, Origin)) -> Arc<T> {
         let mut origin = None;
         let value = slot.get_or_init(|| {
@@ -195,18 +256,14 @@ impl ArtifactCache {
         };
         self.fetch(slot, || {
             let start = std::time::Instant::now();
-            if let Some(store) = &self.store {
-                if let Some(run) = store.load_iscas(&key) {
-                    self.note_bundle(&key, "decode", start);
-                    return (run, Origin::Disk);
-                }
+            let (run, built) = IscasRun::assemble_with(profile, seed, exec, self);
+            if built {
+                self.note_bundle(&key, "build", start);
+                (run, Origin::Built)
+            } else {
+                self.note_bundle(&key, "decode", start);
+                (run, Origin::Disk)
             }
-            let run = IscasRun::build_with(profile, seed, exec);
-            if let Some(store) = &self.store {
-                store.save_iscas(&key, &run);
-            }
-            self.note_bundle(&key, "build", start);
-            (run, Origin::Built)
         })
     }
 
@@ -230,19 +287,44 @@ impl ArtifactCache {
         };
         self.fetch(slot, || {
             let start = std::time::Instant::now();
-            if let Some(store) = &self.store {
-                if let Some(run) = store.load_superblue(&key) {
-                    self.note_bundle(&key, "decode", start);
-                    return (run, Origin::Disk);
-                }
+            let (run, built) = SuperblueRun::assemble_with(profile, scale, seed, exec, self);
+            if built {
+                self.note_bundle(&key, "build", start);
+                (run, Origin::Built)
+            } else {
+                self.note_bundle(&key, "decode", start);
+                (run, Origin::Disk)
             }
-            let run = SuperblueRun::build_with(profile, scale, seed, exec);
-            if let Some(store) = &self.store {
-                store.save_superblue(&key, &run);
-            }
-            self.note_bundle(&key, "build", start);
-            (run, Origin::Built)
         })
+    }
+
+    /// The split view of one arm of a bundle at `layer`, cached in
+    /// memory per (bundle, arm, layer) and persisted as its own
+    /// split-stage artifact — so the two attacks of one sweep point
+    /// share each split, and a new attack variant over a warm store
+    /// decodes splits instead of recomputing them.
+    ///
+    /// Splits are derived views: they count in the per-stage counters
+    /// only, never in the bundle-level [`CacheStats`], and their
+    /// in-memory entries drop with their bundle on
+    /// [`ArtifactCache::release`].
+    pub fn split(
+        &self,
+        key: &BundleKey,
+        arm: SplitArm,
+        layer: u8,
+        build: impl FnOnce() -> SplitLayout,
+    ) -> Arc<SplitLayout> {
+        let slot = {
+            let mut map = self.splits.lock().expect("split cache poisoned");
+            Arc::clone(map.entry((*key, arm, layer)).or_default())
+        };
+        let value = slot.get_or_init(|| {
+            let id = format!("{}-{}-l{layer}", key.id(), arm.id());
+            let (split, _built) = self.fetch_stage(Stage::Split, &id, build);
+            Arc::new(split)
+        });
+        Arc::clone(value)
     }
 
     /// Registers `uses` upcoming consumers of `key` (called once per key
@@ -283,6 +365,12 @@ impl ArtifactCache {
         if !drop_now {
             return;
         }
+        // Split views belong to their bundle: drop them together so the
+        // working set shrinks with the sweep frontier.
+        self.splits
+            .lock()
+            .expect("split cache poisoned")
+            .retain(|(k, _, _), _| k != key);
         let removed = match key {
             BundleKey::Iscas { name, seed } => self
                 .iscas
@@ -320,6 +408,46 @@ impl ArtifactCache {
             builds: self.builds.load(Ordering::Relaxed),
             released: self.released.load(Ordering::Relaxed),
         }
+    }
+
+    /// Per-stage build/decode counters accumulated so far.
+    pub fn stage_stats(&self) -> StageStats {
+        let mut stats = StageStats::default();
+        for stage in Stage::ALL {
+            let i = stage.index();
+            stats.builds[i] = self.stage_builds[i].load(Ordering::Relaxed);
+            stats.decodes[i] = self.stage_decodes[i].load(Ordering::Relaxed);
+        }
+        stats
+    }
+}
+
+impl StageSource for ArtifactCache {
+    /// Tiered stage fetch: store decode → build (persisting the result
+    /// when a store is attached). Every stage touch lands in the
+    /// per-stage counters and, when a journal is attached, as a
+    /// stage-level progress event.
+    fn fetch_stage<T: Encode + Decode>(
+        &self,
+        stage: Stage,
+        id: &str,
+        build: impl FnOnce() -> T,
+    ) -> (T, bool) {
+        let start = std::time::Instant::now();
+        if let Some(store) = &self.store {
+            if let Some(value) = store.load_stage::<T>(stage, id) {
+                self.stage_decodes[stage.index()].fetch_add(1, Ordering::Relaxed);
+                self.note_stage(stage, id, "decode", start);
+                return (value, false);
+            }
+        }
+        let value = build();
+        if let Some(store) = &self.store {
+            store.save_stage(stage, id, &value);
+        }
+        self.stage_builds[stage.index()].fetch_add(1, Ordering::Relaxed);
+        self.note_stage(stage, id, "build", start);
+        (value, true)
     }
 }
 

@@ -38,11 +38,12 @@ use sm_layout::split_layout;
 use sm_netlist::{NetId, Netlist, Sink};
 
 use crate::bundle::{IscasRun, SuperblueRun};
-use crate::cache::{ArtifactCache, CacheStats};
+use crate::cache::{ArtifactCache, CacheStats, SplitArm, StageStats};
 use crate::exec::{Budget, Executor, ExecutorConfig, PoolStats};
 use crate::job::{AttackKind, Benchmark, Job};
 use crate::journal::{Event, EventJob, MetricsSource, Provenance};
 use crate::report::{csv, Json, ReportOptions};
+use crate::store::Stage;
 
 /// A sweep specification: the cartesian product
 /// benchmarks × seeds × split layers × attacks.
@@ -60,6 +61,12 @@ pub struct SweepSpec {
     pub scale: usize,
     /// Campaign master seed, folded into every derived seed.
     pub master_seed: u64,
+    /// Pinned layout seed (`--layout-seed`): every job builds its
+    /// bundle from this seed instead of its user seed, so the whole
+    /// seed sweep shares one place+route per benchmark. `None` (the
+    /// default) keeps per-user-seed bundles and reproduces historical
+    /// reports byte-for-byte.
+    pub layout_seed: Option<u64>,
 }
 
 impl Default for SweepSpec {
@@ -71,6 +78,7 @@ impl Default for SweepSpec {
             attacks: vec![AttackKind::NetworkFlow],
             scale: 100,
             master_seed: 1,
+            layout_seed: None,
         }
     }
 }
@@ -112,6 +120,7 @@ impl SweepSpec {
                             split_layer,
                             attack,
                             master_seed: self.master_seed,
+                            layout_seed: self.layout_seed,
                         });
                     }
                 }
@@ -239,6 +248,9 @@ pub struct Campaign {
     pub outcomes: Vec<JobOutcome>,
     /// Bundle-cache counters.
     pub cache: CacheStats,
+    /// Per-pipeline-stage build/decode counters (all-zero for campaigns
+    /// parsed from a report).
+    pub stages: StageStats,
     /// Worker threads used (0 for campaigns parsed from a report).
     pub threads: usize,
     /// End-to-end campaign wall clock.
@@ -307,10 +319,10 @@ pub fn run_job(cache: &ArtifactCache, job: &Job, exec: &Budget) -> JobOutcome {
                 // within one scaling phase and comes back timed-out
                 // instead of overshooting by its whole runtime.
                 AttackKind::NetworkFlow => {
-                    flow_metrics(&bundle, job, exec.cancel_token(), &mut phases)
+                    flow_metrics(cache, &bundle, job, exec.cancel_token(), &mut phases)
                         .unwrap_or(JobMetrics::TimedOut)
                 }
-                AttackKind::Crouting => crouting_metrics(&bundle, job.split_layer, &mut phases),
+                AttackKind::Crouting => crouting_metrics(cache, &bundle, job, &mut phases),
             };
             if let Some(store) = cache.store() {
                 store.save_outcome(job, &metrics);
@@ -359,6 +371,7 @@ fn ms_since(start: Instant) -> f64 {
 /// be recorded timed-out (a completed measurement is bit-identical
 /// whether or not a deadline was armed).
 fn flow_metrics(
+    cache: &ArtifactCache,
     bundle: &Bundle,
     job: &Job,
     cancel: &sm_exec::CancelToken,
@@ -372,16 +385,19 @@ fn flow_metrics(
         ..ProximityConfig::default()
     };
     let split_layer = job.split_layer;
+    let key = job.bundle_key();
     let netlist = bundle.netlist();
     let protected = bundle.protected();
 
     let t = Instant::now();
-    let split_prot = split_layout(
-        &protected.randomization.erroneous,
-        &protected.placement,
-        &protected.feol_routing,
-        split_layer,
-    );
+    let split_prot = cache.split(&key, SplitArm::Protected, split_layer, || {
+        split_layout(
+            &protected.randomization.erroneous,
+            &protected.placement,
+            &protected.feol_routing,
+            split_layer,
+        )
+    });
     phases.push(("split", ms_since(t)));
     let mut rec = sm_attacks::phase::Recorder::new();
     let out = network_flow_attack_traced(
@@ -399,7 +415,9 @@ fn flow_metrics(
 
     let original = bundle.original();
     let t = Instant::now();
-    let split_orig = split_layout(netlist, &original.placement, &original.routing, split_layer);
+    let split_orig = cache.split(&key, SplitArm::Original, split_layer, || {
+        split_layout(netlist, &original.placement, &original.routing, split_layer)
+    });
     phases.push(("split-original", ms_since(t)));
     let t = Instant::now();
     let out_orig = network_flow_attack_cancellable(
@@ -421,21 +439,26 @@ fn flow_metrics(
 }
 
 fn crouting_metrics(
+    cache: &ArtifactCache,
     bundle: &Bundle,
-    split_layer: u8,
+    job: &Job,
     phases: &mut Vec<(&'static str, f64)>,
 ) -> JobMetrics {
     let cfg = CroutingConfig::default();
+    let split_layer = job.split_layer;
+    let key = job.bundle_key();
     let netlist = bundle.netlist();
     let protected = bundle.protected();
 
     let t = Instant::now();
-    let split_prot = split_layout(
-        &protected.randomization.erroneous,
-        &protected.placement,
-        &protected.feol_routing,
-        split_layer,
-    );
+    let split_prot = cache.split(&key, SplitArm::Protected, split_layer, || {
+        split_layout(
+            &protected.randomization.erroneous,
+            &protected.placement,
+            &protected.feol_routing,
+            split_layer,
+        )
+    });
     phases.push(("split", ms_since(t)));
     // Candidate lists are structural, so the erroneous netlist is the
     // right golden reference for the protected FEOL (cf. Table 3).
@@ -445,7 +468,9 @@ fn crouting_metrics(
 
     let original = bundle.original();
     let t = Instant::now();
-    let split_orig = split_layout(netlist, &original.placement, &original.routing, split_layer);
+    let split_orig = cache.split(&key, SplitArm::Original, split_layer, || {
+        split_layout(netlist, &original.placement, &original.routing, split_layer)
+    });
     phases.push(("split-original", ms_since(t)));
     let t = Instant::now();
     let rep_orig = crouting_attack(netlist, &split_orig, &cfg);
@@ -545,6 +570,7 @@ pub fn run_sweep_budgeted(
         spec: spec.clone(),
         outcomes,
         cache: cache.stats(),
+        stages: cache.stage_stats(),
         threads: budget.threads(),
         total_wall: start.elapsed(),
         pool: budget.pool().stats(),
@@ -803,6 +829,14 @@ impl Campaign {
         let mut top = vec![
             ("campaign".to_string(), Json::str("sweep")),
             ("master_seed".to_string(), Json::UInt(spec.master_seed)),
+        ];
+        // Emitted only when pinned, so unpinned reports stay
+        // byte-identical to every report written before the field
+        // existed.
+        if let Some(layout_seed) = spec.layout_seed {
+            top.push(("layout_seed".to_string(), Json::UInt(layout_seed)));
+        }
+        top.extend([
             ("scale".to_string(), Json::UInt(spec.scale as u64)),
             (
                 "benchmarks".to_string(),
@@ -838,7 +872,7 @@ impl Campaign {
                 "aggregates".to_string(),
                 Json::Arr(self.aggregates().iter().map(aggregate_json).collect()),
             ),
-        ];
+        ]);
         if opts.include_timings {
             top.push((
                 "cache".to_string(),
@@ -997,7 +1031,7 @@ impl Campaign {
     pub fn summary(&self) -> String {
         let timed_out = self.timed_out();
         format!(
-            "{} jobs on {} threads in {:.2}s — cache: {} builds, {} hits, {} disk hits, {} released{}",
+            "{} jobs on {} threads in {:.2}s — cache: {} builds, {} hits, {} disk hits, {} released — stages: {} place+route built, {} split built{}",
             self.outcomes.len(),
             self.threads,
             self.total_wall.as_secs_f64(),
@@ -1005,6 +1039,8 @@ impl Campaign {
             self.cache.hits,
             self.cache.disk_hits,
             self.cache.released,
+            self.stages.builds_of(Stage::Layout),
+            self.stages.builds_of(Stage::Split),
             if timed_out > 0 {
                 format!(" — {timed_out} timed out")
             } else {
@@ -1268,6 +1304,12 @@ impl Campaign {
             .get("master_seed")
             .and_then(Json::as_u64)
             .ok_or("report missing `master_seed`")?;
+        // Absent in every report written before the field existed (and
+        // in unpinned ones since) — absent simply means "not pinned".
+        let layout_seed = match report.get("layout_seed") {
+            None => None,
+            Some(v) => Some(v.as_u64().ok_or("`layout_seed` is not a u64")?),
+        };
         let attacks = str_list("attacks")?
             .iter()
             .map(|s| AttackKind::parse(s))
@@ -1283,6 +1325,7 @@ impl Campaign {
             attacks,
             scale,
             master_seed,
+            layout_seed,
         };
 
         let jobs = report
@@ -1297,6 +1340,7 @@ impl Campaign {
             spec,
             outcomes,
             cache: CacheStats::default(),
+            stages: StageStats::default(),
             threads: 0,
             total_wall: Duration::ZERO,
             pool: PoolStats::default(),
@@ -1384,6 +1428,7 @@ fn outcome_from_json(job: &Json, spec: &SweepSpec) -> Result<JobOutcome, String>
             split_layer,
             attack,
             master_seed: spec.master_seed,
+            layout_seed: spec.layout_seed,
         },
         metrics: parsed,
         wall: Duration::ZERO,
@@ -1483,6 +1528,7 @@ pub fn merge_reports(reports: Vec<Campaign>) -> Result<Campaign, String> {
         spec,
         outcomes,
         cache: CacheStats::default(),
+        stages: StageStats::default(),
         threads: 0,
         total_wall: Duration::ZERO,
         pool: PoolStats::default(),
@@ -1502,6 +1548,7 @@ mod tests {
             attacks: vec![AttackKind::NetworkFlow, AttackKind::Crouting],
             scale: 100,
             master_seed: 7,
+            layout_seed: None,
         };
         let jobs = spec.jobs().unwrap();
         assert_eq!(jobs.len(), 2 * 2 * 2 * 2);
@@ -1547,6 +1594,7 @@ mod tests {
             attacks: vec![AttackKind::NetworkFlow, AttackKind::Crouting],
             scale: 100,
             master_seed: 1,
+            layout_seed: None,
         };
         let cache = ArtifactCache::new();
         let exec = ExecutorConfig { threads: Some(2) };
@@ -1566,6 +1614,7 @@ mod tests {
             attacks: vec![AttackKind::NetworkFlow, AttackKind::Crouting],
             scale: 100,
             master_seed: 3,
+            layout_seed: None,
         };
         let campaign = run_sweep(&spec, ExecutorConfig { threads: Some(2) }).unwrap();
         let rendered = campaign.to_json(ReportOptions::default()).render();
@@ -1588,6 +1637,7 @@ mod tests {
             attacks: vec![AttackKind::NetworkFlow],
             scale: 100,
             master_seed: 1,
+            layout_seed: None,
         };
         let expansion = spec.jobs().unwrap();
         let cache = ArtifactCache::new();
@@ -1612,6 +1662,7 @@ mod tests {
             spec: spec.clone(),
             outcomes: merged,
             cache: CacheStats::default(),
+            stages: StageStats::default(),
             threads: 0,
             total_wall: Duration::ZERO,
             pool: PoolStats::default(),
@@ -1631,6 +1682,7 @@ mod tests {
             attacks: vec![AttackKind::NetworkFlow],
             scale: 100,
             master_seed: 1,
+            layout_seed: None,
         };
         let campaign = run_sweep(&spec, ExecutorConfig { threads: Some(3) }).unwrap();
         let aggs = campaign.aggregates();

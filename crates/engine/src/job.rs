@@ -100,6 +100,13 @@ pub struct Job {
     pub attack: AttackKind,
     /// Campaign master seed (folded into derived seeds).
     pub master_seed: u64,
+    /// Pinned layout seed (`--layout-seed`). When set, the bundle is
+    /// built from this seed instead of the user seed, so a multi-seed
+    /// sweep shares **one** place+route per benchmark while attack
+    /// evaluation still varies per user seed (see
+    /// [`Job::derived_seed`]). `None` reproduces the historical
+    /// per-user-seed bundles bit-for-bit.
+    pub layout_seed: Option<u64>,
 }
 
 impl Job {
@@ -107,9 +114,11 @@ impl Job {
     ///
     /// Depends on (master seed, benchmark, user seed) only — *not* on the
     /// split layer or attack — so every job touching the same design+seed
-    /// shares one cached bundle.
+    /// shares one cached bundle. A pinned layout seed replaces the user
+    /// seed here, collapsing a whole seed sweep onto one bundle.
     pub fn bundle_seed(&self) -> u64 {
-        mix64(self.master_seed ^ fnv1a(self.benchmark.name()) ^ self.user_seed.rotate_left(17))
+        let seed = self.layout_seed.unwrap_or(self.user_seed);
+        mix64(self.master_seed ^ fnv1a(self.benchmark.name()) ^ seed.rotate_left(17))
     }
 
     /// The cache/store key of the bundle this job consumes (shared by
@@ -133,7 +142,17 @@ impl Job {
     /// explore attack variance as well as layout variance. It also keys
     /// the store's persisted job outcomes.
     pub fn derived_seed(&self) -> u64 {
-        mix64(self.bundle_seed() ^ (self.split_layer as u64) << 8 ^ fnv1a(self.attack.id()))
+        let base =
+            mix64(self.bundle_seed() ^ (self.split_layer as u64) << 8 ^ fnv1a(self.attack.id()));
+        match self.layout_seed {
+            // Without a pinned layout, the bundle seed already folds in
+            // the user seed — keep the historical formula bit-for-bit.
+            None => base,
+            // With one, the bundle seed no longer varies per user seed,
+            // so fold the user seed back in here: jobs share a layout
+            // but still explore attack variance across seeds.
+            Some(_) => mix64(base ^ mix64(self.user_seed)),
+        }
     }
 
     /// The stable string identity of this job's persisted outcome — the
@@ -162,7 +181,27 @@ mod tests {
             split_layer: split,
             attack,
             master_seed: 1,
+            layout_seed: None,
         }
+    }
+
+    #[test]
+    fn pinned_layout_seed_collapses_bundles_not_derived_seeds() {
+        let mut a = job("c432", 3, 4, AttackKind::NetworkFlow);
+        let mut b = job("c432", 7, 4, AttackKind::NetworkFlow);
+        a.layout_seed = Some(42);
+        b.layout_seed = Some(42);
+        // One bundle across user seeds…
+        assert_eq!(a.bundle_seed(), b.bundle_seed());
+        assert_eq!(a.bundle_key(), b.bundle_key());
+        // …but distinct attack streams and outcome keys.
+        assert_ne!(a.derived_seed(), b.derived_seed());
+        assert_ne!(a.outcome_key(), b.outcome_key());
+        // Pinning to the user seed's value matches that seed's bundle,
+        // and an unpinned job keeps the historical formulas.
+        let plain = job("c432", 42, 4, AttackKind::NetworkFlow);
+        assert_eq!(a.bundle_seed(), plain.bundle_seed());
+        assert_ne!(a.derived_seed(), plain.derived_seed());
     }
 
     #[test]

@@ -56,8 +56,11 @@ use crate::report::Json;
 pub const JOURNAL_MAGIC: [u8; 4] = *b"SMJL";
 
 /// Journal format version. Bumping it invalidates old journals
-/// wholesale (mirroring the store's versioning policy).
-pub const JOURNAL_VERSION: u16 = 1;
+/// wholesale (mirroring the store's versioning policy). v2 added the
+/// spec's optional pinned layout seed to `campaign-started` records —
+/// v1 journals fail loudly with a version message rather than decoding
+/// to a silently-empty prefix.
+pub const JOURNAL_VERSION: u16 = 2;
 
 /// Bytes of file header before the first frame.
 const HEADER_LEN: usize = 6;
@@ -102,6 +105,7 @@ impl EventJob {
             split_layer: self.split_layer,
             attack: self.attack,
             master_seed: spec.master_seed,
+            layout_seed: spec.layout_seed,
         })
     }
 
@@ -252,34 +256,35 @@ impl Event {
         match self {
             Event::CampaignStarted { spec, threads } => {
                 pairs.push(("threads".to_string(), Json::UInt(*threads)));
-                pairs.push((
-                    "spec".to_string(),
-                    Json::obj([
-                        (
-                            "benchmarks",
-                            Json::Arr(spec.benchmarks.iter().map(Json::str).collect()),
+                let mut fields = vec![
+                    (
+                        "benchmarks".to_string(),
+                        Json::Arr(spec.benchmarks.iter().map(Json::str).collect()),
+                    ),
+                    (
+                        "seeds".to_string(),
+                        Json::Arr(spec.seeds.iter().map(|&s| Json::UInt(s)).collect()),
+                    ),
+                    (
+                        "split_layers".to_string(),
+                        Json::Arr(
+                            spec.split_layers
+                                .iter()
+                                .map(|&l| Json::UInt(l as u64))
+                                .collect(),
                         ),
-                        (
-                            "seeds",
-                            Json::Arr(spec.seeds.iter().map(|&s| Json::UInt(s)).collect()),
-                        ),
-                        (
-                            "split_layers",
-                            Json::Arr(
-                                spec.split_layers
-                                    .iter()
-                                    .map(|&l| Json::UInt(l as u64))
-                                    .collect(),
-                            ),
-                        ),
-                        (
-                            "attacks",
-                            Json::Arr(spec.attacks.iter().map(|a| Json::str(a.id())).collect()),
-                        ),
-                        ("scale", Json::UInt(spec.scale as u64)),
-                        ("master_seed", Json::UInt(spec.master_seed)),
-                    ]),
-                ));
+                    ),
+                    (
+                        "attacks".to_string(),
+                        Json::Arr(spec.attacks.iter().map(|a| Json::str(a.id())).collect()),
+                    ),
+                    ("scale".to_string(), Json::UInt(spec.scale as u64)),
+                    ("master_seed".to_string(), Json::UInt(spec.master_seed)),
+                ];
+                if let Some(layout_seed) = spec.layout_seed {
+                    fields.push(("layout_seed".to_string(), Json::UInt(layout_seed)));
+                }
+                pairs.push(("spec".to_string(), Json::Obj(fields)));
             }
             Event::JobStarted { job, store_keys } => {
                 push_job(&mut pairs, job);
@@ -429,6 +434,7 @@ impl Encode for SweepSpec {
         self.attacks.encode(w);
         self.scale.encode(w);
         self.master_seed.encode(w);
+        self.layout_seed.encode(w);
     }
 }
 
@@ -441,6 +447,7 @@ impl Decode for SweepSpec {
             attacks: Vec::decode(r)?,
             scale: usize::decode(r)?,
             master_seed: u64::decode(r)?,
+            layout_seed: Option::decode(r)?,
         })
     }
 }
@@ -916,6 +923,7 @@ pub fn materialize(events: &[Event]) -> Result<Campaign, String> {
         spec,
         outcomes: merge_outcomes(&expansion, Vec::new(), outcomes),
         cache: CacheStats::default(),
+        stages: crate::cache::StageStats::default(),
         threads: 0,
         total_wall: Duration::ZERO,
         pool: PoolStats::default(),

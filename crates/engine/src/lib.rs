@@ -66,8 +66,8 @@ pub mod journal;
 pub mod report;
 pub mod store;
 
-pub use bundle::{iscas_selection, superblue_selection, IscasRun, SuperblueRun};
-pub use cache::{ArtifactCache, BundleKey, CacheStats};
+pub use bundle::{iscas_selection, superblue_selection, IscasRun, StageSource, SuperblueRun};
+pub use cache::{ArtifactCache, BundleKey, CacheStats, SplitArm, StageStats};
 pub use campaign::{
     merge_reports, run_job, run_jobs_budgeted, run_sweep, run_sweep_budgeted, run_sweep_with,
     Campaign, JobMetrics, JobOutcome, SweepSpec,
@@ -76,7 +76,7 @@ pub use exec::{Budget, CancelToken, Executor, ExecutorConfig, Pool, PoolStats};
 pub use job::{AttackKind, Benchmark, Job};
 pub use journal::{Event, Journal, JournalFollower};
 pub use report::{Json, ReportOptions};
-pub use store::{ArtifactStore, StoreStats, StoreUsage};
+pub use store::{ArtifactStore, Stage, StageUsage, StoreStats, StoreUsage};
 
 #[cfg(test)]
 mod tests {
@@ -95,6 +95,7 @@ mod tests {
             attacks: vec![AttackKind::NetworkFlow, AttackKind::Crouting],
             scale: 100,
             master_seed: 1,
+            layout_seed: None,
         }
     }
 

@@ -1,12 +1,12 @@
 //! Disk-backed artifact store: the persistent tier under the in-memory
 //! bundle cache.
 //!
-//! PR 1's content-keyed cache dies with the process, so every `smctl`
-//! invocation rebuilt the same layout bundles. The store persists
-//! serialized bundles (and finished job metrics) under a root directory
-//! — `.sm-store/` by default — keyed by the **same content keys** the
-//! in-memory cache uses, which makes repeated paper runs warm-cache
-//! reloads instead of minutes of place-and-route.
+//! PR 2 persisted whole bundles; PR 7 splits the content key **per
+//! pipeline stage** (generate → place+route → protect → lift → split),
+//! so each stage's artifact lives in its own file under its own
+//! subdirectory and a bundle assembly rebuilds only the stages the store
+//! is missing. Finished job metrics persist alongside under `jobs/`.
+//! Payloads are LZ-compressed ([`sm_codec::lz`]) when that wins.
 //!
 //! Robustness rules, each covered by a test:
 //!
@@ -14,13 +14,18 @@
 //!   first and are `rename`d into place, so a crash (or a concurrent
 //!   `smctl` writing the same key) never leaves a torn file behind;
 //! * **version header** — every file starts with magic, format version,
-//!   payload kind and a payload checksum; any mismatch is a *miss*
-//!   (rebuild and overwrite), never a misparse;
+//!   payload kind, compression flags, raw length and a payload
+//!   checksum; any mismatch — including every v1 (uncompressed,
+//!   whole-bundle) store file — is a *miss* (rebuild and overwrite),
+//!   never a misparse;
 //! * **corrupt tolerance** — truncation and bit-flips are caught by the
-//!   checksum before decoding, and [`sm_codec`] never panics on hostile
-//!   input even if bytes collide; both count as misses;
+//!   checksum before decompression or decoding, and [`sm_codec`] never
+//!   panics on hostile input even if bytes collide; both count as
+//!   misses;
 //! * **size budget** — an optional byte cap (`--store-cap`) is enforced
-//!   by least-recently-used eviction (loads refresh a file's mtime).
+//!   by least-recently-used eviction (loads refresh a file's mtime),
+//!   serialized across *processes* through a `.lock` file so concurrent
+//!   `smctl` invocations sharing a store respect one budget.
 //!
 //! The store is deliberately quiet about I/O errors: a store that cannot
 //! read or write must degrade to "no store" (every operation a miss),
@@ -30,12 +35,10 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::SystemTime;
+use std::time::{Duration, SystemTime};
 
-use sm_codec::{decode_from_slice, CodecError, Decode, Encode, Reader, Writer};
+use sm_codec::{decode_from_slice, lz, Decode, Encode, Reader, Writer};
 
-use crate::bundle::{iscas_profile_by_name, superblue_profile_by_name, IscasRun, SuperblueRun};
-use crate::cache::BundleKey;
 use crate::campaign::JobMetrics;
 use crate::job::Job;
 
@@ -44,16 +47,88 @@ pub const STORE_MAGIC: [u8; 4] = *b"SMST";
 
 /// Store format version. Bump on **any** change to the encodings in this
 /// workspace; readers treat other versions as misses so stale artifacts
-/// are rebuilt, never misparsed.
-pub const STORE_FORMAT_VERSION: u16 = 1;
+/// are rebuilt, never misparsed. v2 = per-stage artifacts with LZ
+/// compression (v1 stored whole uncompressed bundles).
+pub const STORE_FORMAT_VERSION: u16 = 2;
 
-/// Payload kind tags (part of the header, so a bundle file renamed onto
-/// an outcome key still fails cleanly).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum PayloadKind {
-    Iscas = 1,
-    Superblue = 2,
-    Outcome = 3,
+/// Header flag bit: the payload is LZ-compressed.
+const FLAG_LZ: u8 = 1;
+
+/// Bytes of fixed header before the payload: magic (4), version (2),
+/// kind (1), flags (1), raw length (8), checksum (8).
+const HEADER_LEN: usize = 24;
+
+/// The pipeline stage an artifact belongs to. Each stage keys its own
+/// subdirectory, so `store stats` can break usage down per stage and a
+/// sweep that shares a layout across jobs persists it exactly once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Generated netlist (stage `generate`).
+    Netlist,
+    /// Place+route of the unprotected baseline (stage `place+route`).
+    Layout,
+    /// The protected design produced by the full flow.
+    Protect,
+    /// Naive-lifting baseline (superblue bundles only).
+    Lift,
+    /// FEOL/BEOL split views, keyed by bundle × arm × split layer.
+    Split,
+    /// Finished job metrics.
+    Outcome,
+}
+
+impl Stage {
+    /// Every stage, in pipeline order (the `store stats` row order).
+    pub const ALL: [Stage; 6] = [
+        Stage::Netlist,
+        Stage::Layout,
+        Stage::Protect,
+        Stage::Lift,
+        Stage::Split,
+        Stage::Outcome,
+    ];
+
+    /// Position in [`Stage::ALL`], for fixed-size per-stage counters.
+    pub fn index(self) -> usize {
+        self.kind() as usize - 1
+    }
+
+    /// The header's payload-kind tag (part of the checksummed header, so
+    /// a split file renamed onto an outcome key still fails cleanly).
+    fn kind(self) -> u8 {
+        match self {
+            Stage::Netlist => 1,
+            Stage::Layout => 2,
+            Stage::Protect => 3,
+            Stage::Lift => 4,
+            Stage::Split => 5,
+            Stage::Outcome => 6,
+        }
+    }
+
+    /// Subdirectory under the store root.
+    pub fn dir(self) -> &'static str {
+        match self {
+            Stage::Netlist => "netlists",
+            Stage::Layout => "layouts",
+            Stage::Protect => "protected",
+            Stage::Lift => "lifted",
+            Stage::Split => "splits",
+            Stage::Outcome => "jobs",
+        }
+    }
+
+    /// Human-readable stage name for reports and `store stats`.
+    pub fn label(self) -> &'static str {
+        match self {
+            Stage::Netlist => "generate",
+            Stage::Layout => "place+route",
+            Stage::Protect => "protect",
+            Stage::Lift => "lift",
+            Stage::Split => "split",
+            Stage::Outcome => "outcome",
+        }
+    }
 }
 
 /// Store operation counters.
@@ -71,13 +146,39 @@ pub struct StoreStats {
     pub evictions: u64,
 }
 
-/// Disk usage summary for `smctl store stats`.
+/// Disk usage of one stage's artifacts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StageUsage {
+    /// Store files present.
+    pub files: u64,
+    /// Bytes on disk (compressed).
+    pub bytes: u64,
+    /// Payload bytes before compression (headers excluded).
+    pub raw_bytes: u64,
+}
+
+/// Disk usage summary for `smctl store stats`, broken down per stage.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct StoreUsage {
     /// Store files present.
     pub files: u64,
-    /// Total payload bytes.
+    /// Total bytes on disk.
     pub bytes: u64,
+    /// Total payload bytes before compression.
+    pub raw_bytes: u64,
+    /// Per-stage breakdown, in [`Stage::ALL`] order.
+    pub stages: Vec<(Stage, StageUsage)>,
+}
+
+impl StoreUsage {
+    /// Uncompressed-to-stored payload ratio (1.0 = incompressible).
+    pub fn compression_ratio(&self) -> f64 {
+        if self.bytes == 0 {
+            1.0
+        } else {
+            self.raw_bytes as f64 / self.bytes as f64
+        }
+    }
 }
 
 /// The disk-backed artifact store. Cheap to share behind an `Arc`.
@@ -91,14 +192,7 @@ pub struct ArtifactStore {
     write_failures: AtomicU64,
     evictions: AtomicU64,
     tmp_counter: AtomicU64,
-    /// Estimated bytes on disk, used to decide *when* a capped store
-    /// must scan for eviction (the scan itself recomputes exact sizes).
-    /// `u64::MAX` means "not yet measured".
-    approx_bytes: AtomicU64,
 }
-
-/// Sentinel for [`ArtifactStore::approx_bytes`]: usage not measured yet.
-const UNMEASURED: u64 = u64::MAX;
 
 impl ArtifactStore {
     /// Opens (lazily — directories are created on first write) a store
@@ -113,7 +207,6 @@ impl ArtifactStore {
             write_failures: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             tmp_counter: AtomicU64::new(0),
-            approx_bytes: AtomicU64::new(UNMEASURED),
         }
     }
 
@@ -140,43 +233,30 @@ impl ArtifactStore {
 
     // ----- keys → paths ---------------------------------------------------
 
-    fn bundle_path(&self, key: &BundleKey) -> PathBuf {
-        self.root
-            .join("bundles")
-            .join(format!("{}.bundle", key.id()))
+    fn stage_path(&self, stage: Stage, id: &str) -> PathBuf {
+        let ext = if stage == Stage::Outcome {
+            "outcome"
+        } else {
+            "art"
+        };
+        self.root.join(stage.dir()).join(format!("{id}.{ext}"))
     }
 
-    fn outcome_path(&self, job: &Job) -> PathBuf {
-        self.root
-            .join("jobs")
-            .join(format!("{}.outcome", job.outcome_key()))
+    // ----- stage I/O ------------------------------------------------------
+
+    /// Loads the stage artifact stored under `id`, if present and intact.
+    pub fn load_stage<T: Decode>(&self, stage: Stage, id: &str) -> Option<T> {
+        self.load_payload(&self.stage_path(stage, id), stage)
     }
 
-    // ----- bundle I/O -----------------------------------------------------
-
-    /// Loads the ISCAS bundle stored under `key`, if present and intact.
-    pub fn load_iscas(&self, key: &BundleKey) -> Option<IscasRun> {
-        self.load_payload(&self.bundle_path(key), PayloadKind::Iscas)
-    }
-
-    /// Persists an ISCAS bundle under `key`.
-    pub fn save_iscas(&self, key: &BundleKey, run: &IscasRun) {
-        self.save_payload(&self.bundle_path(key), PayloadKind::Iscas, run);
-    }
-
-    /// Loads the superblue bundle stored under `key`, if present/intact.
-    pub fn load_superblue(&self, key: &BundleKey) -> Option<SuperblueRun> {
-        self.load_payload(&self.bundle_path(key), PayloadKind::Superblue)
-    }
-
-    /// Persists a superblue bundle under `key`.
-    pub fn save_superblue(&self, key: &BundleKey, run: &SuperblueRun) {
-        self.save_payload(&self.bundle_path(key), PayloadKind::Superblue, run);
+    /// Persists a stage artifact under `id`.
+    pub fn save_stage<T: Encode>(&self, stage: Stage, id: &str, value: &T) {
+        self.save_payload(&self.stage_path(stage, id), stage, value);
     }
 
     /// Loads the finished metrics of `job`, if present and intact.
     pub fn load_outcome(&self, job: &Job) -> Option<JobMetrics> {
-        self.load_payload(&self.outcome_path(job), PayloadKind::Outcome)
+        self.load_stage(Stage::Outcome, &job.outcome_key())
     }
 
     /// Persists the finished metrics of `job`. Timed-out placeholders
@@ -186,11 +266,11 @@ impl ArtifactStore {
         if metrics.is_timed_out() {
             return;
         }
-        self.save_payload(&self.outcome_path(job), PayloadKind::Outcome, metrics);
+        self.save_stage(Stage::Outcome, &job.outcome_key(), metrics);
     }
 
-    fn load_payload<T: Decode>(&self, path: &Path, kind: PayloadKind) -> Option<T> {
-        let loaded = self.try_load(path, kind);
+    fn load_payload<T: Decode>(&self, path: &Path, stage: Stage) -> Option<T> {
+        let loaded = self.try_load(path, stage);
         match loaded {
             Some(_) => self.disk_hits.fetch_add(1, Ordering::Relaxed),
             None => self.disk_misses.fetch_add(1, Ordering::Relaxed),
@@ -198,10 +278,18 @@ impl ArtifactStore {
         loaded
     }
 
-    fn try_load<T: Decode>(&self, path: &Path, kind: PayloadKind) -> Option<T> {
+    fn try_load<T: Decode>(&self, path: &Path, stage: Stage) -> Option<T> {
         let bytes = fs::read(path).ok()?;
-        let payload = check_header(&bytes, kind)?;
-        let value = decode_from_slice(payload).ok()?;
+        let (stored, flags, raw_len) = check_header(&bytes, stage)?;
+        let value = if flags & FLAG_LZ != 0 {
+            let raw = lz::decompress(stored, raw_len).ok()?;
+            decode_from_slice(&raw).ok()?
+        } else {
+            if stored.len() != raw_len {
+                return None;
+            }
+            decode_from_slice(stored).ok()?
+        };
         // Refresh mtime so eviction is least-recently-*used*, not
         // least-recently-written. Best effort: a read-only store still
         // serves hits.
@@ -211,23 +299,16 @@ impl ArtifactStore {
         Some(value)
     }
 
-    fn save_payload<T: Encode>(&self, path: &Path, kind: PayloadKind, value: &T) {
-        match self.try_save(path, kind, value) {
-            Ok(written) => {
+    fn save_payload<T: Encode>(&self, path: &Path, stage: Stage, value: &T) {
+        match self.try_save(path, stage, value) {
+            Ok(()) => {
                 self.writes.fetch_add(1, Ordering::Relaxed);
                 if let Some(cap) = self.cap_bytes {
-                    // Maintain a running usage estimate so the
-                    // directory is only scanned when the budget may
-                    // actually be exceeded — not once per write.
-                    let before = self.approx_bytes.load(Ordering::Relaxed);
-                    let approx = if before == UNMEASURED {
-                        let measured = self.usage().bytes;
-                        self.approx_bytes.store(measured, Ordering::Relaxed);
-                        measured
-                    } else {
-                        self.approx_bytes.fetch_add(written, Ordering::Relaxed) + written
-                    };
-                    if approx > cap {
+                    // Capped stores may be shared with other processes,
+                    // so the budget check measures real usage instead of
+                    // trusting a per-process running estimate; the scan
+                    // is a handful of directory reads.
+                    if self.usage().bytes > cap {
                         self.gc_to(cap);
                     }
                 }
@@ -238,19 +319,27 @@ impl ArtifactStore {
         }
     }
 
-    /// Stages and renames the encoded artifact, returning its size.
-    fn try_save<T: Encode>(&self, path: &Path, kind: PayloadKind, value: &T) -> io::Result<u64> {
+    /// Encodes, compresses (when that wins), stages and renames the
+    /// artifact.
+    fn try_save<T: Encode>(&self, path: &Path, stage: Stage, value: &T) -> io::Result<()> {
         let dir = path.parent().expect("store paths have a parent");
         fs::create_dir_all(dir)?;
         let payload = sm_codec::encode_to_vec(value);
+        let packed = lz::compress(&payload);
+        let (flags, stored) = if packed.len() < payload.len() {
+            (FLAG_LZ, packed.as_slice())
+        } else {
+            (0, payload.as_slice())
+        };
         let mut w = Writer::new();
         w.put_bytes(&STORE_MAGIC);
         STORE_FORMAT_VERSION.encode(&mut w);
-        w.put_u8(kind as u8);
-        fnv1a_bytes(&payload).encode(&mut w);
-        w.put_bytes(&payload);
+        w.put_u8(stage.kind());
+        w.put_u8(flags);
+        (payload.len() as u64).encode(&mut w);
+        fnv1a_bytes(stored).encode(&mut w);
+        w.put_bytes(stored);
         let bytes = w.into_bytes();
-        let written = bytes.len() as u64;
         // Unique temp name per (process, write): concurrent writers of
         // the same key each stage their own file; whoever renames last
         // wins with a complete, valid artifact either way.
@@ -262,7 +351,7 @@ impl ArtifactStore {
         ));
         fs::write(&tmp, bytes)?;
         match fs::rename(&tmp, path) {
-            Ok(()) => Ok(written),
+            Ok(()) => Ok(()),
             Err(e) => {
                 let _ = fs::remove_file(&tmp);
                 Err(e)
@@ -272,12 +361,36 @@ impl ArtifactStore {
 
     // ----- maintenance ----------------------------------------------------
 
-    /// Files and bytes currently stored.
+    /// Files and bytes currently stored, broken down per stage. Raw
+    /// (pre-compression) sizes are read from each file's header; files
+    /// with foreign or damaged headers count their on-disk size.
     pub fn usage(&self) -> StoreUsage {
-        let mut usage = StoreUsage::default();
-        for (_, _, len) in self.entries() {
-            usage.files += 1;
-            usage.bytes += len;
+        let mut usage = StoreUsage {
+            stages: Stage::ALL
+                .iter()
+                .map(|&s| (s, StageUsage::default()))
+                .collect(),
+            ..StoreUsage::default()
+        };
+        for (i, &stage) in Stage::ALL.iter().enumerate() {
+            let Ok(dir) = fs::read_dir(self.root.join(stage.dir())) else {
+                continue;
+            };
+            for entry in dir.flatten() {
+                let Some((path, _, len)) = store_file(&entry) else {
+                    continue;
+                };
+                let raw = read_raw_len(&path).unwrap_or(len);
+                let s = &mut usage.stages[i].1;
+                s.files += 1;
+                s.bytes += len;
+                s.raw_bytes += raw;
+            }
+        }
+        for &(_, s) in &usage.stages {
+            usage.files += s.files;
+            usage.bytes += s.bytes;
+            usage.raw_bytes += s.raw_bytes;
         }
         usage
     }
@@ -291,12 +404,18 @@ impl ArtifactStore {
     }
 
     /// Evicts least-recently-used files until total usage is ≤ `cap`
-    /// bytes, regardless of the configured budget.
+    /// bytes, regardless of the configured budget. Eviction runs under
+    /// the store's `.lock` file, so concurrent processes sharing the
+    /// store serialize their sweeps and respect one budget; if the lock
+    /// cannot be acquired (a peer is already evicting), this pass is
+    /// skipped — the peer's sweep enforces the cap.
     pub fn gc_to(&self, cap: u64) -> u64 {
+        let Some(_lock) = StoreLock::acquire(&self.root) else {
+            return 0;
+        };
         let mut entries = self.entries();
         let mut total: u64 = entries.iter().map(|(_, _, len)| len).sum();
         if total <= cap {
-            self.approx_bytes.store(total, Ordering::Relaxed);
             return 0;
         }
         entries.sort_by_key(|&(_, mtime, _)| mtime);
@@ -310,51 +429,80 @@ impl ArtifactStore {
                 evicted += 1;
             }
         }
-        self.approx_bytes.store(total, Ordering::Relaxed);
         self.evictions.fetch_add(evicted, Ordering::Relaxed);
         evicted
     }
 
-    /// Deletes every stored artifact. Returns the number of files
-    /// removed.
+    /// Deletes every stored artifact (under the shared `.lock`, waiting
+    /// for any in-flight eviction to finish; proceeds unlocked after
+    /// exhausting patience — explicit maintenance must not hang forever
+    /// behind a wedged peer). Returns the number of files removed.
     pub fn clear(&self) -> u64 {
+        let _lock = StoreLock::acquire(&self.root);
         let mut removed = 0;
         for (path, _, _) in self.entries() {
             if fs::remove_file(&path).is_ok() {
                 removed += 1;
             }
         }
-        self.approx_bytes.store(0, Ordering::Relaxed);
         removed
     }
 
     /// All store files as `(path, mtime, len)`, temp files excluded.
+    /// Scans the v2 stage directories plus the legacy v1 `bundles/`
+    /// directory, so gc and clear also age out pre-upgrade artifacts.
     fn entries(&self) -> Vec<(PathBuf, SystemTime, u64)> {
         let mut out = Vec::new();
-        for sub in ["bundles", "jobs"] {
+        let dirs = Stage::ALL.iter().map(|s| s.dir()).chain(["bundles"]);
+        for sub in dirs {
             let Ok(dir) = fs::read_dir(self.root.join(sub)) else {
                 continue;
             };
             for entry in dir.flatten() {
-                let path = entry.path();
-                let name = entry.file_name();
-                if name.to_string_lossy().starts_with(".tmp-") {
-                    continue;
+                if let Some(item) = store_file(&entry) {
+                    out.push(item);
                 }
-                let Ok(meta) = entry.metadata() else { continue };
-                if !meta.is_file() {
-                    continue;
-                }
-                let mtime = meta.modified().unwrap_or(SystemTime::UNIX_EPOCH);
-                out.push((path, mtime, meta.len()));
             }
         }
         out
     }
 }
 
-/// Validates the store header, returning the payload slice on success.
-fn check_header(bytes: &[u8], kind: PayloadKind) -> Option<&[u8]> {
+/// One directory entry as `(path, mtime, len)`, if it is a store file
+/// (regular, not a staging temp).
+fn store_file(entry: &fs::DirEntry) -> Option<(PathBuf, SystemTime, u64)> {
+    if entry.file_name().to_string_lossy().starts_with(".tmp-") {
+        return None;
+    }
+    let meta = entry.metadata().ok()?;
+    if !meta.is_file() {
+        return None;
+    }
+    let mtime = meta.modified().unwrap_or(SystemTime::UNIX_EPOCH);
+    Some((entry.path(), mtime, meta.len()))
+}
+
+/// Reads the raw (pre-compression) payload length from a v2 header.
+fn read_raw_len(path: &Path) -> Option<u64> {
+    use std::io::Read;
+    let mut head = [0u8; HEADER_LEN];
+    let mut f = fs::File::open(path).ok()?;
+    f.read_exact(&mut head).ok()?;
+    let mut r = Reader::new(&head);
+    if r.take(4).ok()? != STORE_MAGIC {
+        return None;
+    }
+    if u16::decode(&mut r).ok()? != STORE_FORMAT_VERSION {
+        return None;
+    }
+    let _kind = r.take_u8().ok()?;
+    let _flags = r.take_u8().ok()?;
+    u64::decode(&mut r).ok()
+}
+
+/// Validates the store header, returning the stored payload slice, the
+/// header flags and the declared raw length on success.
+fn check_header(bytes: &[u8], stage: Stage) -> Option<(&[u8], u8, usize)> {
     let mut r = Reader::new(bytes);
     let magic = r.take(4).ok()?;
     if magic != STORE_MAGIC {
@@ -363,16 +511,25 @@ fn check_header(bytes: &[u8], kind: PayloadKind) -> Option<&[u8]> {
     if u16::decode(&mut r).ok()? != STORE_FORMAT_VERSION {
         return None;
     }
-    if r.take_u8().ok()? != kind as u8 {
+    if r.take_u8().ok()? != stage.kind() {
         return None;
     }
+    let flags = r.take_u8().ok()?;
+    let raw_len = u64::decode(&mut r).ok()?;
     let expected = u64::decode(&mut r).ok()?;
-    let payload = &bytes[r.position()..];
-    if fnv1a_bytes(payload) != expected {
-        // Bit-flips and truncation both land here, before any decode.
+    let stored = &bytes[r.position()..];
+    // A corrupted raw length must not drive a huge pre-allocation: LZ
+    // tokens expand < 90×, so anything above that bound is damage.
+    let plausible = (stored.len() as u64).saturating_mul(90).max(64);
+    if raw_len > plausible {
         return None;
     }
-    Some(payload)
+    if fnv1a_bytes(stored) != expected {
+        // Bit-flips and truncation both land here, before any
+        // decompression or decode.
+        return None;
+    }
+    Some((stored, flags, raw_len as usize))
 }
 
 /// FNV-1a over raw bytes: the payload checksum in the store header —
@@ -381,57 +538,70 @@ fn fnv1a_bytes(bytes: &[u8]) -> u64 {
     sm_codec::frame::fnv1a(bytes)
 }
 
-// ----- bundle & metrics encodings ----------------------------------------
+// ----- cross-process lock ------------------------------------------------
 
-impl Encode for IscasRun {
-    fn encode(&self, w: &mut Writer) {
-        self.name.encode(w);
-        self.netlist.encode(w);
-        self.original.encode(w);
-        self.protected.encode(w);
+/// How long a `.lock` file may sit unmodified before it is presumed
+/// abandoned by a crashed process and stolen.
+const LOCK_STALE: Duration = Duration::from_secs(30);
+
+/// How long [`StoreLock::acquire`] tries before giving up.
+const LOCK_PATIENCE: Duration = Duration::from_secs(5);
+
+/// A held `.lock` file under the store root; dropped = released. The
+/// lock serializes maintenance sweeps (eviction, clear) across
+/// processes — artifact reads and writes stay lock-free (atomic
+/// rename makes them safe without it).
+struct StoreLock {
+    path: PathBuf,
+}
+
+impl StoreLock {
+    /// Tries to acquire the lock for up to [`LOCK_PATIENCE`], stealing
+    /// locks older than [`LOCK_STALE`]. `None` when a live peer holds it.
+    fn acquire(root: &Path) -> Option<StoreLock> {
+        let path = root.join(".lock");
+        let deadline = std::time::Instant::now() + LOCK_PATIENCE;
+        loop {
+            let _ = fs::create_dir_all(root);
+            match fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(mut f) => {
+                    use std::io::Write;
+                    let _ = write!(f, "{}", std::process::id());
+                    return Some(StoreLock { path });
+                }
+                Err(_) => {
+                    // Steal locks whose holder died (mtime stale).
+                    if let Ok(meta) = fs::metadata(&path) {
+                        let age = meta
+                            .modified()
+                            .ok()
+                            .and_then(|m| SystemTime::now().duration_since(m).ok());
+                        if age.is_some_and(|a| a > LOCK_STALE) {
+                            let _ = fs::remove_file(&path);
+                            continue;
+                        }
+                    }
+                    if std::time::Instant::now() >= deadline {
+                        return None;
+                    }
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+            }
+        }
     }
 }
 
-impl Decode for IscasRun {
-    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
-        let name = String::decode(r)?;
-        let profile = iscas_profile_by_name(&name)
-            .ok_or_else(|| CodecError::Invalid(format!("unknown ISCAS benchmark `{name}`")))?;
-        Ok(IscasRun {
-            name: profile.name,
-            netlist: Decode::decode(r)?,
-            original: Decode::decode(r)?,
-            protected: Decode::decode(r)?,
-        })
+impl Drop for StoreLock {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
     }
 }
 
-impl Encode for SuperblueRun {
-    fn encode(&self, w: &mut Writer) {
-        self.name.encode(w);
-        self.netlist.encode(w);
-        self.original.encode(w);
-        self.lifted.encode(w);
-        self.protected.encode(w);
-        self.protected_nets.encode(w);
-    }
-}
-
-impl Decode for SuperblueRun {
-    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
-        let name = String::decode(r)?;
-        let profile = superblue_profile_by_name(&name)
-            .ok_or_else(|| CodecError::Invalid(format!("unknown superblue benchmark `{name}`")))?;
-        Ok(SuperblueRun {
-            name: profile.name,
-            netlist: Decode::decode(r)?,
-            original: Decode::decode(r)?,
-            lifted: Decode::decode(r)?,
-            protected: Decode::decode(r)?,
-            protected_nets: Vec::decode(r)?,
-        })
-    }
-}
+// ----- metrics encoding ---------------------------------------------------
 
 impl Encode for JobMetrics {
     fn encode(&self, w: &mut Writer) {
@@ -468,7 +638,7 @@ impl Encode for JobMetrics {
 }
 
 impl Decode for JobMetrics {
-    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, sm_codec::CodecError> {
         Ok(match r.take_u8()? {
             0 => JobMetrics::Flow {
                 ccr_protected_pct: f64::decode(r)?,
@@ -488,7 +658,11 @@ impl Decode for JobMetrics {
             // back into the timed-out state it is trying to clear.
             // Treating it like any other invalid tag makes the file a
             // miss, so the job simply re-runs.
-            other => return Err(CodecError::Invalid(format!("JobMetrics tag {other}"))),
+            other => {
+                return Err(sm_codec::CodecError::Invalid(format!(
+                    "JobMetrics tag {other}"
+                )))
+            }
         })
     }
 }

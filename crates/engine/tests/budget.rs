@@ -29,6 +29,7 @@ fn tiny_spec() -> SweepSpec {
         attacks: vec![AttackKind::NetworkFlow, AttackKind::Crouting],
         scale: 100,
         master_seed: 1,
+        layout_seed: None,
     }
 }
 
@@ -145,6 +146,7 @@ fn cancelled_flow_jobs_resume_to_byte_identical_reports() {
         spec: spec.clone(),
         outcomes: merge_outcomes(&expansion, campaign.outcomes, fresh),
         cache: CacheStats::default(),
+        stages: sm_engine::StageStats::default(),
         threads: 0,
         total_wall: Duration::ZERO,
         pool: PoolStats::default(),
@@ -201,6 +203,7 @@ fn cancelled_sweep_resumes_to_byte_identical_report() {
         spec: spec.clone(),
         outcomes: merge_outcomes(&expansion, parsed.outcomes, fresh),
         cache: CacheStats::default(),
+        stages: sm_engine::StageStats::default(),
         threads: 0,
         total_wall: Duration::ZERO,
         pool: PoolStats::default(),

@@ -61,6 +61,7 @@ fn tiny_spec() -> SweepSpec {
         attacks: vec![AttackKind::NetworkFlow, AttackKind::Crouting],
         scale: 100,
         master_seed: 1,
+        layout_seed: None,
     }
 }
 

@@ -1,6 +1,7 @@
 //! Integration tests for the disk-backed artifact store: warm-run
-//! zero-build guarantee, corruption tolerance, version gating, atomic
-//! concurrent writes and size-budget eviction.
+//! zero-build guarantee, corruption tolerance (including compressed
+//! payloads), version gating, atomic concurrent writes, lock-file
+//! maintenance and size-budget eviction.
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -11,8 +12,9 @@ use sm_engine::campaign::{run_sweep_with, SweepSpec};
 use sm_engine::exec::ExecutorConfig;
 use sm_engine::job::AttackKind;
 use sm_engine::report::ReportOptions;
-use sm_engine::store::{ArtifactStore, STORE_MAGIC};
-use sm_engine::{ArtifactCache, BundleKey, IscasRun};
+use sm_engine::store::{ArtifactStore, Stage, STORE_MAGIC};
+use sm_engine::ArtifactCache;
+use sm_netlist::Netlist;
 
 /// A unique scratch directory per test invocation, removed on drop.
 struct Scratch(PathBuf);
@@ -48,6 +50,7 @@ fn tiny_spec() -> SweepSpec {
         attacks: vec![AttackKind::NetworkFlow, AttackKind::Crouting],
         scale: 100,
         master_seed: 1,
+        layout_seed: None,
     }
 }
 
@@ -55,12 +58,18 @@ fn store_at(dir: &Path) -> Arc<ArtifactStore> {
     Arc::new(ArtifactStore::open(dir, None))
 }
 
-fn bundle_files(dir: &Path) -> Vec<PathBuf> {
-    let mut out: Vec<PathBuf> = fs::read_dir(dir.join("bundles"))
-        .expect("bundles dir exists after a cold run")
-        .flatten()
-        .map(|e| e.path())
-        .collect();
+/// Every persisted stage artifact (all stage subdirectories except the
+/// job outcomes), sorted for determinism.
+fn stage_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    for stage in Stage::ALL {
+        if stage == Stage::Outcome {
+            continue;
+        }
+        if let Ok(entries) = fs::read_dir(dir.join(stage.dir())) {
+            out.extend(entries.flatten().map(|e| e.path()));
+        }
+    }
     out.sort();
     out
 }
@@ -77,6 +86,15 @@ fn warm_store_second_run_builds_nothing_and_matches_bytes() {
     let cold_cache = ArtifactCache::with_store(store_at(scratch.path()));
     let cold = run_sweep_with(&spec, exec, &cold_cache, None).unwrap();
     assert_eq!(cold.cache.builds, 1, "cold run builds the bundle once");
+    // Every pipeline stage persisted something: netlist, layout,
+    // protected design, and the per-(arm, layer) splits.
+    for stage in [Stage::Netlist, Stage::Layout, Stage::Protect, Stage::Split] {
+        assert!(
+            fs::read_dir(scratch.path().join(stage.dir())).is_ok(),
+            "{} artifacts persisted",
+            stage.label()
+        );
+    }
 
     // Fresh cache + fresh store handle = a new process, same directory.
     let warm_store = store_at(scratch.path());
@@ -98,8 +116,9 @@ fn warm_store_second_run_builds_nothing_and_matches_bytes() {
     assert_eq!(cold.aggregates_to_csv(), warm.aggregates_to_csv());
 }
 
-/// Corrupted or truncated store files are misses that trigger a clean
-/// rebuild (and get overwritten), never a panic or a misparse.
+/// Corrupted or truncated store files — now LZ-compressed frames — are
+/// misses that trigger a clean rebuild (and get overwritten), never a
+/// panic or a misparse.
 #[test]
 fn corrupt_and_truncated_files_fall_back_to_rebuild() {
     let scratch = Scratch::new("corrupt");
@@ -124,7 +143,7 @@ fn corrupt_and_truncated_files_fall_back_to_rebuild() {
         // Truncate mid-payload.
         |bytes: &mut Vec<u8>| bytes.truncate(bytes.len() / 3),
     ] {
-        for file in bundle_files(scratch.path()) {
+        for file in stage_files(scratch.path()) {
             let mut bytes = fs::read(&file).unwrap();
             mutilate(&mut bytes);
             fs::write(&file, bytes).unwrap();
@@ -153,15 +172,14 @@ fn corrupt_and_truncated_files_fall_back_to_rebuild() {
 fn version_header_mismatch_triggers_rebuild() {
     let scratch = Scratch::new("version");
     let profile = sm_benchgen::iscas::IscasProfile::c432();
-    let key = BundleKey::Iscas {
-        name: profile.name,
-        seed: 7,
-    };
+    let netlist = sm_benchgen::iscas::generate(&profile, 7);
     let store = store_at(scratch.path());
-    store.save_iscas(&key, &IscasRun::build(&profile, 7));
-    assert!(store.load_iscas(&key).is_some());
+    store.save_stage(Stage::Netlist, "c432-v", &netlist);
+    assert!(store
+        .load_stage::<Netlist>(Stage::Netlist, "c432-v")
+        .is_some());
 
-    for file in bundle_files(scratch.path()) {
+    for file in stage_files(scratch.path()) {
         let mut bytes = fs::read(&file).unwrap();
         assert_eq!(&bytes[..4], STORE_MAGIC.as_slice());
         // Bump the format version field (little-endian u16 after magic).
@@ -170,16 +188,104 @@ fn version_header_mismatch_triggers_rebuild() {
     }
     let fresh = store_at(scratch.path());
     assert!(
-        fresh.load_iscas(&key).is_none(),
+        fresh
+            .load_stage::<Netlist>(Stage::Netlist, "c432-v")
+            .is_none(),
         "future/stale format version must be a miss"
     );
     assert_eq!(fresh.stats().disk_misses, 1);
 
-    // The cache transparently rebuilds and re-persists.
-    let cache = ArtifactCache::with_store(Arc::clone(&fresh));
-    let _ = cache.iscas(&profile, 7, &sm_engine::Budget::default());
-    assert_eq!(cache.stats().builds, 1);
-    assert!(fresh.load_iscas(&key).is_some(), "rebuilt artifact stored");
+    // Re-saving overwrites the stale frame and it loads again.
+    fresh.save_stage(Stage::Netlist, "c432-v", &netlist);
+    assert!(fresh
+        .load_stage::<Netlist>(Stage::Netlist, "c432-v")
+        .is_some());
+}
+
+/// A pre-compression (v1) store — same magic, version 1, no
+/// per-stage framing — opens as a set of clean misses that a cold run
+/// silently rebuilds; nothing misparses and `clear` still sweeps the
+/// legacy files away.
+#[test]
+fn v1_store_reads_as_clean_misses() {
+    let scratch = Scratch::new("v1");
+    // Fabricate v1-era files: magic + version 1 + arbitrary payload,
+    // both in a current stage dir and the legacy flat `bundles/` dir.
+    let legacy = scratch.path().join("bundles");
+    let netdir = scratch.path().join(Stage::Netlist.dir());
+    fs::create_dir_all(&legacy).unwrap();
+    fs::create_dir_all(&netdir).unwrap();
+    let mut v1 = Vec::new();
+    v1.extend_from_slice(&STORE_MAGIC);
+    v1.extend_from_slice(&1u16.to_le_bytes());
+    v1.extend_from_slice(&[0x5a; 200]);
+    fs::write(legacy.join("c432-s1.bundle"), &v1).unwrap();
+    fs::write(netdir.join("c432-n1.art"), &v1).unwrap();
+
+    let store = store_at(scratch.path());
+    assert!(
+        store
+            .load_stage::<Netlist>(Stage::Netlist, "c432-n1")
+            .is_none(),
+        "v1 frame must be a miss, not a misparse"
+    );
+    // `usage` reports the live v2 layout only, but maintenance still
+    // sweeps the legacy flat directory.
+    assert_eq!(store.usage().files, 1);
+    assert_eq!(store.clear(), 2, "clear sweeps legacy v1 files too");
+}
+
+/// Bit-flips inside the *compressed* region of a stored frame (past
+/// the 24-byte header) and truncations through it are detected by the
+/// checksum/decompressor and read back as misses.
+#[test]
+fn corrupt_compressed_payloads_are_misses() {
+    let scratch = Scratch::new("lzcorrupt");
+    let profile = sm_benchgen::iscas::IscasProfile::c432();
+    let netlist = sm_benchgen::iscas::generate(&profile, 3);
+    let store = store_at(scratch.path());
+    store.save_stage(Stage::Netlist, "c432-z", &netlist);
+    let path = stage_files(scratch.path()).pop().unwrap();
+    let pristine = fs::read(&path).unwrap();
+    assert!(
+        pristine.len() > 24,
+        "frame must carry a payload past the header"
+    );
+
+    // Flip a single bit at several payload offsets.
+    for offset in [24, pristine.len() / 2, pristine.len() - 1] {
+        let mut bytes = pristine.clone();
+        bytes[offset] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        let fresh = store_at(scratch.path());
+        assert!(
+            fresh
+                .load_stage::<Netlist>(Stage::Netlist, "c432-z")
+                .is_none(),
+            "bit-flip at {offset} must be a miss"
+        );
+    }
+    // Truncate at every region boundary: inside the header, right
+    // after it, and mid-payload.
+    for cut in [3, 10, 24, pristine.len() - 1] {
+        let mut bytes = pristine.clone();
+        bytes.truncate(cut);
+        fs::write(&path, &bytes).unwrap();
+        let fresh = store_at(scratch.path());
+        assert!(
+            fresh
+                .load_stage::<Netlist>(Stage::Netlist, "c432-z")
+                .is_none(),
+            "truncation to {cut} bytes must be a miss"
+        );
+    }
+    // The pristine bytes still round-trip (the file itself is fine).
+    fs::write(&path, &pristine).unwrap();
+    let fresh = store_at(scratch.path());
+    let loaded = fresh
+        .load_stage::<Netlist>(Stage::Netlist, "c432-z")
+        .expect("pristine frame loads");
+    assert_eq!(loaded.num_nets(), netlist.num_nets());
 }
 
 /// Concurrent writers of the same key (as two racing `smctl` processes
@@ -189,33 +295,26 @@ fn version_header_mismatch_triggers_rebuild() {
 fn concurrent_writers_do_not_clobber_each_other() {
     let scratch = Scratch::new("concurrent");
     let profile = sm_benchgen::iscas::IscasProfile::c432();
-    let key = BundleKey::Iscas {
-        name: profile.name,
-        seed: 3,
-    };
-    let run = IscasRun::build(&profile, 3);
+    let netlist = sm_benchgen::iscas::generate(&profile, 3);
     std::thread::scope(|s| {
         for _ in 0..4 {
             // Separate store handles, like separate processes.
             let store = store_at(scratch.path());
-            let run = &run;
-            let key = &key;
+            let netlist = &netlist;
             s.spawn(move || {
                 for _ in 0..3 {
-                    store.save_iscas(key, run);
+                    store.save_stage(Stage::Netlist, "c432-race", netlist);
                 }
             });
         }
     });
     let store = store_at(scratch.path());
-    let loaded = store.load_iscas(&key).expect("file intact after the race");
-    assert_eq!(loaded.netlist.num_nets(), run.netlist.num_nets());
-    assert_eq!(
-        loaded.protected.randomization.swaps,
-        run.protected.randomization.swaps
-    );
+    let loaded = store
+        .load_stage::<Netlist>(Stage::Netlist, "c432-race")
+        .expect("file intact after the race");
+    assert_eq!(loaded.num_nets(), netlist.num_nets());
     // No temp files left behind.
-    let leftovers: Vec<_> = fs::read_dir(scratch.path().join("bundles"))
+    let leftovers: Vec<_> = fs::read_dir(scratch.path().join(Stage::Netlist.dir()))
         .unwrap()
         .flatten()
         .filter(|e| e.file_name().to_string_lossy().starts_with(".tmp-"))
@@ -229,15 +328,12 @@ fn concurrent_writers_do_not_clobber_each_other() {
 fn eviction_respects_the_size_budget() {
     let scratch = Scratch::new("evict");
     let profile = sm_benchgen::iscas::IscasProfile::c432();
-    let run = IscasRun::build(&profile, 1);
+    let netlist = sm_benchgen::iscas::generate(&profile, 1);
+    let id = |seed: u64| format!("c432-e{seed}");
 
     // Measure one artifact, then cap the store at roughly two of them.
     let unbounded = store_at(scratch.path());
-    let key = |seed| BundleKey::Iscas {
-        name: profile.name,
-        seed,
-    };
-    unbounded.save_iscas(&key(1), &run);
+    unbounded.save_stage(Stage::Netlist, &id(1), &netlist);
     let one = unbounded.usage().bytes;
     assert!(one > 0);
     unbounded.clear();
@@ -245,7 +341,7 @@ fn eviction_respects_the_size_budget() {
     let cap = one * 2 + one / 2;
     let capped = Arc::new(ArtifactStore::open(scratch.path(), Some(cap)));
     for seed in 1..=4 {
-        capped.save_iscas(&key(seed), &run);
+        capped.save_stage(Stage::Netlist, &id(seed), &netlist);
         assert!(
             capped.usage().bytes <= cap,
             "store exceeded its budget after write {seed}"
@@ -254,18 +350,53 @@ fn eviction_respects_the_size_budget() {
     let stats = capped.stats();
     assert!(stats.evictions >= 2, "older artifacts were evicted");
     // The most recent write survives; the oldest is gone.
-    assert!(capped.load_iscas(&key(4)).is_some());
-    assert!(capped.load_iscas(&key(1)).is_none());
+    assert!(capped
+        .load_stage::<Netlist>(Stage::Netlist, &id(4))
+        .is_some());
+    assert!(capped
+        .load_stage::<Netlist>(Stage::Netlist, &id(1))
+        .is_none());
 
     // Loads refresh recency: touch seed 3, then push it over budget —
     // the untouched artifact is evicted first.
-    assert!(capped.load_iscas(&key(3)).is_some());
-    capped.save_iscas(&key(5), &run);
+    assert!(capped
+        .load_stage::<Netlist>(Stage::Netlist, &id(3))
+        .is_some());
+    capped.save_stage(Stage::Netlist, &id(5), &netlist);
     assert!(
-        capped.load_iscas(&key(3)).is_some(),
+        capped
+            .load_stage::<Netlist>(Stage::Netlist, &id(3))
+            .is_some(),
         "recently-used artifact survives eviction"
     );
 
     assert!(capped.clear() > 0);
     assert_eq!(capped.usage().files, 0);
+}
+
+/// Maintenance honors the shared `.lock` file: while a live peer holds
+/// it, `gc_to` backs off and evicts nothing (the peer's sweep already
+/// enforces the shared cap); once released, eviction proceeds.
+#[test]
+fn gc_backs_off_while_a_live_peer_holds_the_lock() {
+    let scratch = Scratch::new("lock");
+    let profile = sm_benchgen::iscas::IscasProfile::c432();
+    let netlist = sm_benchgen::iscas::generate(&profile, 1);
+    let store = store_at(scratch.path());
+    for i in 0..3 {
+        store.save_stage(Stage::Netlist, &format!("c432-l{i}"), &netlist);
+    }
+    let before = store.usage();
+
+    // A live peer: fresh `.lock` with a plausible pid. `gc_to` waits
+    // out its patience, then declines rather than racing the holder.
+    let lock = scratch.path().join(".lock");
+    fs::write(&lock, format!("{}", std::process::id())).unwrap();
+    assert_eq!(store.gc_to(1), 0, "gc must not evict under a held lock");
+    assert_eq!(store.usage(), before, "no files touched under a held lock");
+
+    // Lock released → eviction proceeds normally.
+    fs::remove_file(&lock).unwrap();
+    assert!(store.gc_to(1) > 0);
+    assert_eq!(store.usage().files, 0);
 }

@@ -13,6 +13,7 @@ use crate::floorplan::Floorplan;
 use crate::geom::{Point, Rect};
 use crate::place::Placement;
 use crate::route::{NetRoute, RouteSegment, RoutingResult, TwoPinRoute, ViaCounts, ViaStack};
+use crate::split::{FeolView, SplitLayout, Vpin, VpinSide};
 
 impl Encode for Point {
     fn encode(&self, w: &mut Writer) {
@@ -227,6 +228,85 @@ impl Decode for RoutingResult {
     }
 }
 
+impl Encode for VpinSide {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            VpinSide::Driver(d) => {
+                w.put_u8(0);
+                d.encode(w);
+            }
+            VpinSide::Sink(s) => {
+                w.put_u8(1);
+                s.encode(w);
+            }
+        }
+    }
+}
+
+impl Decode for VpinSide {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(match r.take_u8()? {
+            0 => VpinSide::Driver(Decode::decode(r)?),
+            1 => VpinSide::Sink(Decode::decode(r)?),
+            other => return Err(CodecError::Invalid(format!("VpinSide tag {other}"))),
+        })
+    }
+}
+
+impl Encode for Vpin {
+    fn encode(&self, w: &mut Writer) {
+        self.position.encode(w);
+        self.side.encode(w);
+        self.stub_direction.encode(w);
+        self.net.encode(w);
+    }
+}
+
+impl Decode for Vpin {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Vpin {
+            position: Point::decode(r)?,
+            side: VpinSide::decode(r)?,
+            stub_direction: Option::decode(r)?,
+            net: Decode::decode(r)?,
+        })
+    }
+}
+
+impl Encode for FeolView {
+    fn encode(&self, w: &mut Writer) {
+        self.split_layer.encode(w);
+        self.visible_nets.encode(w);
+        self.vpins.encode(w);
+    }
+}
+
+impl Decode for FeolView {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(FeolView {
+            split_layer: u8::decode(r)?,
+            visible_nets: Vec::decode(r)?,
+            vpins: Vec::decode(r)?,
+        })
+    }
+}
+
+impl Encode for SplitLayout {
+    fn encode(&self, w: &mut Writer) {
+        self.feol.encode(w);
+        self.cut_nets.encode(w);
+    }
+}
+
+impl Decode for SplitLayout {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(SplitLayout {
+            feol: FeolView::decode(r)?,
+            cut_nets: usize::decode(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use sm_codec::{decode_from_slice, encode_to_vec};
@@ -267,6 +347,24 @@ mod tests {
             assert_eq!(rt2.route(id).twopins, rt.route(id).twopins);
             assert_eq!(rt2.net_max_layer(id), rt.net_max_layer(id));
         }
+    }
+
+    #[test]
+    fn split_layouts_roundtrip() {
+        use crate::split::{split_layout, SplitLayout};
+        let (n, _, pl, rt) = placed_and_routed();
+        for layer in [2u8, 3, 4] {
+            let s = split_layout(&n, &pl, &rt, layer);
+            let s2: SplitLayout = decode_from_slice(&encode_to_vec(&s)).unwrap();
+            assert_eq!(s2.cut_nets, s.cut_nets);
+            assert_eq!(s2.feol.split_layer, s.feol.split_layer);
+            assert_eq!(s2.feol.visible_nets, s.feol.visible_nets);
+            assert_eq!(s2.feol.vpins, s.feol.vpins);
+        }
+        // Corrupt split bytes fail cleanly, like every other payload.
+        let s = split_layout(&n, &pl, &rt, 3);
+        let bytes = encode_to_vec(&s);
+        assert!(decode_from_slice::<SplitLayout>(&bytes[..bytes.len() / 2]).is_err());
     }
 
     #[test]
