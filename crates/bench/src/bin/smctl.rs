@@ -9,7 +9,8 @@
 //! smctl events <dir|file>     print/stream the campaign journal
 //! smctl tail <dir|file>       live per-job progress (events --follow)
 //! smctl bench [--quick]       deterministic perf harness → BENCH.json
-//! smctl store stats|gc|clear  inspect/maintain the artifact store
+//! smctl chaos                 fault-injection smoke: crash, resume, byte-diff
+//! smctl store stats|gc|clear|doctor  inspect/maintain the artifact store
 //! smctl help                  this text
 //! ```
 //!
@@ -41,6 +42,14 @@
 //! the command exits with status 3, and `smctl resume` re-runs exactly
 //! those jobs — completing to a report byte-identical to an
 //! uninterrupted run.
+//!
+//! A job that *panics* never takes the pool (or the process) down with
+//! it: the campaign isolates the panic, records the job `failed` in the
+//! report and journal, exits with status 4, and `smctl resume` re-runs
+//! it like any other placeholder. `--fault-seed`/`--fault-profile`
+//! inject deterministic faults (panics, transient and persistent I/O
+//! errors) for exactly this path; `smctl chaos` runs the whole
+//! crash→resume→byte-diff cycle as one smoke command.
 
 use std::io::Write;
 use std::process::ExitCode;
@@ -60,6 +69,7 @@ use sm_engine::journal::{find_journal, materialize, read_events, Event, Journal,
 use sm_engine::report::{Json, ReportOptions};
 use sm_engine::store::ArtifactStore;
 use sm_engine::ArtifactCache;
+use sm_exec::fault::{FaultInject, FaultProfile};
 
 /// The store directory `smctl run`/`sweep`/`resume` use when no
 /// `--store`/`--no-store` is given.
@@ -71,12 +81,14 @@ smctl — split-manufacturing experiment campaigns
 USAGE:
     smctl run <artifact...> [--seed N] [--scale N] [--quick] [--threads N]
                 [--store DIR | --no-store] [--store-cap SIZE]
+                [--fault-seed N] [--fault-profile P]
     smctl sweep [--benchmarks LIST] [--seeds SPEC] [--split-layers LIST]
                 [--attacks LIST] [--scale N] [--seed N] [--layout-seed N]
                 [--quick] [--threads N] [--timeout-secs N]
                 [--jobs SPEC | --shard K/N]
                 [--format json|csv|agg-csv|table] [--timings] [--out FILE]
                 [--store DIR | --no-store] [--store-cap SIZE]
+                [--fault-seed N] [--fault-profile P]
     smctl resume <report.json|journal|store-dir> [--threads N]
                 [--timeout-secs N] [--out FILE]
                 [--format json|csv|agg-csv|table]
@@ -88,7 +100,8 @@ USAGE:
     smctl tail <journal|store-dir>
     smctl bench [--quick] [--seed N] [--scale N] [--threads N] [--out FILE]
                 [--baseline FILE] [--max-regression FACTOR]
-    smctl store stats|gc|clear [--store DIR] [--store-cap SIZE]
+    smctl chaos [--threads N] [--fault-seed N] [--fault-profile P]
+    smctl store stats|gc|clear|doctor [--store DIR] [--store-cap SIZE]
     smctl help
 
 ARTIFACTS:
@@ -128,6 +141,31 @@ RESOURCES:
                       the resumed report is byte-identical to an
                       uninterrupted run.
 
+FAULTS:
+    A panicking job never poisons the worker pool: the campaign catches
+    the panic, records the job `failed` (phase + message) in the report
+    and journal, and keeps going. A run with failed jobs exits with
+    status 4 and leaves a resumable report; `smctl resume` re-runs
+    failed jobs exactly like timed-out ones. Transient store/journal
+    I/O errors retry up to 3 times on a deterministic backoff schedule;
+    persistent store failures (disk full, permissions, corruption) drop
+    the run into a memory-only degraded store after 3 strikes, and
+    journal-append failures degrade to journal-less operation — both
+    warn once on stderr and never change the canonical report bytes.
+
+    --fault-seed N     inject deterministic faults derived from seed N
+                       (panics, transient/persistent I/O errors). The
+                       same seed fails the same operations on the same
+                       artifacts regardless of --threads or store
+                       location — rerun with the seed to reproduce.
+                       Defaults the profile to `aggressive`.
+    --fault-profile P  injection rates: off|light|aggressive
+                       (default seed: 0)
+    `smctl chaos` runs the full cycle as one smoke command: a quick
+    sweep under injected faults, a fault-free resume, and a byte-diff
+    of the resumed report against a fault-free baseline (non-zero exit
+    on any mismatch). `smctl resume` never injects faults.
+
 BENCH:
     `smctl bench` times every pipeline stage (generate/place/route/split/
     attacks — flow everywhere, plus crouting on superblue, both gated
@@ -147,10 +185,13 @@ STORE:
     one store coordinate eviction through a lock file, so one cap
     governs them all; `store stats` breaks usage down per stage and
     reports the compression ratio, `store gc` honors the same lock.
+    `store doctor` scans every frame, reports per-stage valid/legacy/
+    corrupt counts and moves corrupt frames to `quarantine/` (legacy
+    v1 bundles are counted but left in place).
 
 JOURNAL:
     Store-backed sweeps append every lifecycle event (campaign/job
-    started/finished/timed-out, bundles built) to a checksummed log at
+    started/finished/timed-out/failed, bundles built) to a checksummed log at
     .sm-store/journal/c-<spec>.journal, flushed per record — an OS kill
     loses at most the half-written tail record, which readers truncate
     away. `smctl events DIR` prints the log (`--follow` streams until
@@ -167,9 +208,10 @@ FORMATS:
     agg-csv   mean/std_dev/min/max over seeds per sweep point
     table     human-readable aggregate table
 
-`smctl resume` re-runs only the jobs missing from (or timed-out in) a
-stored report — e.g. after an interrupted, timed-out or --jobs-filtered
-run — and merges the results into the canonical JSON report (to --out
+`smctl resume` re-runs only the jobs missing from (or timed-out/failed
+in) a stored report — e.g. after an interrupted, timed-out, crashed or
+--jobs-filtered run — and merges the results into the canonical JSON
+report (to --out
 for `--format json`, in place otherwise; non-JSON formats are additional
 views and never replace the stored report).
 
@@ -202,6 +244,7 @@ fn main() -> ExitCode {
         "events" => cmd_events(rest, false),
         "tail" => cmd_events(rest, true),
         "bench" => cmd_bench(rest),
+        "chaos" => cmd_chaos(rest),
         "store" => cmd_store(rest),
         "help" | "--help" | "-h" => {
             print!("{HELP}");
@@ -222,9 +265,21 @@ fn main() -> ExitCode {
 /// report is written; `smctl resume` completes it).
 const EXIT_TIMED_OUT: u8 = 3;
 
+/// Exit status for a campaign in which jobs panicked (isolated and
+/// recorded `failed`; the report is written, `smctl resume` re-runs
+/// them). Takes precedence over [`EXIT_TIMED_OUT`] — a crash is the
+/// louder signal.
+const EXIT_FAILED: u8 = 4;
+
 /// The exit code a finished campaign maps to: success when complete,
-/// [`EXIT_TIMED_OUT`] when overdue jobs were recorded.
+/// [`EXIT_FAILED`] when jobs panicked, [`EXIT_TIMED_OUT`] when overdue
+/// jobs were recorded.
 fn campaign_exit(campaign: &Campaign, context: &str) -> ExitCode {
+    let failed = campaign.failed();
+    if failed > 0 {
+        eprintln!("{failed} job(s) failed; run `smctl resume {context}` to re-run them");
+        return ExitCode::from(EXIT_FAILED);
+    }
     let timed_out = campaign.timed_out();
     if timed_out == 0 {
         return ExitCode::SUCCESS;
@@ -241,7 +296,15 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
     let mut names: Vec<&str> = Vec::new();
     let mut flags: Vec<String> = Vec::new();
     let mut expecting_value = false;
-    const VALUE_FLAGS: [&str; 5] = ["--seed", "--scale", "--threads", "--store", "--store-cap"];
+    const VALUE_FLAGS: [&str; 7] = [
+        "--seed",
+        "--scale",
+        "--threads",
+        "--store",
+        "--store-cap",
+        "--fault-seed",
+        "--fault-profile",
+    ];
     for arg in args {
         if arg.starts_with("--") {
             let (flag, inline) = cli::split_flag(arg);
@@ -305,12 +368,31 @@ fn default_store(mut opts: RunOptions) -> RunOptions {
     opts
 }
 
-/// The cache an `opts`-configured campaign runs against.
+/// The cache an `opts`-configured campaign runs against, with the
+/// fault plan (when one is requested) attached to both the cache (job
+/// faults) and the store underneath (I/O faults).
 fn cache_for(opts: &RunOptions) -> ArtifactCache {
-    match opts.store_dir(None) {
-        Some(dir) => ArtifactCache::with_store(Arc::new(ArtifactStore::open(dir, opts.store_cap))),
+    let faults = fault_injector(opts);
+    let cache = match opts.store_dir(None) {
+        Some(dir) => {
+            let mut store = ArtifactStore::open(dir, opts.store_cap);
+            if let Some(faults) = &faults {
+                store = store.with_faults(Arc::clone(faults));
+            }
+            ArtifactCache::with_store(Arc::new(store))
+        }
         None => ArtifactCache::new(),
+    };
+    match faults {
+        Some(faults) => cache.with_faults(faults),
+        None => cache,
     }
+}
+
+/// The `--fault-seed`/`--fault-profile` plan as a shareable injector.
+fn fault_injector(opts: &RunOptions) -> Option<Arc<dyn FaultInject>> {
+    opts.fault_plan()
+        .map(|plan| Arc::new(plan) as Arc<dyn FaultInject>)
 }
 
 /// `smctl sweep`: expand axes, run on the pool, emit the report.
@@ -364,7 +446,8 @@ fn cmd_sweep(args: &[String]) -> Result<ExitCode, String> {
             // --timeout-secs/store selection) were parsed above; skip
             // their value tokens here. Anything else is a mistake worth
             // rejecting in a report-producing command.
-            "--seed" | "--scale" | "--threads" | "--timeout-secs" | "--store" | "--store-cap" => {
+            "--seed" | "--scale" | "--threads" | "--timeout-secs" | "--store" | "--store-cap"
+            | "--fault-seed" | "--fault-profile" => {
                 let _ = cli::flag_value(flag, inline, args, &mut i)?;
             }
             "--quick" | "--no-store" => cli::no_value(flag, inline)?,
@@ -403,9 +486,13 @@ fn cmd_sweep(args: &[String]) -> Result<ExitCode, String> {
     // Store-backed sweeps journal their lifecycle next to the store:
     // the file is named by the spec's fingerprint, so shards and
     // resumes of the same campaign append to the same log.
-    let journal = cache
-        .store()
-        .map(|store| Arc::new(Journal::for_spec(store.root(), &spec)));
+    let journal = cache.store().map(|store| {
+        let journal = Journal::for_spec(store.root(), &spec);
+        Arc::new(match fault_injector(&opts) {
+            Some(faults) => journal.with_faults(faults),
+            None => journal,
+        })
+    });
     if let Some(journal) = &journal {
         cache = cache.with_journal(Arc::clone(journal));
     }
@@ -419,13 +506,13 @@ fn cmd_sweep(args: &[String]) -> Result<ExitCode, String> {
     }
     let rendered = render_campaign(&campaign, &format, timings);
     emit(&rendered, out_path.as_deref())?;
-    // A timed-out sweep must always leave a *resumable* canonical
-    // report behind. Non-JSON formats drop timed-out jobs from their
-    // rows (and cannot be parsed back), and JSON-to-stdout leaves no
-    // file at all, so in either case the canonical JSON also goes to a
-    // sidecar — otherwise the finished jobs would be unrecoverable and
-    // the `resume` hint would name nothing.
-    let resume_path = if campaign.timed_out() == 0 {
+    // A timed-out or crashed sweep must always leave a *resumable*
+    // canonical report behind. Non-JSON formats drop placeholder jobs
+    // from their rows (and cannot be parsed back), and JSON-to-stdout
+    // leaves no file at all, so in either case the canonical JSON also
+    // goes to a sidecar — otherwise the finished jobs would be
+    // unrecoverable and the `resume` hint would name nothing.
+    let resume_path = if campaign.timed_out() == 0 && campaign.failed() == 0 {
         None
     } else if format == "json" && out_path.is_some() {
         out_path.clone()
@@ -626,17 +713,22 @@ fn cmd_merge(args: &[String]) -> Result<ExitCode, String> {
     let complete = merged
         .outcomes
         .iter()
-        .filter(|o| !o.metrics.is_timed_out())
+        .filter(|o| !o.metrics.is_placeholder())
         .count();
     emit(
         &render_campaign(&merged, "json", false),
         out_path.as_deref(),
     )?;
     eprintln!(
-        "merged {} report(s): {complete} of {total} jobs finished{}",
+        "merged {} report(s): {complete} of {total} jobs finished{}{}",
         inputs.len(),
         if merged.timed_out() > 0 {
             format!(", {} timed out", merged.timed_out())
+        } else {
+            String::new()
+        },
+        if merged.failed() > 0 {
+            format!(", {} failed", merged.failed())
         } else {
             String::new()
         }
@@ -648,12 +740,12 @@ fn cmd_merge(args: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
-/// `smctl store stats|gc|clear`: inspect and maintain the artifact
-/// store without running anything.
+/// `smctl store stats|gc|clear|doctor`: inspect and maintain the
+/// artifact store without running anything.
 fn cmd_store(args: &[String]) -> Result<ExitCode, String> {
     let (action, rest) = match args.split_first() {
         Some((a, rest)) if !a.starts_with("--") => (a.as_str(), rest),
-        _ => return Err("`smctl store` needs an action: stats|gc|clear".into()),
+        _ => return Err("`smctl store` needs an action: stats|gc|clear|doctor".into()),
     };
     // Strict flag validation: a typo'd --store must not silently hit
     // the default directory (gc/clear are destructive).
@@ -722,7 +814,48 @@ fn cmd_store(args: &[String]) -> Result<ExitCode, String> {
             let removed = store.clear();
             println!("{dir}: removed {removed} file(s)");
         }
-        other => return Err(format!("unknown store action `{other}` (stats|gc|clear)")),
+        "doctor" => {
+            let health = store.doctor();
+            println!(
+                "{dir}: {} corrupt frame(s), {} moved to quarantine/",
+                health.corrupt(),
+                health.quarantined
+            );
+            for (stage, s) in &health.stages {
+                if s.valid + s.legacy + s.corrupt == 0 {
+                    continue;
+                }
+                println!(
+                    "  {:<12} {:>6} valid {:>4} legacy {:>4} corrupt",
+                    stage.label(),
+                    s.valid,
+                    s.legacy,
+                    s.corrupt
+                );
+            }
+            if health.legacy_bundles > 0 {
+                println!(
+                    "  legacy v1 bundles/: {} file(s) (left in place; decoded never, gc'd by age)",
+                    health.legacy_bundles
+                );
+            }
+            // Corrupt frames are a diagnosis, not an error: they are
+            // quarantined, and the store rebuilds the artifacts on
+            // demand. A quarantine *failure* (undeletable frame) is
+            // worth a non-zero exit, as the bad frame is still live.
+            if health.corrupt() > health.quarantined {
+                eprintln!(
+                    "warning: {} corrupt frame(s) could not be quarantined",
+                    health.corrupt() - health.quarantined
+                );
+                return Ok(ExitCode::from(2));
+            }
+        }
+        other => {
+            return Err(format!(
+                "unknown store action `{other}` (stats|gc|clear|doctor)"
+            ))
+        }
     }
     Ok(ExitCode::SUCCESS)
 }
@@ -928,6 +1061,22 @@ impl EventProgress {
                     job.label(),
                 )
             }
+            Event::JobFailed {
+                job,
+                phase,
+                message,
+            } => {
+                self.done += 1;
+                format!(
+                    "{kind:<18} {} [{}] phase={phase}: {message}",
+                    self.progress(),
+                    job.label(),
+                )
+            }
+            Event::StoreLockStolen {
+                age_secs,
+                holder_pid,
+            } => format!("{kind:<18} age={age_secs}s holder_pid={holder_pid}"),
             Event::BundleBuilt {
                 key,
                 stage,
@@ -936,11 +1085,12 @@ impl EventProgress {
             Event::CampaignFinished {
                 jobs,
                 timed_out,
+                failed,
                 pool_peak_live,
                 total_wall_ms,
                 ..
             } => format!(
-                "{kind:<18} {jobs} job(s), {timed_out} timed out, peak_live={pool_peak_live}, {total_wall_ms:.1}ms"
+                "{kind:<18} {jobs} job(s), {timed_out} timed out, {failed} failed, peak_live={pool_peak_live}, {total_wall_ms:.1}ms"
             ),
         }
     }
@@ -1004,6 +1154,92 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, String> {
         report.check_against(&baseline, factor, 500.0)?;
         eprintln!("bench: no stage regressed more than {factor}× vs {path}");
     }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `smctl chaos`: one-command fault-injection smoke. Runs a small fixed
+/// sweep under an injected fault plan (default: `aggressive` at seed 0)
+/// against a throwaway store, resumes it fault-free, and byte-diffs the
+/// completed report against a fault-free in-memory baseline — the
+/// robustness invariant (`crash → resume → identical bytes`) as one
+/// command. Exits non-zero on any divergence.
+fn cmd_chaos(args: &[String]) -> Result<ExitCode, String> {
+    let mut opts = RunOptions::from_slice(args)?;
+    let mut i = 0;
+    while i < args.len() {
+        let (flag, inline) = cli::split_flag(args[i].as_str());
+        match flag {
+            "--threads" | "--seed" | "--fault-seed" | "--fault-profile" => {
+                let _ = cli::flag_value(flag, inline, args, &mut i)?;
+            }
+            other => return Err(format!("unknown chaos flag `{other}`; see `smctl help`")),
+        }
+        i += 1;
+    }
+    if opts.fault_seed.is_none() && opts.fault_profile.is_none() {
+        opts.fault_profile = Some(FaultProfile::aggressive());
+    }
+    let faults = fault_injector(&opts).expect("a fault profile is always set here");
+    // Small but real: two benchmarks × two seeds exercises job panics,
+    // store I/O on every stage, and the journal, in a few seconds.
+    let spec = SweepSpec {
+        benchmarks: vec!["c432".into(), "c880".into()],
+        seeds: vec![1, 2],
+        split_layers: vec![4],
+        attacks: vec![AttackKind::NetworkFlow],
+        scale: 100,
+        master_seed: opts.seed,
+        layout_seed: None,
+    };
+    let budget = opts.budget();
+
+    // Fault-free baseline, purely in memory: the bytes every later
+    // stage must reproduce.
+    let baseline = run_sweep_budgeted(&spec, &budget, &ArtifactCache::new(), None)?;
+    let baseline_json = render_campaign(&baseline, "json", false);
+
+    // The chaotic run: store + journal + job execution all under the
+    // fault plan, against a throwaway store directory.
+    let dir = std::env::temp_dir().join(format!("smctl-chaos-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_str = dir.to_string_lossy().into_owned();
+    let store =
+        Arc::new(ArtifactStore::open(dir_str.clone(), None).with_faults(Arc::clone(&faults)));
+    let journal = Arc::new(Journal::for_spec(store.root(), &spec).with_faults(Arc::clone(&faults)));
+    let cache = ArtifactCache::with_store(store)
+        .with_journal(Arc::clone(&journal))
+        .with_faults(faults);
+    let chaotic = run_sweep_budgeted(&spec, &budget, &cache, None)?;
+    eprintln!("chaos: {}", chaotic.summary());
+
+    // Fault-free resume over the same (possibly mangled) store: the
+    // surviving results merge with re-runs of every placeholder.
+    let expansion = spec.jobs()?;
+    let missing = missing_jobs(&expansion, &chaotic.outcomes);
+    eprintln!("chaos: resuming {} job(s) fault-free", missing.len());
+    let resume_cache = ArtifactCache::with_store(Arc::new(ArtifactStore::open(dir_str, None)));
+    let fresh = run_jobs_budgeted(&missing, &budget, &resume_cache);
+    let outcomes = merge_outcomes(&expansion, chaotic.outcomes, fresh);
+    let resumed = Campaign {
+        spec,
+        outcomes,
+        cache: resume_cache.stats(),
+        stages: resume_cache.stage_stats(),
+        threads: budget.threads(),
+        total_wall: std::time::Duration::ZERO,
+        pool: budget.pool().stats(),
+    };
+    let resumed_json = render_campaign(&resumed, "json", false);
+    let _ = std::fs::remove_dir_all(&dir);
+    if resumed_json != baseline_json {
+        return Err(
+            "chaos: resumed report differs from the fault-free baseline (determinism bug)".into(),
+        );
+    }
+    println!(
+        "chaos: ok — {} job(s) converged to the fault-free report byte-for-byte",
+        expansion.len()
+    );
     Ok(ExitCode::SUCCESS)
 }
 

@@ -66,6 +66,12 @@ pub struct RunOptions {
     pub store: StoreMode,
     /// Store size budget in bytes (`--store-cap`, e.g. `512M`).
     pub store_cap: Option<u64>,
+    /// Fault-injection seed (`--fault-seed`): derives a deterministic
+    /// [`sm_exec::fault::FaultPlan`] threaded into store I/O, journal
+    /// appends and job execution.
+    pub fault_seed: Option<u64>,
+    /// Fault-injection profile (`--fault-profile off|light|aggressive`).
+    pub fault_profile: Option<sm_exec::fault::FaultProfile>,
 }
 
 impl Default for RunOptions {
@@ -78,6 +84,8 @@ impl Default for RunOptions {
             timeout_secs: None,
             store: StoreMode::Auto,
             store_cap: None,
+            fault_seed: None,
+            fault_profile: None,
         }
     }
 }
@@ -158,6 +166,20 @@ impl RunOptions {
                     let v = cli::flag_value("--store-cap", inline, args, &mut i)?;
                     opts.store_cap = Some(cli::parse_size(&v)?);
                 }
+                "--fault-seed" => {
+                    let v = cli::flag_value("--fault-seed", inline, args, &mut i)?;
+                    opts.fault_seed = Some(
+                        v.parse()
+                            .map_err(|e| format!("invalid --fault-seed `{v}`: {e}"))?,
+                    );
+                }
+                "--fault-profile" => {
+                    let v = cli::flag_value("--fault-profile", inline, args, &mut i)?;
+                    opts.fault_profile = Some(
+                        sm_exec::fault::FaultProfile::parse(&v)
+                            .map_err(|e| format!("invalid --fault-profile: {e}"))?,
+                    );
+                }
                 _ => {}
             }
             i += 1;
@@ -174,6 +196,24 @@ impl RunOptions {
             StoreMode::Off => None,
             StoreMode::Auto => auto_default.map(str::to_string),
         }
+    }
+
+    /// The fault-injection plan these options describe, if any.
+    ///
+    /// `--fault-seed` alone injects the `aggressive` profile under that
+    /// seed; `--fault-profile` alone uses seed 0. Neither flag means no
+    /// plan at all: the injection hooks stay detached and cost nothing.
+    pub fn fault_plan(&self) -> Option<sm_exec::fault::FaultPlan> {
+        if self.fault_seed.is_none() && self.fault_profile.is_none() {
+            return None;
+        }
+        let profile = self
+            .fault_profile
+            .unwrap_or_else(sm_exec::fault::FaultProfile::aggressive);
+        Some(sm_exec::fault::FaultPlan::new(
+            self.fault_seed.unwrap_or(0),
+            profile,
+        ))
     }
 
     /// The resource budget these options describe: `--threads` becomes
@@ -269,6 +309,38 @@ mod tests {
         assert!(RunOptions::from_slice(&args(&["--timeout-secs", "0"])).is_err());
         assert!(RunOptions::from_slice(&args(&["--timeout-secs", "soon"])).is_err());
         assert!(RunOptions::from_slice(&args(&["--timeout-secs"])).is_err());
+    }
+
+    #[test]
+    fn fault_flags_resolve_to_a_plan() {
+        use sm_exec::fault::{FaultPlan, FaultProfile};
+
+        assert_eq!(RunOptions::default().fault_plan(), None);
+
+        let seeded = RunOptions::from_slice(&args(&["--fault-seed", "7"])).expect("valid");
+        assert_eq!(
+            seeded.fault_plan(),
+            Some(FaultPlan::new(7, FaultProfile::aggressive())),
+            "--fault-seed alone injects the aggressive profile"
+        );
+
+        let profiled = RunOptions::from_slice(&args(&["--fault-profile=light"])).expect("valid");
+        assert_eq!(
+            profiled.fault_plan(),
+            Some(FaultPlan::new(0, FaultProfile::light())),
+            "--fault-profile alone uses seed 0"
+        );
+
+        let both = RunOptions::from_slice(&args(&["--fault-seed=3", "--fault-profile", "off"]))
+            .expect("valid");
+        assert_eq!(
+            both.fault_plan(),
+            Some(FaultPlan::new(3, FaultProfile::off()))
+        );
+
+        assert!(RunOptions::from_slice(&args(&["--fault-seed", "soon"])).is_err());
+        assert!(RunOptions::from_slice(&args(&["--fault-profile", "wild"])).is_err());
+        assert!(RunOptions::from_slice(&args(&["--fault-seed"])).is_err());
     }
 
     #[test]

@@ -5,9 +5,11 @@
 //! the quick ISCAS selection plus down-scaled superblue18, each pushed
 //! through the pipeline stages the campaigns spend their wall-clock in
 //! — netlist generation, placement, routing, FEOL/BEOL split, the
-//! network-flow attack — plus a quick campaign run three times against
+//! network-flow attack — plus a quick campaign run four times against
 //! a fresh disk store (cold; warm; warm with the campaign journal
-//! attached, gating the event log's overhead). Every stage records
+//! attached, gating the event log's overhead; warm with a never-firing
+//! fault plan attached, gating the injection hooks' zero-fault
+//! overhead). Every stage records
 //!
 //! * `wall_ms` — the measurement (machine-dependent, **excluded** from
 //!   any determinism comparison, mirroring the `--timings` split of
@@ -304,6 +306,36 @@ pub fn run_bench(cfg: &BenchConfig) -> BenchReport {
                 ("jobs", campaign.outcomes.len() as u64),
                 ("builds", campaign.cache.builds),
                 ("events", events as u64),
+                ("threads", budget.threads() as u64),
+            ],
+        });
+    }
+    // Zero-fault overhead probe: the warm campaign once more with a
+    // fault plan attached to every injection point — but with the `off`
+    // profile, so no fault ever fires. The delta vs `campaign-warm` is
+    // the pure cost of the hooks (a seeded hash per store/journal/job
+    // operation), which CI gates like every other stage: fault
+    // injection must be free when it is not injecting.
+    {
+        let faults: std::sync::Arc<dyn sm_exec::fault::FaultInject> = std::sync::Arc::new(
+            sm_exec::fault::FaultPlan::new(cfg.seed, sm_exec::fault::FaultProfile::off()),
+        );
+        let cache = ArtifactCache::with_store(std::sync::Arc::new(
+            ArtifactStore::open(store_dir.to_string_lossy().as_ref(), None)
+                .with_faults(std::sync::Arc::clone(&faults)),
+        ))
+        .with_faults(faults);
+        let (campaign, wall) = timed(|| {
+            run_sweep_budgeted(&spec, &budget, &cache, None).expect("bench spec is valid")
+        });
+        stages.push(StageSample {
+            stage: "campaign-faults",
+            benchmark: "-".to_string(),
+            wall_ms: wall,
+            detail: vec![
+                ("jobs", campaign.outcomes.len() as u64),
+                ("builds", campaign.cache.builds),
+                ("failed", campaign.failed() as u64),
                 ("threads", budget.threads() as u64),
             ],
         });

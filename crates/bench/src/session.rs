@@ -42,11 +42,25 @@ impl Session {
     /// [`StoreMode::Auto`]: crate::StoreMode::Auto
     pub fn new(opts: RunOptions) -> Session {
         let exec = Executor::from_budget(opts.budget());
+        // `--fault-seed`/`--fault-profile` attach to the store (and the
+        // cache, though artifact runners never hit the job-run site):
+        // artifact regeneration must survive injected I/O faults too.
+        let faults = opts
+            .fault_plan()
+            .map(|plan| Arc::new(plan) as Arc<dyn sm_exec::fault::FaultInject>);
         let cache = match opts.store_dir(None) {
             Some(dir) => {
-                ArtifactCache::with_store(Arc::new(ArtifactStore::open(dir, opts.store_cap)))
+                let mut store = ArtifactStore::open(dir, opts.store_cap);
+                if let Some(faults) = &faults {
+                    store = store.with_faults(Arc::clone(faults));
+                }
+                ArtifactCache::with_store(Arc::new(store))
             }
             None => ArtifactCache::new(),
+        };
+        let cache = match faults {
+            Some(faults) => cache.with_faults(faults),
+            None => cache,
         };
         Session {
             opts,

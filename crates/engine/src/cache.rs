@@ -29,6 +29,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 use sm_benchgen::iscas::IscasProfile;
 use sm_benchgen::superblue::SuperblueProfile;
 use sm_codec::{Decode, Encode};
+use sm_exec::fault::FaultInject;
 use sm_layout::SplitLayout;
 
 use crate::bundle::{IscasRun, StageSource, SuperblueRun};
@@ -153,6 +154,7 @@ pub struct ArtifactCache {
     splits: BundleMap<(BundleKey, SplitArm, u8), SplitLayout>,
     store: Option<Arc<ArtifactStore>>,
     journal: Option<Arc<Journal>>,
+    faults: Option<Arc<dyn FaultInject>>,
     expected: Mutex<HashMap<BundleKey, usize>>,
     hits: AtomicU64,
     disk_hits: AtomicU64,
@@ -184,8 +186,13 @@ impl ArtifactCache {
 
     /// Attaches a campaign journal: the cache emits `bundle-built`
     /// events (and campaigns running over it emit the job/campaign
-    /// lifecycle) into `journal`.
+    /// lifecycle) into `journal`. The disk store underneath, when one
+    /// is attached, gets the same journal so store maintenance
+    /// incidents land in the campaign's log.
     pub fn with_journal(mut self, journal: Arc<Journal>) -> Self {
+        if let Some(store) = &self.store {
+            store.set_journal(Arc::clone(&journal));
+        }
         self.journal = Some(journal);
         self
     }
@@ -193,6 +200,21 @@ impl ArtifactCache {
     /// The attached campaign journal, if any.
     pub fn journal(&self) -> Option<&Arc<Journal>> {
         self.journal.as_ref()
+    }
+
+    /// Attaches a fault injector: campaigns running over this cache
+    /// consult it at job pickup (`job-run` faults become isolated
+    /// panics). Store and journal injection points are attached to
+    /// those objects directly — see [`ArtifactStore::with_faults`] and
+    /// [`Journal::with_faults`](crate::journal::Journal::with_faults).
+    pub fn with_faults(mut self, faults: Arc<dyn FaultInject>) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// The attached fault injector, if any.
+    pub fn faults(&self) -> Option<&Arc<dyn FaultInject>> {
+        self.faults.as_ref()
     }
 
     /// Records a `bundle-built` journal event for a cache miss satisfied

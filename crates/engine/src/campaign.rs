@@ -34,6 +34,7 @@ use sm_attacks::proximity::{
     ProximityConfig,
 };
 use sm_core::flow::BaselineLayout;
+use sm_exec::fault::{Fault, FaultSite};
 use sm_layout::split_layout;
 use sm_netlist::{NetId, Netlist, Sink};
 
@@ -212,12 +213,35 @@ pub enum JobMetrics {
     /// that [`missing_jobs`] treats as absent, so `smctl resume`
     /// re-runs exactly these jobs.
     TimedOut,
+    /// The job panicked (an attack bug, or an injected `job-run`
+    /// fault). Like [`JobMetrics::TimedOut`], a placeholder rather than
+    /// a measurement: never persisted, excluded from CSV rows and
+    /// aggregates, and re-run by `smctl resume` — a panicking job is
+    /// isolated instead of tearing down the campaign.
+    Failed {
+        /// The phase the panic landed in (`bundle`/`attack`).
+        phase: String,
+        /// The panic payload, when it carried a string.
+        message: String,
+    },
 }
 
 impl JobMetrics {
     /// `true` for the timed-out placeholder outcome.
     pub fn is_timed_out(&self) -> bool {
         matches!(self, JobMetrics::TimedOut)
+    }
+
+    /// `true` for the panicked placeholder outcome.
+    pub fn is_failed(&self) -> bool {
+        matches!(self, JobMetrics::Failed { .. })
+    }
+
+    /// `true` for either placeholder outcome (timed-out or failed) —
+    /// the outcomes that carry no measurement, are never persisted, and
+    /// count as missing for `smctl resume`.
+    pub fn is_placeholder(&self) -> bool {
+        self.is_timed_out() || self.is_failed()
     }
 }
 
@@ -309,20 +333,42 @@ pub fn run_job(cache: &ArtifactCache, job: &Job, exec: &Budget) -> JobOutcome {
             };
         }
         None => {
-            let fetch = Instant::now();
-            let bundle = Bundle::fetch(cache, job, exec);
-            phases.push(("bundle", ms_since(fetch)));
-            let metrics = match job.attack {
-                // Flow attacks additionally honor the budget *inside*
-                // the job, at the attack's deterministic phase
-                // boundaries: a deadlined superblue-scale job stops
-                // within one scaling phase and comes back timed-out
-                // instead of overshooting by its whole runtime.
-                AttackKind::NetworkFlow => {
-                    flow_metrics(cache, &bundle, job, exec.cancel_token(), &mut phases)
-                        .unwrap_or(JobMetrics::TimedOut)
+            // Panic isolation: the compute region runs under
+            // `catch_unwind`, so a panicking job — an attack bug, or an
+            // injected `job-run` fault — becomes a `Failed` placeholder
+            // instead of poisoning the pool and tearing down the sweep.
+            // The cell tracks which phase the panic landed in.
+            let panic_phase = std::cell::Cell::new("bundle");
+            let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let fetch = Instant::now();
+                let bundle = Bundle::fetch(cache, job, exec);
+                phases.push(("bundle", ms_since(fetch)));
+                panic_phase.set("attack");
+                if let Some(Fault::Panic(msg)) = cache
+                    .faults()
+                    .and_then(|f| f.inject(FaultSite::JobRun, &job.outcome_key(), 0))
+                {
+                    panic!("{msg}");
                 }
-                AttackKind::Crouting => crouting_metrics(cache, &bundle, job, &mut phases),
+                match job.attack {
+                    // Flow attacks additionally honor the budget *inside*
+                    // the job, at the attack's deterministic phase
+                    // boundaries: a deadlined superblue-scale job stops
+                    // within one scaling phase and comes back timed-out
+                    // instead of overshooting by its whole runtime.
+                    AttackKind::NetworkFlow => {
+                        flow_metrics(cache, &bundle, job, exec.cancel_token(), &mut phases)
+                            .unwrap_or(JobMetrics::TimedOut)
+                    }
+                    AttackKind::Crouting => crouting_metrics(cache, &bundle, job, &mut phases),
+                }
+            }));
+            let metrics = match attempt {
+                Ok(metrics) => metrics,
+                Err(payload) => JobMetrics::Failed {
+                    phase: panic_phase.get().to_string(),
+                    message: panic_message(payload),
+                },
             };
             if let Some(store) = cache.store() {
                 store.save_outcome(job, &metrics);
@@ -337,6 +383,12 @@ pub fn run_job(cache: &ArtifactCache, job: &Job, exec: &Budget) -> JobOutcome {
             journal.record(&Event::JobTimedOut {
                 job: EventJob::of(job),
                 phase: "attack".to_string(),
+            });
+        } else if let JobMetrics::Failed { phase, message } = &metrics {
+            journal.record(&Event::JobFailed {
+                job: EventJob::of(job),
+                phase: phase.clone(),
+                message: message.clone(),
             });
         } else {
             journal.record(&Event::JobFinished {
@@ -364,6 +416,18 @@ pub fn run_job(cache: &ArtifactCache, job: &Job, exec: &Budget) -> JobOutcome {
 /// Milliseconds elapsed since `start`.
 fn ms_since(start: Instant) -> f64 {
     start.elapsed().as_secs_f64() * 1e3
+}
+
+/// Best-effort panic payload → message: the common `&str`/`String`
+/// payloads verbatim, a generic label otherwise.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic".to_string()
+    }
 }
 
 /// Measures one flow job, honoring `cancel` at the attack's phase
@@ -653,10 +717,10 @@ pub struct AggregateRow {
 }
 
 /// The scalar metrics an outcome contributes to aggregation (none for
-/// timed-out placeholders — they carry no measurement).
+/// timed-out/failed placeholders — they carry no measurement).
 fn scalar_metrics(metrics: &JobMetrics) -> Vec<(&'static str, f64)> {
     match metrics {
-        JobMetrics::TimedOut => Vec::new(),
+        JobMetrics::TimedOut | JobMetrics::Failed { .. } => Vec::new(),
         JobMetrics::Flow {
             ccr_protected_pct,
             oer_pct,
@@ -698,7 +762,7 @@ impl Campaign {
         for o in &self.outcomes {
             let metrics = scalar_metrics(&o.metrics);
             if metrics.is_empty() {
-                continue; // timed-out: no measurement to aggregate
+                continue; // timed-out/failed: no measurement to aggregate
             }
             let key = (
                 o.job.benchmark.name().to_string(),
@@ -950,9 +1014,9 @@ impl Campaign {
                         ));
                     }
                 }
-                // Timed-out jobs have no measurement row; the JSON
-                // report is where their status lives.
-                JobMetrics::TimedOut => {}
+                // Placeholder outcomes have no measurement row; the
+                // JSON report is where their status lives.
+                JobMetrics::TimedOut | JobMetrics::Failed { .. } => {}
             }
         }
         csv(&csv_header(opts.include_timings), &rows)
@@ -1027,11 +1091,22 @@ impl Campaign {
             .count()
     }
 
+    /// Number of outcomes that are panicked placeholders (what `smctl`
+    /// exits 4 on; `smctl resume` re-runs these alongside timed-out
+    /// jobs).
+    pub fn failed(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| o.metrics.is_failed())
+            .count()
+    }
+
     /// One-line human summary (thread count, cache effectiveness, time).
     pub fn summary(&self) -> String {
         let timed_out = self.timed_out();
+        let failed = self.failed();
         format!(
-            "{} jobs on {} threads in {:.2}s — cache: {} builds, {} hits, {} disk hits, {} released — stages: {} place+route built, {} split built{}",
+            "{} jobs on {} threads in {:.2}s — cache: {} builds, {} hits, {} disk hits, {} released — stages: {} place+route built, {} split built{}{}",
             self.outcomes.len(),
             self.threads,
             self.total_wall.as_secs_f64(),
@@ -1043,6 +1118,11 @@ impl Campaign {
             self.stages.builds_of(Stage::Split),
             if timed_out > 0 {
                 format!(" — {timed_out} timed out")
+            } else {
+                String::new()
+            },
+            if failed > 0 {
+                format!(" — {failed} failed")
             } else {
                 String::new()
             },
@@ -1171,8 +1251,8 @@ pub fn json_to_csv(report: &Json) -> Result<String, String> {
                     wall,
                 ));
             }
-        } else if metrics.get("timed_out").is_some() {
-            // Timed-out placeholder: no measurement row (matches
+        } else if metrics.get("timed_out").is_some() || metrics.get("failed").is_some() {
+            // Placeholder outcome: no measurement row (matches
             // `Campaign::to_csv`).
         } else {
             return Err(format!("job {i}: unrecognized metrics shape"));
@@ -1243,6 +1323,16 @@ fn outcome_json(o: &JobOutcome, opts: ReportOptions) -> Json {
             pairs.push((
                 "metrics".to_string(),
                 Json::obj([("timed_out", Json::Bool(true))]),
+            ));
+        }
+        JobMetrics::Failed { phase, message } => {
+            pairs.push((
+                "metrics".to_string(),
+                Json::obj([
+                    ("failed", Json::Bool(true)),
+                    ("phase", Json::str(phase)),
+                    ("message", Json::str(message)),
+                ]),
             ));
         }
     }
@@ -1417,6 +1507,18 @@ fn outcome_from_json(job: &Json, spec: &SweepSpec) -> Result<JobOutcome, String>
         }
     } else if metrics.get("timed_out").is_some() {
         JobMetrics::TimedOut
+    } else if metrics.get("failed").is_some() {
+        let s = |key: &str| {
+            metrics
+                .get(key)
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string()
+        };
+        JobMetrics::Failed {
+            phase: s("phase"),
+            message: s("message"),
+        }
     } else {
         return Err("unrecognized metrics shape".into());
     };
@@ -1448,12 +1550,13 @@ fn job_key(job: &Job) -> (String, u64, u8, AttackKind) {
 }
 
 /// The jobs of `expansion` that have no **finished** outcome in `have`
-/// — what `smctl resume` must still run. Timed-out placeholders count
-/// as missing: they are exactly the jobs a resume re-runs.
+/// — what `smctl resume` must still run. Timed-out and failed
+/// placeholders count as missing: they are exactly the jobs a resume
+/// re-runs.
 pub fn missing_jobs(expansion: &[Job], have: &[JobOutcome]) -> Vec<Job> {
     let done: std::collections::HashSet<_> = have
         .iter()
-        .filter(|o| !o.metrics.is_timed_out())
+        .filter(|o| !o.metrics.is_placeholder())
         .map(|o| job_key(&o.job))
         .collect();
     expansion
@@ -1465,7 +1568,8 @@ pub fn missing_jobs(expansion: &[Job], have: &[JobOutcome]) -> Vec<Job> {
 
 /// Merges stored and freshly-run outcomes into canonical campaign order
 /// (`expansion` order). On duplicate keys, a finished outcome always
-/// beats a timed-out placeholder; among finished outcomes, fresh wins.
+/// beats a timed-out/failed placeholder; among finished outcomes, fresh
+/// wins.
 /// Jobs with no outcome in either set are simply absent — a resume
 /// restricted by `--jobs` stays partial.
 pub fn merge_outcomes(
@@ -1480,10 +1584,10 @@ pub fn merge_outcomes(
                 e.insert(outcome);
             }
             std::collections::hash_map::Entry::Occupied(mut e) => {
-                // Never let a timed-out placeholder displace a real
-                // measurement (e.g. merging a timed-out shard over an
-                // already-complete report).
-                if !outcome.metrics.is_timed_out() || e.get().metrics.is_timed_out() {
+                // Never let a timed-out/failed placeholder displace a
+                // real measurement (e.g. merging a timed-out shard over
+                // an already-complete report).
+                if !outcome.metrics.is_placeholder() || e.get().metrics.is_placeholder() {
                     e.insert(outcome);
                 }
             }
@@ -1503,7 +1607,7 @@ pub fn merge_outcomes(
 /// in canonical job order — the engine behind `smctl merge`, which
 /// combines sharded sweeps (`--shard K/N`) without round-tripping every
 /// shard through `resume`. Later reports win on duplicate keys, except
-/// that a finished outcome never loses to a timed-out placeholder.
+/// that a finished outcome never loses to a placeholder.
 ///
 /// # Errors
 ///

@@ -21,4 +21,4 @@
 //! instead of spawning its own — total live worker threads never exceed
 //! the configured `--threads`.
 
-pub use sm_exec::{join, Budget, CancelToken, Executor, ExecutorConfig, Pool, PoolStats};
+pub use sm_exec::{fault, join, Budget, CancelToken, Executor, ExecutorConfig, Pool, PoolStats};

@@ -43,6 +43,7 @@ use std::time::Duration;
 use sm_codec::{
     decode_from_slice, encode_to_vec, frame, CodecError, Decode, Encode, Reader, Writer,
 };
+use sm_exec::fault::{self, Fault, FaultInject, FaultSite};
 
 use crate::cache::CacheStats;
 use crate::campaign::{
@@ -57,10 +58,12 @@ pub const JOURNAL_MAGIC: [u8; 4] = *b"SMJL";
 
 /// Journal format version. Bumping it invalidates old journals
 /// wholesale (mirroring the store's versioning policy). v2 added the
-/// spec's optional pinned layout seed to `campaign-started` records —
-/// v1 journals fail loudly with a version message rather than decoding
-/// to a silently-empty prefix.
-pub const JOURNAL_VERSION: u16 = 2;
+/// spec's optional pinned layout seed to `campaign-started` records;
+/// v3 added the `job-failed` and `store-lock-stolen` events plus the
+/// `campaign-finished` failed-job counter. Old journals fail loudly
+/// with a version message rather than decoding to a silently-empty
+/// prefix.
+pub const JOURNAL_VERSION: u16 = 3;
 
 /// Bytes of file header before the first frame.
 const HEADER_LEN: usize = 6;
@@ -205,7 +208,7 @@ pub enum Event {
     },
     /// The campaign's summary counters, written after the last job.
     CampaignFinished {
-        /// Jobs with an outcome (finished or timed out).
+        /// Jobs with an outcome (finished, timed out or failed).
         jobs: u64,
         /// Timed-out placeholders among them.
         timed_out: u64,
@@ -219,6 +222,27 @@ pub enum Event {
         threads: u64,
         /// End-to-end campaign wall clock in milliseconds.
         total_wall_ms: f64,
+        /// Panicked (failed) placeholders among the jobs.
+        failed: u64,
+    },
+    /// A job panicked in the named phase and was isolated as a
+    /// [`JobMetrics::Failed`] placeholder — resumable, like
+    /// [`Event::JobTimedOut`].
+    JobFailed {
+        /// Which job.
+        job: EventJob,
+        /// Phase the panic landed in (`"bundle"`/`"attack"`).
+        phase: String,
+        /// The panic message.
+        message: String,
+    },
+    /// A stale store `.lock` was stolen from a presumed-dead holder
+    /// during a maintenance sweep.
+    StoreLockStolen {
+        /// Age of the stolen lock file in seconds.
+        age_secs: u64,
+        /// PID recorded in the lock file (0 when unreadable).
+        holder_pid: u64,
     },
 }
 
@@ -232,6 +256,8 @@ impl Event {
             Event::JobTimedOut { .. } => "job-timed-out",
             Event::BundleBuilt { .. } => "bundle-built",
             Event::CampaignFinished { .. } => "campaign-finished",
+            Event::JobFailed { .. } => "job-failed",
+            Event::StoreLockStolen { .. } => "store-lock-stolen",
         }
     }
 
@@ -245,6 +271,7 @@ impl Event {
             pool_peak_live: campaign.pool.peak_live as u64,
             threads: campaign.threads as u64,
             total_wall_ms: wall_ms(campaign.total_wall),
+            failed: campaign.failed() as u64,
         }
     }
 
@@ -321,6 +348,7 @@ impl Event {
                         ("boxes", Json::UInt(boxes.len() as u64)),
                     ]),
                     JobMetrics::TimedOut => Json::obj([("timed_out", Json::Bool(true))]),
+                    JobMetrics::Failed { .. } => Json::obj([("failed", Json::Bool(true))]),
                 };
                 pairs.push(("metrics".to_string(), summary));
                 pairs.push((
@@ -357,6 +385,22 @@ impl Event {
                 pairs.push(("stage".to_string(), Json::str(stage)));
                 pairs.push(("wall_ms".to_string(), Json::Num(phase_ms(*wall_ms))));
             }
+            Event::JobFailed {
+                job,
+                phase,
+                message,
+            } => {
+                push_job(&mut pairs, job);
+                pairs.push(("phase".to_string(), Json::str(phase)));
+                pairs.push(("message".to_string(), Json::str(message)));
+            }
+            Event::StoreLockStolen {
+                age_secs,
+                holder_pid,
+            } => {
+                pairs.push(("age_secs".to_string(), Json::UInt(*age_secs)));
+                pairs.push(("holder_pid".to_string(), Json::UInt(*holder_pid)));
+            }
             Event::CampaignFinished {
                 jobs,
                 timed_out,
@@ -365,9 +409,11 @@ impl Event {
                 pool_peak_live,
                 threads,
                 total_wall_ms,
+                failed,
             } => {
                 pairs.push(("jobs".to_string(), Json::UInt(*jobs)));
                 pairs.push(("timed_out".to_string(), Json::UInt(*timed_out)));
+                pairs.push(("failed".to_string(), Json::UInt(*failed)));
                 pairs.push((
                     "cache".to_string(),
                     Json::obj([
@@ -581,6 +627,7 @@ impl Encode for Event {
                 pool_peak_live,
                 threads,
                 total_wall_ms,
+                failed,
             } => {
                 w.put_u8(5);
                 jobs.encode(w);
@@ -590,6 +637,25 @@ impl Encode for Event {
                 pool_peak_live.encode(w);
                 threads.encode(w);
                 total_wall_ms.encode(w);
+                failed.encode(w);
+            }
+            Event::JobFailed {
+                job,
+                phase,
+                message,
+            } => {
+                w.put_u8(6);
+                job.encode(w);
+                phase.encode(w);
+                message.encode(w);
+            }
+            Event::StoreLockStolen {
+                age_secs,
+                holder_pid,
+            } => {
+                w.put_u8(7);
+                age_secs.encode(w);
+                holder_pid.encode(w);
             }
         }
     }
@@ -608,9 +674,9 @@ impl Decode for Event {
             }),
             2 => Ok(Event::JobFinished {
                 job: EventJob::decode(r)?,
-                // `JobMetrics::decode` rejects the timed-out placeholder
-                // tag, so a `job-finished` record can never smuggle in a
-                // non-result.
+                // `JobMetrics::decode` rejects the placeholder tags
+                // (timed-out, failed), so a `job-finished` record can
+                // never smuggle in a non-result.
                 metrics: JobMetrics::decode(r)?,
                 provenance: Provenance::decode(r)?,
             }),
@@ -631,6 +697,16 @@ impl Decode for Event {
                 pool_peak_live: u64::decode(r)?,
                 threads: u64::decode(r)?,
                 total_wall_ms: f64::decode(r)?,
+                failed: u64::decode(r)?,
+            }),
+            6 => Ok(Event::JobFailed {
+                job: EventJob::decode(r)?,
+                phase: String::decode(r)?,
+                message: String::decode(r)?,
+            }),
+            7 => Ok(Event::StoreLockStolen {
+                age_secs: u64::decode(r)?,
+                holder_pid: u64::decode(r)?,
             }),
             other => Err(CodecError::Invalid(format!("Event tag {other}"))),
         }
@@ -650,14 +726,16 @@ pub fn spec_fingerprint(spec: &SweepSpec) -> u64 {
 /// by a flush, so a killed process loses at most the record being
 /// written (which the torn-tail truncation absorbs).
 ///
-/// I/O failures degrade quietly, like the artifact store: the journal
-/// marks itself failed and drops subsequent records — observability
-/// must never take a campaign down.
+/// Transient append failures retry up to [`fault::MAX_ATTEMPTS`] times
+/// with deterministic backoff; exhausted retries degrade the journal to
+/// inert (a one-time stderr warning, then records are dropped) —
+/// observability must never take a campaign down.
 #[derive(Debug)]
 pub struct Journal {
     path: PathBuf,
     file: Mutex<Option<fs::File>>,
     failed: AtomicBool,
+    faults: Option<std::sync::Arc<dyn FaultInject>>,
 }
 
 impl Journal {
@@ -668,7 +746,15 @@ impl Journal {
             path: path.into(),
             file: Mutex::new(None),
             failed: AtomicBool::new(false),
+            faults: None,
         }
+    }
+
+    /// Attaches a fault injector consulted before every append — the
+    /// chaos-testing hook behind `--fault-seed`/`--fault-profile`.
+    pub fn with_faults(mut self, faults: std::sync::Arc<dyn FaultInject>) -> Journal {
+        self.faults = Some(faults);
+        self
     }
 
     /// The journal for `spec` under `store_root`:
@@ -688,8 +774,10 @@ impl Journal {
     }
 
     /// Appends one event as a checksummed frame and flushes it to the
-    /// OS. Failures are quiet (the journal goes inert); they never
-    /// affect campaign results.
+    /// OS. Transient failures (injected or real) retry with
+    /// deterministic backoff; exhausted retries degrade the journal to
+    /// inert with a one-time warning — they never affect campaign
+    /// results.
     pub fn record(&self, event: &Event) {
         if self.failed.load(Ordering::Relaxed) {
             return;
@@ -701,18 +789,43 @@ impl Journal {
         if guard.is_none() {
             match self.open_for_append() {
                 Ok(file) => *guard = Some(file),
-                Err(_) => {
-                    self.failed.store(true, Ordering::Relaxed);
+                Err(e) => {
+                    self.degrade(&format!("opening {}: {e}", self.path.display()));
                     return;
                 }
             }
         }
         let file = guard.as_mut().expect("opened above");
-        // One `write_all` per frame: the OS appends atomically enough
-        // that a SIGKILL leaves at worst one torn frame at the tail,
-        // which readers truncate away.
-        if file.write_all(&buf).and_then(|()| file.flush()).is_err() {
-            self.failed.store(true, Ordering::Relaxed);
+        for attempt in 0..fault::MAX_ATTEMPTS {
+            if let Some(injected) = self
+                .faults
+                .as_ref()
+                .and_then(|f| f.inject(FaultSite::JournalAppend, event.kind(), attempt))
+            {
+                match injected {
+                    Fault::Transient => {
+                        fault::backoff(attempt);
+                        continue;
+                    }
+                    Fault::Persistent | Fault::Panic(_) => break,
+                }
+            }
+            // One `write_all` per frame: the OS appends atomically
+            // enough that a SIGKILL leaves at worst one torn frame at
+            // the tail, which readers truncate away.
+            match file.write_all(&buf).and_then(|()| file.flush()) {
+                Ok(()) => return,
+                Err(_) => fault::backoff(attempt),
+            }
+        }
+        self.degrade("append failed after retries");
+    }
+
+    /// Marks the journal inert, warning once on stderr — campaigns
+    /// degrade to journal-less operation rather than aborting.
+    fn degrade(&self, what: &str) {
+        if !self.failed.swap(true, Ordering::Relaxed) {
+            eprintln!("warning: journal degraded, continuing without it: {what}");
         }
     }
 
@@ -873,12 +986,13 @@ pub fn find_journal(path: &Path) -> Result<PathBuf, String> {
 /// deterministic materialization whose canonical report is
 /// **byte-identical** to the directly-written one.
 ///
-/// Only `campaign-started` (the spec) and `job-finished`/`job-timed-out`
-/// (the outcomes) shape the result; progress and provenance records are
-/// side-band. Replay is resume-safe: [`merge_outcomes`] dedupes repeated
-/// jobs (finished beats timed-out, later wins) and restores canonical
-/// job order, so a journal holding an interrupted run plus its resume
-/// materializes to the uninterrupted report.
+/// Only `campaign-started` (the spec) and
+/// `job-finished`/`job-timed-out`/`job-failed` (the outcomes) shape the
+/// result; progress and provenance records are side-band. Replay is
+/// resume-safe: [`merge_outcomes`] dedupes repeated jobs (finished
+/// beats placeholders, later wins) and restores canonical job order, so
+/// a journal holding an interrupted run plus its resume materializes to
+/// the uninterrupted report.
 ///
 /// # Errors
 ///
@@ -902,6 +1016,19 @@ pub fn materialize(events: &[Event]) -> Result<Campaign, String> {
             }
             Event::JobTimedOut { job, .. } => {
                 recorded.push((job.clone(), JobMetrics::TimedOut));
+            }
+            Event::JobFailed {
+                job,
+                phase,
+                message,
+            } => {
+                recorded.push((
+                    job.clone(),
+                    JobMetrics::Failed {
+                        phase: phase.clone(),
+                        message: message.clone(),
+                    },
+                ));
             }
             _ => {}
         }

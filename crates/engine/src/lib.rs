@@ -76,7 +76,9 @@ pub use exec::{Budget, CancelToken, Executor, ExecutorConfig, Pool, PoolStats};
 pub use job::{AttackKind, Benchmark, Job};
 pub use journal::{Event, Journal, JournalFollower};
 pub use report::{Json, ReportOptions};
-pub use store::{ArtifactStore, Stage, StageUsage, StoreStats, StoreUsage};
+pub use store::{
+    ArtifactStore, Stage, StageHealth, StageUsage, StoreHealth, StoreStats, StoreUsage,
+};
 
 #[cfg(test)]
 mod tests {

@@ -34,13 +34,16 @@
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, SystemTime};
 
 use sm_codec::{decode_from_slice, lz, Decode, Encode, Reader, Writer};
+use sm_exec::fault::{self, Fault, FaultInject, FaultSite};
 
 use crate::campaign::JobMetrics;
 use crate::job::Job;
+use crate::journal::{Event, Journal};
 
 /// File magic: every store file starts with these four bytes.
 pub const STORE_MAGIC: [u8; 4] = *b"SMST";
@@ -181,6 +184,10 @@ impl StoreUsage {
     }
 }
 
+/// How many persistent I/O failures flip the store into memory-only
+/// degraded mode.
+const DEGRADE_THRESHOLD: u64 = 3;
+
 /// The disk-backed artifact store. Cheap to share behind an `Arc`.
 #[derive(Debug)]
 pub struct ArtifactStore {
@@ -192,6 +199,10 @@ pub struct ArtifactStore {
     write_failures: AtomicU64,
     evictions: AtomicU64,
     tmp_counter: AtomicU64,
+    faults: Option<Arc<dyn FaultInject>>,
+    journal: Mutex<Option<Arc<Journal>>>,
+    persistent_failures: AtomicU64,
+    degraded: AtomicBool,
 }
 
 impl ArtifactStore {
@@ -207,7 +218,93 @@ impl ArtifactStore {
             write_failures: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             tmp_counter: AtomicU64::new(0),
+            faults: None,
+            journal: Mutex::new(None),
+            persistent_failures: AtomicU64::new(0),
+            degraded: AtomicBool::new(false),
         }
+    }
+
+    /// Attaches a fault injector consulted before every payload read
+    /// and write — the chaos-testing hook behind
+    /// `--fault-seed`/`--fault-profile`.
+    pub fn with_faults(mut self, faults: Arc<dyn FaultInject>) -> ArtifactStore {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Attaches a campaign journal so store maintenance incidents (a
+    /// stolen stale lock) are recorded alongside the campaign's events.
+    pub fn set_journal(&self, journal: Arc<Journal>) {
+        *self.journal.lock().unwrap_or_else(|p| p.into_inner()) = Some(journal);
+    }
+
+    /// `true` once persistent I/O failures dropped the store into
+    /// memory-only degraded mode (every load a miss, every save a
+    /// no-op). Campaign results are unaffected — bundles rebuild in
+    /// memory instead of persisting.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
+    /// Counts one persistent I/O failure; at [`DEGRADE_THRESHOLD`] the
+    /// store degrades to memory-only with a one-time warning.
+    fn note_persistent_failure(&self) {
+        let n = self.persistent_failures.fetch_add(1, Ordering::Relaxed) + 1;
+        if n >= DEGRADE_THRESHOLD && !self.degraded.swap(true, Ordering::Relaxed) {
+            eprintln!(
+                "warning: store degraded after {n} persistent I/O failures; \
+                 continuing memory-only (results are unaffected)"
+            );
+        }
+    }
+
+    /// Reports a stolen stale `.lock`: age and holder PID to stderr,
+    /// and a `store-lock-stolen` record when a journal is attached.
+    fn note_lock_steal(&self, age: Duration, holder_pid: u64) {
+        eprintln!(
+            "warning: stole stale store lock at {} (age {}s, holder pid {holder_pid})",
+            self.root.join(".lock").display(),
+            age.as_secs(),
+        );
+        let journal = self.journal.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(journal) = journal.as_ref() {
+            journal.record(&Event::StoreLockStolen {
+                age_secs: age.as_secs(),
+                holder_pid,
+            });
+        }
+    }
+
+    /// Consults the fault injector for `site` on the artifact at
+    /// `path`, retrying transient faults with deterministic backoff.
+    /// `true` means the operation must be treated as failed. The
+    /// decision key is the stage-qualified file stem — independent of
+    /// the store root, so a fault plan picks the same victims whatever
+    /// directory (or thread count) a run uses.
+    fn faulted(&self, site: FaultSite, stage: Stage, path: &Path) -> bool {
+        let Some(faults) = &self.faults else {
+            return false;
+        };
+        let stem = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or_default();
+        let key = format!("{}/{stem}", stage.dir());
+        for attempt in 0..fault::MAX_ATTEMPTS {
+            match faults.inject(site, &key, attempt) {
+                None => return false,
+                Some(Fault::Transient) => fault::backoff(attempt),
+                Some(Fault::Persistent) | Some(Fault::Panic(_)) => {
+                    self.note_persistent_failure();
+                    return true;
+                }
+            }
+        }
+        // A transient fault that never cleared within the retry budget
+        // is persistent in effect.
+        self.note_persistent_failure();
+        true
     }
 
     /// The store's root directory.
@@ -259,17 +356,21 @@ impl ArtifactStore {
         self.load_stage(Stage::Outcome, &job.outcome_key())
     }
 
-    /// Persists the finished metrics of `job`. Timed-out placeholders
-    /// are **not** results and are never persisted: a later resume must
-    /// re-run the job, not replay its absence.
+    /// Persists the finished metrics of `job`. Timed-out and failed
+    /// placeholders are **not** results and are never persisted: a
+    /// later resume must re-run the job, not replay its absence.
     pub fn save_outcome(&self, job: &Job, metrics: &JobMetrics) {
-        if metrics.is_timed_out() {
+        if metrics.is_placeholder() {
             return;
         }
         self.save_stage(Stage::Outcome, &job.outcome_key(), metrics);
     }
 
     fn load_payload<T: Decode>(&self, path: &Path, stage: Stage) -> Option<T> {
+        if self.is_degraded() || self.faulted(FaultSite::StoreLoad, stage, path) {
+            self.disk_misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
         let loaded = self.try_load(path, stage);
         match loaded {
             Some(_) => self.disk_hits.fetch_add(1, Ordering::Relaxed),
@@ -279,7 +380,17 @@ impl ArtifactStore {
     }
 
     fn try_load<T: Decode>(&self, path: &Path, stage: Stage) -> Option<T> {
-        let bytes = fs::read(path).ok()?;
+        let bytes = match fs::read(path) {
+            Ok(bytes) => bytes,
+            Err(e) => {
+                // A missing file is the ordinary miss; anything else
+                // (EIO, permission denied) pushes toward degraded mode.
+                if e.kind() != io::ErrorKind::NotFound {
+                    self.note_persistent_failure();
+                }
+                return None;
+            }
+        };
         let (stored, flags, raw_len) = check_header(&bytes, stage)?;
         let value = if flags & FLAG_LZ != 0 {
             let raw = lz::decompress(stored, raw_len).ok()?;
@@ -300,7 +411,23 @@ impl ArtifactStore {
     }
 
     fn save_payload<T: Encode>(&self, path: &Path, stage: Stage, value: &T) {
-        match self.try_save(path, stage, value) {
+        if self.is_degraded() || self.faulted(FaultSite::StoreSave, stage, path) {
+            self.write_failures.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        // Real I/O errors get the same bounded deterministic retry as
+        // injected ones: transient conditions (EINTR, a racing
+        // directory move) clear; persistent ones (ENOSPC, permission
+        // denied) exhaust the budget and push toward degraded mode.
+        let mut result = Ok(());
+        for attempt in 0..fault::MAX_ATTEMPTS {
+            result = self.try_save(path, stage, value);
+            if result.is_ok() {
+                break;
+            }
+            fault::backoff(attempt);
+        }
+        match result {
             Ok(()) => {
                 self.writes.fetch_add(1, Ordering::Relaxed);
                 if let Some(cap) = self.cap_bytes {
@@ -315,6 +442,7 @@ impl ArtifactStore {
             }
             Err(_) => {
                 self.write_failures.fetch_add(1, Ordering::Relaxed);
+                self.note_persistent_failure();
             }
         }
     }
@@ -410,7 +538,9 @@ impl ArtifactStore {
     /// cannot be acquired (a peer is already evicting), this pass is
     /// skipped — the peer's sweep enforces the cap.
     pub fn gc_to(&self, cap: u64) -> u64 {
-        let Some(_lock) = StoreLock::acquire(&self.root) else {
+        let Some(_lock) =
+            StoreLock::acquire(&self.root, &|age, pid| self.note_lock_steal(age, pid))
+        else {
             return 0;
         };
         let mut entries = self.entries();
@@ -438,7 +568,7 @@ impl ArtifactStore {
     /// exhausting patience — explicit maintenance must not hang forever
     /// behind a wedged peer). Returns the number of files removed.
     pub fn clear(&self) -> u64 {
-        let _lock = StoreLock::acquire(&self.root);
+        let _lock = StoreLock::acquire(&self.root, &|age, pid| self.note_lock_steal(age, pid));
         let mut removed = 0;
         for (path, _, _) in self.entries() {
             if fs::remove_file(&path).is_ok() {
@@ -446,6 +576,52 @@ impl ArtifactStore {
             }
         }
         removed
+    }
+
+    /// Scans every stage directory, classifying each file as valid,
+    /// legacy (foreign format version — e.g. a v1 store) or corrupt
+    /// (bad magic, kind mismatch, checksum failure), and moves corrupt
+    /// files into `quarantine/<stage>/` under the store root — the
+    /// `smctl store doctor` engine. Without a scan, corruption is
+    /// invisible: a damaged frame silently counts as a miss and is
+    /// rebuilt over. Legacy v1 whole-bundle files under `bundles/` are
+    /// counted but left in place (gc ages them out).
+    pub fn doctor(&self) -> StoreHealth {
+        let mut health = StoreHealth::default();
+        for stage in Stage::ALL {
+            let mut counts = StageHealth::default();
+            if let Ok(dir) = fs::read_dir(self.root.join(stage.dir())) {
+                for entry in dir.flatten() {
+                    let Some((path, _, _)) = store_file(&entry) else {
+                        continue;
+                    };
+                    let Ok(bytes) = fs::read(&path) else {
+                        continue;
+                    };
+                    match classify(&bytes, stage) {
+                        FrameHealth::Valid => counts.valid += 1,
+                        FrameHealth::Legacy => counts.legacy += 1,
+                        FrameHealth::Corrupt => {
+                            counts.corrupt += 1;
+                            let qdir = self.root.join("quarantine").join(stage.dir());
+                            let moved = fs::create_dir_all(&qdir).is_ok()
+                                && path
+                                    .file_name()
+                                    .map(|name| fs::rename(&path, qdir.join(name)).is_ok())
+                                    .unwrap_or(false);
+                            if moved {
+                                health.quarantined += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            health.stages.push((stage, counts));
+        }
+        if let Ok(dir) = fs::read_dir(self.root.join("bundles")) {
+            health.legacy_bundles = dir.flatten().filter_map(|e| store_file(&e)).count() as u64;
+        }
+        health
     }
 
     /// All store files as `(path, mtime, len)`, temp files excluded.
@@ -465,6 +641,64 @@ impl ArtifactStore {
             }
         }
         out
+    }
+}
+
+/// One stage's [`ArtifactStore::doctor`] counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StageHealth {
+    /// Files with an intact v2 header and checksum.
+    pub valid: u64,
+    /// Files with a foreign format version (rebuilt-over on load).
+    pub legacy: u64,
+    /// Files with bad magic, a wrong payload kind, or a checksum
+    /// mismatch — moved to quarantine.
+    pub corrupt: u64,
+}
+
+/// A full [`ArtifactStore::doctor`] scan report.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StoreHealth {
+    /// Per-stage counts, in [`Stage::ALL`] order.
+    pub stages: Vec<(Stage, StageHealth)>,
+    /// Corrupt files successfully moved to `quarantine/`.
+    pub quarantined: u64,
+    /// Legacy v1 whole-bundle files under `bundles/` (left in place).
+    pub legacy_bundles: u64,
+}
+
+impl StoreHealth {
+    /// Total corrupt files found across stages.
+    pub fn corrupt(&self) -> u64 {
+        self.stages.iter().map(|&(_, s)| s.corrupt).sum()
+    }
+}
+
+/// A doctor-scan file classification.
+enum FrameHealth {
+    Valid,
+    Legacy,
+    Corrupt,
+}
+
+/// Classifies one store file's bytes for [`ArtifactStore::doctor`].
+fn classify(bytes: &[u8], stage: Stage) -> FrameHealth {
+    let mut r = Reader::new(bytes);
+    let Ok(magic) = r.take(4) else {
+        return FrameHealth::Corrupt;
+    };
+    if magic != STORE_MAGIC {
+        return FrameHealth::Corrupt;
+    }
+    match u16::decode(&mut r) {
+        Ok(version) if version == STORE_FORMAT_VERSION => {}
+        Ok(_) => return FrameHealth::Legacy,
+        Err(_) => return FrameHealth::Corrupt,
+    }
+    if check_header(bytes, stage).is_some() {
+        FrameHealth::Valid
+    } else {
+        FrameHealth::Corrupt
     }
 }
 
@@ -557,8 +791,11 @@ struct StoreLock {
 
 impl StoreLock {
     /// Tries to acquire the lock for up to [`LOCK_PATIENCE`], stealing
-    /// locks older than [`LOCK_STALE`]. `None` when a live peer holds it.
-    fn acquire(root: &Path) -> Option<StoreLock> {
+    /// locks older than [`LOCK_STALE`]. `None` when a live peer holds
+    /// it. Every steal is reported through `on_steal(age, holder_pid)`
+    /// — stealing must be loud, not silent, so an operator can tell a
+    /// crashed peer from a livelocked one.
+    fn acquire(root: &Path, on_steal: &dyn Fn(Duration, u64)) -> Option<StoreLock> {
         let path = root.join(".lock");
         let deadline = std::time::Instant::now() + LOCK_PATIENCE;
         loop {
@@ -580,7 +817,12 @@ impl StoreLock {
                             .modified()
                             .ok()
                             .and_then(|m| SystemTime::now().duration_since(m).ok());
-                        if age.is_some_and(|a| a > LOCK_STALE) {
+                        if let Some(age) = age.filter(|&a| a > LOCK_STALE) {
+                            let holder_pid = fs::read_to_string(&path)
+                                .ok()
+                                .and_then(|s| s.trim().parse::<u64>().ok())
+                                .unwrap_or(0);
+                            on_steal(age, holder_pid);
                             let _ = fs::remove_file(&path);
                             continue;
                         }
@@ -633,6 +875,12 @@ impl Encode for JobMetrics {
                 // placeholders), kept total for codec round-trip use.
                 w.put_u8(2);
             }
+            JobMetrics::Failed { phase, message } => {
+                // Same: a placeholder, never legitimately persisted.
+                w.put_u8(3);
+                phase.encode(w);
+                message.encode(w);
+            }
         }
     }
 }
@@ -651,13 +899,14 @@ impl Decode for JobMetrics {
                 vpins_original: usize::decode(r)?,
                 boxes: Vec::decode(r)?,
             },
-            // Tag 2 (TimedOut) is deliberately rejected: placeholders
-            // are never legitimately persisted, and accepting one here
-            // would let a stray store file satisfy `run_job`'s store
-            // lookup forever — every resume would "complete" the job
-            // back into the timed-out state it is trying to clear.
-            // Treating it like any other invalid tag makes the file a
-            // miss, so the job simply re-runs.
+            // Tags 2 (TimedOut) and 3 (Failed) are deliberately
+            // rejected: placeholders are never legitimately persisted,
+            // and accepting one here would let a stray store file
+            // satisfy `run_job`'s store lookup forever — every resume
+            // would "complete" the job back into the placeholder state
+            // it is trying to clear. Treating them like any other
+            // invalid tag makes the file a miss, so the job simply
+            // re-runs.
             other => {
                 return Err(sm_codec::CodecError::Invalid(format!(
                     "JobMetrics tag {other}"

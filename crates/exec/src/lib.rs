@@ -23,7 +23,10 @@
 //!   [`Budget`];
 //! * [`seed`] — the SplitMix64/FNV-1a mixing primitives behind all
 //!   deterministic seed derivation (`Job::derived_seed`, per-branch
-//!   bisection streams).
+//!   bisection streams);
+//! * [`fault`] — seeded deterministic fault injection ([`fault::FaultPlan`]),
+//!   the chaos-testing layer threaded into store I/O, journal appends
+//!   and job execution.
 //!
 //! Determinism contract: [`Budget::map`] returns results in **input
 //! order** and [`Budget::join`] runs two independent closures, so every
@@ -31,6 +34,8 @@
 //! wall-clock, never bytes.
 
 #![warn(missing_docs)]
+
+pub mod fault;
 
 use std::any::Any;
 use std::cell::RefCell;
@@ -225,6 +230,9 @@ struct Shared {
     /// High-water mark of `live` — the pool-instrumentation counter the
     /// thread-ceiling tests assert on.
     peak: AtomicUsize,
+    /// Panics caught on batch items over the pool's lifetime — the
+    /// supervisor counter behind [`PoolStats::panics_caught`].
+    panics: AtomicUsize,
 }
 
 thread_local! {
@@ -382,6 +390,8 @@ pub struct PoolStats {
     pub live: usize,
     /// High-water mark of `live` over the pool's lifetime.
     pub peak_live: usize,
+    /// Batch-item panics caught (and confined) over the pool's lifetime.
+    pub panics_caught: usize,
 }
 
 impl std::fmt::Debug for Pool {
@@ -407,6 +417,7 @@ impl Pool {
             work_cv: Condvar::new(),
             live: AtomicUsize::new(0),
             peak: AtomicUsize::new(0),
+            panics: AtomicUsize::new(0),
         });
         let handles = (0..threads - 1)
             .map(|_| {
@@ -456,6 +467,14 @@ impl Pool {
         self.shared.peak.load(Ordering::Relaxed)
     }
 
+    /// Batch-item panics caught on this pool (each confined to the item
+    /// that raised it, then re-raised once on the submitting caller) —
+    /// the supervisor's evidence that a panicking workload never killed
+    /// a worker.
+    pub fn panics_caught(&self) -> usize {
+        self.shared.panics.load(Ordering::Relaxed)
+    }
+
     /// Point-in-time snapshot of the pool's instrumentation counters —
     /// what campaign reports and journal `campaign-finished` records
     /// sample.
@@ -464,6 +483,7 @@ impl Pool {
             threads: self.threads(),
             live: self.live(),
             peak_live: self.peak_live(),
+            panics_caught: self.panics_caught(),
         }
     }
 
@@ -507,6 +527,8 @@ struct MapCtx<'a, T, R, F> {
     finished: Mutex<bool>,
     done_cv: Condvar,
     panic: Mutex<Option<Box<dyn Any + Send>>>,
+    /// The owning pool's supervisor counter ([`Shared::panics`]).
+    panics_caught: &'a AtomicUsize,
 }
 
 /// Claims and runs one map item. `false` once all items are claimed.
@@ -530,6 +552,7 @@ where
     match catch_unwind(AssertUnwindSafe(|| (ctx.f)(i, &ctx.items[i]))) {
         Ok(r) => *ctx.slots[i].lock().unwrap_or_else(|p| p.into_inner()) = Some(r),
         Err(payload) => {
+            ctx.panics_caught.fetch_add(1, Ordering::Relaxed);
             let mut slot = ctx.panic.lock().unwrap_or_else(|p| p.into_inner());
             if slot.is_none() {
                 *slot = Some(payload);
@@ -726,6 +749,7 @@ impl Budget {
                 finished: Mutex::new(false),
                 done_cv: Condvar::new(),
                 panic: Mutex::new(None),
+                panics_caught: &self.pool.shared.panics,
             };
             let handle = Arc::new(BatchHandle {
                 batch: RwLock::new(Some(ErasedBatch {
@@ -1131,6 +1155,9 @@ mod tests {
         // The pool survives a panicked batch and serves the next one.
         let out = budget.map(&items, |_, &x| x * 2);
         assert_eq!(out[31], 62);
+        // The supervisor counter recorded the confined panic.
+        assert_eq!(budget.pool().panics_caught(), 1);
+        assert_eq!(budget.pool().stats().panics_caught, 1);
     }
 
     #[test]
