@@ -25,12 +25,13 @@
 #![warn(missing_debug_implementations)]
 
 pub mod crouting;
+pub(crate) mod grid;
 pub mod mcmf;
-pub mod phase;
+pub use sm_exec::phase;
 pub mod proximity;
 pub mod solution_space;
 
-pub use crouting::{crouting_attack, CroutingConfig, CroutingReport};
+pub use crouting::{crouting_attack, crouting_attack_traced, CroutingConfig, CroutingReport};
 pub use proximity::{
     ccr_over_connections, ccr_vs_golden, ccr_vs_golden_for, network_flow_attack, AttackOutcome,
     ProximityConfig,

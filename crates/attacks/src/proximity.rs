@@ -16,11 +16,14 @@
 //! the min-cost-flow rounds in the original attack), re-checking loops
 //! against connections committed so far.
 
-use sm_exec::CancelToken;
+use crate::grid::CellGrid;
+use sm_exec::{Budget, CancelToken, Pool};
 use sm_layout::{Placement, Point, SplitLayout, VpinSide};
-use sm_netlist::graph::would_create_cycle;
+use sm_netlist::graph::{would_create_cycle_with, ReachScratch};
 use sm_netlist::{Netlist, Sink};
 use sm_sim::{security_metrics, PatternSource, SecurityMetrics};
+use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 /// Tunables of the proximity attack.
 ///
@@ -105,21 +108,46 @@ pub(crate) struct AssignmentInstance {
 }
 
 impl AssignmentInstance {
-    /// Scores candidates and wires the flow network (see the type docs).
-    pub(crate) fn build(
+    /// [`Self::build_with`] on a serial slice of the shared global pool
+    /// (the differential tests' reference configuration).
+    #[cfg(test)]
+    fn build(
         placed: &Netlist,
         split: &SplitLayout,
         config: &ProximityConfig,
+    ) -> AssignmentInstance {
+        Self::build_with(
+            placed,
+            split,
+            config,
+            &Budget::on_pool(Arc::clone(Pool::global()), 1),
+        )
+    }
+
+    /// Scores candidates and wires the flow network (see the type docs).
+    ///
+    /// Candidate scoring — the attack's dominant cost on superblue-scale
+    /// layouts — runs as a data-parallel sweep over the sinks on `exec`
+    /// ([`Budget::map`] keeps the reduction order-stable and the live
+    /// workers within the budget), each sink probing a [`CellGrid`] over
+    /// the flattened driver geometry in expanding rings. A ring is
+    /// abandoned only when its distance lower bound *strictly* exceeds
+    /// the current K-th best `(cost, driver)` key, so the selected top-K
+    /// lists are bit-identical to the full sink × driver scan (pinned by
+    /// the `scoring_differential` tests below).
+    pub(crate) fn build_with(
+        placed: &Netlist,
+        split: &SplitLayout,
+        config: &ProximityConfig,
+        exec: &Budget,
     ) -> AssignmentInstance {
         let drivers = split.feol.driver_vpins();
         let sinks = split.feol.sink_vpins();
 
         // Candidate edges: the K cheapest drivers per sink (standard
         // pruning; distant drivers never win the global optimum anyway).
-        // Driver geometry is flattened into one contiguous array up
-        // front and the scored row reuses a single scratch buffer, so
-        // the sink × driver scoring loop only allocates each sink's
-        // final top-K list.
+        // Driver geometry is flattened into one contiguous arena up
+        // front; the grid stores indices into it.
         let k = config.candidates_per_sink.max(1);
         let driver_geom: Vec<(Point, Option<(i8, i8)>)> = drivers
             .iter()
@@ -128,20 +156,50 @@ impl AssignmentInstance {
                 (v.position, v.stub_direction)
             })
             .collect();
-        let mut row: Vec<(i64, usize)> = Vec::with_capacity(drivers.len());
-        let mut candidates: Vec<Vec<(i64, usize)>> = Vec::with_capacity(sinks.len());
-        for &s in &sinks {
-            let sink_pos = split.feol.vpins[s].position;
-            row.clear();
-            row.extend(drivers.iter().zip(&driver_geom).map(|(&d, &(pos, stub))| {
-                (
-                    (pair_cost(pos, stub, sink_pos, config, 0.0) * 1000.0) as i64,
-                    d,
+        // The ring lower bound multiplies the distance floor by the
+        // config factors a pair cost can never drop below; hostile
+        // configurations (negative weights, NaN) fall back to the full
+        // scan instead of pruning.
+        let base_mult = 1.0 + (0.0 - config.load_budget_ff).max(0.0) * config.load_factor_per_ff;
+        let lb_mult = config.distance_weight * config.direction_factor.min(1.0) * base_mult;
+        let prunable = config.distance_weight >= 0.0
+            && config.direction_factor >= 0.0
+            && base_mult >= 0.0
+            && lb_mult >= 0.0;
+        let candidates: Vec<Vec<(i64, usize)>> = if !prunable {
+            sinks
+                .iter()
+                .map(|&s| {
+                    score_sink_full(
+                        split.feol.vpins[s].position,
+                        &drivers,
+                        &driver_geom,
+                        k,
+                        config,
+                    )
+                })
+                .collect()
+        } else {
+            let points: Vec<(i64, i64)> =
+                driver_geom.iter().map(|&(pos, _)| (pos.x, pos.y)).collect();
+            let grid = CellGrid::build(&points);
+            let score = |&s: &usize| {
+                score_sink_grid(
+                    split.feol.vpins[s].position,
+                    &grid,
+                    &drivers,
+                    &driver_geom,
+                    k,
+                    config,
+                    lb_mult,
                 )
-            }));
-            row.sort_unstable();
-            candidates.push(row[..row.len().min(k)].to_vec());
-        }
+            };
+            if exec.threads() > 1 && sinks.len() >= 64 {
+                exec.map(&sinks, |_, s| score(s))
+            } else {
+                sinks.iter().map(score).collect()
+            }
+        };
 
         // Driver capacities from the load hint; if the hint
         // underestimates, scale so a full assignment exists (the cost
@@ -264,11 +322,32 @@ pub fn network_flow_attack_traced(
     cancel: &CancelToken,
     rec: &mut crate::phase::Recorder,
 ) -> Option<AttackOutcome> {
+    let exec = Budget::on_pool(Arc::clone(Pool::global()), 1).with_cancel(cancel.clone());
+    network_flow_attack_budgeted(golden, placed, placement, split, config, &exec, rec)
+}
+
+/// [`network_flow_attack_traced`] running inside an explicit
+/// [`Budget`]: candidate scoring fans out over the budget's pool
+/// (never exceeding its thread allotment) and the budget's token is the
+/// cancellation source. Campaigns pass each job's split budget here, so
+/// attack-internal parallelism shares the process-wide worker ceiling.
+/// Results are bit-identical at any thread count.
+#[allow(clippy::too_many_arguments)]
+pub fn network_flow_attack_budgeted(
+    golden: &Netlist,
+    placed: &Netlist,
+    placement: &Placement,
+    split: &SplitLayout,
+    config: &ProximityConfig,
+    exec: &Budget,
+    rec: &mut crate::phase::Recorder,
+) -> Option<AttackOutcome> {
+    let cancel = exec.cancel_token();
     if cancel.is_cancelled() {
         return None;
     }
     let instance = rec.time("attack-candidates", || {
-        AssignmentInstance::build(placed, split, config)
+        AssignmentInstance::build_with(placed, split, config, exec)
     });
     let AssignmentInstance {
         ref sinks,
@@ -319,6 +398,10 @@ pub fn network_flow_attack_traced(
                 .unwrap_or(i64::MAX)
         });
         let mut pairs = Vec::with_capacity(sinks.len());
+        // Loop-avoidance probes run one reachability DFS per candidate;
+        // the epoch-stamped scratch amortizes their visited maps across
+        // the whole reconstruction.
+        let mut reach = ReachScratch::new();
         for si in order {
             let s = sinks[si];
             let sink = match split.feol.vpins[s].side {
@@ -331,7 +414,9 @@ pub fn network_flow_attack_traced(
             for d in attempt {
                 let driver_net = split.feol.vpins[d].net; // FEOL-visible
                 let ok = match sink {
-                    Sink::Cell { cell, .. } => !would_create_cycle(&recovered, driver_net, cell),
+                    Sink::Cell { cell, .. } => {
+                        !would_create_cycle_with(&recovered, driver_net, cell, &mut reach)
+                    }
                     Sink::Port(_) => true,
                 };
                 if ok {
@@ -461,6 +546,87 @@ pub fn ccr_vs_golden_for(
     } else {
         correct as f64 / total as f64
     }
+}
+
+/// Top-K candidate drivers for one sink by exhaustive scan — the
+/// scoring reference (and the fallback for configurations the ring
+/// bound cannot reason about). Returns the K smallest `(cost, driver)`
+/// keys in ascending order; driver vpin indices make every key unique,
+/// so the selection is a total order with no tie ambiguity.
+fn score_sink_full(
+    sink_pos: Point,
+    drivers: &[usize],
+    driver_geom: &[(Point, Option<(i8, i8)>)],
+    k: usize,
+    config: &ProximityConfig,
+) -> Vec<(i64, usize)> {
+    let mut row: Vec<(i64, usize)> = drivers
+        .iter()
+        .zip(driver_geom)
+        .map(|(&d, &(pos, stub))| {
+            (
+                (pair_cost(pos, stub, sink_pos, config, 0.0) * 1000.0) as i64,
+                d,
+            )
+        })
+        .collect();
+    row.sort_unstable();
+    row.truncate(k);
+    row
+}
+
+/// Top-K candidate drivers for one sink via expanding grid rings.
+///
+/// Exactness argument: a driver first visited on ring `r ≥ 1` sits at
+/// Manhattan distance ≥ `(r−1)·cell + 1` DBU, its cost is ≥
+/// `lb_mult · (dist_um + 0.1)` (`lb_mult` collects the smallest factor
+/// combination a pair can be scored with, all non-negative here), and
+/// `x → (x·1000) as i64` is monotone for non-negative finite `x` — so
+/// once the ring bound *strictly* exceeds the current K-th `(cost,
+/// driver)` key, no unvisited driver can displace a kept one, and the
+/// kept set equals the exhaustive scan's.
+fn score_sink_grid(
+    sink_pos: Point,
+    grid: &CellGrid,
+    drivers: &[usize],
+    driver_geom: &[(Point, Option<(i8, i8)>)],
+    k: usize,
+    config: &ProximityConfig,
+    lb_mult: f64,
+) -> Vec<(i64, usize)> {
+    let mut heap: BinaryHeap<(i64, usize)> = BinaryHeap::with_capacity(k + 1);
+    let (cx, cy) = grid.cell_of(sink_pos.x, sink_pos.y);
+    let mut r = 0i64;
+    while !grid.ring_exhausted(cx, cy, r) {
+        if heap.len() == k {
+            let lb_dbu = if r == 0 {
+                0
+            } else {
+                (r - 1) * grid.cell_len() + 1
+            };
+            let lb = (lb_mult * (lb_dbu as f64 / 1000.0 + 0.1) * 1000.0) as i64;
+            if lb > heap.peek().expect("heap holds k entries").0 {
+                break;
+            }
+        }
+        grid.visit_ring(cx, cy, r, |items| {
+            for &i in items {
+                let (pos, stub) = driver_geom[i as usize];
+                let entry = (
+                    (pair_cost(pos, stub, sink_pos, config, 0.0) * 1000.0) as i64,
+                    drivers[i as usize],
+                );
+                if heap.len() < k {
+                    heap.push(entry);
+                } else if entry < *heap.peek().expect("heap holds k entries") {
+                    heap.pop();
+                    heap.push(entry);
+                }
+            }
+        });
+        r += 1;
+    }
+    heap.into_sorted_vec()
 }
 
 /// Cost of pairing a driver vpin (given by its flattened geometry) with
@@ -637,6 +803,114 @@ mod tests {
         for &(_, s) in &out.pairs {
             assert!(seen.insert(s), "sink {s} assigned twice");
         }
+    }
+}
+
+#[cfg(test)]
+mod scoring_differential {
+    //! Pins the grid-pruned candidate scoring to the exhaustive
+    //! reference: identical top-K `(cost, driver)` rows for every sink,
+    //! on real generated layouts and across config corners (including
+    //! ones where the ring bound must refuse to prune).
+
+    use super::*;
+    use sm_core::baselines::original_layout;
+    use sm_layout::split_layout;
+
+    type SinkRows = Vec<Vec<(i64, usize)>>;
+
+    fn rows_for(n: &Netlist, config: &ProximityConfig) -> (SinkRows, SinkRows) {
+        let base = original_layout(n, 0.6, 1);
+        let split = split_layout(n, &base.placement, &base.routing, 3);
+        let inst = AssignmentInstance::build(n, &split, config);
+        let drivers = split.feol.driver_vpins();
+        let driver_geom: Vec<(Point, Option<(i8, i8)>)> = drivers
+            .iter()
+            .map(|&d| {
+                let v = &split.feol.vpins[d];
+                (v.position, v.stub_direction)
+            })
+            .collect();
+        let reference: Vec<Vec<(i64, usize)>> = split
+            .feol
+            .sink_vpins()
+            .iter()
+            .map(|&s| {
+                score_sink_full(
+                    split.feol.vpins[s].position,
+                    &drivers,
+                    &driver_geom,
+                    config.candidates_per_sink.max(1),
+                    config,
+                )
+            })
+            .collect();
+        (inst.candidates, reference)
+    }
+
+    #[test]
+    fn grid_scoring_matches_exhaustive_reference() {
+        let c432 = sm_benchgen::iscas::generate(&sm_benchgen::iscas::IscasProfile::c432(), 1);
+        let c880 = sm_benchgen::iscas::generate(&sm_benchgen::iscas::IscasProfile::c880(), 1);
+        for n in [&c432, &c880] {
+            for k in [1usize, 3, 24, 10_000] {
+                let config = ProximityConfig {
+                    candidates_per_sink: k,
+                    ..ProximityConfig::default()
+                };
+                let (grid, reference) = rows_for(n, &config);
+                assert_eq!(grid, reference, "{} k={k}", n.name());
+            }
+        }
+    }
+
+    #[test]
+    fn config_corners_agree_with_reference() {
+        let n = sm_benchgen::iscas::generate(&sm_benchgen::iscas::IscasProfile::c432(), 2);
+        let corners = [
+            // Direction factor below 1 shrinks costs for disagreeing
+            // stubs — the bound must use min(1, factor).
+            ProximityConfig {
+                direction_factor: 0.25,
+                ..ProximityConfig::default()
+            },
+            // Zero distance weight: every pair costs the same floor.
+            ProximityConfig {
+                distance_weight: 0.0,
+                ..ProximityConfig::default()
+            },
+            // Negative load budget: constant extra multiplier on every
+            // pair.
+            ProximityConfig {
+                load_budget_ff: -3.0,
+                ..ProximityConfig::default()
+            },
+            // Negative distance weight: pruning is unsound, the build
+            // must fall back to the full scan (still equal by
+            // construction — this guards the fallback is taken, not a
+            // crash).
+            ProximityConfig {
+                distance_weight: -1.0,
+                ..ProximityConfig::default()
+            },
+        ];
+        for config in &corners {
+            let (grid, reference) = rows_for(&n, config);
+            assert_eq!(grid, reference, "corner {config:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_scoring_is_order_stable() {
+        let n = sm_benchgen::iscas::generate(&sm_benchgen::iscas::IscasProfile::c880(), 1);
+        let base = original_layout(&n, 0.6, 1);
+        let split = split_layout(&n, &base.placement, &base.routing, 3);
+        let config = ProximityConfig::default();
+        let serial = AssignmentInstance::build(&n, &split, &config);
+        let parallel =
+            AssignmentInstance::build_with(&n, &split, &config, &Budget::with_threads(Some(4)));
+        assert_eq!(serial.candidates, parallel.candidates);
+        assert_eq!(serial.edges, parallel.edges);
     }
 }
 

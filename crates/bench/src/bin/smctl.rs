@@ -99,7 +99,7 @@ USAGE:
     smctl events <journal|store-dir> [--follow] [--format table|json]
     smctl tail <journal|store-dir>
     smctl bench [--quick] [--seed N] [--scale N] [--threads N] [--out FILE]
-                [--baseline FILE] [--max-regression FACTOR]
+                [--baseline FILE] [--max-regression FACTOR] [--min-of N]
     smctl chaos [--threads N] [--fault-seed N] [--fault-profile P]
     smctl store stats|gc|clear|doctor [--store DIR] [--store-cap SIZE]
     smctl help
@@ -171,10 +171,16 @@ BENCH:
     attacks — flow everywhere, plus crouting on superblue, both gated
     vs the baseline) over the quick ISCAS selection plus superblue18,
     plus a quick campaign against a cold and a warm store, and emits a
-    BENCH.json perf-trajectory point (stdout or --out). Wall times are
-    machine-dependent; every other field is deterministic. With
-    --baseline FILE it exits non-zero if any stage runs slower than
-    --max-regression (default 2.0) × the baseline plus a small slack.
+    BENCH.json perf-trajectory point (stdout or --out). The hot kernels
+    also report their own sub-stages (place-fm, attack-flow-score,
+    attack-crouting-grid), timed by the kernels' phase instrumentation.
+    Wall times are machine-dependent; every other field is
+    deterministic. --min-of N repeats each layout stage N times and
+    records the minimum wall (the campaign stages always run once —
+    their cold/warm deltas are stateful). With --baseline FILE it exits
+    non-zero if any stage runs slower than --max-regression (default
+    2.0) × the baseline plus a small slack; a failure line carries the
+    full slack math (delta, ratio, limit derivation).
 
 STORE:
     run/sweep/resume persist every pipeline stage (netlists, place+route
@@ -1110,6 +1116,7 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, String> {
     let mut out_path: Option<String> = None;
     let mut baseline_path: Option<String> = None;
     let mut factor = 2.0f64;
+    let mut min_of = 1usize;
     let mut i = 0;
     while i < args.len() {
         let (flag, inline) = cli::split_flag(args[i].as_str());
@@ -1125,6 +1132,15 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, String> {
                     return Err(format!("--max-regression must be ≥ 1.0, got {factor}"));
                 }
             }
+            "--min-of" => {
+                let v = cli::flag_value(flag, inline, args, &mut i)?;
+                min_of = v
+                    .parse()
+                    .map_err(|e| format!("invalid --min-of `{v}`: {e}"))?;
+                if min_of == 0 {
+                    return Err("--min-of must be ≥ 1".to_string());
+                }
+            }
             "--seed" | "--scale" | "--threads" => {
                 let _ = cli::flag_value(flag, inline, args, &mut i)?;
             }
@@ -1138,6 +1154,7 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, String> {
         seed: opts.seed,
         scale: opts.scale,
         threads: opts.threads,
+        min_of,
     };
     let report = sm_bench::perf::run_bench(&cfg);
     eprint!("{}", report.to_table());

@@ -13,6 +13,13 @@
 //!
 //! All functions are deterministic per seed and return a
 //! [`BaselineLayout`] directly comparable with the protected design.
+//!
+//! The `_with` variants run inside an explicit [`sm_exec::Budget`]. If
+//! the budget's token fires mid-build they abort at the next
+//! result-neutral checkpoint by unwinding with [`sm_exec::Cancelled`]
+//! (see [`sm_exec::abort_cancelled`]) — the campaign engine's job
+//! isolation catches that unwind and records the job timed-out. A build
+//! that completes is byte-identical whether or not a token was armed.
 
 use crate::flow::BaselineLayout;
 use crate::ppa::evaluate;
@@ -36,7 +43,36 @@ pub fn original_layout_with(
     seed: u64,
     exec: &sm_exec::Budget,
 ) -> BaselineLayout {
-    layout_with_options(netlist, utilization, seed, &RouteOptions::default(), exec)
+    layout_with_options(
+        netlist,
+        utilization,
+        seed,
+        &RouteOptions::default(),
+        exec,
+        None,
+    )
+}
+
+/// [`original_layout_with`], recording placement phase spans into `rec`
+/// (`original-place` / `original-place-fm`). Byte-identical output.
+pub fn original_layout_traced(
+    netlist: &Netlist,
+    utilization: f64,
+    seed: u64,
+    exec: &sm_exec::Budget,
+    rec: &mut sm_exec::phase::Recorder,
+) -> BaselineLayout {
+    let meter = sm_layout::PlaceMeter::shared();
+    let out = layout_with_options(
+        netlist,
+        utilization,
+        seed,
+        &RouteOptions::default(),
+        exec,
+        Some(&meter),
+    );
+    crate::flow::drain_place_spans(&meter, rec, "original-place", "original-place-fm");
+    out
 }
 
 /// Naive lifting: route the original netlist but lift `nets` to
@@ -72,7 +108,29 @@ pub fn naive_lifting_with(
     for &n in nets {
         opts.lift.insert(n, lift_layer);
     }
-    layout_with_options(netlist, utilization, seed, &opts, exec)
+    layout_with_options(netlist, utilization, seed, &opts, exec, None)
+}
+
+/// [`naive_lifting_with`], recording placement phase spans into `rec`
+/// (`lift-place` / `lift-place-fm`). Byte-identical output.
+#[allow(clippy::too_many_arguments)]
+pub fn naive_lifting_traced(
+    netlist: &Netlist,
+    nets: &[NetId],
+    lift_layer: u8,
+    utilization: f64,
+    seed: u64,
+    exec: &sm_exec::Budget,
+    rec: &mut sm_exec::phase::Recorder,
+) -> BaselineLayout {
+    let mut opts = RouteOptions::default();
+    for &n in nets {
+        opts.lift.insert(n, lift_layer);
+    }
+    let meter = sm_layout::PlaceMeter::shared();
+    let out = layout_with_options(netlist, utilization, seed, &opts, exec, Some(&meter));
+    crate::flow::drain_place_spans(&meter, rec, "lift-place", "lift-place-fm");
+    out
 }
 
 /// Placement perturbation \[5\]/\[8\]: displace `fraction` of the cells by a
@@ -107,7 +165,9 @@ pub fn placement_perturbation_with(
     let tech = Technology::nangate45_10lm();
     let fp = Floorplan::for_netlist(netlist, &tech, utilization);
     let engine = PlacementEngine::new(seed).with_budget(exec.clone());
-    let mut placement = engine.place(netlist, &fp);
+    let mut placement = engine
+        .try_place(netlist, &fp)
+        .unwrap_or_else(|| sm_exec::abort_cancelled());
     let mut rng = StdRng::seed_from_u64(seed ^ 0x9e3779b97f4a7c15);
     let mut cells: Vec<_> = netlist.cells().map(|(id, _)| id).collect();
     cells.shuffle(&mut rng);
@@ -123,7 +183,15 @@ pub fn placement_perturbation_with(
     }
     engine.legalize(&mut placement, &fp);
     let router = Router::new(&tech);
-    let routing = router.route(netlist, &placement, &fp, &RouteOptions::default());
+    let routing = router
+        .try_route(
+            netlist,
+            &placement,
+            &fp,
+            &RouteOptions::default(),
+            exec.cancel_token(),
+        )
+        .unwrap_or_else(|| sm_exec::abort_cancelled());
     let ppa = evaluate(netlist, &routing, &fp, &tech, seed);
     BaselineLayout {
         floorplan: fp,
@@ -163,7 +231,9 @@ pub fn pin_swapping_with(
     let tech = Technology::nangate45_10lm();
     let fp = Floorplan::for_netlist(netlist, &tech, utilization);
     let engine = PlacementEngine::new(seed).with_budget(exec.clone());
-    let mut placement = engine.place(netlist, &fp);
+    let mut placement = engine
+        .try_place(netlist, &fp)
+        .unwrap_or_else(|| sm_exec::abort_cancelled());
     let mut rng = StdRng::seed_from_u64(seed ^ 0x517cc1b727220a95);
     let num_out = netlist.output_ports().len();
     let mut indices: Vec<usize> = (0..num_out).collect();
@@ -174,7 +244,15 @@ pub fn pin_swapping_with(
         placement.swap_output_positions(pair[0], pair[1]);
     }
     let router = Router::new(&tech);
-    let routing = router.route(netlist, &placement, &fp, &RouteOptions::default());
+    let routing = router
+        .try_route(
+            netlist,
+            &placement,
+            &fp,
+            &RouteOptions::default(),
+            exec.cancel_token(),
+        )
+        .unwrap_or_else(|| sm_exec::abort_cancelled());
     let ppa = evaluate(netlist, &routing, &fp, &tech, seed);
     BaselineLayout {
         floorplan: fp,
@@ -222,7 +300,7 @@ pub fn routing_perturbation_with(
         // Elevate to the mid stack (M4/M5): detours, not full lifting.
         opts.lift.insert(n, 4);
     }
-    layout_with_options(netlist, utilization, seed, &opts, exec)
+    layout_with_options(netlist, utilization, seed, &opts, exec, None)
 }
 
 fn layout_with_options(
@@ -231,13 +309,20 @@ fn layout_with_options(
     seed: u64,
     opts: &RouteOptions,
     exec: &sm_exec::Budget,
+    meter: Option<&std::sync::Arc<sm_layout::PlaceMeter>>,
 ) -> BaselineLayout {
     let tech = Technology::nangate45_10lm();
     let fp = Floorplan::for_netlist(netlist, &tech, utilization);
-    let placement = PlacementEngine::new(seed)
-        .with_budget(exec.clone())
-        .place(netlist, &fp);
-    let routing = Router::new(&tech).route(netlist, &placement, &fp, opts);
+    let mut engine = PlacementEngine::new(seed).with_budget(exec.clone());
+    if let Some(meter) = meter {
+        engine = engine.with_meter(meter.clone());
+    }
+    let placement = engine
+        .try_place(netlist, &fp)
+        .unwrap_or_else(|| sm_exec::abort_cancelled());
+    let routing = Router::new(&tech)
+        .try_route(netlist, &placement, &fp, opts, exec.cancel_token())
+        .unwrap_or_else(|| sm_exec::abort_cancelled());
     let ppa = evaluate(netlist, &routing, &fp, &tech, seed);
     BaselineLayout {
         floorplan: fp,
@@ -278,6 +363,30 @@ mod tests {
         for &net in &nets {
             assert!(b.routing.net_max_layer(net) >= 6);
         }
+    }
+
+    /// Metering is pure observability: the traced builders produce the
+    /// same layouts as the untraced ones and record a placement span
+    /// pair with the FM slice bounded by the total.
+    #[test]
+    fn traced_builders_match_untraced_and_record_spans() {
+        let n = c17();
+        let exec = sm_exec::Budget::default();
+        let plain = original_layout_with(&n, 0.6, 7, &exec);
+        let mut rec = sm_exec::phase::Recorder::new();
+        let traced = original_layout_traced(&n, 0.6, 7, &exec, &mut rec);
+        assert_eq!(plain.placement, traced.placement);
+        assert_eq!(plain.ppa.delay_ps, traced.ppa.delay_ps);
+        let spans = rec.spans();
+        let names: Vec<&str> = spans.iter().map(|&(name, _)| name).collect();
+        assert_eq!(names, ["original-place", "original-place-fm"]);
+        let place_ms = spans[0].1;
+        let fm_ms = spans[1].1;
+        assert!(place_ms > 0.0, "placement took no wall-clock?");
+        assert!(
+            (0.0..=place_ms).contains(&fm_ms),
+            "FM slice {fm_ms}ms exceeds total placement {place_ms}ms"
+        );
     }
 
     #[test]

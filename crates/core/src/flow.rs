@@ -145,19 +145,77 @@ pub fn protect(netlist: &Netlist, config: &FlowConfig) -> ProtectedDesign {
 /// sweeps during placement) confined to `exec`. The budget changes
 /// wall-clock only: the produced design is bit-identical across thread
 /// counts.
+///
+/// If `exec`'s token fires mid-flow, the build aborts at the next
+/// result-neutral checkpoint (between FM passes, between bisection
+/// levels, between routed nets) by unwinding with
+/// [`sm_exec::Cancelled`] — the campaign engine's job isolation maps
+/// that unwind to the timed-out outcome. A flow that completes is
+/// byte-identical whether or not a deadline was armed.
 pub fn protect_with(
     netlist: &Netlist,
     config: &FlowConfig,
     exec: &sm_exec::Budget,
 ) -> ProtectedDesign {
+    protect_traced(netlist, config, exec, &mut sm_exec::phase::Recorder::new())
+}
+
+/// [`protect_with`], recording placement phase spans into `rec`:
+/// `protect-place` (total placement wall-clock across every build the
+/// budget loop runs) and `protect-place-fm` (the slice of it spent in
+/// FM refinement). Recording is side-band observability — the produced
+/// design is byte-identical to [`protect_with`].
+pub fn protect_traced(
+    netlist: &Netlist,
+    config: &FlowConfig,
+    exec: &sm_exec::Budget,
+    rec: &mut sm_exec::phase::Recorder,
+) -> ProtectedDesign {
+    let meter = sm_layout::PlaceMeter::shared();
+    let out = protect_impl(netlist, config, exec, &meter);
+    drain_place_spans(&meter, rec, "protect-place", "protect-place-fm");
+    out
+}
+
+/// Drains `meter` into `rec` under the given span names. Shared by the
+/// traced flow and baseline builders.
+pub(crate) fn drain_place_spans(
+    meter: &sm_layout::PlaceMeter,
+    rec: &mut sm_exec::phase::Recorder,
+    total_name: &'static str,
+    fm_name: &'static str,
+) {
+    let (place_ms, fm_ms) = meter.drain_ms();
+    rec.add(total_name, place_ms);
+    rec.add(fm_name, fm_ms);
+}
+
+fn protect_impl(
+    netlist: &Netlist,
+    config: &FlowConfig,
+    exec: &sm_exec::Budget,
+    meter: &std::sync::Arc<sm_layout::PlaceMeter>,
+) -> ProtectedDesign {
     let tech = Technology::nangate45_10lm();
-    let engine = PlacementEngine::new(config.seed).with_budget(exec.clone());
+    let engine = PlacementEngine::new(config.seed)
+        .with_budget(exec.clone())
+        .with_meter(meter.clone());
     let router = Router::new(&tech);
 
     // Unprotected baseline (also fixes the shared die outline).
     let fp = Floorplan::for_netlist(netlist, &tech, config.utilization);
-    let base_pl = engine.place(netlist, &fp);
-    let base_rt = router.route(netlist, &base_pl, &fp, &RouteOptions::default());
+    let base_pl = engine
+        .try_place(netlist, &fp)
+        .unwrap_or_else(|| sm_exec::abort_cancelled());
+    let base_rt = router
+        .try_route(
+            netlist,
+            &base_pl,
+            &fp,
+            &RouteOptions::default(),
+            exec.cancel_token(),
+        )
+        .unwrap_or_else(|| sm_exec::abort_cancelled());
     let base_ppa = evaluate(netlist, &base_rt, &fp, &tech, config.seed);
     let baseline = BaselineLayout {
         floorplan: fp.clone(),
@@ -180,6 +238,7 @@ pub fn protect_with(
             &router,
             randomization,
             baseline.clone(),
+            exec,
         );
         let within = design.ppa_overhead.worst_pct() <= config.ppa_budget_percent;
         rounds += 1;
@@ -221,10 +280,13 @@ fn build_layout(
     router: &Router<'_>,
     randomization: Randomization,
     baseline: BaselineLayout,
+    exec: &sm_exec::Budget,
 ) -> ProtectedDesign {
     // Place the erroneous netlist: every FEOL hint now describes the wrong
     // design.
-    let placement = engine.place(&randomization.erroneous, fp);
+    let placement = engine
+        .try_place(&randomization.erroneous, fp)
+        .unwrap_or_else(|| sm_exec::abort_cancelled());
     let protected = randomization.protected_nets();
 
     // Correction cells sit on the lifted nets, pins on the lift layer's
@@ -243,7 +305,15 @@ fn build_layout(
     for &net in &protected {
         feol_opts.lift.insert(net, config.lift_layer);
     }
-    let feol_routing = router.route(&randomization.erroneous, &placement, fp, &feol_opts);
+    let feol_routing = router
+        .try_route(
+            &randomization.erroneous,
+            &placement,
+            fp,
+            &feol_opts,
+            exec.cancel_token(),
+        )
+        .unwrap_or_else(|| sm_exec::abort_cancelled());
 
     // BEOL restoration: true connectivity on the same placement; the
     // protected nets now route between correction-cell pairs in the BEOL.
@@ -252,7 +322,15 @@ fn build_layout(
     for &net in &protected {
         restored_opts.lift.insert(net, config.lift_layer);
     }
-    let restored_routing = router.route(&restored, &placement, fp, &restored_opts);
+    let restored_routing = router
+        .try_route(
+            &restored,
+            &placement,
+            fp,
+            &restored_opts,
+            exec.cancel_token(),
+        )
+        .unwrap_or_else(|| sm_exec::abort_cancelled());
 
     let ppa = evaluate(&restored, &restored_routing, fp, tech, config.seed);
     let ppa_overhead = PpaOverhead::between(&baseline.ppa, &ppa);

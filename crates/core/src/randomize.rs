@@ -10,7 +10,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use sm_netlist::graph::would_create_cycle;
+use sm_netlist::graph::{would_create_cycle_with, ReachScratch};
 use sm_netlist::{Driver, NetId, Netlist, Sink};
 use sm_sim::PatternSource;
 use std::collections::BTreeSet;
@@ -134,6 +134,9 @@ pub fn randomize(netlist: &Netlist, config: &RandomizeConfig) -> Randomization {
 
     let mut oer = 0.0;
     let mut hd = 0.0;
+    // One epoch-stamped visited map serves every swap candidate's loop
+    // guard instead of a fresh allocation per probe.
+    let mut reach = ReachScratch::new();
     // Never swap more pairs than the design has nets: beyond that the
     // same connections get shuffled again for no security gain.
     let swap_cap = config.max_swaps.min(eligible.len());
@@ -145,7 +148,7 @@ pub fn randomize(netlist: &Netlist, config: &RandomizeConfig) -> Randomization {
             let mut attempts = 0;
             while committed < config.swaps_per_round && attempts < config.swaps_per_round * 40 {
                 attempts += 1;
-                if let Some(record) = try_swap(&mut erroneous, &eligible, &mut rng) {
+                if let Some(record) = try_swap(&mut erroneous, &eligible, &mut rng, &mut reach) {
                     swaps.push(record);
                     committed += 1;
                     if swaps.len() >= swap_cap {
@@ -186,7 +189,12 @@ pub fn randomize(netlist: &Netlist, config: &RandomizeConfig) -> Randomization {
 }
 
 /// Attempts one random sink swap; returns the record if committed.
-fn try_swap(netlist: &mut Netlist, eligible: &[NetId], rng: &mut StdRng) -> Option<SwapRecord> {
+fn try_swap(
+    netlist: &mut Netlist,
+    eligible: &[NetId],
+    rng: &mut StdRng,
+    reach: &mut ReachScratch,
+) -> Option<SwapRecord> {
     let net_a = eligible[rng.gen_range(0..eligible.len())];
     let net_b = eligible[rng.gen_range(0..eligible.len())];
     if net_a == net_b {
@@ -213,12 +221,12 @@ fn try_swap(netlist: &mut Netlist, eligible: &[NetId], rng: &mut StdRng) -> Opti
     // Loop checks on the pre-swap graph are sound here: a cycle through
     // both new edges would require a pre-existing cycle (see module tests).
     if let Sink::Cell { cell, .. } = sink_a {
-        if would_create_cycle(netlist, net_b, cell) {
+        if would_create_cycle_with(netlist, net_b, cell, reach) {
             return None;
         }
     }
     if let Sink::Cell { cell, .. } = sink_b {
-        if would_create_cycle(netlist, net_a, cell) {
+        if would_create_cycle_with(netlist, net_a, cell, reach) {
             return None;
         }
     }

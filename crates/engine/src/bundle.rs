@@ -13,8 +13,9 @@
 use sm_benchgen::iscas::{self, IscasProfile};
 use sm_benchgen::superblue::{self, SuperblueProfile};
 use sm_codec::{Decode, Encode};
-use sm_core::baselines::{naive_lifting_with, original_layout_with};
-use sm_core::flow::{protect_with, BaselineLayout, FlowConfig, ProtectedDesign};
+use sm_core::baselines::{naive_lifting_traced, original_layout_traced};
+use sm_core::flow::{protect_traced, BaselineLayout, FlowConfig, ProtectedDesign};
+use sm_exec::phase::Recorder;
 use sm_exec::Budget;
 use sm_netlist::{NetId, Netlist};
 
@@ -96,7 +97,7 @@ impl SuperblueRun {
         seed: u64,
         exec: &Budget,
     ) -> SuperblueRun {
-        Self::assemble_with(profile, scale, seed, exec, &BuildAll).0
+        Self::assemble_with(profile, scale, seed, exec, &BuildAll, &mut Recorder::new()).0
     }
 
     /// Assembles the bundle stage by stage through `source`: each stage
@@ -106,12 +107,19 @@ impl SuperblueRun {
     ///
     /// The protected-net set is recomputed from the protected design
     /// (it is derived data, not a persisted stage).
+    ///
+    /// Stages that build record their placement phase spans into `rec`
+    /// (fetched stages record nothing — no placement ran). The two
+    /// concurrent arms record into private recorders merged in a fixed
+    /// order (protect, then original), so the span stream is
+    /// deterministic regardless of which arm finishes first.
     pub fn assemble_with(
         profile: &SuperblueProfile,
         scale: usize,
         seed: u64,
         exec: &Budget,
         source: &impl StageSource,
+        rec: &mut Recorder,
     ) -> (SuperblueRun, bool) {
         let id = BundleKey::Superblue {
             name: profile.name,
@@ -129,27 +137,34 @@ impl SuperblueRun {
         };
         // Each arm runs placement inside its half of the job's budget.
         let arm = exec.split(2);
-        let ((protected, p_built), (original, o_built)) = exec.join(
+        let ((protected, p_built, p_rec), (original, o_built, o_rec)) = exec.join(
             || {
-                source.fetch_stage(Stage::Protect, &id, || {
-                    protect_with(&netlist, &config, &arm)
-                })
+                let mut r = Recorder::new();
+                let (v, built) = source.fetch_stage(Stage::Protect, &id, || {
+                    protect_traced(&netlist, &config, &arm, &mut r)
+                });
+                (v, built, r)
             },
             || {
-                source.fetch_stage(Stage::Layout, &id, || {
-                    original_layout_with(&netlist, util, seed, &arm)
-                })
+                let mut r = Recorder::new();
+                let (v, built) = source.fetch_stage(Stage::Layout, &id, || {
+                    original_layout_traced(&netlist, util, seed, &arm, &mut r)
+                });
+                (v, built, r)
             },
         );
+        rec.extend(p_rec);
+        rec.extend(o_rec);
         let protected_nets = protected.protected_nets();
         let (lifted, l_built) = source.fetch_stage(Stage::Lift, &id, || {
-            naive_lifting_with(
+            naive_lifting_traced(
                 &netlist,
                 &protected_nets,
                 config.lift_layer,
                 util,
                 seed,
                 exec,
+                rec,
             )
         });
         (
@@ -191,17 +206,19 @@ impl IscasRun {
     /// unprotected baseline are independent and build concurrently with
     /// bit-identical results.
     pub fn build_with(profile: &IscasProfile, seed: u64, exec: &Budget) -> IscasRun {
-        Self::assemble_with(profile, seed, exec, &BuildAll).0
+        Self::assemble_with(profile, seed, exec, &BuildAll, &mut Recorder::new()).0
     }
 
     /// Assembles the bundle stage by stage through `source` (see
-    /// [`SuperblueRun::assemble_with`]). Returns the run plus whether
-    /// any stage was built.
+    /// [`SuperblueRun::assemble_with`], including the phase-span
+    /// recording contract). Returns the run plus whether any stage was
+    /// built.
     pub fn assemble_with(
         profile: &IscasProfile,
         seed: u64,
         exec: &Budget,
         source: &impl StageSource,
+        rec: &mut Recorder,
     ) -> (IscasRun, bool) {
         let id = BundleKey::Iscas {
             name: profile.name,
@@ -212,18 +229,24 @@ impl IscasRun {
             source.fetch_stage(Stage::Netlist, &id, || iscas::generate(profile, seed));
         let config = FlowConfig::iscas_default(seed);
         let arm = exec.split(2);
-        let ((protected, p_built), (original, o_built)) = exec.join(
+        let ((protected, p_built, p_rec), (original, o_built, o_rec)) = exec.join(
             || {
-                source.fetch_stage(Stage::Protect, &id, || {
-                    protect_with(&netlist, &config, &arm)
-                })
+                let mut r = Recorder::new();
+                let (v, built) = source.fetch_stage(Stage::Protect, &id, || {
+                    protect_traced(&netlist, &config, &arm, &mut r)
+                });
+                (v, built, r)
             },
             || {
-                source.fetch_stage(Stage::Layout, &id, || {
-                    original_layout_with(&netlist, config.utilization, seed, &arm)
-                })
+                let mut r = Recorder::new();
+                let (v, built) = source.fetch_stage(Stage::Layout, &id, || {
+                    original_layout_traced(&netlist, config.utilization, seed, &arm, &mut r)
+                });
+                (v, built, r)
             },
         );
+        rec.extend(p_rec);
+        rec.extend(o_rec);
         (
             IscasRun {
                 name: profile.name,

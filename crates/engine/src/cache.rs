@@ -268,6 +268,20 @@ impl ArtifactCache {
         seed: u64,
         exec: &sm_exec::Budget,
     ) -> Arc<IscasRun> {
+        self.iscas_traced(profile, seed, exec, &mut sm_exec::phase::Recorder::new())
+    }
+
+    /// [`ArtifactCache::iscas`], recording the building stages'
+    /// placement phase spans into `rec`. Only the consumer that actually
+    /// builds the bundle (first requester on a cold slot) records spans;
+    /// cache hits record nothing — no placement ran on their behalf.
+    pub fn iscas_traced(
+        &self,
+        profile: &IscasProfile,
+        seed: u64,
+        exec: &sm_exec::Budget,
+        rec: &mut sm_exec::phase::Recorder,
+    ) -> Arc<IscasRun> {
         let slot = {
             let mut map = self.iscas.lock().expect("iscas cache poisoned");
             Arc::clone(map.entry((profile.name, seed)).or_default())
@@ -278,7 +292,7 @@ impl ArtifactCache {
         };
         self.fetch(slot, || {
             let start = std::time::Instant::now();
-            let (run, built) = IscasRun::assemble_with(profile, seed, exec, self);
+            let (run, built) = IscasRun::assemble_with(profile, seed, exec, self, rec);
             if built {
                 self.note_bundle(&key, "build", start);
                 (run, Origin::Built)
@@ -298,6 +312,26 @@ impl ArtifactCache {
         seed: u64,
         exec: &sm_exec::Budget,
     ) -> Arc<SuperblueRun> {
+        self.superblue_traced(
+            profile,
+            scale,
+            seed,
+            exec,
+            &mut sm_exec::phase::Recorder::new(),
+        )
+    }
+
+    /// [`ArtifactCache::superblue`], recording the building stages'
+    /// placement phase spans into `rec` (see
+    /// [`ArtifactCache::iscas_traced`]).
+    pub fn superblue_traced(
+        &self,
+        profile: &SuperblueProfile,
+        scale: usize,
+        seed: u64,
+        exec: &sm_exec::Budget,
+        rec: &mut sm_exec::phase::Recorder,
+    ) -> Arc<SuperblueRun> {
         let slot = {
             let mut map = self.superblue.lock().expect("superblue cache poisoned");
             Arc::clone(map.entry((profile.name, scale, seed)).or_default())
@@ -309,7 +343,7 @@ impl ArtifactCache {
         };
         self.fetch(slot, || {
             let start = std::time::Instant::now();
-            let (run, built) = SuperblueRun::assemble_with(profile, scale, seed, exec, self);
+            let (run, built) = SuperblueRun::assemble_with(profile, scale, seed, exec, self, rec);
             if built {
                 self.note_bundle(&key, "build", start);
                 (run, Origin::Built)

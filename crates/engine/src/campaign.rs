@@ -29,10 +29,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use sm_attacks::crouting::{crouting_attack, CroutingConfig};
-use sm_attacks::proximity::{
-    ccr_over_connections, network_flow_attack_cancellable, network_flow_attack_traced,
-    ProximityConfig,
-};
+use sm_attacks::proximity::{ccr_over_connections, network_flow_attack_budgeted, ProximityConfig};
 use sm_core::flow::BaselineLayout;
 use sm_exec::fault::{Fault, FaultSite};
 use sm_layout::split_layout;
@@ -144,11 +141,23 @@ impl Bundle {
     /// Fetches (or builds) the bundle for `job` from the cache; a miss
     /// builds inside `exec`, the job's thread budget.
     pub fn fetch(cache: &ArtifactCache, job: &Job, exec: &Budget) -> Bundle {
+        Self::fetch_traced(cache, job, exec, &mut sm_attacks::phase::Recorder::new())
+    }
+
+    /// [`Bundle::fetch`], recording the build's placement phase spans
+    /// into `rec` when this call is the one that builds (cache hits
+    /// record nothing).
+    pub fn fetch_traced(
+        cache: &ArtifactCache,
+        job: &Job,
+        exec: &Budget,
+        rec: &mut sm_attacks::phase::Recorder,
+    ) -> Bundle {
         let seed = job.bundle_seed();
         match &job.benchmark {
-            Benchmark::Iscas(p) => Bundle::Iscas(cache.iscas(p, seed, exec)),
+            Benchmark::Iscas(p) => Bundle::Iscas(cache.iscas_traced(p, seed, exec, rec)),
             Benchmark::Superblue(p, scale) => {
-                Bundle::Superblue(cache.superblue(p, *scale, seed, exec))
+                Bundle::Superblue(cache.superblue_traced(p, *scale, seed, exec, rec))
             }
         }
     }
@@ -256,7 +265,10 @@ pub struct JobOutcome {
     /// zero for outcomes replayed from a stored report or the store).
     pub wall: Duration,
     /// Per-phase wall-clock spans in milliseconds, in execution order
-    /// (`store`/`bundle`/`split`/`attack-*`/…). Diagnostics only — they
+    /// (`store`/`bundle`/`split`/`attack-*`/…). A job that builds its
+    /// bundle additionally carries the build's placement spans
+    /// (`protect-place`, `protect-place-fm`, `original-place`, … — the
+    /// FM slice shows where place time goes). Diagnostics only — they
     /// surface under [`ReportOptions::include_timings`] and in journal
     /// provenance, never in canonical reports; empty for outcomes
     /// replayed from a stored report.
@@ -293,6 +305,13 @@ pub struct Campaign {
 /// when the job is picked up yields [`JobMetrics::TimedOut`] instead of
 /// running — the cancellation point that makes long sweeps
 /// interruptible without ever cutting a measurement in half.
+///
+/// A token that fires *during* the bundle build is honored too:
+/// placement and routing observe it at result-neutral checkpoints
+/// (between FM passes, between bisection levels, between routed nets)
+/// and unwind with [`sm_exec::Cancelled`], which the job isolation
+/// below maps to the same timed-out outcome. Completed measurements
+/// are never cut in half either way.
 pub fn run_job(cache: &ArtifactCache, job: &Job, exec: &Budget) -> JobOutcome {
     let start = Instant::now();
     if let Some(journal) = cache.journal() {
@@ -309,6 +328,10 @@ pub fn run_job(cache: &ArtifactCache, job: &Job, exec: &Budget) -> JobOutcome {
     let lookup = Instant::now();
     let stored = cache.store().and_then(|s| s.load_outcome(job));
     let mut source = MetricsSource::Computed;
+    // Which phase a timed-out job expired in ("pickup" is journaled on
+    // the early return below; "bundle" when a build checkpoint unwound
+    // mid-placement/route; "attack" otherwise).
+    let mut timeout_phase = "attack";
     let metrics = match stored {
         Some(metrics) => {
             phases.push(("store", ms_since(lookup)));
@@ -341,8 +364,10 @@ pub fn run_job(cache: &ArtifactCache, job: &Job, exec: &Budget) -> JobOutcome {
             let panic_phase = std::cell::Cell::new("bundle");
             let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 let fetch = Instant::now();
-                let bundle = Bundle::fetch(cache, job, exec);
+                let mut brec = sm_attacks::phase::Recorder::new();
+                let bundle = Bundle::fetch_traced(cache, job, exec, &mut brec);
                 phases.push(("bundle", ms_since(fetch)));
+                phases.extend(brec.into_spans());
                 panic_phase.set("attack");
                 if let Some(Fault::Panic(msg)) = cache
                     .faults()
@@ -356,15 +381,22 @@ pub fn run_job(cache: &ArtifactCache, job: &Job, exec: &Budget) -> JobOutcome {
                     // boundaries: a deadlined superblue-scale job stops
                     // within one scaling phase and comes back timed-out
                     // instead of overshooting by its whole runtime.
-                    AttackKind::NetworkFlow => {
-                        flow_metrics(cache, &bundle, job, exec.cancel_token(), &mut phases)
-                            .unwrap_or(JobMetrics::TimedOut)
-                    }
+                    AttackKind::NetworkFlow => flow_metrics(cache, &bundle, job, exec, &mut phases)
+                        .unwrap_or(JobMetrics::TimedOut),
                     AttackKind::Crouting => crouting_metrics(cache, &bundle, job, &mut phases),
                 }
             }));
             let metrics = match attempt {
                 Ok(metrics) => metrics,
+                // A cancellation unwind (a bundle-build checkpoint that
+                // observed the expired token — see
+                // `sm_exec::abort_cancelled`) is the budget working as
+                // designed, not a bug: the job is timed-out, identical
+                // to an in-attack expiry, and re-run by `resume`.
+                Err(payload) if payload.is::<sm_exec::Cancelled>() => {
+                    timeout_phase = panic_phase.get();
+                    JobMetrics::TimedOut
+                }
                 Err(payload) => JobMetrics::Failed {
                     phase: panic_phase.get().to_string(),
                     message: panic_message(payload),
@@ -382,7 +414,7 @@ pub fn run_job(cache: &ArtifactCache, job: &Job, exec: &Budget) -> JobOutcome {
         if metrics.is_timed_out() {
             journal.record(&Event::JobTimedOut {
                 job: EventJob::of(job),
-                phase: "attack".to_string(),
+                phase: timeout_phase.to_string(),
             });
         } else if let JobMetrics::Failed { phase, message } = &metrics {
             journal.record(&Event::JobFailed {
@@ -430,15 +462,17 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-/// Measures one flow job, honoring `cancel` at the attack's phase
-/// boundaries: `None` means the deadline fired mid-job and the job must
-/// be recorded timed-out (a completed measurement is bit-identical
-/// whether or not a deadline was armed).
+/// Measures one flow job, honoring the budget's token at the attack's
+/// phase boundaries: `None` means the deadline fired mid-job and the job
+/// must be recorded timed-out (a completed measurement is bit-identical
+/// whether or not a deadline was armed). The attack's candidate scoring
+/// fans out on `exec`, so in-job parallelism still respects the
+/// process-wide thread ceiling.
 fn flow_metrics(
     cache: &ArtifactCache,
     bundle: &Bundle,
     job: &Job,
-    cancel: &sm_exec::CancelToken,
+    exec: &Budget,
     phases: &mut Vec<(&'static str, f64)>,
 ) -> Option<JobMetrics> {
     let cfg = ProximityConfig {
@@ -464,13 +498,13 @@ fn flow_metrics(
     });
     phases.push(("split", ms_since(t)));
     let mut rec = sm_attacks::phase::Recorder::new();
-    let out = network_flow_attack_traced(
+    let out = network_flow_attack_budgeted(
         netlist,
         &protected.randomization.erroneous,
         &protected.placement,
         &split_prot,
         &cfg,
-        cancel,
+        exec,
         &mut rec,
     )?;
     phases.extend(rec.into_spans());
@@ -484,13 +518,14 @@ fn flow_metrics(
     });
     phases.push(("split-original", ms_since(t)));
     let t = Instant::now();
-    let out_orig = network_flow_attack_cancellable(
+    let out_orig = network_flow_attack_budgeted(
         netlist,
         netlist,
         &original.placement,
         &split_orig,
         &cfg,
-        cancel,
+        exec,
+        &mut sm_attacks::phase::Recorder::new(),
     )?;
     phases.push(("attack-original", ms_since(t)));
 

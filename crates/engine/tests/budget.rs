@@ -109,6 +109,45 @@ fn already_expired_deadline_times_out_a_job_at_pickup() {
 }
 
 #[test]
+fn budget_expiry_mid_placement_times_out_with_standard_accounting() {
+    // A deadline that fires *during* the bundle build — after pickup,
+    // before the attack. Wall-clock deadlines land here in practice but
+    // would make a test racy, so this uses a fuse token that trips
+    // deterministically at the n-th cooperative checkpoint: the pickup
+    // check passes, and the placer's next between-levels check inside
+    // the bundle build observes the expiry. The build must unwind
+    // cleanly into the existing timed-out accounting — placeholder
+    // metrics, no persisted outcome, reservation released, job
+    // re-runnable — not into a `Failed` bug report.
+    let spec = tiny_spec();
+    let job = &spec.jobs().unwrap()[0];
+    let cache = ArtifactCache::new();
+    cache.reserve(job.bundle_key(), 1);
+    // Observation 1 is `run_job`'s pickup check; 2.. are placement
+    // checkpoints (bisection levels / FM passes), so the fuse expires
+    // mid-placement.
+    let budget = Budget::with_threads(Some(1)).with_cancel(CancelToken::trip_after(3));
+    let outcome = sm_engine::campaign::run_job(&cache, job, &budget);
+    assert!(
+        outcome.metrics.is_timed_out(),
+        "mid-build expiry must be a timeout, got {:?}",
+        outcome.metrics
+    );
+    assert_eq!(cache.stats().builds, 0, "the aborted build must not count");
+    // Standard placeholder accounting: the job is re-runnable, exactly
+    // like a pickup-time expiry — a fresh budget completes it.
+    cache.reserve(job.bundle_key(), 1);
+    let live = sm_engine::campaign::run_job(&cache, job, &Budget::with_threads(Some(1)));
+    assert!(!live.metrics.is_timed_out());
+    assert_eq!(cache.stats().builds, 1);
+    assert_eq!(
+        cache.stats().released,
+        2,
+        "both runs must release their bundle reservation"
+    );
+}
+
+#[test]
 fn cancelled_flow_jobs_resume_to_byte_identical_reports() {
     // Flow jobs observe a cancelled token at the earliest boundary —
     // job pickup here; the in-attack phase boundaries (candidate

@@ -139,6 +139,42 @@ fn journal_records_full_campaign_lifecycle() {
         .filter(|e| matches!(e, Event::BundleBuilt { stage, .. } if stage == "build"))
         .count();
     assert_eq!(builds as u64, campaign.cache.builds);
+    // The building job of each bundle carries the build's placement
+    // spans (cache hits carry none — no placement ran for them), so
+    // provenance shows where place time went: total placement and its
+    // FM-refinement slice, per build stage.
+    let tracing_jobs = finished
+        .iter()
+        .filter(|(_, _, prov)| prov.phases.iter().any(|(n, _)| n == "protect-place"))
+        .count();
+    assert_eq!(
+        tracing_jobs as u64, campaign.cache.builds,
+        "exactly the building jobs must carry placement spans"
+    );
+    for (job, _, prov) in &finished {
+        for stage in ["protect", "original"] {
+            let span = |suffix: &str| {
+                prov.phases
+                    .iter()
+                    .find(|(n, _)| *n == format!("{stage}{suffix}"))
+                    .map(|&(_, ms)| ms)
+            };
+            let (place, fm) = (span("-place"), span("-place-fm"));
+            assert_eq!(
+                place.is_some(),
+                fm.is_some(),
+                "placement spans must come in pairs for {}",
+                job.label()
+            );
+            if let (Some(place), Some(fm)) = (place, fm) {
+                assert!(
+                    (0.0..=place).contains(&fm),
+                    "FM slice {fm}ms exceeds placement total {place}ms for {}",
+                    job.label()
+                );
+            }
+        }
+    }
 }
 
 /// The tentpole guarantee: `materialize(journal)` renders byte-identical

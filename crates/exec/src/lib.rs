@@ -26,7 +26,10 @@
 //!   bisection streams);
 //! * [`fault`] — seeded deterministic fault injection ([`fault::FaultPlan`]),
 //!   the chaos-testing layer threaded into store I/O, journal appends
-//!   and job execution.
+//!   and job execution;
+//! * [`phase`] — wall-clock span recording at deterministic phase
+//!   boundaries ([`phase::Recorder`]), the observability side-band
+//!   behind `--timings` and journal provenance.
 //!
 //! Determinism contract: [`Budget::map`] returns results in **input
 //! order** and [`Budget::join`] runs two independent closures, so every
@@ -36,12 +39,13 @@
 #![warn(missing_docs)]
 
 pub mod fault;
+pub mod phase;
 
 use std::any::Any;
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock, RwLock};
 use std::time::{Duration, Instant};
 
@@ -83,6 +87,9 @@ pub mod seed {
 struct CancelInner {
     flag: AtomicBool,
     deadline: Option<Instant>,
+    /// Remaining [`CancelToken::is_cancelled`] observations before the
+    /// token trips (test-only fuse; `None` for ordinary tokens).
+    fuse: Option<AtomicU64>,
 }
 
 /// Cooperative cancellation: a shared flag plus an optional deadline.
@@ -103,6 +110,7 @@ impl CancelToken {
             inner: Arc::new(CancelInner {
                 flag: AtomicBool::new(false),
                 deadline: None,
+                fuse: None,
             }),
         }
     }
@@ -113,6 +121,25 @@ impl CancelToken {
             inner: Arc::new(CancelInner {
                 flag: AtomicBool::new(false),
                 deadline: Some(deadline),
+                fuse: None,
+            }),
+        }
+    }
+
+    /// A token that reports cancelled starting with its `n + 1`-th
+    /// [`CancelToken::is_cancelled`] observation (shared across clones).
+    ///
+    /// This is a deterministic stand-in for a wall-clock deadline in
+    /// tests of cooperative cancellation: a deadline that fires "during
+    /// the build" is a race, while a fuse of `n` observations expires at
+    /// exactly the `n + 1`-th checkpoint, every run. Production tokens
+    /// come from [`CancelToken::new`]/[`CancelToken::with_deadline`].
+    pub fn trip_after(n: u64) -> CancelToken {
+        CancelToken {
+            inner: Arc::new(CancelInner {
+                flag: AtomicBool::new(false),
+                deadline: None,
+                fuse: Some(AtomicU64::new(n)),
             }),
         }
     }
@@ -127,11 +154,19 @@ impl CancelToken {
         self.inner.flag.store(true, Ordering::Release);
     }
 
-    /// `true` once [`CancelToken::cancel`] was called or the deadline
-    /// passed.
+    /// `true` once [`CancelToken::cancel`] was called, the deadline
+    /// passed, or a [`trip_after`](CancelToken::trip_after) fuse ran out.
     pub fn is_cancelled(&self) -> bool {
         if self.inner.flag.load(Ordering::Acquire) {
             return true;
+        }
+        if let Some(fuse) = &self.inner.fuse {
+            if fuse
+                .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| n.checked_sub(1))
+                .is_err()
+            {
+                return true;
+            }
         }
         match self.inner.deadline {
             Some(d) => Instant::now() >= d,
@@ -149,6 +184,29 @@ impl Default for CancelToken {
     fn default() -> Self {
         Self::new()
     }
+}
+
+/// The payload of a cancellation unwind.
+///
+/// Deterministic kernels observe their token only at result-neutral
+/// checkpoints and surface expiry as `None`; the layer that *owns* the
+/// partial work (the sm-core flow builders) converts that `None` into an
+/// unwind carrying this marker via [`abort_cancelled`]. The campaign
+/// engine's job isolation (`catch_unwind` around the compute region)
+/// downcasts the payload and records the job timed-out instead of
+/// failed — so an expired deadline is an outcome, never a bug report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cancelled;
+
+/// Aborts the current computation by unwinding with [`Cancelled`].
+///
+/// Uses `resume_unwind`, which skips the process panic hook: an expired
+/// budget is a normal outcome and must not spam stderr. The payload
+/// survives [`Budget::map`]/[`Budget::join`] re-raising (both preserve
+/// the original payload box), so a checkpoint deep inside pooled work
+/// reaches the nearest `catch_unwind` with its type intact.
+pub fn abort_cancelled() -> ! {
+    std::panic::resume_unwind(Box::new(Cancelled))
 }
 
 // ----- the persistent pool --------------------------------------------------
@@ -1137,6 +1195,31 @@ mod tests {
 
         let budget = Budget::with_threads(Some(1)).with_deadline_in(Duration::ZERO);
         assert!(budget.is_cancelled());
+    }
+
+    #[test]
+    fn trip_after_fuse_expires_on_schedule() {
+        let t = CancelToken::trip_after(3);
+        assert!(!t.is_cancelled());
+        let clone = t.clone(); // clones share the fuse
+        assert!(!clone.is_cancelled());
+        assert!(!t.is_cancelled());
+        assert!(t.is_cancelled(), "4th observation trips");
+        assert!(t.is_cancelled(), "and stays tripped");
+        // Explicit cancellation still short-circuits the fuse.
+        let t = CancelToken::trip_after(100);
+        t.cancel();
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn cancelled_unwind_survives_join_reraising() {
+        let budget = Budget::with_threads(Some(2));
+        let payload = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            budget.join(|| 1u32, || -> u32 { abort_cancelled() })
+        }))
+        .expect_err("cancellation unwinds");
+        assert!(payload.is::<Cancelled>(), "payload type preserved");
     }
 
     #[test]

@@ -1,11 +1,16 @@
-//! Wall-clock span recording for attack phases.
+//! Wall-clock span recording for deterministic pipeline phases.
 //!
-//! Attacks already have deterministic phase boundaries (they are the
-//! cancellation points); [`Recorder`] measures the wall-clock spent
-//! between them so campaign timings and journal provenance can attribute
-//! a job's cost to candidate scoring vs. MCMF vs. evaluation. Recording
-//! never influences results — spans are side-band observability, kept
-//! out of canonical reports.
+//! Attacks and layout builds already have deterministic phase boundaries
+//! (they are the cancellation points); [`Recorder`] measures the
+//! wall-clock spent between them so campaign timings and journal
+//! provenance can attribute a job's cost to candidate scoring vs. MCMF
+//! vs. evaluation — or, on the build side, to FM refinement inside
+//! placement. Recording never influences results — spans are side-band
+//! observability, kept out of canonical reports.
+//!
+//! The module lives in `sm-exec` (the bottom of the dependency stack) so
+//! both the layout engine and the attacks can record into one span
+//! stream; `sm_attacks::phase` re-exports it for compatibility.
 
 use std::time::Instant;
 
@@ -31,6 +36,21 @@ impl Recorder {
         let out = f();
         self.spans.push((name, start.elapsed().as_secs_f64() * 1e3));
         out
+    }
+
+    /// Records an externally measured span of `ms` milliseconds — for
+    /// costs accumulated across many small sites (e.g. the placer's FM
+    /// refinement meter, summed over thousands of regions) where
+    /// wrapping each site in [`Recorder::time`] would be noise.
+    pub fn add(&mut self, name: &'static str, ms: f64) {
+        self.spans.push((name, ms));
+    }
+
+    /// Appends every span of `other` after this recorder's own — the
+    /// deterministic merge used when concurrent build arms record into
+    /// private recorders.
+    pub fn extend(&mut self, other: Recorder) {
+        self.spans.extend(other.spans);
     }
 
     /// The spans recorded so far, in recording order.

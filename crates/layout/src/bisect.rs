@@ -12,6 +12,11 @@
 //! * connectivity comes from the caller's CSR [`ConnectivityIndex`]
 //!   (one build serves both bisection cycles and the detailed passes)
 //!   instead of per-call `Vec<Vec<_>>` rebuilds;
+//! * the FM refinement itself lives in [`crate::fm`]: an arena-packed
+//!   gain-bucket kernel fed region-local CSR adjacency (built here in
+//!   the same sweep as the member lists), byte-identical to the
+//!   retained reference implementation — debug builds shadow every
+//!   region through both and assert identical move sequences;
 //! * the per-region cell/net lookup tables are flat scratch arrays
 //!   reset on exit, not `HashMap`s rebuilt at every recursion level;
 //! * each branch carries an independent derived seed
@@ -31,6 +36,7 @@
 //! is confined to the data-parallel anchor sweep and, one level up, to
 //! building a bundle's independent layouts concurrently.
 
+use crate::fm;
 use crate::geom::{Point, Rect};
 use sm_exec::Budget;
 use sm_netlist::{CellId, ConnectivityIndex, Driver, NetId, Netlist, Sink};
@@ -41,7 +47,11 @@ use sm_netlist::{CellId, ConnectivityIndex, Driver, NetId, Netlist, Sink};
 /// superblue top-level regions do.
 const PAR_ANCHOR_CELLS: usize = 4096;
 
-/// Per-cell estimated positions produced by recursive bisection.
+/// Per-cell estimated positions produced by recursive bisection, or
+/// `None` if the budget's [`sm_exec::CancelToken`] fired. Cancellation
+/// is honored only at result-neutral checkpoints — between recursion
+/// levels and between FM passes — so a completed run is byte-identical
+/// whether or not a token was armed.
 ///
 /// `seed` labels the root branch stream (derived per branch with the
 /// `Job::derived_seed` mixing scheme); the current refinement draws no
@@ -57,7 +67,8 @@ pub(crate) fn bisection_positions(
     seed_positions: &[Point],
     seed: u64,
     budget: &Budget,
-) -> Vec<Point> {
+    fm_ns: Option<&std::sync::atomic::AtomicU64>,
+) -> Option<Vec<Point>> {
     let mut positions = seed_positions.to_vec();
     // Fixed (port) pin positions per net.
     let mut fixed_pins: Vec<Vec<Point>> = vec![Vec::new(); netlist.num_nets()];
@@ -78,14 +89,17 @@ pub(crate) fn bisection_positions(
         conn,
         fixed_pins: &fixed_pins,
         budget,
+        fm_ns,
     };
     let mut scratch = Scratch {
         cell_mark: vec![u32::MAX; netlist.num_cells()],
         net_slot: vec![u32::MAX; netlist.num_nets()],
         bufs: Buffers::default(),
     };
-    recurse(&ctx, all, core, &mut positions, &mut scratch, seed, 0);
-    positions
+    if !recurse(&ctx, all, core, &mut positions, &mut scratch, seed, 0) {
+        return None;
+    }
+    Some(positions)
 }
 
 struct Ctx<'a> {
@@ -93,15 +107,10 @@ struct Ctx<'a> {
     conn: &'a ConnectivityIndex,
     fixed_pins: &'a [Vec<Point>],
     budget: &'a Budget,
-}
-
-/// Packed per-cell FM state (one cache line per selection-scan probe).
-#[derive(Clone, Copy)]
-struct FmCell {
-    width: i64,
-    gain: i32,
-    side: bool,
-    locked: bool,
+    /// FM-refinement wall-clock accumulator (nanoseconds), summed over
+    /// every region of the recursion; `None` when the caller does not
+    /// meter. Observability only — never read by the algorithm.
+    fm_ns: Option<&'a std::sync::atomic::AtomicU64>,
 }
 
 /// Flat lookup tables shared down the (sequential) recursion: an
@@ -131,13 +140,15 @@ struct Buffers {
     member_off: Vec<u32>,
     cursor: Vec<u32>,
     member_flat: Vec<u32>,
+    cell_off: Vec<u32>,
+    cell_slots: Vec<u32>,
     keyed: Vec<(i64, CellId)>,
-    state: Vec<FmCell>,
-    count: Vec<[u32; 2]>,
-    moves: Vec<u32>,
-    buckets: Vec<Vec<u32>>,
+    state: Vec<fm::FmCell>,
+    fm: fm::FmScratch,
 }
 
+/// Returns `false` if the budget's token cancelled the placement (the
+/// positions array is then abandoned by the caller).
 fn recurse(
     ctx: &Ctx<'_>,
     cells: Vec<CellId>,
@@ -146,15 +157,20 @@ fn recurse(
     scratch: &mut Scratch,
     branch_seed: u64,
     depth: u32,
-) {
+) -> bool {
     if cells.is_empty() {
-        return;
+        return true;
+    }
+    // Between-level checkpoint: nothing of this region is computed yet,
+    // so aborting here never leaks a partial result.
+    if ctx.budget.is_cancelled() {
+        return false;
     }
     if cells.len() <= 3 || depth >= 24 || region.width() <= 1 || region.height() <= 1 {
         for c in cells {
             positions[c.index()] = region.center();
         }
-        return;
+        return true;
     }
     let horizontal_axis = region.width() >= region.height();
     let coord = move |p: Point| if horizontal_axis { p.x } else { p.y };
@@ -253,40 +269,40 @@ fn recurse(
     keyed.sort_unstable_by_key(|&(a, c)| (a, c));
 
     // Balanced split by cell width. Width, gain, side and lock state
-    // live in one packed per-cell record: the FM selection scan then
-    // touches a single cache line per candidate instead of four
-    // scattered arrays (the scan revisits balance-blocked candidates
-    // many times, so its memory traffic dominates refinement cost).
+    // live in one packed 8-byte per-cell record ([`fm::FmCell`]): the
+    // FM selection scan then touches a single cache line per probe
+    // (the scan revisits balance-blocked candidates many times, so its
+    // memory traffic dominates refinement cost).
     let total: i64 = cells.iter().map(|&c| ctx.widths[c.index()]).sum();
     let state = &mut bufs.state;
     state.clear();
-    state.extend(keyed.iter().map(|&(_, c)| FmCell {
-        width: ctx.widths[c.index()],
-        gain: 0,
-        side: false, // false = low side
-        locked: false,
+    state.extend(keyed.iter().map(|&(_, c)| {
+        debug_assert!(ctx.widths[c.index()] <= u32::MAX as i64);
+        fm::FmCell::new(ctx.widths[c.index()] as u32, false)
     }));
     let mut acc = 0i64;
     let mut low_width = 0i64;
     for s in state.iter_mut() {
         if acc * 2 < total {
-            low_width += s.width;
+            low_width += s.width as i64;
         } else {
-            s.side = true;
+            *s = fm::FmCell::new(s.width, true);
         }
-        acc += s.width;
+        acc += s.width as i64;
     }
 
-    // Fiduccia–Mattheyses refinement with gain buckets and best-prefix
-    // rollback, within a ±10% balance corridor. External pins (ports and
-    // cells outside this region) are fixed on their geometric side
-    // (terminal propagation; folded into `fixed` above).
+    // Fiduccia–Mattheyses refinement within a ±10% balance corridor.
+    // External pins (ports and cells outside this region) are fixed on
+    // their geometric side (terminal propagation; folded into `fixed`
+    // above).
     let balance_slack = total / 10 + 1;
     let target_low = total / 2;
 
-    // Per-net member lists restricted to this region (CSR from the
-    // counts gathered during net discovery: one offsets array + one
-    // flat array, filled in keyed order).
+    // Region-local adjacency in both directions, built in one sweep:
+    // per-net member lists (CSR from the counts gathered during net
+    // discovery) and per-cell net-slot lists in `cell_nets` order. The
+    // refinement kernel reads only these flat arrays — never the global
+    // connectivity or the net-slot table.
     let member_off = &mut bufs.member_off;
     member_off.clear();
     member_off.push(0);
@@ -299,183 +315,83 @@ fn recurse(
     let member_flat = &mut bufs.member_flat;
     member_flat.clear();
     member_flat.resize(member_off[region_nets.len()] as usize, 0);
+    let cell_off = &mut bufs.cell_off;
+    cell_off.clear();
+    cell_off.push(0);
+    let cell_slots = &mut bufs.cell_slots;
+    cell_slots.clear();
     for (i, &(_, c)) in keyed.iter().enumerate() {
         for &n in ctx.conn.cell_nets(c) {
-            let slot = net_slot[n.index()] as usize;
-            member_flat[cursor[slot] as usize] = i as u32;
-            cursor[slot] += 1;
+            let slot = net_slot[n.index()];
+            member_flat[cursor[slot as usize] as usize] = i as u32;
+            cursor[slot as usize] += 1;
+            cell_slots.push(slot);
         }
+        cell_off.push(cell_slots.len() as u32);
     }
-    let members = |slot: usize| -> &[u32] {
-        &member_flat[member_off[slot] as usize..member_off[slot + 1] as usize]
-    };
 
     let max_deg = keyed
         .iter()
         .map(|&(_, c)| ctx.conn.cell_nets(c).len())
         .max()
         .unwrap_or(1) as i32;
+    debug_assert!(max_deg <= i16::MAX as i32, "cell degree exceeds i16 gain");
 
-    // Per-pass buffers hoisted out of the pass loop (cleared, never
-    // reallocated). The move sequence — and therefore the partition —
-    // is exactly the original algorithm's.
-    let offset = max_deg;
-    let nbuckets = (2 * max_deg + 1) as usize;
-    let buckets = &mut bufs.buckets;
-    if buckets.len() < nbuckets {
-        buckets.resize_with(nbuckets, Vec::new);
+    let problem = fm::FmProblem {
+        member_off: member_off.as_slice(),
+        member_flat: member_flat.as_slice(),
+        cell_off: cell_off.as_slice(),
+        cell_slots: cell_slots.as_slice(),
+        fixed: fixed.as_slice(),
+        target_low,
+        balance_slack,
+        offset: max_deg,
+    };
+    // Debug builds shadow every region through the retained reference
+    // implementation and assert identical move sequences, best
+    // prefixes, cut deltas, final sides and widths — the strongest
+    // possible pin of the arena kernel to the original algorithm,
+    // exercised by every placement any test performs.
+    #[cfg(debug_assertions)]
+    let initial_state = state.clone();
+    #[cfg(debug_assertions)]
+    let mut prod_trace = fm::FmTrace::default();
+    #[cfg(debug_assertions)]
+    let trace_arg = Some(&mut prod_trace);
+    #[cfg(not(debug_assertions))]
+    let trace_arg = None;
+    let cancel = ctx.budget.cancel_token();
+    let fm_start = ctx.fm_ns.map(|_| std::time::Instant::now());
+    let refined = fm::refine(&problem, state, &mut bufs.fm, low_width, cancel, trace_arg);
+    if let (Some(acc), Some(start)) = (ctx.fm_ns, fm_start) {
+        acc.fetch_add(
+            start.elapsed().as_nanos() as u64,
+            std::sync::atomic::Ordering::Relaxed,
+        );
     }
-    let count = &mut bufs.count;
-    let moves = &mut bufs.moves;
-    for pass in 0..3 {
-        // Pin counts per net per side for the current partition. The
-        // move loop keeps them current and the rollback below adjusts
-        // them, so only the first pass scans the member lists.
-        if pass == 0 {
-            count.clear();
-            count.extend_from_slice(fixed);
-            for (slot, cnt) in count.iter_mut().enumerate() {
-                for &i in members(slot) {
-                    cnt[usize::from(state[i as usize].side)] += 1;
-                }
-            }
-        }
-        // Initial gains (locks cleared with them).
-        for s in state.iter_mut() {
-            s.gain = 0;
-            s.locked = false;
-        }
-        for (i, &(_, c)) in keyed.iter().enumerate() {
-            let from = usize::from(state[i].side);
-            let to = 1 - from;
-            for &n in ctx.conn.cell_nets(c) {
-                let slot = net_slot[n.index()] as usize;
-                if count[slot][from] == 1 {
-                    state[i].gain += 1;
-                }
-                if count[slot][to] == 0 {
-                    state[i].gain -= 1;
-                }
-            }
-        }
-        // Gain buckets (only the first `nbuckets` are this region's).
-        for b in buckets[..nbuckets].iter_mut() {
-            b.clear();
-        }
-        for (i, s) in state.iter().enumerate() {
-            buckets[(s.gain + offset) as usize].push(i as u32);
-        }
-        let mut cur_low = low_width;
-        let mut best_delta = 0i32;
-        let mut cum_delta = 0i32;
-        moves.clear();
-        let mut best_prefix = 0usize;
-        loop {
-            // Highest-gain movable cell honoring balance.
-            let mut chosen = None;
-            'find: for b in (0..nbuckets).rev() {
-                let mut k = buckets[b].len();
-                while k > 0 {
-                    k -= 1;
-                    let i = buckets[b][k] as usize;
-                    let s = state[i];
-                    if s.locked || (s.gain + offset) as usize != b {
-                        buckets[b].swap_remove(k);
-                        if !s.locked {
-                            buckets[(s.gain + offset) as usize].push(i as u32);
-                        }
-                        continue;
-                    }
-                    let new_low = if s.side {
-                        cur_low + s.width
-                    } else {
-                        cur_low - s.width
-                    };
-                    if (new_low - target_low).abs() <= balance_slack {
-                        chosen = Some((b, k, i));
-                        break 'find;
-                    }
-                }
-            }
-            let Some((b, k, i)) = chosen else { break };
-            buckets[b].swap_remove(k);
-            state[i].locked = true;
-            let w = state[i].width;
-            let from = usize::from(state[i].side);
-            let to = 1 - from;
-            cum_delta += state[i].gain;
-            // FM delta updates on all nets of the moving cell.
-            for &n in ctx.conn.cell_nets(keyed[i].1) {
-                let slot = net_slot[n.index()] as usize;
-                if count[slot][to] == 0 {
-                    for &d in members(slot) {
-                        let d = d as usize;
-                        if !state[d].locked {
-                            state[d].gain += 1;
-                            buckets[(state[d].gain + offset) as usize].push(d as u32);
-                        }
-                    }
-                } else if count[slot][to] == 1 {
-                    for &d in members(slot) {
-                        let d = d as usize;
-                        if !state[d].locked && usize::from(state[d].side) == to {
-                            state[d].gain -= 1;
-                            buckets[(state[d].gain + offset) as usize].push(d as u32);
-                        }
-                    }
-                }
-                count[slot][from] -= 1;
-                count[slot][to] += 1;
-                if count[slot][from] == 0 {
-                    for &d in members(slot) {
-                        let d = d as usize;
-                        if !state[d].locked {
-                            state[d].gain -= 1;
-                            buckets[(state[d].gain + offset) as usize].push(d as u32);
-                        }
-                    }
-                } else if count[slot][from] == 1 {
-                    for &d in members(slot) {
-                        let d = d as usize;
-                        if !state[d].locked && usize::from(state[d].side) == from {
-                            state[d].gain += 1;
-                            buckets[(state[d].gain + offset) as usize].push(d as u32);
-                        }
-                    }
-                }
-            }
-            state[i].side = !state[i].side;
-            cur_low = if to == 0 { cur_low + w } else { cur_low - w };
-            moves.push(i as u32);
-            if cum_delta > best_delta {
-                best_delta = cum_delta;
-                best_prefix = moves.len();
-            }
-        }
-        // Roll back everything after the best prefix, keeping the
-        // per-net side counts in sync (the next pass reuses them).
-        for &i in &moves[best_prefix..] {
-            let i = i as usize;
-            let s = &mut state[i];
-            if s.side {
-                cur_low += s.width;
-            } else {
-                cur_low -= s.width;
-            }
-            s.side = !s.side;
-            let undone = usize::from(!state[i].side);
-            let redone = usize::from(state[i].side);
-            for &n in ctx.conn.cell_nets(keyed[i].1) {
-                let slot = net_slot[n.index()] as usize;
-                count[slot][undone] -= 1;
-                count[slot][redone] += 1;
-            }
-        }
-        low_width = cur_low;
-        if best_delta == 0 {
-            break;
-        }
+    let Some(new_low) = refined else {
+        return false;
+    };
+    #[cfg(debug_assertions)]
+    {
+        let mut ref_state = initial_state;
+        let mut ref_trace = fm::FmTrace::default();
+        // The reference runs on an unarmed token: the production run
+        // completed all its passes, so the shadow must too even if the
+        // real token fires while it replays.
+        let never = sm_exec::CancelToken::new();
+        let ref_low = fm::refine_reference(
+            &problem,
+            &mut ref_state,
+            low_width,
+            &never,
+            Some(&mut ref_trace),
+        );
+        debug_assert_eq!(ref_low, Some(new_low), "FM kernel diverged on low width");
+        debug_assert_eq!(ref_trace, prod_trace, "FM kernel diverged on move trace");
+        debug_assert_eq!(&ref_state[..], &state[..], "FM kernel diverged on sides");
     }
+    let low_width = new_low;
 
     // Sub-regions proportional to the area each side needs.
     let frac = low_width.max(1) as f64 / total.max(1) as f64;
@@ -497,7 +413,7 @@ fn recurse(
     let mut low_cells = Vec::new();
     let mut high_cells = Vec::new();
     for (i, &(_, c)) in keyed.iter().enumerate() {
-        if state[i].side {
+        if state[i].is_high() {
             high_cells.push(c);
             positions[c.index()] = high_region.center();
         } else {
@@ -524,8 +440,7 @@ fn recurse(
         scratch,
         low_seed,
         depth + 1,
-    );
-    recurse(
+    ) && recurse(
         ctx,
         high_cells,
         high_region,
@@ -533,7 +448,7 @@ fn recurse(
         scratch,
         high_seed,
         depth + 1,
-    );
+    )
 }
 
 #[cfg(test)]
@@ -591,7 +506,9 @@ mod tests {
             &seeds,
             3,
             &Budget::default(),
-        );
+            None,
+        )
+        .expect("unarmed budget cannot cancel");
         // Cells of the same cluster must be near each other; the two
         // clusters must be separated by more than the intra-cluster spread.
         let cluster_of = |i: usize| {
@@ -647,7 +564,9 @@ mod tests {
                 &seeds,
                 seed,
                 &Budget::default(),
+                None,
             )
+            .expect("unarmed budget cannot cancel")
         };
         let a = run(5);
         let b2 = run(5);
@@ -712,7 +631,9 @@ mod tests {
                 &seeds,
                 7,
                 budget,
+                None,
             )
+            .expect("unarmed budget cannot cancel")
         };
         let budget = Budget::with_threads(Some(2));
         let parallel = run(&budget);

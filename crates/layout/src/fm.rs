@@ -1,0 +1,795 @@
+//! The Fiduccia–Mattheyses refinement kernel of recursive bisection.
+//!
+//! Extracted from `bisect.rs` so the hot loop runs on region-local flat
+//! arrays only — no netlist, connectivity-index, or net-slot lookups
+//! inside the kernel:
+//!
+//! * per-cell state is packed into 8 bytes ([`FmCell`]: width, gain,
+//!   side/lock flags), halving the memory traffic of the selection scan
+//!   and the delta-gain updates;
+//! * the gain buckets are singly-linked stacks packed into one flat node
+//!   arena with a free list ([`FmScratch`]), plus a high-watermark that
+//!   skips empty top buckets; the arena and every other buffer is pooled
+//!   across regions and passes (the PR 3 scratch discipline);
+//! * both adjacency directions are CSR arrays built by the caller:
+//!   net-slot → member cells *and* cell → net slots, so delta updates
+//!   walk two flat arrays instead of chasing `ConnectivityIndex` rows
+//!   through a global net-slot table.
+//!
+//! **Exactness.** The selection structure replicates the operational
+//! semantics of the original `Vec<Vec<u32>>` gain buckets bit for bit:
+//! pushes prepend (the Vec pushed at the top and scanned top-down),
+//! scans walk top-down, and lazy deletion of stale/locked entries moves
+//! the *top* node into the vacated position (exactly `swap_remove`, which
+//! permutes the order future scans see) while unlocked stale entries are
+//! re-pushed to the top of their true bucket. Because bucket order
+//! determines which cell wins a gain tie, these details are load-bearing;
+//! [`refine_reference`] retains the original implementation and the
+//! debug-build shadow in `bisect.rs` plus the `differential` tests pin
+//! move sequences, cut deltas, and final sides against it.
+
+use sm_exec::CancelToken;
+
+const NIL: u32 = u32::MAX;
+
+/// Packed per-cell FM state: cell width (region widths are far below
+/// `u32::MAX` DBU), current gain, and side/lock flags in one 8-byte
+/// record.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) struct FmCell {
+    pub width: u32,
+    pub gain: i16,
+    flags: u8,
+}
+
+impl FmCell {
+    pub fn new(width: u32, high_side: bool) -> FmCell {
+        FmCell {
+            width,
+            gain: 0,
+            flags: u8::from(high_side),
+        }
+    }
+
+    /// Current side as an index (0 = low, 1 = high).
+    #[inline]
+    pub fn side(self) -> usize {
+        (self.flags & 1) as usize
+    }
+
+    #[inline]
+    pub fn is_high(self) -> bool {
+        self.flags & 1 != 0
+    }
+
+    #[inline]
+    pub fn locked(self) -> bool {
+        self.flags & 2 != 0
+    }
+
+    #[inline]
+    fn flip_side(&mut self) {
+        self.flags ^= 1;
+    }
+
+    #[inline]
+    fn lock(&mut self) {
+        self.flags |= 2;
+    }
+
+    #[inline]
+    fn unlock(&mut self) {
+        self.flags &= !2;
+    }
+}
+
+/// One region's refinement problem: both adjacency directions as CSR
+/// over region-local indices (cells `0..ncells` in keyed order, net
+/// slots `0..nslots`), the fixed external pin counts per slot and side,
+/// and the balance corridor.
+pub(crate) struct FmProblem<'a> {
+    /// Net slot → member cells (CSR offsets + flat array).
+    pub member_off: &'a [u32],
+    pub member_flat: &'a [u32],
+    /// Cell → its net slots, in `ConnectivityIndex::cell_nets` order
+    /// (CSR offsets + flat array).
+    pub cell_off: &'a [u32],
+    pub cell_slots: &'a [u32],
+    /// External pins (ports, out-of-region cells) per slot and side.
+    pub fixed: &'a [[u32; 2]],
+    /// Balance corridor: `|low_width − target_low| ≤ balance_slack`.
+    pub target_low: i64,
+    pub balance_slack: i64,
+    /// Gain bucket of gain `g` is `(g + offset)`; `nbuckets = 2·offset+1`.
+    pub offset: i32,
+}
+
+impl FmProblem<'_> {
+    #[inline]
+    fn members(&self, slot: usize) -> &[u32] {
+        &self.member_flat[self.member_off[slot] as usize..self.member_off[slot + 1] as usize]
+    }
+
+    #[inline]
+    fn slots_of(&self, cell: usize) -> &[u32] {
+        &self.cell_slots[self.cell_off[cell] as usize..self.cell_off[cell + 1] as usize]
+    }
+
+    fn nbuckets(&self) -> usize {
+        (2 * self.offset + 1) as usize
+    }
+}
+
+/// Pooled refinement scratch: per-net side counts, the move log, and the
+/// gain-bucket node arena (`cell`/`next` pairs + per-bucket heads + free
+/// list + high watermark). One instance serves every region of a
+/// placement without reallocating.
+#[derive(Default)]
+pub(crate) struct FmScratch {
+    count: Vec<[u32; 2]>,
+    moves: Vec<u32>,
+    head: Vec<u32>,
+    node_cell: Vec<u32>,
+    node_next: Vec<u32>,
+    free: u32,
+    hi: usize,
+}
+
+impl FmScratch {
+    fn reset_buckets(&mut self, nbuckets: usize) {
+        if self.head.len() < nbuckets {
+            self.head.resize(nbuckets, NIL);
+        }
+        for h in &mut self.head[..nbuckets] {
+            *h = NIL;
+        }
+        self.node_cell.clear();
+        self.node_next.clear();
+        self.free = NIL;
+        self.hi = 0;
+    }
+
+    /// Pushes `cell` on top of bucket `b` (the Vec semantics: newest
+    /// entry is probed first).
+    #[inline]
+    fn push(&mut self, b: usize, cell: u32) {
+        let node = if self.free != NIL {
+            let n = self.free;
+            self.free = self.node_next[n as usize];
+            self.node_cell[n as usize] = cell;
+            n
+        } else {
+            self.node_cell.push(cell);
+            self.node_next.push(NIL);
+            (self.node_cell.len() - 1) as u32
+        };
+        self.node_next[node as usize] = self.head[b];
+        self.head[b] = node;
+        if b > self.hi {
+            self.hi = b;
+        }
+    }
+
+    /// Removes the node `cur` (whose predecessor in bucket `b` is
+    /// `prev`, `NIL` when `cur` is the top) and moves the bucket's top
+    /// node into the vacated position — exactly `Vec::swap_remove` on
+    /// the top-down scan order. Returns the node after `cur`, which is
+    /// where a scan continues (the moved top is skipped, as the original
+    /// scan skipped the element swapped into the probed index). `prev`
+    /// is updated to the node now preceding the returned position.
+    #[inline]
+    fn swap_remove(&mut self, b: usize, prev: &mut u32, cur: u32) -> u32 {
+        let nxt = self.node_next[cur as usize];
+        let top = self.head[b];
+        if cur == top {
+            self.head[b] = nxt;
+        } else if *prev == top {
+            // The top is already `cur`'s predecessor: moving it into
+            // `cur`'s slot leaves the order unchanged minus `cur`.
+            self.node_next[*prev as usize] = nxt;
+        } else {
+            self.head[b] = self.node_next[top as usize];
+            self.node_next[*prev as usize] = top;
+            self.node_next[top as usize] = nxt;
+            *prev = top;
+        }
+        self.node_next[cur as usize] = self.free;
+        self.free = cur;
+        nxt
+    }
+}
+
+/// Per-pass record for the differential harness: the full move sequence
+/// (region-local cell indices, pre-rollback), the best-prefix length the
+/// pass kept, and its cut improvement.
+#[derive(Debug, PartialEq, Eq, Default, Clone)]
+pub(crate) struct FmTrace {
+    pub passes: Vec<(Vec<u32>, usize, i32)>,
+}
+
+/// Runs up to three FM passes with best-prefix rollback over `state`,
+/// returning the refined low-side width — or `None` if `cancel` fired at
+/// a pass boundary (a result-neutral checkpoint: the caller abandons the
+/// whole placement, so no partially-refined state ever escapes).
+pub(crate) fn refine(
+    p: &FmProblem<'_>,
+    state: &mut [FmCell],
+    scratch: &mut FmScratch,
+    mut low_width: i64,
+    cancel: &CancelToken,
+    mut trace: Option<&mut FmTrace>,
+) -> Option<i64> {
+    let offset = p.offset;
+    let nbuckets = p.nbuckets();
+    // Pin counts per net per side for the current partition. The move
+    // loop keeps them current and the rollback adjusts them, so only
+    // entry scans the member lists.
+    let count = std::mem::take(&mut scratch.count);
+    let mut count = count;
+    count.clear();
+    count.extend_from_slice(p.fixed);
+    for (slot, c) in count.iter_mut().enumerate() {
+        for &i in p.members(slot) {
+            c[state[i as usize].side()] += 1;
+        }
+    }
+    for _pass in 0..3 {
+        // A deadline between passes abandons the placement wholesale —
+        // never a half-refined partition.
+        if cancel.is_cancelled() {
+            scratch.count = count;
+            return None;
+        }
+        // Initial gains (locks cleared with them).
+        for (i, s) in state.iter_mut().enumerate() {
+            s.unlock();
+            let from = s.side();
+            let to = 1 - from;
+            let mut g = 0i16;
+            for &slot in &p.cell_slots[p.cell_off[i] as usize..p.cell_off[i + 1] as usize] {
+                let c = count[slot as usize];
+                if c[from] == 1 {
+                    g += 1;
+                }
+                if c[to] == 0 {
+                    g -= 1;
+                }
+            }
+            s.gain = g;
+        }
+        // Gain buckets, bottom cell pushed first (Vec push order).
+        scratch.reset_buckets(nbuckets);
+        for (i, s) in state.iter().enumerate() {
+            scratch.push((s.gain as i32 + offset) as usize, i as u32);
+        }
+        let mut cur_low = low_width;
+        let mut best_delta = 0i32;
+        let mut cum_delta = 0i32;
+        scratch.moves.clear();
+        let mut best_prefix = 0usize;
+        loop {
+            // Highest-gain movable cell honoring balance: scan buckets
+            // top-down from the high watermark (buckets above it are
+            // empty — skipping them probes nothing), each bucket
+            // top-down, lazily repairing stale and locked entries.
+            while scratch.hi > 0 && scratch.head[scratch.hi] == NIL {
+                scratch.hi -= 1;
+            }
+            let mut chosen = None;
+            'find: for b in (0..=scratch.hi).rev() {
+                let mut prev = NIL;
+                let mut cur = scratch.head[b];
+                while cur != NIL {
+                    let i = scratch.node_cell[cur as usize] as usize;
+                    let s = state[i];
+                    let true_bucket = (s.gain as i32 + offset) as usize;
+                    if s.locked() || true_bucket != b {
+                        cur = scratch.swap_remove(b, &mut prev, cur);
+                        if !s.locked() {
+                            // Stale: surface at the top of its true
+                            // bucket (always ≠ b, so this scan is not
+                            // perturbed).
+                            scratch.push(true_bucket, i as u32);
+                        }
+                        continue;
+                    }
+                    let new_low = if s.is_high() {
+                        cur_low + s.width as i64
+                    } else {
+                        cur_low - s.width as i64
+                    };
+                    if (new_low - p.target_low).abs() <= p.balance_slack {
+                        chosen = Some((b, prev, cur, i));
+                        break 'find;
+                    }
+                    prev = cur;
+                    cur = scratch.node_next[cur as usize];
+                }
+            }
+            let Some((b, mut prev, cur, i)) = chosen else {
+                break;
+            };
+            scratch.swap_remove(b, &mut prev, cur);
+            state[i].lock();
+            let w = state[i].width as i64;
+            let from = state[i].side();
+            let to = 1 - from;
+            cum_delta += state[i].gain as i32;
+            // FM delta updates on all nets of the moving cell.
+            for si in p.cell_off[i] as usize..p.cell_off[i + 1] as usize {
+                let slot = p.cell_slots[si] as usize;
+                let (mo, mhi) = (p.member_off[slot] as usize, p.member_off[slot + 1] as usize);
+                if count[slot][to] == 0 {
+                    for di in mo..mhi {
+                        let d = p.member_flat[di] as usize;
+                        let sd = &mut state[d];
+                        if !sd.locked() {
+                            sd.gain += 1;
+                            scratch.push((sd.gain as i32 + offset) as usize, d as u32);
+                        }
+                    }
+                } else if count[slot][to] == 1 {
+                    for di in mo..mhi {
+                        let d = p.member_flat[di] as usize;
+                        let sd = &mut state[d];
+                        if !sd.locked() && sd.side() == to {
+                            sd.gain -= 1;
+                            scratch.push((sd.gain as i32 + offset) as usize, d as u32);
+                        }
+                    }
+                }
+                count[slot][from] -= 1;
+                count[slot][to] += 1;
+                if count[slot][from] == 0 {
+                    for di in mo..mhi {
+                        let d = p.member_flat[di] as usize;
+                        let sd = &mut state[d];
+                        if !sd.locked() {
+                            sd.gain -= 1;
+                            scratch.push((sd.gain as i32 + offset) as usize, d as u32);
+                        }
+                    }
+                } else if count[slot][from] == 1 {
+                    for di in mo..mhi {
+                        let d = p.member_flat[di] as usize;
+                        let sd = &mut state[d];
+                        if !sd.locked() && sd.side() == from {
+                            sd.gain += 1;
+                            scratch.push((sd.gain as i32 + offset) as usize, d as u32);
+                        }
+                    }
+                }
+            }
+            state[i].flip_side();
+            cur_low = if to == 0 { cur_low + w } else { cur_low - w };
+            scratch.moves.push(i as u32);
+            if cum_delta > best_delta {
+                best_delta = cum_delta;
+                best_prefix = scratch.moves.len();
+            }
+        }
+        // Roll back everything after the best prefix, keeping the
+        // per-net side counts in sync (the next pass reuses them).
+        for &i in &scratch.moves[best_prefix..] {
+            let i = i as usize;
+            let s = &mut state[i];
+            if s.is_high() {
+                cur_low += s.width as i64;
+            } else {
+                cur_low -= s.width as i64;
+            }
+            s.flip_side();
+            let undone = 1 - state[i].side();
+            let redone = state[i].side();
+            for &slot in p.slots_of(i) {
+                let slot = slot as usize;
+                count[slot][undone] -= 1;
+                count[slot][redone] += 1;
+            }
+        }
+        low_width = cur_low;
+        if let Some(t) = trace.as_deref_mut() {
+            t.passes
+                .push((scratch.moves.clone(), best_prefix, best_delta));
+        }
+        if best_delta == 0 {
+            break;
+        }
+    }
+    scratch.count = count;
+    Some(low_width)
+}
+
+/// The original `Vec<Vec<u32>>` gain-bucket refinement, retained
+/// verbatim as the differential reference for [`refine`] (do not
+/// "improve" it — its purpose is to stay faithful to the pre-rework
+/// algorithm). Kept out of release binaries; the debug-build shadow in
+/// `bisect.rs` and the `differential` tests run it against the arena
+/// kernel on every region.
+#[cfg(any(test, debug_assertions))]
+pub(crate) fn refine_reference(
+    p: &FmProblem<'_>,
+    state: &mut [FmCell],
+    mut low_width: i64,
+    cancel: &CancelToken,
+    mut trace: Option<&mut FmTrace>,
+) -> Option<i64> {
+    let offset = p.offset;
+    let nbuckets = p.nbuckets();
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); nbuckets];
+    let mut count: Vec<[u32; 2]> = Vec::new();
+    let mut moves: Vec<u32> = Vec::new();
+    count.extend_from_slice(p.fixed);
+    for (slot, c) in count.iter_mut().enumerate() {
+        for &i in p.members(slot) {
+            c[state[i as usize].side()] += 1;
+        }
+    }
+    for _pass in 0..3 {
+        if cancel.is_cancelled() {
+            return None;
+        }
+        for (i, s) in state.iter_mut().enumerate() {
+            s.unlock();
+            let from = s.side();
+            let to = 1 - from;
+            let mut g = 0i16;
+            for &slot in &p.cell_slots[p.cell_off[i] as usize..p.cell_off[i + 1] as usize] {
+                let c = count[slot as usize];
+                if c[from] == 1 {
+                    g += 1;
+                }
+                if c[to] == 0 {
+                    g -= 1;
+                }
+            }
+            s.gain = g;
+        }
+        for b in buckets.iter_mut() {
+            b.clear();
+        }
+        for (i, s) in state.iter().enumerate() {
+            buckets[(s.gain as i32 + offset) as usize].push(i as u32);
+        }
+        let mut cur_low = low_width;
+        let mut best_delta = 0i32;
+        let mut cum_delta = 0i32;
+        moves.clear();
+        let mut best_prefix = 0usize;
+        loop {
+            let mut chosen = None;
+            'find: for b in (0..nbuckets).rev() {
+                let mut k = buckets[b].len();
+                while k > 0 {
+                    k -= 1;
+                    let i = buckets[b][k] as usize;
+                    let s = state[i];
+                    if s.locked() || (s.gain as i32 + offset) as usize != b {
+                        buckets[b].swap_remove(k);
+                        if !s.locked() {
+                            buckets[(s.gain as i32 + offset) as usize].push(i as u32);
+                        }
+                        continue;
+                    }
+                    let new_low = if s.is_high() {
+                        cur_low + s.width as i64
+                    } else {
+                        cur_low - s.width as i64
+                    };
+                    if (new_low - p.target_low).abs() <= p.balance_slack {
+                        chosen = Some((b, k, i));
+                        break 'find;
+                    }
+                }
+            }
+            let Some((b, k, i)) = chosen else { break };
+            buckets[b].swap_remove(k);
+            state[i].lock();
+            let w = state[i].width as i64;
+            let from = state[i].side();
+            let to = 1 - from;
+            cum_delta += state[i].gain as i32;
+            for &slot in p.slots_of(i) {
+                let slot = slot as usize;
+                if count[slot][to] == 0 {
+                    for &d in p.members(slot) {
+                        let d = d as usize;
+                        if !state[d].locked() {
+                            state[d].gain += 1;
+                            buckets[(state[d].gain as i32 + offset) as usize].push(d as u32);
+                        }
+                    }
+                } else if count[slot][to] == 1 {
+                    for &d in p.members(slot) {
+                        let d = d as usize;
+                        if !state[d].locked() && state[d].side() == to {
+                            state[d].gain -= 1;
+                            buckets[(state[d].gain as i32 + offset) as usize].push(d as u32);
+                        }
+                    }
+                }
+                count[slot][from] -= 1;
+                count[slot][to] += 1;
+                if count[slot][from] == 0 {
+                    for &d in p.members(slot) {
+                        let d = d as usize;
+                        if !state[d].locked() {
+                            state[d].gain -= 1;
+                            buckets[(state[d].gain as i32 + offset) as usize].push(d as u32);
+                        }
+                    }
+                } else if count[slot][from] == 1 {
+                    for &d in p.members(slot) {
+                        let d = d as usize;
+                        if !state[d].locked() && state[d].side() == from {
+                            state[d].gain += 1;
+                            buckets[(state[d].gain as i32 + offset) as usize].push(d as u32);
+                        }
+                    }
+                }
+            }
+            state[i].flip_side();
+            cur_low = if to == 0 { cur_low + w } else { cur_low - w };
+            moves.push(i as u32);
+            if cum_delta > best_delta {
+                best_delta = cum_delta;
+                best_prefix = moves.len();
+            }
+        }
+        for &i in &moves[best_prefix..] {
+            let i = i as usize;
+            let s = &mut state[i];
+            if s.is_high() {
+                cur_low += s.width as i64;
+            } else {
+                cur_low -= s.width as i64;
+            }
+            s.flip_side();
+            let undone = 1 - state[i].side();
+            let redone = state[i].side();
+            for &slot in p.slots_of(i) {
+                let slot = slot as usize;
+                count[slot][undone] -= 1;
+                count[slot][redone] += 1;
+            }
+        }
+        low_width = cur_low;
+        if let Some(t) = trace.as_deref_mut() {
+            t.passes.push((moves.clone(), best_prefix, best_delta));
+        }
+        if best_delta == 0 {
+            break;
+        }
+    }
+    Some(low_width)
+}
+
+#[cfg(test)]
+mod differential {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// A self-contained region problem: coherent cell→slot and
+    /// slot→member CSR plus widths, sides, fixed pins and the balance
+    /// corridor, generated the same way `bisect.rs` builds them (member
+    /// lists in ascending cell order because cells are visited in keyed
+    /// order).
+    #[derive(Debug, Clone)]
+    struct Region {
+        cell_adj: Vec<Vec<u32>>,
+        nslots: usize,
+        widths: Vec<u32>,
+        sides: Vec<bool>,
+        fixed: Vec<[u32; 2]>,
+    }
+
+    impl Region {
+        fn csr(&self) -> (Vec<u32>, Vec<u32>, Vec<u32>, Vec<u32>) {
+            let mut cell_off = vec![0u32];
+            let mut cell_slots = Vec::new();
+            for adj in &self.cell_adj {
+                cell_slots.extend_from_slice(adj);
+                cell_off.push(cell_slots.len() as u32);
+            }
+            let mut counts = vec![0u32; self.nslots];
+            for &s in &cell_slots {
+                counts[s as usize] += 1;
+            }
+            let mut member_off = vec![0u32];
+            for slot in 0..self.nslots {
+                member_off.push(member_off[slot] + counts[slot]);
+            }
+            let mut cursor = member_off.clone();
+            let mut member_flat = vec![0u32; *member_off.last().unwrap() as usize];
+            for (i, adj) in self.cell_adj.iter().enumerate() {
+                for &s in adj {
+                    member_flat[cursor[s as usize] as usize] = i as u32;
+                    cursor[s as usize] += 1;
+                }
+            }
+            (member_off, member_flat, cell_off, cell_slots)
+        }
+
+        fn run_both(
+            &self,
+        ) -> (
+            Option<i64>,
+            Option<i64>,
+            FmTrace,
+            FmTrace,
+            Vec<FmCell>,
+            Vec<FmCell>,
+        ) {
+            let (member_off, member_flat, cell_off, cell_slots) = self.csr();
+            let total: i64 = self.widths.iter().map(|&w| w as i64).sum();
+            let offset = self
+                .cell_adj
+                .iter()
+                .map(|a| a.len())
+                .max()
+                .unwrap_or(1)
+                .max(1) as i32;
+            let p = FmProblem {
+                member_off: &member_off,
+                member_flat: &member_flat,
+                cell_off: &cell_off,
+                cell_slots: &cell_slots,
+                fixed: &self.fixed,
+                target_low: total / 2,
+                balance_slack: total / 10 + 1,
+                offset,
+            };
+            let init: Vec<FmCell> = self
+                .widths
+                .iter()
+                .zip(&self.sides)
+                .map(|(&w, &s)| FmCell::new(w, s))
+                .collect();
+            let low0: i64 = init
+                .iter()
+                .filter(|s| !s.is_high())
+                .map(|s| s.width as i64)
+                .sum();
+            let never = CancelToken::new();
+            let mut prod_state = init.clone();
+            let mut prod_trace = FmTrace::default();
+            let mut scratch = FmScratch::default();
+            let prod = refine(
+                &p,
+                &mut prod_state,
+                &mut scratch,
+                low0,
+                &never,
+                Some(&mut prod_trace),
+            );
+            let mut ref_state = init;
+            let mut ref_trace = FmTrace::default();
+            let reference =
+                refine_reference(&p, &mut ref_state, low0, &never, Some(&mut ref_trace));
+            (
+                prod, reference, prod_trace, ref_trace, prod_state, ref_state,
+            )
+        }
+    }
+
+    fn region_strategy() -> impl Strategy<Value = Region> {
+        // The offline proptest shim has no flat_map, so sizes are drawn
+        // alongside max-size pools and applied by truncation/modulo.
+        (
+            (2usize..28, 1usize..20),
+            proptest::collection::vec(proptest::collection::vec(0u32..1_000_000, 1..5), 28..29),
+            proptest::collection::vec(1u32..400, 28..29),
+            proptest::collection::vec(any::<bool>(), 28..29),
+            proptest::collection::vec((0u32..3, 0u32..3), 20..21),
+        )
+            .prop_map(|((ncells, nslots), adj, widths, sides, fixed)| {
+                let cell_adj = adj[..ncells]
+                    .iter()
+                    .map(|raw| {
+                        let mut v: Vec<u32> = raw.iter().map(|r| r % nslots as u32).collect();
+                        v.sort_unstable();
+                        v.dedup();
+                        v
+                    })
+                    .collect();
+                Region {
+                    cell_adj,
+                    nslots,
+                    widths: widths[..ncells].to_vec(),
+                    sides: sides[..ncells].to_vec(),
+                    fixed: fixed[..nslots].iter().map(|&(a, b)| [a, b]).collect(),
+                }
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// The arena kernel and the retained reference agree on random
+        /// region problems: identical per-pass move sequences, best
+        /// prefixes, cut deltas, final sides and low widths.
+        #[test]
+        fn arena_kernel_matches_reference(region in region_strategy()) {
+            let (prod, reference, prod_trace, ref_trace, prod_state, ref_state) =
+                region.run_both();
+            prop_assert_eq!(prod, reference);
+            prop_assert_eq!(prod_trace, ref_trace);
+            prop_assert_eq!(prod_state, ref_state);
+        }
+    }
+
+    /// A dense hand-built region exercising many stale-entry repairs:
+    /// two cliques joined by bridge nets, every cell in several nets.
+    #[test]
+    fn clique_bridge_matches_reference() {
+        let mut cell_adj = Vec::new();
+        for i in 0..12u32 {
+            let side = i / 6;
+            // Nets 0..3 are clique nets of side 0, 4..7 of side 1, 8 is
+            // the bridge everyone shares.
+            let mut adj = vec![side * 4 + (i % 3), side * 4 + ((i + 1) % 3), 8];
+            adj.sort_unstable();
+            adj.dedup();
+            cell_adj.push(adj);
+        }
+        let region = Region {
+            cell_adj,
+            nslots: 9,
+            widths: (0..12).map(|i| 100 + (i % 5) * 37).collect(),
+            sides: (0..12).map(|i| i % 2 == 0).collect(),
+            fixed: vec![[1, 0]; 9],
+        };
+        let (prod, reference, prod_trace, ref_trace, prod_state, ref_state) = region.run_both();
+        assert_eq!(prod, reference);
+        assert!(
+            prod_trace.passes.iter().any(|(m, _, _)| !m.is_empty()),
+            "test region should actually move cells"
+        );
+        assert_eq!(prod_trace, ref_trace);
+        assert_eq!(prod_state, ref_state);
+    }
+
+    /// A pre-cancelled token aborts before the first pass and leaves no
+    /// trace; refinement never returns a partial result.
+    #[test]
+    fn cancellation_aborts_between_passes() {
+        let region = Region {
+            cell_adj: vec![vec![0], vec![0], vec![0], vec![0]],
+            nslots: 1,
+            widths: vec![100; 4],
+            sides: vec![false, true, false, true],
+            fixed: vec![[0, 0]],
+        };
+        let (member_off, member_flat, cell_off, cell_slots) = region.csr();
+        let p = FmProblem {
+            member_off: &member_off,
+            member_flat: &member_flat,
+            cell_off: &cell_off,
+            cell_slots: &cell_slots,
+            fixed: &region.fixed,
+            target_low: 200,
+            balance_slack: 41,
+            offset: 1,
+        };
+        let mut state: Vec<FmCell> = region
+            .widths
+            .iter()
+            .zip(&region.sides)
+            .map(|(&w, &s)| FmCell::new(w, s))
+            .collect();
+        let cancelled = CancelToken::new();
+        cancelled.cancel();
+        let mut trace = FmTrace::default();
+        let mut scratch = FmScratch::default();
+        let out = refine(
+            &p,
+            &mut state,
+            &mut scratch,
+            200,
+            &cancelled,
+            Some(&mut trace),
+        );
+        assert_eq!(out, None);
+        assert!(trace.passes.is_empty());
+    }
+}

@@ -37,6 +37,7 @@
 mod bisect;
 mod codec;
 mod floorplan;
+mod fm;
 mod geom;
 mod tech;
 
@@ -52,7 +53,7 @@ pub mod timing;
 pub use floorplan::Floorplan;
 pub use geom::{Point, Rect, DBU_PER_UM};
 pub use hpwl::{BBox, HpwlIndex};
-pub use place::{Placement, PlacementEngine};
+pub use place::{PlaceMeter, Placement, PlacementEngine};
 pub use route::{RouteOptions, Router, RoutingResult, ViaCounts};
 pub use split::{split_layout, split_layout_with, SplitOptions, VpinSide};
 pub use split::{FeolView, SplitLayout, Vpin};

@@ -13,6 +13,8 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use sm_netlist::{CellId, ConnectivityIndex, Driver, NetId, Netlist, Sink};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Cell and port locations for one netlist on one floorplan.
 #[derive(Debug, Clone, PartialEq)]
@@ -140,6 +142,36 @@ fn hpwl_of(pts: &[Point]) -> i64 {
     (xmax - xmin) + (ymax - ymin)
 }
 
+/// Shared wall-clock meter for placement observability.
+///
+/// An engine wired to a meter (via [`PlacementEngine::with_meter`])
+/// accumulates the total placement wall-clock and the slice of it spent
+/// inside FM refinement. Engine clones share the meter, so the internal
+/// disarmed-clone dance of [`PlacementEngine::place`] still reports into
+/// the caller's meter. Metering is side-band observability — it feeds
+/// timing reports and journal provenance and never influences placement
+/// results.
+#[derive(Debug, Default)]
+pub struct PlaceMeter {
+    place_ns: AtomicU64,
+    fm_ns: AtomicU64,
+}
+
+impl PlaceMeter {
+    /// A fresh zeroed meter behind the `Arc` the engine expects.
+    pub fn shared() -> Arc<PlaceMeter> {
+        Arc::new(PlaceMeter::default())
+    }
+
+    /// Drains both counters, returning `(total_place_ms, fm_refine_ms)`
+    /// accumulated since the previous drain.
+    pub fn drain_ms(&self) -> (f64, f64) {
+        let place = self.place_ns.swap(0, Ordering::Relaxed);
+        let fm = self.fm_ns.swap(0, Ordering::Relaxed);
+        (place as f64 * 1e-6, fm as f64 * 1e-6)
+    }
+}
+
 /// Wirelength-driven placement engine.
 ///
 /// Deterministic for a given seed; the paper's flow re-places the erroneous
@@ -159,6 +191,7 @@ pub struct PlacementEngine {
     /// is immediately re-budgeted never instantiates the global pool's
     /// workers.
     budget: Option<sm_exec::Budget>,
+    meter: Option<Arc<PlaceMeter>>,
 }
 
 impl PlacementEngine {
@@ -170,6 +203,7 @@ impl PlacementEngine {
             global_iterations: 24,
             detailed_passes: 2,
             budget: None,
+            meter: None,
         }
     }
 
@@ -194,16 +228,61 @@ impl PlacementEngine {
         self
     }
 
+    /// Wires a [`PlaceMeter`] into the engine: every placement this
+    /// engine (or a clone of it) runs adds its total wall-clock and its
+    /// FM-refinement wall-clock to the meter.
+    pub fn with_meter(mut self, meter: Arc<PlaceMeter>) -> Self {
+        self.meter = Some(meter);
+        self
+    }
+
     /// Places `netlist` on `fp`.
     ///
     /// Pipeline: recursive min-cut bisection for global positions, a few
     /// centroid refinement rounds, legalization, then greedy detailed
     /// placement.
     ///
+    /// Ignores any armed [`sm_exec::CancelToken`] on the engine's budget
+    /// (existing callers rely on always getting a placement back); use
+    /// [`PlacementEngine::try_place`] to honor a deadline.
+    ///
     /// # Panics
     ///
     /// Panics if the netlist has no cells.
     pub fn place(&self, netlist: &Netlist, fp: &Floorplan) -> Placement {
+        let disarmed = self
+            .budget
+            .clone()
+            .unwrap_or_default()
+            .with_cancel(sm_exec::CancelToken::new());
+        self.clone()
+            .with_budget(disarmed)
+            .try_place(netlist, fp)
+            .expect("unarmed token cannot cancel a placement")
+    }
+
+    /// [`PlacementEngine::place`], honoring the budget's cancellation
+    /// token: returns `None` if the token fires at one of the
+    /// result-neutral checkpoints (between bisection levels and between
+    /// FM passes). A run that completes is byte-identical to
+    /// [`PlacementEngine::place`] — cancellation can only abandon a
+    /// placement, never alter one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist has no cells.
+    pub fn try_place(&self, netlist: &Netlist, fp: &Floorplan) -> Option<Placement> {
+        let start = std::time::Instant::now();
+        let out = self.place_impl(netlist, fp);
+        if let Some(meter) = &self.meter {
+            meter
+                .place_ns
+                .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
+        out
+    }
+
+    fn place_impl(&self, netlist: &Netlist, fp: &Floorplan) -> Option<Placement> {
         assert!(netlist.num_cells() > 0, "cannot place an empty netlist");
         let mut rng = StdRng::seed_from_u64(self.seed);
         let core = fp.core();
@@ -305,7 +384,8 @@ impl PlacementEngine {
                 &seeded,
                 sm_exec::seed::derive(self.seed, cycle),
                 &budget,
-            );
+                self.meter.as_deref().map(|m| &m.fm_ns),
+            )?;
             pl.origins = origins;
             for _ in 0..4 {
                 order.shuffle(&mut rng);
@@ -328,7 +408,7 @@ impl PlacementEngine {
             }
         }
         debug_assert!(pl.is_legal(fp));
-        pl
+        Some(pl)
     }
 
     /// Snaps all cells to legal, non-overlapping row sites.
@@ -709,6 +789,46 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Every ISCAS profile placed end to end: the debug-assertions
+    /// shadow in `bisect.rs` replays each region's refinement through
+    /// the retained reference kernel and asserts identical move
+    /// sequences, so this differential-tests the arena FM kernel on
+    /// real circuit structure (plus determinism across repeats).
+    #[test]
+    fn iscas_placements_pin_fm_kernel_to_reference() {
+        if !cfg!(debug_assertions) {
+            panic!("this test relies on the debug-build FM shadow");
+        }
+        let tech = Technology::nangate45_10lm();
+        for profile in sm_benchgen::iscas::IscasProfile::all() {
+            let n = sm_benchgen::iscas::generate(&profile, 1);
+            let fp = Floorplan::for_netlist(&n, &tech, 0.6);
+            let a = PlacementEngine::new(7).place(&n, &fp);
+            let b = PlacementEngine::new(7).place(&n, &fp);
+            assert_eq!(a, b, "placement not deterministic for {}", profile.name);
+            assert!(a.is_legal(&fp));
+        }
+    }
+
+    /// An expired budget lands mid-placement: `try_place` returns
+    /// `None`, while the legacy `place` entry point disarms the token
+    /// and always completes.
+    #[test]
+    fn try_place_honors_cancellation() {
+        let lib = Library::nangate45();
+        let n = parse_bench("c17", C17_BENCH, &lib).unwrap();
+        let tech = Technology::nangate45_10lm();
+        let fp = Floorplan::for_netlist(&n, &tech, 0.5);
+        let cancelled = sm_exec::CancelToken::new();
+        cancelled.cancel();
+        let budget = sm_exec::Budget::default().with_cancel(cancelled);
+        let engine = PlacementEngine::new(1).with_budget(budget);
+        assert!(engine.try_place(&n, &fp).is_none());
+        let pl = engine.place(&n, &fp);
+        assert!(pl.is_legal(&fp));
+        assert_eq!(pl, PlacementEngine::new(1).place(&n, &fp));
     }
 
     #[test]

@@ -23,6 +23,12 @@ use sm_netlist::{ConnectivityIndex, NetId, Netlist, Sink};
 use std::collections::HashMap;
 use std::fmt;
 
+/// How many nets [`Router::try_route`] routes between cancellation
+/// checks. Small enough that an expired deadline stops a superblue-scale
+/// route within milliseconds, large enough that the check never shows up
+/// in a profile.
+pub const ROUTE_CANCEL_STRIDE: usize = 64;
+
 /// Per-via-level counts: `counts[k]` is the number of vias between layer
 /// `k+1` and `k+2` (so index 0 = V12, index 8 = V910).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -321,6 +327,30 @@ impl<'t> Router<'t> {
         fp: &Floorplan,
         options: &RouteOptions,
     ) -> RoutingResult {
+        self.try_route(
+            netlist,
+            placement,
+            fp,
+            options,
+            &sm_exec::CancelToken::new(),
+        )
+        .expect("an unarmed token cannot cancel routing")
+    }
+
+    /// [`Router::route`], honoring `cancel` between nets (every
+    /// [`ROUTE_CANCEL_STRIDE`] of them): `None` means the token fired
+    /// and the partial grid was discarded. The checkpoint sits between
+    /// nets — never inside one — so a run that completes is
+    /// byte-identical to [`Router::route`] whether or not a deadline
+    /// was armed.
+    pub fn try_route(
+        &self,
+        netlist: &Netlist,
+        placement: &Placement,
+        fp: &Floorplan,
+        options: &RouteOptions,
+        cancel: &sm_exec::CancelToken,
+    ) -> Option<RoutingResult> {
         let core = fp.core();
         let span = core.width().max(core.height()).max(1);
         // Tile floor of half a row keeps vpin geometry sharp on small dies
@@ -378,7 +408,10 @@ impl<'t> Router<'t> {
         let mut gpins: Vec<(u16, u16)> = Vec::new();
         let mut mst = MstScratch::default();
 
-        for net in order {
+        for (ni, net) in order.into_iter().enumerate() {
+            if ni % ROUTE_CANCEL_STRIDE == 0 && cancel.is_cancelled() {
+                return None;
+            }
             if netlist.net(net).degree() < 2 {
                 continue;
             }
@@ -443,7 +476,7 @@ impl<'t> Router<'t> {
             })
             .sum();
 
-        RoutingResult {
+        Some(RoutingResult {
             tile_dbu: tile,
             nx,
             ny,
@@ -451,7 +484,7 @@ impl<'t> Router<'t> {
             via_counts,
             wirelength_per_layer: wpl,
             overflow_edges,
-        }
+        })
     }
 
     /// Layer pair `(horizontal, vertical)` for a lifted net: the lift layer
@@ -701,6 +734,30 @@ mod tests {
                 assert!(!r.route(id).vias.is_empty(), "net {id} has no vias");
             }
         }
+    }
+
+    #[test]
+    fn try_route_honors_cancellation() {
+        let lib = Library::nangate45();
+        let n = parse_bench("c17", C17_BENCH, &lib).unwrap();
+        let tech = Technology::nangate45_10lm();
+        let fp = Floorplan::for_netlist(&n, &tech, 0.5);
+        let pl = PlacementEngine::new(7).place(&n, &fp);
+        let router = Router::new(&tech);
+        let opts = RouteOptions::default();
+        // A pre-cancelled token aborts at the first between-nets check.
+        let fired = sm_exec::CancelToken::new();
+        fired.cancel();
+        assert!(router.try_route(&n, &pl, &fp, &opts, &fired).is_none());
+        // A completed cancellable run is identical to the plain one.
+        let live = sm_exec::CancelToken::new();
+        let cancellable = router.try_route(&n, &pl, &fp, &opts, &live).unwrap();
+        let plain = router.route(&n, &pl, &fp, &opts);
+        assert_eq!(
+            cancellable.total_wirelength_dbu(),
+            plain.total_wirelength_dbu()
+        );
+        assert_eq!(cancellable.via_counts(), plain.via_counts());
     }
 
     #[test]

@@ -92,21 +92,67 @@ pub fn depth(netlist: &Netlist) -> Result<u32, NetlistError> {
 /// `true` if combinational paths lead from cell `from` to cell `to`
 /// (including `from == to`).
 pub fn reaches(netlist: &Netlist, from: CellId, to: CellId) -> bool {
+    reaches_with(netlist, from, to, &mut ReachScratch::new())
+}
+
+/// Reusable scratch for repeated reachability queries: the visited map is
+/// epoch-stamped, so back-to-back queries over the same netlist reuse one
+/// allocation instead of zeroing a fresh `num_cells` vector each call.
+/// Results are identical to the scratch-free entry points.
+#[derive(Debug, Default)]
+pub struct ReachScratch {
+    epoch: u32,
+    mark: Vec<u32>,
+    stack: Vec<CellId>,
+}
+
+impl ReachScratch {
+    /// An empty scratch; buffers grow to fit on first use.
+    pub fn new() -> ReachScratch {
+        ReachScratch::default()
+    }
+
+    /// Opens a new query epoch sized for `netlist`, clearing marks in
+    /// O(1) (amortized).
+    fn begin(&mut self, netlist: &Netlist) {
+        if self.mark.len() < netlist.num_cells() {
+            self.mark.resize(netlist.num_cells(), 0);
+        }
+        self.epoch = match self.epoch.checked_add(1) {
+            Some(e) => e,
+            None => {
+                self.mark.iter_mut().for_each(|m| *m = 0);
+                1
+            }
+        };
+        self.stack.clear();
+    }
+}
+
+/// [`reaches`] against caller-owned [`ReachScratch`] — same traversal,
+/// same answer, no per-query allocation.
+pub fn reaches_with(
+    netlist: &Netlist,
+    from: CellId,
+    to: CellId,
+    scratch: &mut ReachScratch,
+) -> bool {
     if from == to {
         return true;
     }
-    let mut visited = vec![false; netlist.num_cells()];
-    let mut stack = vec![from];
-    visited[from.index()] = true;
-    while let Some(c) = stack.pop() {
+    scratch.begin(netlist);
+    let epoch = scratch.epoch;
+    scratch.stack.push(from);
+    scratch.mark[from.index()] = epoch;
+    while let Some(c) = scratch.stack.pop() {
         for sink in netlist.net(netlist.cell(c).output()).sinks() {
             if let Sink::Cell { cell, .. } = *sink {
                 if cell == to {
                     return true;
                 }
-                if !visited[cell.index()] {
-                    visited[cell.index()] = true;
-                    stack.push(cell);
+                if scratch.mark[cell.index()] != epoch {
+                    scratch.mark[cell.index()] = epoch;
+                    scratch.stack.push(cell);
                 }
             }
         }
@@ -121,8 +167,20 @@ pub fn reaches(netlist: &Netlist, from: CellId, to: CellId) -> bool {
 /// swap: the new edge `driver → sink_cell` closes a cycle exactly when
 /// `sink_cell` already reaches the driver cell.
 pub fn would_create_cycle(netlist: &Netlist, driver_net: NetId, sink_cell: CellId) -> bool {
+    would_create_cycle_with(netlist, driver_net, sink_cell, &mut ReachScratch::new())
+}
+
+/// [`would_create_cycle`] against caller-owned [`ReachScratch`]; the
+/// per-candidate guard of the randomizer and the flow attack's
+/// loop-avoidance reconstruction run thousands of these back to back.
+pub fn would_create_cycle_with(
+    netlist: &Netlist,
+    driver_net: NetId,
+    sink_cell: CellId,
+    scratch: &mut ReachScratch,
+) -> bool {
     match netlist.net(driver_net).driver() {
-        Driver::Cell(d) => reaches(netlist, sink_cell, d),
+        Driver::Cell(d) => reaches_with(netlist, sink_cell, d, scratch),
         Driver::Port(_) => false, // primary inputs can never be downstream
     }
 }
