@@ -11,6 +11,9 @@
 //! smctl bench [--quick]       deterministic perf harness → BENCH.json
 //! smctl chaos                 fault-injection smoke: crash, resume, byte-diff
 //! smctl store stats|gc|clear|doctor  inspect/maintain the artifact store
+//! smctl serve --socket S      campaign service with work-stealing workers
+//! smctl submit --socket S     submit a sweep to a running service
+//! smctl status --socket S     snapshot a running service's queue
 //! smctl help                  this text
 //! ```
 //!
@@ -67,6 +70,9 @@ use sm_engine::campaign::{
 use sm_engine::job::AttackKind;
 use sm_engine::journal::{find_journal, materialize, read_events, Event, Journal, JournalFollower};
 use sm_engine::report::{Json, ReportOptions};
+use sm_engine::serve::{
+    client_shutdown, client_status, client_submit, serve, simulate_campaign, ServeConfig, SimPlan,
+};
 use sm_engine::store::ArtifactStore;
 use sm_engine::ArtifactCache;
 use sm_exec::fault::{FaultInject, FaultProfile};
@@ -102,6 +108,15 @@ USAGE:
                 [--baseline FILE] [--max-regression FACTOR] [--min-of N]
     smctl chaos [--threads N] [--fault-seed N] [--fault-profile P]
     smctl store stats|gc|clear|doctor [--store DIR] [--store-cap SIZE]
+    smctl serve --socket PATH [--workers N] [--max-queued N] [--threads N]
+                [--store DIR] [--store-cap SIZE]
+    smctl serve --stop --socket PATH
+    smctl serve --simulate N [--kill W@K,...] [--sim-seed N] [sweep axes]
+                [--threads N] [--format F] [--out FILE]
+                [--store DIR | --no-store] [--store-cap SIZE]
+    smctl submit --socket PATH [sweep axes] [--follow]
+                [--format json|csv|agg-csv|table] [--out FILE]
+    smctl status --socket PATH
     smctl help
 
 ARTIFACTS:
@@ -208,6 +223,32 @@ JOURNAL:
     sweep's own output, and `smctl resume DIR` re-runs exactly the jobs
     without a job-finished record, appending to the same log.
 
+SERVE:
+    `smctl serve` runs the campaign service: it listens on a Unix-domain
+    socket, admits sweep specs into a bounded queue (past --max-queued,
+    submissions are rejected — back-pressure, not unbounded buffering),
+    and executes one campaign at a time on a fleet of --workers
+    work-stealing workers (idle workers steal job ranges from loaded
+    ones; all workers share the --threads budget). The service holds the
+    store's maintenance lock for its lifetime, so eviction needs no
+    per-sweep lock dance. Reports are canonical: byte-identical to a
+    solo `smctl sweep` of the same spec, whatever the worker count or
+    steal pattern. Duplicate submissions of a spec already queued,
+    running or completed attach to that campaign instead of re-running.
+
+    `smctl submit` sends one sweep to a running service and prints the
+    final report (exit codes match `sweep`: 3 timed-out, 4 failed);
+    --follow streams the campaign's journal events to stderr while it
+    runs. `smctl status` prints a queue snapshot. `smctl serve --stop`
+    drains the queue and shuts the service down.
+
+    `smctl serve --simulate N` runs the same fleet protocol as a
+    deterministic in-process simulation of N workers (cycle-stepped,
+    seeded scheduling; no socket): --kill W@K kills worker W at its
+    first pickup after K completed jobs, re-queueing its remaining
+    ranges. The merged report is byte-identical to a solo sweep of the
+    spec — the CI determinism gate runs exactly this.
+
 FORMATS:
     json      canonical campaign report (storable, resumable)
     csv       one row per flow job / crouting box
@@ -252,6 +293,9 @@ fn main() -> ExitCode {
         "bench" => cmd_bench(rest),
         "chaos" => cmd_chaos(rest),
         "store" => cmd_store(rest),
+        "serve" => cmd_serve(rest),
+        "submit" => cmd_submit(rest),
+        "status" => cmd_status(rest),
         "help" | "--help" | "-h" => {
             print!("{HELP}");
             Ok(ExitCode::SUCCESS)
@@ -863,6 +907,295 @@ fn cmd_store(args: &[String]) -> Result<ExitCode, String> {
             ))
         }
     }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Sweep-axis flags shared by `smctl sweep`, `submit` and
+/// `serve --simulate`, parsed out of `args` into `spec`. Returns `true`
+/// when `args[*i]` was consumed as an axis flag.
+fn parse_axis_flag(spec: &mut SweepSpec, args: &[String], i: &mut usize) -> Result<bool, String> {
+    let (flag, inline) = cli::split_flag(args[*i].as_str());
+    match flag {
+        "--benchmarks" => {
+            spec.benchmarks = parse_benchmarks(&cli::flag_value(flag, inline, args, i)?)?
+        }
+        "--seeds" => spec.seeds = parse_seeds(&cli::flag_value(flag, inline, args, i)?)?,
+        "--split-layers" => {
+            spec.split_layers = parse_layers(&cli::flag_value(flag, inline, args, i)?)?
+        }
+        "--attacks" => spec.attacks = parse_attacks(&cli::flag_value(flag, inline, args, i)?)?,
+        "--layout-seed" => {
+            spec.layout_seed = Some(parse_u64(&cli::flag_value(flag, inline, args, i)?)?)
+        }
+        _ => return Ok(false),
+    }
+    Ok(true)
+}
+
+/// The default sweep spec an `opts`-configured command starts from
+/// (axes then overridden by flags; empty benchmarks filled from the
+/// quick/full ISCAS selection afterwards).
+fn base_spec(opts: &RunOptions) -> SweepSpec {
+    SweepSpec {
+        benchmarks: Vec::new(),
+        seeds: vec![1],
+        split_layers: vec![3, 4, 5],
+        attacks: vec![AttackKind::NetworkFlow],
+        scale: opts.scale,
+        master_seed: opts.seed,
+        layout_seed: None,
+    }
+}
+
+/// Fills an axis-flag-less benchmark list with the ISCAS selection.
+fn default_benchmarks(spec: &mut SweepSpec, quick: bool) {
+    if spec.benchmarks.is_empty() {
+        spec.benchmarks = iscas_selection(quick)
+            .iter()
+            .map(|p| p.name.to_string())
+            .collect();
+    }
+}
+
+/// Parses `--kill W@K,...` (worker W dies at its first pickup after K
+/// completed jobs).
+fn parse_kills(list: &str) -> Result<Vec<(usize, usize)>, String> {
+    let mut kills = Vec::new();
+    for part in list.split(',').filter(|p| !p.is_empty()) {
+        let (w, k) = part
+            .split_once('@')
+            .ok_or_else(|| format!("invalid --kill `{part}` (expected WORKER@AFTER_JOBS)"))?;
+        let w: usize = w
+            .parse()
+            .map_err(|e| format!("invalid --kill worker `{w}`: {e}"))?;
+        let k: usize = k
+            .parse()
+            .map_err(|e| format!("invalid --kill job count `{k}`: {e}"))?;
+        kills.push((w, k));
+    }
+    Ok(kills)
+}
+
+/// `smctl serve`: the campaign service (or its `--stop` sugar, or the
+/// deterministic `--simulate N` fleet run CI byte-diffs).
+fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
+    let opts = default_store(RunOptions::from_slice(args)?);
+    let mut spec = base_spec(&opts);
+    let mut socket: Option<String> = None;
+    let mut workers: usize = 2;
+    let mut max_queued: usize = 16;
+    let mut stop = false;
+    let mut simulate: Option<usize> = None;
+    let mut kills: Vec<(usize, usize)> = Vec::new();
+    let mut sim_seed: u64 = 1;
+    let mut format = "json".to_string();
+    let mut out_path: Option<String> = None;
+    let mut timings = false;
+
+    let mut i = 0;
+    while i < args.len() {
+        if parse_axis_flag(&mut spec, args, &mut i)? {
+            i += 1;
+            continue;
+        }
+        let (flag, inline) = cli::split_flag(args[i].as_str());
+        match flag {
+            "--socket" => socket = Some(cli::flag_value(flag, inline, args, &mut i)?),
+            "--workers" => {
+                let v = cli::flag_value(flag, inline, args, &mut i)?;
+                workers = v
+                    .parse()
+                    .map_err(|e| format!("invalid --workers `{v}`: {e}"))?;
+            }
+            "--max-queued" => {
+                let v = cli::flag_value(flag, inline, args, &mut i)?;
+                max_queued = v
+                    .parse()
+                    .map_err(|e| format!("invalid --max-queued `{v}`: {e}"))?;
+            }
+            "--stop" => {
+                cli::no_value(flag, inline)?;
+                stop = true;
+            }
+            "--simulate" => {
+                let v = cli::flag_value(flag, inline, args, &mut i)?;
+                simulate = Some(
+                    v.parse()
+                        .map_err(|e| format!("invalid --simulate `{v}`: {e}"))?,
+                );
+            }
+            "--kill" => kills = parse_kills(&cli::flag_value(flag, inline, args, &mut i)?)?,
+            "--sim-seed" => sim_seed = parse_u64(&cli::flag_value(flag, inline, args, &mut i)?)?,
+            "--format" => format = cli::flag_value(flag, inline, args, &mut i)?,
+            "--out" => out_path = Some(cli::flag_value(flag, inline, args, &mut i)?),
+            "--timings" => {
+                cli::no_value(flag, inline)?;
+                timings = true;
+            }
+            "--seed" | "--scale" | "--threads" | "--timeout-secs" | "--store" | "--store-cap"
+            | "--fault-seed" | "--fault-profile" => {
+                let _ = cli::flag_value(flag, inline, args, &mut i)?;
+            }
+            "--quick" | "--no-store" => cli::no_value(flag, inline)?,
+            other => return Err(format!("unknown serve flag `{other}`; see `smctl help`")),
+        }
+        i += 1;
+    }
+
+    if stop {
+        let socket = socket.ok_or("`smctl serve --stop` needs --socket PATH")?;
+        client_shutdown(std::path::Path::new(&socket))?;
+        eprintln!("service at {socket} drained and stopped");
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    if let Some(sim_workers) = simulate {
+        // The CI determinism leg: run the full dispatch/steal/death
+        // protocol in-process and emit a report that must byte-match a
+        // solo sweep of the same spec.
+        default_benchmarks(&mut spec, opts.quick);
+        check_format(&format)?;
+        let mut cache = cache_for(&opts);
+        let journal = cache.store().map(|store| {
+            let journal = Journal::for_spec(store.root(), &spec);
+            Arc::new(match fault_injector(&opts) {
+                Some(faults) => journal.with_faults(faults),
+                None => journal,
+            })
+        });
+        if let Some(journal) = &journal {
+            cache = cache.with_journal(Arc::clone(journal));
+        }
+        let budget = opts.budget();
+        let plan = SimPlan {
+            workers: sim_workers,
+            seed: sim_seed,
+            deaths: kills,
+        };
+        let (campaign, stats) = simulate_campaign(&spec, &plan, &budget, &cache)?;
+        eprintln!(
+            "fleet: {} simulated worker(s), {} steal(s), {} death(s)",
+            plan.workers, stats.steals, stats.deaths
+        );
+        emit(
+            &render_campaign(&campaign, &format, timings),
+            out_path.as_deref(),
+        )?;
+        eprintln!("{}", campaign.summary());
+        print_store_stats(&cache);
+        return Ok(campaign_exit(&campaign, "<report.json>"));
+    }
+
+    let socket = socket.ok_or("`smctl serve` needs --socket PATH (or --simulate N)")?;
+    let store = opts.store_dir(Some(DEFAULT_STORE)).ok_or(
+        "`smctl serve` needs a store (the coordinator owns its reservation); drop --no-store",
+    )?;
+    let config = ServeConfig {
+        socket: socket.clone().into(),
+        workers,
+        max_queued,
+        store: store.into(),
+        store_cap: opts.store_cap,
+    };
+    eprintln!(
+        "serving campaigns on {socket} ({} worker(s), {} queued max); stop with `smctl serve --stop --socket {socket}`",
+        config.workers, config.max_queued
+    );
+    serve(&config, &opts.budget())?;
+    eprintln!("service stopped");
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `smctl submit`: send one sweep to a running service, print its
+/// canonical report (exit codes match `sweep`).
+fn cmd_submit(args: &[String]) -> Result<ExitCode, String> {
+    let opts = RunOptions::from_slice(args)?;
+    let mut spec = base_spec(&opts);
+    let mut socket: Option<String> = None;
+    let mut follow = false;
+    let mut format = "json".to_string();
+    let mut out_path: Option<String> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        if parse_axis_flag(&mut spec, args, &mut i)? {
+            i += 1;
+            continue;
+        }
+        let (flag, inline) = cli::split_flag(args[i].as_str());
+        match flag {
+            "--socket" => socket = Some(cli::flag_value(flag, inline, args, &mut i)?),
+            "--follow" => {
+                cli::no_value(flag, inline)?;
+                follow = true;
+            }
+            "--format" => format = cli::flag_value(flag, inline, args, &mut i)?,
+            "--out" => out_path = Some(cli::flag_value(flag, inline, args, &mut i)?),
+            "--seed" | "--scale" => {
+                let _ = cli::flag_value(flag, inline, args, &mut i)?;
+            }
+            "--quick" => cli::no_value(flag, inline)?,
+            other => return Err(format!("unknown submit flag `{other}`; see `smctl help`")),
+        }
+        i += 1;
+    }
+    let socket = socket.ok_or("`smctl submit` needs --socket PATH")?;
+    default_benchmarks(&mut spec, opts.quick);
+    check_format(&format)?;
+
+    let mut progress = EventProgress::default();
+    let json = client_submit(
+        std::path::Path::new(&socket),
+        &spec,
+        follow,
+        |fingerprint, jobs, queued| {
+            eprintln!(
+                "accepted campaign c-{fingerprint:016x}: {jobs} job(s), {queued} campaign(s) ahead"
+            );
+        },
+        |event| eprintln!("{}", progress.render_line(event)),
+    )?;
+    let campaign = Campaign::from_json(
+        &Json::parse(&json).map_err(|e| format!("parsing service report: {e}"))?,
+    )?;
+    // The canonical JSON passes through verbatim — the service's bytes
+    // are the deliverable; other formats re-render from the parse.
+    let rendered = if format == "json" {
+        json
+    } else {
+        render_campaign(&campaign, &format, false)
+    };
+    emit(&rendered, out_path.as_deref())?;
+    eprintln!("report: {} job outcome(s)", campaign.outcomes.len());
+    Ok(campaign_exit(&campaign, "<report.json>"))
+}
+
+/// `smctl status`: one queue snapshot from a running service.
+fn cmd_status(args: &[String]) -> Result<ExitCode, String> {
+    let mut socket: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let (flag, inline) = cli::split_flag(args[i].as_str());
+        match flag {
+            "--socket" => socket = Some(cli::flag_value(flag, inline, args, &mut i)?),
+            other => return Err(format!("unknown status flag `{other}`; see `smctl help`")),
+        }
+        i += 1;
+    }
+    let socket = socket.ok_or("`smctl status` needs --socket PATH")?;
+    let status = client_status(std::path::Path::new(&socket))?;
+    println!("workers:    {}", status.workers);
+    println!("queued:     {}", status.queued);
+    println!(
+        "running:    {}",
+        status
+            .running
+            .map(|fp| format!("c-{fp:016x}"))
+            .unwrap_or_else(|| "-".into())
+    );
+    println!("completed:  {}", status.completed);
+    println!("steals:     {}", status.steals);
+    println!("jobs done:  {}", status.jobs_done);
     Ok(ExitCode::SUCCESS)
 }
 

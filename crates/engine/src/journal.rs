@@ -902,7 +902,7 @@ fn events_from(bytes: &[u8], offset: &mut usize) -> Vec<Event> {
 pub struct JournalFollower {
     path: PathBuf,
     /// Byte offset consumed so far; 0 until the header validates.
-    offset: usize,
+    offset: u64,
 }
 
 impl JournalFollower {
@@ -918,23 +918,53 @@ impl JournalFollower {
     /// still-incomplete header is "no events yet", not an error; a
     /// present header that is not a journal's is.
     ///
+    /// Each poll seeks to the consumed offset and reads only the tail
+    /// appended since — O(new bytes) per poll, so following a long
+    /// campaign costs O(journal), not O(journal²) as the old
+    /// whole-file re-read did. A file shorter than the consumed offset
+    /// (truncated or rotated underneath us) is treated as a clean
+    /// restart: the follower resets to the start and re-validates the
+    /// header, rather than misparsing mid-frame bytes.
+    ///
     /// # Errors
     ///
     /// Returns an error for an unreadable-but-present file or a foreign
     /// header.
     pub fn poll(&mut self) -> Result<Vec<Event>, String> {
-        let bytes = match fs::read(&self.path) {
-            Ok(bytes) => bytes,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
-            Err(e) => return Err(format!("reading journal {}: {e}", self.path.display())),
-        };
-        if self.offset == 0 {
-            if bytes.len() < HEADER_LEN {
+        use std::io::{Read, Seek, SeekFrom};
+        let mut file = match fs::File::open(&self.path) {
+            Ok(file) => file,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                // Rotated away entirely: restart when it reappears.
+                self.offset = 0;
                 return Ok(Vec::new());
             }
-            self.offset = check_journal_header(&bytes)?;
+            Err(e) => return Err(format!("reading journal {}: {e}", self.path.display())),
+        };
+        let len = file
+            .metadata()
+            .map(|m| m.len())
+            .map_err(|e| format!("reading journal {}: {e}", self.path.display()))?;
+        if len < self.offset {
+            self.offset = 0;
         }
-        Ok(events_from(&bytes, &mut self.offset))
+        if len == self.offset {
+            return Ok(Vec::new());
+        }
+        if self.offset == 0 && (len as usize) < HEADER_LEN {
+            return Ok(Vec::new());
+        }
+        let mut tail = Vec::with_capacity((len - self.offset) as usize);
+        file.seek(SeekFrom::Start(self.offset))
+            .and_then(|_| file.read_to_end(&mut tail))
+            .map_err(|e| format!("reading journal {}: {e}", self.path.display()))?;
+        let mut consumed = 0usize;
+        if self.offset == 0 {
+            consumed = check_journal_header(&tail)?;
+        }
+        let events = events_from(&tail, &mut consumed);
+        self.offset += consumed as u64;
+        Ok(events)
     }
 }
 

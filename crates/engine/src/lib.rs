@@ -32,7 +32,12 @@
 //!   campaign (`smctl resume`) and merging sharded reports
 //!   (`smctl merge`);
 //! * [`report`] — deterministic JSON/CSV emission (timings opt-in, so
-//!   canonical reports are byte-identical across runs).
+//!   canonical reports are byte-identical across runs);
+//! * [`serve`] — the long-running campaign service behind `smctl
+//!   serve`: a socket-facing coordinator with admission control and a
+//!   host-level work-stealing [`Fleet`](serve::Fleet), plus a
+//!   deterministic N-worker simulation whose merged reports are
+//!   byte-identical to a solo sweep.
 //!
 //! The `smctl` CLI (in `sm-bench`, next to the experiment definitions)
 //! and the per-table binaries all sit on top of these primitives.
@@ -64,6 +69,7 @@ pub mod exec;
 pub mod job;
 pub mod journal;
 pub mod report;
+pub mod serve;
 pub mod store;
 
 pub use bundle::{iscas_selection, superblue_selection, IscasRun, StageSource, SuperblueRun};
@@ -76,8 +82,12 @@ pub use exec::{Budget, CancelToken, Executor, ExecutorConfig, Pool, PoolStats};
 pub use job::{AttackKind, Benchmark, Job};
 pub use journal::{Event, Journal, JournalFollower};
 pub use report::{Json, ReportOptions};
+pub use serve::{
+    client_shutdown, client_status, client_submit, serve, simulate_campaign, simulate_schedule,
+    Fleet, FleetStats, ServeConfig, ServiceStatus, SimPlan,
+};
 pub use store::{
-    ArtifactStore, Stage, StageHealth, StageUsage, StoreHealth, StoreStats, StoreUsage,
+    ArtifactStore, Stage, StageHealth, StageUsage, StoreHealth, StoreLock, StoreStats, StoreUsage,
 };
 
 #[cfg(test)]

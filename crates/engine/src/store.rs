@@ -203,6 +203,7 @@ pub struct ArtifactStore {
     journal: Mutex<Option<Arc<Journal>>>,
     persistent_failures: AtomicU64,
     degraded: AtomicBool,
+    coordinated: AtomicBool,
 }
 
 impl ArtifactStore {
@@ -222,7 +223,22 @@ impl ArtifactStore {
             journal: Mutex::new(None),
             persistent_failures: AtomicU64::new(0),
             degraded: AtomicBool::new(false),
+            coordinated: AtomicBool::new(false),
         }
+    }
+
+    /// Acquires the store's `.lock` for the lifetime of a service
+    /// coordinator and flips this handle into *coordinated* mode: while
+    /// coordinated, maintenance sweeps ([`gc_to`](ArtifactStore::gc_to),
+    /// [`clear`](ArtifactStore::clear)) run under the coordinator's
+    /// long-held reservation instead of re-acquiring per sweep. The
+    /// caller owns keeping the returned lock fresh
+    /// ([`StoreLock::refresh_if_due`]) across long idle stretches.
+    /// `None` when a live peer holds the lock.
+    pub fn coordinate(&self) -> Option<StoreLock> {
+        let lock = StoreLock::acquire(&self.root, &|age, pid| self.note_lock_steal(age, pid))?;
+        self.coordinated.store(true, Ordering::Relaxed);
+        Some(lock)
     }
 
     /// Attaches a fault injector consulted before every payload read
@@ -538,10 +554,16 @@ impl ArtifactStore {
     /// cannot be acquired (a peer is already evicting), this pass is
     /// skipped — the peer's sweep enforces the cap.
     pub fn gc_to(&self, cap: u64) -> u64 {
-        let Some(_lock) =
-            StoreLock::acquire(&self.root, &|age, pid| self.note_lock_steal(age, pid))
-        else {
-            return 0;
+        // Under a service coordinator the reservation is already held
+        // for the service's lifetime ([`coordinate`]) — re-acquiring
+        // here would deadlock against our own lock.
+        let lock = if self.coordinated.load(Ordering::Relaxed) {
+            None
+        } else {
+            match StoreLock::acquire(&self.root, &|age, pid| self.note_lock_steal(age, pid)) {
+                Some(lock) => Some(lock),
+                None => return 0,
+            }
         };
         let mut entries = self.entries();
         let mut total: u64 = entries.iter().map(|(_, _, len)| len).sum();
@@ -553,6 +575,11 @@ impl ArtifactStore {
         for (path, _, len) in entries {
             if total <= cap {
                 break;
+            }
+            // A sweep over a huge store can outlast the staleness
+            // window — keep the lock visibly alive while we hold it.
+            if let Some(lock) = &lock {
+                lock.refresh_if_due();
             }
             if fs::remove_file(&path).is_ok() {
                 total -= len;
@@ -568,9 +595,16 @@ impl ArtifactStore {
     /// exhausting patience — explicit maintenance must not hang forever
     /// behind a wedged peer). Returns the number of files removed.
     pub fn clear(&self) -> u64 {
-        let _lock = StoreLock::acquire(&self.root, &|age, pid| self.note_lock_steal(age, pid));
+        let lock = if self.coordinated.load(Ordering::Relaxed) {
+            None
+        } else {
+            StoreLock::acquire(&self.root, &|age, pid| self.note_lock_steal(age, pid))
+        };
         let mut removed = 0;
         for (path, _, _) in self.entries() {
+            if let Some(lock) = &lock {
+                lock.refresh_if_due();
+            }
             if fs::remove_file(&path).is_ok() {
                 removed += 1;
             }
@@ -775,18 +809,58 @@ fn fnv1a_bytes(bytes: &[u8]) -> u64 {
 // ----- cross-process lock ------------------------------------------------
 
 /// How long a `.lock` file may sit unmodified before it is presumed
-/// abandoned by a crashed process and stolen.
+/// abandoned by a crashed process and stolen. Live holders of long
+/// sweeps must [`StoreLock::refresh`] within this window.
 const LOCK_STALE: Duration = Duration::from_secs(30);
 
 /// How long [`StoreLock::acquire`] tries before giving up.
 const LOCK_PATIENCE: Duration = Duration::from_secs(5);
 
+/// A unique lock-ownership token: `pid:nonce`. The pid keeps the file
+/// human-debuggable; the nonce disambiguates re-acquisitions by the
+/// same process (and pid reuse after a crash).
+fn lock_token() -> String {
+    format!("{}:{:016x}", std::process::id(), lock_nonce())
+}
+
+fn lock_nonce() -> u64 {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let clock = SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    sm_exec::seed::mix64(
+        clock
+            ^ (std::process::id() as u64).rotate_left(32)
+            ^ COUNTER.fetch_add(1, Ordering::Relaxed),
+    )
+}
+
 /// A held `.lock` file under the store root; dropped = released. The
 /// lock serializes maintenance sweeps (eviction, clear) across
 /// processes — artifact reads and writes stay lock-free (atomic
 /// rename makes them safe without it).
-struct StoreLock {
+///
+/// Public so a service coordinator ([`ArtifactStore::coordinate`]) can
+/// hold one for its whole lifetime, owning the store's maintenance
+/// budget instead of re-acquiring per sweep.
+///
+/// Two races this type is built around:
+///
+/// * **steal-by-rename** — a stale lock is taken over by atomically
+///   renaming it to a unique grave name; of N racing stealers exactly
+///   one rename succeeds, so a steal can never delete a fresh lock some
+///   other stealer just created (the old remove-then-create dance
+///   could);
+/// * **ownership-checked release** — [`Drop`] unlinks the lock file
+///   only if it still holds this acquisition's token, so a holder whose
+///   lock was stolen mid-sweep cannot destroy the thief's lock on exit.
+#[derive(Debug)]
+pub struct StoreLock {
     path: PathBuf,
+    token: String,
+    stale: Duration,
+    last_refresh: Mutex<std::time::Instant>,
 }
 
 impl StoreLock {
@@ -795,9 +869,22 @@ impl StoreLock {
     /// it. Every steal is reported through `on_steal(age, holder_pid)`
     /// — stealing must be loud, not silent, so an operator can tell a
     /// crashed peer from a livelocked one.
-    fn acquire(root: &Path, on_steal: &dyn Fn(Duration, u64)) -> Option<StoreLock> {
+    pub fn acquire(root: &Path, on_steal: &dyn Fn(Duration, u64)) -> Option<StoreLock> {
+        Self::acquire_with(root, on_steal, LOCK_STALE, LOCK_PATIENCE)
+    }
+
+    /// [`StoreLock::acquire`] with explicit staleness and patience
+    /// windows — the production constants are wall-clock scale, so
+    /// steal/refresh behavior is tested through this entry point.
+    pub fn acquire_with(
+        root: &Path,
+        on_steal: &dyn Fn(Duration, u64),
+        stale: Duration,
+        patience: Duration,
+    ) -> Option<StoreLock> {
         let path = root.join(".lock");
-        let deadline = std::time::Instant::now() + LOCK_PATIENCE;
+        let token = lock_token();
+        let deadline = std::time::Instant::now() + patience;
         loop {
             let _ = fs::create_dir_all(root);
             match fs::OpenOptions::new()
@@ -807,25 +894,19 @@ impl StoreLock {
             {
                 Ok(mut f) => {
                     use std::io::Write;
-                    let _ = write!(f, "{}", std::process::id());
-                    return Some(StoreLock { path });
+                    let _ = write!(f, "{token}");
+                    return Some(StoreLock {
+                        path,
+                        token,
+                        stale,
+                        last_refresh: Mutex::new(std::time::Instant::now()),
+                    });
                 }
                 Err(_) => {
-                    // Steal locks whose holder died (mtime stale).
-                    if let Ok(meta) = fs::metadata(&path) {
-                        let age = meta
-                            .modified()
-                            .ok()
-                            .and_then(|m| SystemTime::now().duration_since(m).ok());
-                        if let Some(age) = age.filter(|&a| a > LOCK_STALE) {
-                            let holder_pid = fs::read_to_string(&path)
-                                .ok()
-                                .and_then(|s| s.trim().parse::<u64>().ok())
-                                .unwrap_or(0);
-                            on_steal(age, holder_pid);
-                            let _ = fs::remove_file(&path);
-                            continue;
-                        }
+                    if Self::try_steal(&path, stale, on_steal) {
+                        // The stale lock is gone (we or a peer removed
+                        // it): race straight back to `create_new`.
+                        continue;
                     }
                     if std::time::Instant::now() >= deadline {
                         return None;
@@ -835,11 +916,102 @@ impl StoreLock {
             }
         }
     }
+
+    /// Steals the lock at `path` if its holder looks dead (mtime older
+    /// than `stale`). Returns `true` when the caller should retry
+    /// `create_new` immediately (the path is — or just became — free).
+    fn try_steal(path: &Path, stale: Duration, on_steal: &dyn Fn(Duration, u64)) -> bool {
+        let Ok(meta) = fs::metadata(path) else {
+            // Vanished between `create_new` and here: retry now.
+            return true;
+        };
+        let age = meta
+            .modified()
+            .ok()
+            .and_then(|m| SystemTime::now().duration_since(m).ok());
+        if age.filter(|&a| a > stale).is_none() {
+            return false;
+        }
+        // Atomic rename to a unique grave name: of N racing stealers
+        // exactly one rename succeeds, and the losers loop back to
+        // `create_new` — nobody can delete a lock it did not win.
+        let grave = path.with_file_name(format!(".lock-steal-{:016x}", lock_nonce()));
+        if fs::rename(path, &grave).is_err() {
+            return true;
+        }
+        // Between the staleness check and the rename the path may have
+        // been replaced by a *fresh* lock (a peer completing its own
+        // steal). Re-verify on the renamed file before declaring the
+        // steal; a fresh lock is put back via `hard_link`, which never
+        // overwrites an existing path.
+        let renamed_age = fs::metadata(&grave)
+            .ok()
+            .and_then(|m| m.modified().ok())
+            .and_then(|m| SystemTime::now().duration_since(m).ok());
+        match renamed_age.filter(|&a| a > stale) {
+            Some(age) => {
+                let holder_pid = fs::read_to_string(&grave)
+                    .ok()
+                    .and_then(|s| {
+                        s.trim()
+                            .split(':')
+                            .next()
+                            .and_then(|pid| pid.parse::<u64>().ok())
+                    })
+                    .unwrap_or(0);
+                on_steal(age, holder_pid);
+                let _ = fs::remove_file(&grave);
+                true
+            }
+            None => {
+                let _ = fs::hard_link(&grave, path);
+                let _ = fs::remove_file(&grave);
+                false
+            }
+        }
+    }
+
+    /// Bumps the lock file's mtime so a live holder of a long sweep is
+    /// not presumed dead and stolen from. No-op if the lock was already
+    /// stolen (never touch the thief's file).
+    pub fn refresh(&self) {
+        if self.owned() {
+            if let Ok(f) = fs::OpenOptions::new().append(true).open(&self.path) {
+                let _ = f.set_modified(SystemTime::now());
+            }
+        }
+        *self.last_refresh.lock().unwrap_or_else(|p| p.into_inner()) = std::time::Instant::now();
+    }
+
+    /// [`StoreLock::refresh`], throttled to once per quarter of the
+    /// staleness window — cheap enough to call from every iteration of
+    /// a maintenance loop.
+    pub fn refresh_if_due(&self) {
+        let due = {
+            let last = self.last_refresh.lock().unwrap_or_else(|p| p.into_inner());
+            last.elapsed() >= self.stale / 4
+        };
+        if due {
+            self.refresh();
+        }
+    }
+
+    /// `true` while the `.lock` file still carries this acquisition's
+    /// token (i.e. it has not been stolen).
+    fn owned(&self) -> bool {
+        fs::read_to_string(&self.path).is_ok_and(|s| s.trim() == self.token)
+    }
 }
 
 impl Drop for StoreLock {
     fn drop(&mut self) {
-        let _ = fs::remove_file(&self.path);
+        // Ownership-checked release: if the lock was stolen while this
+        // holder ran long, the file now belongs to the thief — deleting
+        // it here would hand the store to a third process while the
+        // thief still believes it holds the lock.
+        if self.owned() {
+            let _ = fs::remove_file(&self.path);
+        }
     }
 }
 

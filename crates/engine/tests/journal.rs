@@ -397,3 +397,56 @@ fn timed_out_jobs_materialize_as_placeholders() {
     assert_eq!(replayed.timed_out(), campaign.outcomes.len());
     assert_eq!(canonical(&replayed), canonical(&campaign));
 }
+
+/// A follower whose journal shrinks underneath it (rotation, `smctl
+/// clear`, a fresh campaign over a recycled path) restarts cleanly from
+/// the top of the new file instead of erroring or replaying garbage —
+/// and tails the file from its offset rather than re-reading the whole
+/// log on every poll.
+#[test]
+fn follower_restarts_cleanly_after_truncation_or_rotation() {
+    let scratch = Scratch::new("follow-rotate");
+    let spec = tiny_spec();
+    let journal = Journal::for_spec(scratch.path(), &spec);
+    let mut follower = JournalFollower::new(journal.path());
+
+    let started = Event::CampaignStarted {
+        spec: spec.clone(),
+        threads: 1,
+    };
+    let built = Event::BundleBuilt {
+        key: "iscas-c432-s0000000000000001".into(),
+        stage: "build".into(),
+        wall_ms: 3.25,
+    };
+    journal.record(&started);
+    journal.record(&built);
+    assert_eq!(follower.poll().unwrap().len(), 2);
+
+    // Rotation: the log is removed and a fresh journal (header + one
+    // event) appears at the same path, *shorter* than the follower's
+    // offset. The next poll restarts from byte zero.
+    fs::remove_file(journal.path()).unwrap();
+    let fresh = Journal::for_spec(scratch.path(), &spec);
+    fresh.record(&started);
+    assert_eq!(follower.poll().unwrap(), vec![started.clone()]);
+    assert_eq!(follower.poll().unwrap(), Vec::new());
+
+    // Truncation to zero bytes: quietly nothing until a writer lays
+    // down a fresh header, then events stream normally again.
+    fs::write(journal.path(), b"").unwrap();
+    assert_eq!(follower.poll().unwrap(), Vec::new());
+    fs::remove_file(journal.path()).unwrap();
+    let again = Journal::for_spec(scratch.path(), &spec);
+    again.record(&built);
+    again.record(&built);
+    assert_eq!(follower.poll().unwrap(), vec![built.clone(), built.clone()]);
+
+    // Deleting the file entirely parks the follower without error; a
+    // reborn journal streams from its own start.
+    fs::remove_file(journal.path()).unwrap();
+    assert_eq!(follower.poll().unwrap(), Vec::new());
+    let reborn = Journal::for_spec(scratch.path(), &spec);
+    reborn.record(&started);
+    assert_eq!(follower.poll().unwrap(), vec![started]);
+}

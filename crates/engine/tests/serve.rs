@@ -1,0 +1,275 @@
+//! Campaign-service integration tests: the `smctl serve` guarantees.
+//!
+//! * the deterministic N-worker fleet simulation covers every job
+//!   exactly once, reproduces its schedule bit-for-bit, and its merged
+//!   report is **byte-identical** to a solo sweep — including under an
+//!   injected worker death that forces a re-queue and a steal;
+//! * the live service round-trips submit/status/shutdown over its Unix
+//!   socket, streams journal events to a following client, and returns
+//!   the same canonical bytes as a solo sweep;
+//! * admission control bounces submissions past `max_queued` and
+//!   invalid specs, and a second service refuses a live socket.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use sm_engine::campaign::{run_sweep_budgeted, SweepSpec};
+use sm_engine::exec::Budget;
+use sm_engine::job::AttackKind;
+use sm_engine::journal::Event;
+use sm_engine::report::ReportOptions;
+use sm_engine::serve::{
+    client_shutdown, client_status, client_submit, serve, simulate_campaign, simulate_schedule,
+    ServeConfig, SimPlan,
+};
+use sm_engine::ArtifactCache;
+
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "sm-serve-test-{tag}-{}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        Scratch(dir)
+    }
+
+    fn path(&self) -> &PathBuf {
+        &self.0
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Eight jobs (4 seeds × 2 layers) over three workers: enough structure
+/// for initial splits, a backlog, and steals to all occur.
+fn sim_spec() -> SweepSpec {
+    SweepSpec {
+        benchmarks: vec!["c432".into()],
+        seeds: vec![1, 2, 3, 4],
+        split_layers: vec![3, 4],
+        attacks: vec![AttackKind::NetworkFlow],
+        scale: 100,
+        master_seed: 1,
+        layout_seed: None,
+    }
+}
+
+fn solo_bytes(spec: &SweepSpec) -> String {
+    run_sweep_budgeted(
+        spec,
+        &Budget::with_threads(Some(2)),
+        &ArtifactCache::new(),
+        None,
+    )
+    .unwrap()
+    .to_json(ReportOptions::default())
+    .render()
+}
+
+/// Every (total, plan) combination yields a schedule that covers each
+/// job index exactly once — across deaths, uneven splits, and more
+/// workers than jobs — and replays bit-for-bit.
+#[test]
+fn schedules_cover_every_job_exactly_once_and_replay() {
+    type Combo = (usize, usize, Vec<(usize, usize)>);
+    let combos: Vec<Combo> = vec![
+        (8, 3, vec![]),
+        (8, 3, vec![(1, 0)]),
+        (17, 5, vec![(0, 1), (3, 0)]),
+        (1, 4, vec![]),
+        (12, 2, vec![(1, 2)]),
+    ];
+    for (total, workers, deaths) in combos {
+        let plan = SimPlan {
+            workers,
+            seed: 7,
+            deaths: deaths.clone(),
+        };
+        let (schedule, _) = simulate_schedule(total, &plan).unwrap();
+        let mut all: Vec<usize> = schedule.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(
+            all,
+            (0..total).collect::<Vec<_>>(),
+            "coverage for total={total} workers={workers} deaths={deaths:?}"
+        );
+        let (again, _) = simulate_schedule(total, &plan).unwrap();
+        assert_eq!(again, schedule, "schedules replay bit-for-bit");
+    }
+}
+
+/// The headline service guarantee: a simulated fleet's merged report is
+/// byte-identical to a solo sweep — healthy or with a worker killed at
+/// its first pickup (re-queue + steal), at any thread budget.
+#[test]
+fn simulated_fleet_reports_are_byte_identical_to_solo() {
+    let spec = sim_spec();
+    let want = solo_bytes(&spec);
+    for (deaths, threads) in [
+        (vec![], 4usize),
+        (vec![], 1),
+        (vec![(1usize, 0usize)], 4),
+        (vec![(1, 0)], 1),
+    ] {
+        let plan = SimPlan {
+            workers: 3,
+            seed: 1,
+            deaths: deaths.clone(),
+        };
+        let (campaign, stats) = simulate_campaign(
+            &spec,
+            &plan,
+            &Budget::with_threads(Some(threads)),
+            &ArtifactCache::new(),
+        )
+        .unwrap();
+        assert_eq!(
+            campaign.to_json(ReportOptions::default()).render(),
+            want,
+            "fleet bytes diverge (deaths={deaths:?} threads={threads})"
+        );
+        if deaths.is_empty() {
+            assert_eq!(stats.deaths, 0);
+        } else {
+            assert_eq!(stats.deaths, 1, "the injected death fires");
+            assert!(
+                stats.steals >= 1,
+                "a worker killed at first pickup forces its range back out"
+            );
+        }
+    }
+}
+
+/// Full socket lifecycle: status on an idle service, a followed submit
+/// whose event stream starts with campaign-started and ends with
+/// campaign-finished, a byte-identical report, an attach for the
+/// duplicate spec, updated counters, and a drain-then-exit shutdown
+/// that removes the socket. A second service meanwhile refuses the
+/// live socket.
+#[test]
+fn service_round_trips_submit_status_shutdown() {
+    let scratch = Scratch::new("round-trip");
+    let socket = scratch.path().join("sm.sock");
+    let config = ServeConfig {
+        socket: socket.clone(),
+        workers: 3,
+        max_queued: 4,
+        store: scratch.path().join("store"),
+        store_cap: None,
+    };
+    let service = {
+        let config = config.clone();
+        std::thread::spawn(move || serve(&config, &Budget::with_threads(Some(2))))
+    };
+    for _ in 0..500 {
+        if socket.exists() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let status = client_status(&socket).expect("status on an idle service");
+    assert_eq!(status.workers, 3);
+    assert_eq!(status.completed, 0);
+    assert_eq!(status.running, None);
+
+    // A second service must refuse the live socket outright.
+    let usurper = ServeConfig {
+        store: scratch.path().join("other-store"),
+        ..config.clone()
+    };
+    let err = serve(&usurper, &Budget::with_threads(Some(1))).unwrap_err();
+    assert!(err.contains("already listening"), "{err}");
+
+    let spec = sim_spec();
+    let mut events = Vec::new();
+    let json = client_submit(
+        &socket,
+        &spec,
+        true,
+        |_, jobs, queued| {
+            assert_eq!(jobs, 8);
+            assert_eq!(queued, 0);
+        },
+        |event| events.push(event.clone()),
+    )
+    .expect("followed submission");
+    assert_eq!(json, solo_bytes(&spec), "service bytes diverge from solo");
+    assert!(
+        matches!(events.first(), Some(Event::CampaignStarted { .. })),
+        "stream opens with campaign-started"
+    );
+    assert!(
+        matches!(events.last(), Some(Event::CampaignFinished { .. })),
+        "stream ends on campaign-finished"
+    );
+
+    // Duplicate spec: attaches to the finished campaign, same bytes.
+    let again =
+        client_submit(&socket, &spec, false, |_, _, _| {}, |_| {}).expect("duplicate attaches");
+    assert_eq!(again, json);
+
+    let status = client_status(&socket).unwrap();
+    assert_eq!(status.completed, 1, "one campaign ran (duplicate attached)");
+    assert_eq!(status.jobs_done, 8);
+
+    client_shutdown(&socket).expect("drain + shutdown");
+    service
+        .join()
+        .expect("service thread")
+        .expect("service exits cleanly");
+    assert!(!socket.exists(), "shutdown removes the socket");
+}
+
+/// Admission control: a zero-capacity queue bounces every submission
+/// with "queue full", and an unexpandable spec is rejected before it
+/// can occupy a slot.
+#[test]
+fn admission_rejects_full_queues_and_invalid_specs() {
+    let scratch = Scratch::new("admission");
+    let socket = scratch.path().join("sm.sock");
+    let config = ServeConfig {
+        socket: socket.clone(),
+        workers: 2,
+        max_queued: 0,
+        store: scratch.path().join("store"),
+        store_cap: None,
+    };
+    let service = {
+        let config = config.clone();
+        std::thread::spawn(move || serve(&config, &Budget::with_threads(Some(1))))
+    };
+    for _ in 0..500 {
+        if socket.exists() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let err = client_submit(&socket, &sim_spec(), false, |_, _, _| {}, |_| {})
+        .expect_err("a zero-capacity queue admits nothing");
+    assert!(err.contains("queue full"), "{err}");
+
+    let bogus = SweepSpec {
+        benchmarks: vec!["no-such-benchmark".into()],
+        ..sim_spec()
+    };
+    let err = client_submit(&socket, &bogus, false, |_, _, _| {}, |_| {})
+        .expect_err("an unexpandable spec is rejected");
+    assert!(!err.is_empty());
+
+    client_shutdown(&socket).unwrap();
+    service.join().unwrap().unwrap();
+    assert!(!socket.exists());
+}

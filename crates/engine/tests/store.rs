@@ -400,3 +400,165 @@ fn gc_backs_off_while_a_live_peer_holds_the_lock() {
     assert!(store.gc_to(1) > 0);
     assert_eq!(store.usage().files, 0);
 }
+
+// ----- lock steal/ownership races -----------------------------------------
+
+/// Backdates the `.lock` under `root` so it reads as abandoned.
+fn backdate_lock(root: &Path, age: std::time::Duration) {
+    let f = fs::OpenOptions::new()
+        .append(true)
+        .open(root.join(".lock"))
+        .unwrap();
+    f.set_modified(std::time::SystemTime::now() - age).unwrap();
+}
+
+/// The TOCTOU regression this PR fixes: N threads racing to steal one
+/// stale lock must admit **exactly one** holder. The old
+/// remove-then-create steal let a second stealer delete the fresh lock
+/// the first had just created, yielding two holders.
+#[test]
+fn stale_steal_storm_admits_exactly_one_holder() {
+    use sm_engine::store::StoreLock;
+    let scratch = Scratch::new("steal-storm");
+    fs::create_dir_all(scratch.path()).unwrap();
+    fs::write(scratch.path().join(".lock"), "999999:dead").unwrap();
+    backdate_lock(scratch.path(), std::time::Duration::from_secs(120));
+
+    let steals = Arc::new(AtomicU64::new(0));
+    let holders: Vec<bool> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let steals = Arc::clone(&steals);
+            let root = scratch.path().clone();
+            handles.push(scope.spawn(move || {
+                let lock = StoreLock::acquire_with(
+                    &root,
+                    &|_, _| {
+                        steals.fetch_add(1, Ordering::Relaxed);
+                    },
+                    std::time::Duration::from_secs(30),
+                    std::time::Duration::from_millis(1200),
+                );
+                // Hold past every loser's patience so none inherits a
+                // released lock and double-counts as a holder.
+                std::thread::sleep(std::time::Duration::from_millis(1500));
+                lock.is_some()
+            }));
+        }
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert_eq!(
+        holders.iter().filter(|&&h| h).count(),
+        1,
+        "a stale-steal storm must admit exactly one holder"
+    );
+    assert_eq!(
+        steals.load(Ordering::Relaxed),
+        1,
+        "the stale lock is stolen exactly once (rename is atomic)"
+    );
+    assert!(
+        !scratch.path().join(".lock").exists(),
+        "the winner releases its lock on drop"
+    );
+}
+
+/// A live holder of a long sweep refreshes its lock mtime, so it is
+/// never presumed dead and stolen from — the contender waits out its
+/// whole patience and leaves empty-handed.
+#[test]
+fn refreshing_live_holder_is_not_stolen() {
+    use sm_engine::store::StoreLock;
+    let scratch = Scratch::new("long-holder");
+    let stale = std::time::Duration::from_millis(300);
+    let holder = StoreLock::acquire_with(
+        scratch.path(),
+        &|_, _| panic!("nothing to steal on first acquire"),
+        stale,
+        std::time::Duration::from_millis(500),
+    )
+    .expect("first acquire succeeds");
+
+    let stolen = Arc::new(AtomicU64::new(0));
+    std::thread::scope(|scope| {
+        let contender = {
+            let stolen = Arc::clone(&stolen);
+            let root = scratch.path().clone();
+            scope.spawn(move || {
+                StoreLock::acquire_with(
+                    &root,
+                    &|_, _| {
+                        stolen.fetch_add(1, Ordering::Relaxed);
+                    },
+                    stale,
+                    std::time::Duration::from_millis(1000),
+                )
+                .is_some()
+            })
+        };
+        // The "long sweep": outlive the staleness window several times
+        // over, refreshing as a live holder must.
+        for _ in 0..12 {
+            std::thread::sleep(std::time::Duration::from_millis(100));
+            holder.refresh();
+        }
+        assert!(
+            !contender.join().unwrap(),
+            "a refreshing live holder must not be stolen from"
+        );
+    });
+    assert_eq!(stolen.load(Ordering::Relaxed), 0, "no steal was reported");
+    drop(holder);
+    assert!(
+        !scratch.path().join(".lock").exists(),
+        "the holder releases its lock on drop"
+    );
+}
+
+/// The unconditional-unlink regression this PR fixes: a holder whose
+/// lock WAS stolen (it outlived the staleness window without
+/// refreshing) must not delete the thief's lock when it exits.
+#[test]
+fn stolen_holders_drop_spares_the_thiefs_lock() {
+    use sm_engine::store::StoreLock;
+    let scratch = Scratch::new("stolen-drop");
+    let stale = std::time::Duration::from_millis(100);
+    let sleeper = StoreLock::acquire_with(
+        scratch.path(),
+        &|_, _| panic!("nothing to steal on first acquire"),
+        stale,
+        std::time::Duration::from_millis(500),
+    )
+    .expect("first acquire succeeds");
+
+    // The holder goes quiet past the staleness window; age the file
+    // explicitly so the thief sees it stale without wall-clock sleeps.
+    backdate_lock(scratch.path(), std::time::Duration::from_secs(2));
+    let steals = Arc::new(AtomicU64::new(0));
+    let thief = {
+        let steals = Arc::clone(&steals);
+        StoreLock::acquire_with(
+            scratch.path(),
+            &move |_, _| {
+                steals.fetch_add(1, Ordering::Relaxed);
+            },
+            stale,
+            std::time::Duration::from_millis(1000),
+        )
+        .expect("the thief steals the abandoned lock")
+    };
+    assert_eq!(steals.load(Ordering::Relaxed), 1);
+
+    // The original holder wakes up and exits: its Drop must recognize
+    // the lock is no longer its own.
+    drop(sleeper);
+    assert!(
+        scratch.path().join(".lock").exists(),
+        "a stolen holder's drop must not unlink the thief's lock"
+    );
+    drop(thief);
+    assert!(
+        !scratch.path().join(".lock").exists(),
+        "the thief's drop releases normally"
+    );
+}

@@ -90,6 +90,31 @@ struct CancelInner {
     /// Remaining [`CancelToken::is_cancelled`] observations before the
     /// token trips (test-only fuse; `None` for ordinary tokens).
     fuse: Option<AtomicU64>,
+    /// Linked parent: a [`CancelToken::child`] token also reports
+    /// cancelled when any ancestor does.
+    parent: Option<Arc<CancelInner>>,
+}
+
+impl CancelInner {
+    fn tripped(&self) -> bool {
+        if self.flag.load(Ordering::Acquire) {
+            return true;
+        }
+        if let Some(fuse) = &self.fuse {
+            if fuse
+                .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| n.checked_sub(1))
+                .is_err()
+            {
+                return true;
+            }
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                return true;
+            }
+        }
+        self.parent.as_ref().is_some_and(|p| p.tripped())
+    }
 }
 
 /// Cooperative cancellation: a shared flag plus an optional deadline.
@@ -111,6 +136,7 @@ impl CancelToken {
                 flag: AtomicBool::new(false),
                 deadline: None,
                 fuse: None,
+                parent: None,
             }),
         }
     }
@@ -122,6 +148,24 @@ impl CancelToken {
                 flag: AtomicBool::new(false),
                 deadline: Some(deadline),
                 fuse: None,
+                parent: None,
+            }),
+        }
+    }
+
+    /// A token linked *under* this one: cancelling the child leaves the
+    /// parent (and any siblings) running, while cancelling the parent —
+    /// or its deadline passing — still reaches every child. This is the
+    /// cancellation shape of host-level dispatch: killing one worker's
+    /// budget must not take the campaign down, but aborting the campaign
+    /// must stop every worker.
+    pub fn child(&self) -> CancelToken {
+        CancelToken {
+            inner: Arc::new(CancelInner {
+                flag: AtomicBool::new(false),
+                deadline: None,
+                fuse: None,
+                parent: Some(Arc::clone(&self.inner)),
             }),
         }
     }
@@ -140,6 +184,7 @@ impl CancelToken {
                 flag: AtomicBool::new(false),
                 deadline: None,
                 fuse: Some(AtomicU64::new(n)),
+                parent: None,
             }),
         }
     }
@@ -155,23 +200,11 @@ impl CancelToken {
     }
 
     /// `true` once [`CancelToken::cancel`] was called, the deadline
-    /// passed, or a [`trip_after`](CancelToken::trip_after) fuse ran out.
+    /// passed, a [`trip_after`](CancelToken::trip_after) fuse ran out,
+    /// or (for [`child`](CancelToken::child) tokens) any ancestor
+    /// cancelled.
     pub fn is_cancelled(&self) -> bool {
-        if self.inner.flag.load(Ordering::Acquire) {
-            return true;
-        }
-        if let Some(fuse) = &self.inner.fuse {
-            if fuse
-                .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| n.checked_sub(1))
-                .is_err()
-            {
-                return true;
-            }
-        }
-        match self.inner.deadline {
-            Some(d) => Instant::now() >= d,
-            None => false,
-        }
+        self.inner.tripped()
     }
 
     /// The deadline, if this token carries one.
@@ -766,6 +799,20 @@ impl Budget {
             pool: Arc::clone(&self.pool),
             threads: (self.threads / children.max(1)).max(1),
             cancel: self.cancel.clone(),
+        }
+    }
+
+    /// Hands `threads` slots of this budget to a dispatched worker,
+    /// under a [*child*](CancelToken::child) cancellation token. Unlike
+    /// [`split`](Budget::split) — whose children share the parent token
+    /// — a handoff can be cancelled on its own (a dead or revoked worker
+    /// abandons its jobs as resumable placeholders) without touching the
+    /// campaign, while cancelling the campaign still stops every worker.
+    pub fn handoff(&self, threads: usize) -> Budget {
+        Budget {
+            pool: Arc::clone(&self.pool),
+            threads: threads.max(1),
+            cancel: self.cancel.child(),
         }
     }
 
